@@ -1,0 +1,71 @@
+// Reproduces Fig. 14: uncertainty visualization of compression effects on
+// the Hurricane dataset. The pipeline: ZFP at a high CR (paper: 240), fit a
+// Gaussian error model from the sampled round trips (isovalue-conditioned),
+// compute the probabilistic-marching-cubes crossing-probability field, and
+// count how many isosurface cells lost to compression are recovered by the
+// probability field (the red regions in Fig. 14c). Probability and
+// isosurface artifacts are also written as VTK/OBJ for visual inspection.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "io/obj_writer.h"
+#include "io/vtk_writer.h"
+#include "uncertainty/error_model.h"
+#include "uncertainty/marching_cubes.h"
+#include "uncertainty/probabilistic_mc.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Fig. 14 — uncertainty visualization of compression",
+                     "Fig. 14", "Hurricane + ZFP @ CR~240, probabilistic MC");
+
+  const FieldF f = sim::hurricane_field(bench::hurricane_dims(), 19);
+  const ZfpxCompressor comp;
+  const double iso = f.value_range() * 0.25;  // rain-band wind speed
+  const auto dir = std::filesystem::temp_directory_path();
+
+  // The paper reports one operating point (CR = 240 on the real Hurricane
+  // data); our synthetic stand-in compresses differently, so sweep CRs and
+  // report where uncertainty visualization recovers the lost features and
+  // where compression is too destructive for any model to flag them.
+  std::printf("%-8s %-9s %-20s %-9s %-9s %-18s %-9s\n", "CR", "PSNR",
+              "err model (mu/sigma)", "orig", "missed", "recovered(p>=.05)", "spurious");
+  for (const double target_cr : {30.0, 60.0, 120.0, 240.0}) {
+    const double eb = bench::find_eb_for_cr(
+        [&](double e) { return comp.compress(f, e).size(); }, f.size(), target_cr,
+        f.value_range() * 1e-3, /*iters=*/7);
+    const auto rt = round_trip(comp, f, eb);
+
+    const auto plan = postproc::default_sampling(f.dims(), ZfpxCompressor::kBlock);
+    const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 42);
+    const auto es = postproc::collect_error_samples(samples, comp, eb);
+    const auto model = uq::ErrorModel::fit_near_isovalue(es.orig, es.dec, iso,
+                                                         f.value_range() * 0.05);
+    const auto prob = uq::crossing_probability(rt.reconstructed, iso, model);
+    const auto stats = uq::compare_isosurfaces(f, rt.reconstructed, prob, iso, 0.05);
+    std::printf("%-8.1f %-9.2f %8.3g /%8.3g  %-9lld %-9lld %7lld (%5.1f%%)  %-9lld\n",
+                rt.ratio, metrics::psnr(f, rt.reconstructed), model.mean, model.sigma,
+                static_cast<long long>(stats.cells_crossed_original),
+                static_cast<long long>(stats.cells_missed),
+                static_cast<long long>(stats.missed_recovered),
+                100.0 * stats.recovery_rate(),
+                static_cast<long long>(stats.cells_spurious));
+
+    if (target_cr == 60.0) {
+      // Artifacts for visual inspection at a representative operating point.
+      io::write_vtk(prob, (dir / "fig14_crossing_probability.vtk").string());
+      io::write_obj(uq::marching_cubes(f, iso), (dir / "fig14_iso_original.obj").string());
+      io::write_obj(uq::marching_cubes(rt.reconstructed, iso),
+                    (dir / "fig14_iso_decompressed.obj").string());
+    }
+  }
+  std::printf("\nartifacts written to %s (fig14_*.vtk/obj)\n", dir.string().c_str());
+  std::printf("expected shape: at moderate CRs the probability field flags most\n"
+              "cells the compression removed (the paper's cyan/green boxes);\n"
+              "at extreme CRs whole features vanish beyond any error model.\n");
+  return 0;
+}

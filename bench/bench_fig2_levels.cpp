@@ -1,0 +1,42 @@
+// Reproduces Fig. 2: the per-level data distribution of a multi-level AMR
+// dataset (Rayleigh-Taylor, Fig. 1/2 in the paper). Prints per-level
+// occupancy, the irregular-region statistics that motivate the uniform
+// unit-block partition, and the per-level value ranges.
+
+#include <array>
+
+#include "bench_util.h"
+#include "merge/unit_blocks.h"
+#include "simdata/generators.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Fig. 2 — per-level data distribution", "Fig. 2",
+                     "Rayleigh-Taylor, 3-level AMR");
+
+  const FieldF f = sim::rayleigh_taylor(bench::rt_dims(), 13);
+  const std::array<double, 3> fr{0.15, 0.31, 0.54};
+  const auto mr = amr::build_hierarchy(f, 16, fr);
+
+  std::printf("%-8s %-14s %-9s %-10s %-12s %-12s\n", "level", "dims", "density",
+              "unit", "unit blocks", "value range");
+  for (std::size_t l = 0; l < mr.levels.size(); ++l) {
+    const auto& lev = mr.levels[l];
+    const index_t unit = mr.block_size / lev.ratio;
+    const auto set = extract_unit_blocks(lev, unit);
+    double lo = 1e300, hi = -1e300;
+    for (index_t i = 0; i < lev.data.size(); ++i)
+      if (lev.mask[i]) {
+        lo = std::min(lo, static_cast<double>(lev.data[i]));
+        hi = std::max(hi, static_cast<double>(lev.data[i]));
+      }
+    std::printf("%-8zu %-14s %7.1f%%  %-9lld %-12lld [%.3g, %.3g]\n", l,
+                lev.data.dims().str().c_str(), 100.0 * lev.density(),
+                static_cast<long long>(unit), static_cast<long long>(set.block_count()),
+                lo, hi);
+  }
+  std::printf("\npaper: each level holds a different, sparse part of the domain\n"
+              "(fine level concentrated at the mixing interface).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Fig. 4: compression-oriented ROI extraction on the Nyx
+// cosmology dataset. The paper selects 15% of the data and reports
+// SSIM = 0.99995 vs the original visualization while capturing "almost all
+// the halos". We sweep the ROI fraction and report volume SSIM of the
+// reconstructed adaptive data plus the captured-halo fraction.
+
+#include "bench_util.h"
+#include "roi/roi_extract.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Fig. 4 — ROI extraction quality", "Fig. 4",
+                     "Nyx density, range-threshold ROI, block 16");
+
+  const FieldF f = sim::nyx_density(bench::nyx_dims(), 7);
+  // "Halos": top 0.1% of density values.
+  std::vector<float> sorted(f.span().begin(), f.span().end());
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() * 999 / 1000),
+                   sorted.end());
+  const float halo_threshold = sorted[sorted.size() * 999 / 1000];
+
+  std::printf("%-10s %-12s %-14s %-16s %-14s\n", "ROI frac", "SSIM", "halo capture",
+              "stored samples", "vs uniform");
+  for (const double frac : {0.05, 0.10, 0.15, 0.25, 0.50}) {
+    const auto mr = roi::extract_adaptive(f, 16, frac);
+    const FieldF rec = mr.reconstruct_uniform();
+    const double s = metrics::ssim(f, rec, {7, 4, 0.01, 0.03});
+    const double captured = roi::captured_fraction(mr, f, halo_threshold);
+    std::printf("%-10.2f %-12.5f %-14.4f %-16lld %5.1f%%\n", frac, s, captured,
+                static_cast<long long>(mr.stored_samples()),
+                100.0 * static_cast<double>(mr.stored_samples()) /
+                    static_cast<double>(f.size()));
+  }
+  std::printf("\npaper: 15%% ROI -> SSIM 0.99995, captures almost all halos.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Future-work experiment (paper §V): "study how our workflow can preserve
+// application-specific post-analysis quality such as Halo-finder". Runs the
+// over-density halo finder on the original Nyx field and on workflow
+// round-trips across compression ratios, reporting halo match rate and mass
+// errors — the acceptance criterion a cosmologist would actually apply.
+
+#include <algorithm>
+
+#include "analysis/halo_finder.h"
+#include "bench_util.h"
+#include "roi/roi_extract.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Halo-finder preservation (paper §V future work)", "§V",
+                     "Nyx density; threshold halo finder across CRs");
+
+  const FieldF f = sim::nyx_density(scaled({256, 256, 256}), 7);
+  // Halo threshold: top 0.2% of density.
+  std::vector<float> sorted(f.span().begin(), f.span().end());
+  const auto cut = sorted.size() * 998 / 1000;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(cut),
+                   sorted.end());
+  const float threshold = sorted[cut];
+  const auto reference = analysis::find_halos(f, threshold, 8);
+  std::printf("reference catalog: %zu halos (threshold %.3g)\n\n", reference.count(),
+              threshold);
+
+  const auto mr = roi::extract_adaptive(f, 16, 0.25);
+  std::printf("%-10s %-10s %-12s %-14s %-14s\n", "CR", "halos", "match rate",
+              "mean mass err", "max mass err");
+  for (const double rel : {1e-5, 1e-4, 1e-3, 1e-2, 5e-2}) {
+    const auto streams =
+        sz3mr::compress_multires(mr, f.value_range() * rel, sz3mr::ours_pad_eb());
+    auto dec = sz3mr::decompress_multires(streams);
+    dec.fine_dims = f.dims();
+    const FieldF recon = dec.reconstruct_uniform();
+    const auto cat = analysis::find_halos(recon, threshold, 8);
+    const auto cmp = analysis::compare_catalogs(reference, cat);
+    std::printf("%-10.1f %-10zu %-12.3f %-14.4f %-14.4f\n",
+                sz3mr::multires_ratio(mr, streams), cat.count(), cmp.match_rate(),
+                cmp.mean_mass_rel_err, cmp.max_mass_rel_err);
+  }
+  std::printf("\nexpected: near-perfect match rate at low CR, graceful decay —\n"
+              "the ROI keeps halos at full resolution, so they survive much\n"
+              "higher CRs than pointwise PSNR suggests.\n");
+  return 0;
+}

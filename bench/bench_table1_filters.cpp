@@ -1,0 +1,45 @@
+// Reproduces Table I: PSNR of ZFP-decompressed data vs classic image
+// filters vs our error-bounded post-process.
+// Paper row: Decomp 80.5 | Median 67.2 | Gaussian 71.6 | AnisoDiff 74.4 |
+// Ours 82.9 — the filters *lose* quality, ours gains it.
+
+#include "bench_util.h"
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "postproc/bezier.h"
+#include "postproc/filters.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Table I — image filters vs our post-process", "TABLE I",
+                     "Nyx density + ZFP");
+
+  const FieldF f = sim::nyx_density(scaled({256, 256, 256}), 7);
+  const ZfpxCompressor comp;
+  const double eb = f.value_range() * 2e-3;
+  const auto rt = round_trip(comp, f, eb);
+  const FieldF& dec = rt.reconstructed;
+
+  const auto plan = postproc::default_sampling(f.dims(), ZfpxCompressor::kBlock);
+  const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 42);
+  const auto tuned = postproc::tune_intensity(samples, comp, eb, ZfpxCompressor::kBlock,
+                                              postproc::zfp_candidates());
+  const FieldF ours = postproc::bezier_postprocess(
+      dec, {ZfpxCompressor::kBlock, eb, tuned.ax, tuned.ay, tuned.az});
+
+  std::printf("(CR = %.1f, tuned a = {%.3f, %.3f, %.3f})\n\n", rt.ratio, tuned.ax,
+              tuned.ay, tuned.az);
+  std::printf("%-22s %-10s %s\n", "variant", "PSNR", "paper");
+  std::printf("%-22s %-10.2f %s\n", "Decompressed", metrics::psnr(f, dec), "80.5");
+  std::printf("%-22s %-10.2f %s\n", "Median filter",
+              metrics::psnr(f, postproc::median_filter3(dec)), "67.2");
+  std::printf("%-22s %-10.2f %s\n", "Gaussian blur",
+              metrics::psnr(f, postproc::gaussian_blur(dec, 1.0)), "71.6");
+  std::printf("%-22s %-10.2f %s\n", "Anisotropic diffusion",
+              metrics::psnr(f, postproc::anisotropic_diffusion(dec, 4, eb * 2.0, 0.15)),
+              "74.4");
+  std::printf("%-22s %-10.2f %s\n", "Ours (error-bounded)", metrics::psnr(f, ours),
+              "82.9");
+  std::printf("\nexpected shape: filters < decompressed < ours.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Table III: the dataset inventory. Generates every synthetic
+// stand-in at the configured scale and prints per-level sizes and densities
+// next to the paper's configuration.
+
+#include <array>
+
+#include "bench_util.h"
+#include "grid/multires.h"
+#include "roi/roi_extract.h"
+
+using namespace mrc;
+
+namespace {
+
+void print_hierarchy(const char* name, const char* kind, const MultiResField& mr,
+                     const char* paper_row) {
+  std::printf("%-8s %-14s", name, kind);
+  for (std::size_t l = 0; l < mr.levels.size(); ++l) {
+    const auto& lev = mr.levels[l];
+    std::printf("  L%zu %s %4.0f%%", l, lev.data.dims().str().c_str(),
+                100.0 * lev.density());
+  }
+  const double gb = static_cast<double>(mr.stored_samples()) * 4.0 / 1e9;
+  std::printf("  stored %.2f GB\n", gb);
+  std::printf("         paper: %s\n", paper_row);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Table III — tested datasets", "TABLE III",
+                     "all synthetic stand-ins at current scale");
+
+  {
+    const FieldF f = sim::nyx_density(bench::nyx_dims(), 7);
+    const std::array<double, 2> fr{0.18, 0.82};
+    print_hierarchy("Nyx-T1", "in-situ AMR", amr::build_hierarchy(f, 16, fr),
+                    "fine (512^3, 18%), coarse (256^3, 82%), 3.1 GB/step");
+  }
+  {
+    const FieldF f = sim::warpx_ez(bench::warpx_dims(), 11);
+    print_hierarchy("WarpX", "in-situ adapt", roi::extract_adaptive(f, 16, 0.5),
+                    "fine (256^2x2048, 50%), coarse (128^2x1024, 50%), 6.3 GB/step");
+  }
+  {
+    const FieldF f = sim::rayleigh_taylor(bench::rt_dims(), 13);
+    const std::array<double, 3> fr{0.15, 0.31, 0.54};
+    print_hierarchy("RT", "offline AMR", amr::build_hierarchy(f, 16, fr),
+                    "finest (512^3, 15%), medium (256^3, 31%), coarse (128^3, 54%), 2 GB");
+  }
+  {
+    const FieldF f = sim::nyx_density(bench::nyx_dims(), 17, /*bias=*/2.6);
+    const std::array<double, 2> fr{0.58, 0.42};
+    print_hierarchy("Nyx-T2", "offline AMR", amr::build_hierarchy(f, 16, fr),
+                    "fine (512^3, 58%), coarse (256^3, 42%), 7.1 GB");
+  }
+  {
+    const FieldF f = sim::hurricane_field(bench::hurricane_dims(), 19);
+    print_hierarchy("Hurri", "offline adapt", roi::extract_adaptive(f, 16, 0.35),
+                    "fine (500^2x100, 35%), coarse (250^2x50, 65%), 1.1 GB");
+  }
+  {
+    const FieldF f = sim::nyx_density(bench::nyx_dims(), 23);
+    std::printf("%-8s %-14s  uniform %s  %.2f GB\n", "Nyx-T3", "offline uni",
+                f.dims().str().c_str(), f.size() * 4.0 / 1e9);
+    std::printf("         paper: uniform 512^3, 10 GB\n");
+  }
+  {
+    const FieldF f = sim::s3d_flame(bench::s3d_dims(), 29);
+    std::printf("%-8s %-14s  uniform %s  %.2f GB\n", "S3D", "offline uni",
+                f.dims().str().c_str(), f.size() * 4.0 / 1e9);
+    std::printf("         paper: uniform 512^3, 11 GB\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Table IV: in-situ output time of AMRIC vs our SZ3MR on Nyx-T1,
+// split into (1) pre-processing (collecting data into the compression
+// buffer) and (2) compression + writing. Paper (128 cores, Bridges-2):
+//   big eb:   AMRIC 1.22 + 1.62 = 2.85 s   | Ours 0.49 + 1.69 = 2.18 s
+//   small eb: AMRIC 1.23 + 2.30 = 3.52 s   | Ours 0.47 + 2.38 = 2.85 s
+// Absolute numbers differ on this machine; the *shape* to check is that our
+// pre-process is much cheaper while compression time is comparable.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "core/workflow.h"
+#include "simdata/mini_nyx.h"
+
+using namespace mrc;
+
+int main() {
+  bench::print_title("Table IV — in-situ output time, AMRIC vs ours", "TABLE IV",
+                     "MiniNyx snapshot -> compress -> write");
+
+  sim::MiniNyx::Params p;
+  p.dims = bench::nyx_dims();
+  p.block_size = 16;
+  p.fine_fraction = 0.18;
+  sim::MiniNyx nyx(p);
+  nyx.step();
+  const auto mr = nyx.hierarchy();
+  const double range = nyx.density().value_range();
+  const auto dir = std::filesystem::temp_directory_path();
+
+  std::printf("%-12s %-8s %-12s %-14s %-10s\n", "eb", "method", "pre-process",
+              "comp+write", "total");
+  for (const auto [rel, label] :
+       std::initializer_list<std::pair<double, const char*>>{{2e-3, "big"},
+                                                             {1e-4, "small"}}) {
+    const double eb = range * rel;
+    for (const auto& [name, cfg] :
+         std::initializer_list<std::pair<const char*, sz3mr::Config>>{
+             {"AMRIC", sz3mr::amric_sz3()}, {"Ours", sz3mr::ours_pad_eb()}}) {
+      // Take the fastest of five runs to suppress filesystem jitter.
+      double best_pre = 1e300, best_cw = 1e300;
+      for (int run = 0; run < 5; ++run) {
+        const auto path = (dir / "mrc_table4_snapshot.mrc").string();
+        const auto t = workflow::write_snapshot(mr, eb, cfg, path);
+        best_pre = std::min(best_pre, t.preprocess_s);
+        best_cw = std::min(best_cw, t.compress_write_s);
+        std::remove(path.c_str());
+      }
+      std::printf("%-12s %-8s %-12.3f %-14.3f %-10.3f\n", label, name, best_pre,
+                  best_cw, best_pre + best_cw);
+    }
+  }
+  std::printf(
+      "\nexpected shape: pre-process at most comparable for ours (sequential\n"
+      "single-pass gather) vs AMRIC (Morton-ordered scattered gather);\n"
+      "compression slightly slower for ours — the padding overhead the paper\n"
+      "also reports. Caveat: the paper's 2-3x pre-process gap is dominated by\n"
+      "AMRIC's cross-rank hierarchy rearrangement on 128 cores, which has no\n"
+      "single-node analog; both gathers here are memcpy-bound.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// In-situ AMR compression, the Nyx scenario of §IV-B: a running simulation
+// produces a two-level AMR hierarchy every few steps; each snapshot is
+// compressed level-by-level with SZ3MR and written to disk, and the output
+// time is split into pre-processing vs compression+write (Table IV's
+// instrumentation). Demonstrates MiniNyx, amr::build_hierarchy,
+// sz3mr presets, and workflow::write_snapshot/read_snapshot.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/workflow.h"
+#include "metrics/psnr.h"
+#include "simdata/mini_nyx.h"
+
+int main() {
+  using namespace mrc;
+
+  sim::MiniNyx::Params params;
+  params.dims = {128, 128, 128};
+  params.block_size = 16;
+  params.fine_fraction = 0.18;  // Nyx-T1's fine-level density
+  sim::MiniNyx nyx(params);
+
+  const auto out_dir = std::filesystem::temp_directory_path() / "mrc_insitu_nyx";
+  std::filesystem::create_directories(out_dir);
+  std::printf("writing snapshots to %s\n", out_dir.string().c_str());
+  std::printf("%-6s %-10s %-12s %-12s %-10s %-10s\n", "step", "eb", "pre-proc(s)",
+              "comp+write", "MB", "PSNR(fine)");
+
+  for (int step = 0; step < 5; ++step) {
+    const auto hierarchy = nyx.hierarchy();
+    const double eb = nyx.density().value_range() * 1e-4;
+    const auto path = (out_dir / ("snapshot_" + std::to_string(step) + ".mrc")).string();
+
+    const auto timing = workflow::write_snapshot(hierarchy, eb, sz3mr::ours_pad_eb(), path);
+
+    // Verify the snapshot straight away (a downstream reader would do this
+    // offline): fine-level PSNR over the valid samples.
+    const auto back = workflow::read_snapshot(path);
+    std::vector<float> a, b;
+    const auto& fin = hierarchy.levels[0];
+    for (index_t i = 0; i < fin.data.size(); ++i)
+      if (fin.mask[i]) {
+        a.push_back(fin.data[i]);
+        b.push_back(back.levels[0].data[i]);
+      }
+    const double psnr =
+        metrics::error_stats(std::span<const float>(a), std::span<const float>(b)).psnr;
+
+    std::printf("%-6d %-10.3g %-12.3f %-12.3f %-10.2f %-10.2f\n", step, eb,
+                timing.preprocess_s, timing.compress_write_s,
+                timing.bytes_written / 1e6, psnr);
+    nyx.step();
+  }
+  std::printf("\n(each snapshot is self-describing: read_snapshot needs no\n"
+              " side information — try loading one in your own tool.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Uncertainty visualization of compression effects (§III-C / Fig. 14):
+// compress the Hurricane wind field aggressively, model the compression
+// error as a per-voxel Gaussian fitted near the isovalue from the sampling
+// pass, run probabilistic marching cubes, and export everything a
+// visualization tool needs: the decompressed field, the crossing-probability
+// volume (VTK), and original/decompressed isosurfaces (OBJ).
+
+#include <cstdio>
+#include <filesystem>
+
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "io/obj_writer.h"
+#include "io/vtk_writer.h"
+#include "metrics/psnr.h"
+#include "postproc/sampler.h"
+#include "render/volume_renderer.h"
+#include "simdata/generators.h"
+#include "uncertainty/error_model.h"
+#include "uncertainty/marching_cubes.h"
+#include "uncertainty/probabilistic_mc.h"
+
+int main() {
+  using namespace mrc;
+
+  const FieldF wind = sim::hurricane_field({256, 256, 64}, 19);
+  const ZfpxCompressor comp;
+  const double eb = wind.value_range() * 0.02;  // aggressive: artifacts appear
+  const auto rt = round_trip(comp, wind, eb);
+  std::printf("hurricane %s: CR %.1f, PSNR %.2f dB\n", wind.dims().str().c_str(),
+              rt.ratio, metrics::psnr(wind, rt.reconstructed));
+
+  // Error model from the sampling pass, conditioned on values near the
+  // isosurface of interest (the eye-wall wind speed).
+  const double iso = wind.value_range() * 0.25;
+  const auto plan = postproc::default_sampling(wind.dims(), ZfpxCompressor::kBlock);
+  const auto samples = postproc::draw_sample_blocks(wind, plan.block_edge, plan.count, 5);
+  const auto errors = postproc::collect_error_samples(samples, comp, eb);
+  const auto model = uq::ErrorModel::fit_near_isovalue(errors.orig, errors.dec, iso,
+                                                       wind.value_range() * 0.05);
+  std::printf("error model: mean %.4g sigma %.4g (%lld samples near iso %.3g)\n",
+              model.mean, model.sigma, static_cast<long long>(model.n_samples), iso);
+
+  // Probabilistic marching cubes on the decompressed data.
+  const auto prob = uq::crossing_probability(rt.reconstructed, iso, model);
+  const auto stats = uq::compare_isosurfaces(wind, rt.reconstructed, prob, iso, 0.1);
+  std::printf("isosurface cells: original %lld, decompressed %lld\n",
+              static_cast<long long>(stats.cells_crossed_original),
+              static_cast<long long>(stats.cells_crossed_decompressed));
+  std::printf("missed by compression: %lld, flagged by uncertainty vis: %lld (%.1f%%)\n",
+              static_cast<long long>(stats.cells_missed),
+              static_cast<long long>(stats.missed_recovered),
+              100.0 * stats.recovery_rate());
+
+  const auto dir = std::filesystem::temp_directory_path() / "mrc_uncertainty";
+  std::filesystem::create_directories(dir);
+  io::write_vtk(rt.reconstructed, (dir / "wind_decompressed.vtk").string(), "wind");
+  io::write_vtk(prob, (dir / "crossing_probability.vtk").string());
+  io::write_obj(uq::marching_cubes(wind, iso), (dir / "iso_original.obj").string());
+  io::write_obj(uq::marching_cubes(rt.reconstructed, iso),
+                (dir / "iso_decompressed.obj").string());
+
+  // Volume renders (§V's "other visualization methods"): original,
+  // decompressed, and decompressed with the Fig. 14c red uncertainty
+  // overlay, plus the image-space SSIM the paper reports for its figures.
+  const auto tf = render::auto_transfer(wind, 0.08);
+  const auto img_orig = render::volume_render(wind, tf);
+  const auto img_dec = render::volume_render(rt.reconstructed, tf);
+  const auto img_unc = render::overlay_probability(img_dec, prob, 0.3);
+  render::write_ppm(img_orig, (dir / "render_original.ppm").string());
+  render::write_ppm(img_dec, (dir / "render_decompressed.ppm").string());
+  render::write_ppm(img_unc, (dir / "render_uncertainty.ppm").string());
+  std::printf("rendering SSIM (orig vs decompressed): %.4f\n",
+              render::image_ssim(img_orig, img_dec));
+  std::printf("wrote ParaView-ready artifacts + PPM renders to %s\n",
+              dir.string().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/halo_finder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrc::analysis {
+
+double HaloCatalog::total_mass() const {
+  double m = 0.0;
+  for (const auto& h : halos) m += h.total_mass;
+  return m;
+}
+
+HaloCatalog find_halos(const FieldF& density, float threshold, index_t min_cells) {
+  const Dim3 d = density.dims();
+  HaloCatalog catalog;
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(d.size()), 0);
+  std::vector<index_t> stack;
+
+  for (index_t seed = 0; seed < d.size(); ++seed) {
+    if (visited[static_cast<std::size_t>(seed)] || density[seed] < threshold) continue;
+
+    Halo halo;
+    stack.clear();
+    stack.push_back(seed);
+    visited[static_cast<std::size_t>(seed)] = 1;
+    while (!stack.empty()) {
+      const index_t idx = stack.back();
+      stack.pop_back();
+      ++halo.cells;
+      halo.total_mass += density[idx];
+      const index_t x = idx % d.nx;
+      const index_t y = (idx / d.nx) % d.ny;
+      const index_t z = idx / (d.nx * d.ny);
+      if (density[idx] > halo.peak_value) {
+        halo.peak_value = density[idx];
+        halo.peak = {x, y, z};
+      }
+      const index_t nbrs[6][3] = {{x - 1, y, z}, {x + 1, y, z}, {x, y - 1, z},
+                                  {x, y + 1, z}, {x, y, z - 1}, {x, y, z + 1}};
+      for (const auto& nb : nbrs) {
+        if (!d.contains(nb[0], nb[1], nb[2])) continue;
+        const index_t nidx = d.index(nb[0], nb[1], nb[2]);
+        if (visited[static_cast<std::size_t>(nidx)] || density[nidx] < threshold)
+          continue;
+        visited[static_cast<std::size_t>(nidx)] = 1;
+        stack.push_back(nidx);
+      }
+    }
+    catalog.cells_above_threshold += halo.cells;
+    if (halo.cells >= min_cells) catalog.halos.push_back(halo);
+  }
+
+  std::sort(catalog.halos.begin(), catalog.halos.end(),
+            [](const Halo& a, const Halo& b) { return a.total_mass > b.total_mass; });
+  return catalog;
+}
+
+HaloComparison compare_catalogs(const HaloCatalog& reference, const HaloCatalog& test,
+                                double match_distance, double mass_rel_tol) {
+  HaloComparison c;
+  c.n_reference = reference.count();
+  c.n_test = test.count();
+  std::vector<bool> used(test.count(), false);
+
+  for (const Halo& ref : reference.halos) {
+    double best_dist = match_distance;
+    std::ptrdiff_t best = -1;
+    for (std::size_t t = 0; t < test.halos.size(); ++t) {
+      if (used[t]) continue;
+      const Halo& cand = test.halos[t];
+      const double dx = static_cast<double>(cand.peak.x - ref.peak.x);
+      const double dy = static_cast<double>(cand.peak.y - ref.peak.y);
+      const double dz = static_cast<double>(cand.peak.z - ref.peak.z);
+      const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+      const double mass_err =
+          std::abs(cand.total_mass - ref.total_mass) / std::max(ref.total_mass, 1e-30);
+      if (dist <= best_dist && mass_err <= mass_rel_tol) {
+        best_dist = dist;
+        best = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<std::size_t>(best)] = true;
+      ++c.matched;
+      const double mass_err =
+          std::abs(test.halos[static_cast<std::size_t>(best)].total_mass - ref.total_mass) /
+          std::max(ref.total_mass, 1e-30);
+      c.mean_mass_rel_err += mass_err;
+      c.max_mass_rel_err = std::max(c.max_mass_rel_err, mass_err);
+    }
+  }
+  if (c.matched > 0) c.mean_mass_rel_err /= static_cast<double>(c.matched);
+  return c;
+}
+
+}  // namespace mrc::analysis

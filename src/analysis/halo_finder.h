@@ -1,0 +1,62 @@
+#pragma once
+
+// Density-threshold halo finder for the Nyx post-analysis story.
+//
+// The paper's §III (Fig. 4) motivates ROI extraction with "the Halo-finder
+// analysis of Nyx", and §V lists preserving halo-finder quality under the
+// workflow as future work. This module implements the classic
+// over-density-threshold finder (connected components of cells above a
+// density threshold, 6-connectivity — the grid analog of spherical
+// over-density finders [Davis et al. 1985]) plus catalog matching, so
+// compression settings can be validated against the analysis that actually
+// consumes the data (bench_halo_preservation).
+
+#include <vector>
+
+#include "grid/field.h"
+
+namespace mrc::analysis {
+
+struct Halo {
+  index_t cells = 0;       ///< cell count of the connected component
+  double total_mass = 0.0; ///< sum of density over the component
+  Coord3 peak;             ///< location of the densest cell
+  float peak_value = 0.0f;
+};
+
+struct HaloCatalog {
+  std::vector<Halo> halos;           ///< sorted by total_mass, descending
+  index_t cells_above_threshold = 0;
+
+  [[nodiscard]] std::size_t count() const { return halos.size(); }
+  [[nodiscard]] double total_mass() const;
+};
+
+/// Connected components (6-connectivity) of {density >= threshold};
+/// components smaller than min_cells are discarded as noise.
+[[nodiscard]] HaloCatalog find_halos(const FieldF& density, float threshold,
+                                     index_t min_cells = 8);
+
+/// Catalog match: a reference halo is matched if some test halo's peak lies
+/// within `match_distance` cells and the total masses agree within
+/// `mass_rel_tol`.
+struct HaloComparison {
+  std::size_t n_reference = 0;
+  std::size_t n_test = 0;
+  std::size_t matched = 0;
+  double mean_mass_rel_err = 0.0;  ///< over matched pairs
+  double max_mass_rel_err = 0.0;
+
+  [[nodiscard]] double match_rate() const {
+    return n_reference == 0 ? 1.0
+                            : static_cast<double>(matched) /
+                                  static_cast<double>(n_reference);
+  }
+};
+
+[[nodiscard]] HaloComparison compare_catalogs(const HaloCatalog& reference,
+                                              const HaloCatalog& test,
+                                              double match_distance = 4.0,
+                                              double mass_rel_tol = 0.2);
+
+}  // namespace mrc::analysis

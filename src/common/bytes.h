@@ -1,0 +1,108 @@
+#pragma once
+
+// Bounds-checked serialization helpers for codec headers and payloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/require.h"
+
+namespace mrc {
+
+using Bytes = std::vector<std::byte>;
+
+/// Appends POD values / byte ranges to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  /// Little-endian base-128 varint for non-negative sizes.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::byte>(v));
+  }
+
+  /// Length-prefixed nested buffer.
+  void put_blob(std::span<const std::byte> b) {
+    put_varint(b.size());
+    put_bytes(b);
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads POD values / byte ranges with explicit bounds checking; throws
+/// CodecError on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> in) : in_(in) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::byte> get_bytes(std::size_t n) {
+    check(n);
+    auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      check(1);
+      const auto b = static_cast<std::uint8_t>(in_[pos_++]);
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) throw CodecError("varint overflow");
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::byte> get_blob() {
+    const auto n = get_varint();
+    return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > in_.size()) throw CodecError("byte stream truncated");
+  }
+
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mrc

@@ -1,0 +1,36 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace mrc {
+
+int scale_percent() {
+  static const int cached = [] {
+    if (const char* full = std::getenv("MRC_FULL"); full && std::string(full) == "1") return 100;
+    if (const char* s = std::getenv("MRC_SCALE")) {
+      const int v = std::atoi(s);
+      if (v >= 5 && v <= 400) return v;
+    }
+    return 50;
+  }();
+  return cached;
+}
+
+index_t scaled_extent(index_t paper_extent) {
+  const index_t v = std::max<index_t>(paper_extent * scale_percent() / 100, 16);
+  // Snap to the nearest power of two: the spectral generators and the
+  // power-spectrum analysis require pow2 extents, and AMR block sizes
+  // divide them evenly.
+  index_t p = 16;
+  while (p * 2 <= v) p *= 2;
+  return (v - p < 2 * p - v) ? p : 2 * p;
+}
+
+Dim3 scaled(Dim3 paper_dims) {
+  return Dim3{scaled_extent(paper_dims.nx), scaled_extent(paper_dims.ny),
+              scaled_extent(paper_dims.nz)};
+}
+
+}  // namespace mrc

@@ -1,0 +1,24 @@
+#pragma once
+
+// Environment-driven scaling of the benchmark workloads.
+//
+// The paper runs 512^3-class grids on 128 Bridges-2 cores; this environment
+// is much smaller, so benches default to scaled-down grids with identical
+// structure. Set MRC_FULL=1 to run paper-scale sizes, or MRC_SCALE=<percent>
+// for anything in between (100 = paper scale, 50 = half per axis, default).
+
+#include "common/dims.h"
+
+namespace mrc {
+
+/// Percentage applied per-axis to paper-scale extents (default 50).
+[[nodiscard]] int scale_percent();
+
+/// Scales a paper-scale extent and snaps to the nearest power of two
+/// (>= 16), which the spectral generators and FFT analysis require.
+[[nodiscard]] index_t scaled_extent(index_t paper_extent);
+
+/// Scales all three axes.
+[[nodiscard]] Dim3 scaled(Dim3 paper_dims);
+
+}  // namespace mrc

@@ -1,0 +1,72 @@
+#pragma once
+
+// 3-D extents and index arithmetic. The whole library uses row-major layout
+// with x fastest: linear index = x + nx * (y + ny * z).
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/require.h"
+
+namespace mrc {
+
+using index_t = std::int64_t;
+
+/// Extents of a 3-D grid. Degenerate grids (nz == 1, or ny == nz == 1) model
+/// 2-D and 1-D data without a separate code path.
+struct Dim3 {
+  index_t nx = 0;
+  index_t ny = 0;
+  index_t nz = 0;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(index_t x, index_t y, index_t z) : nx(x), ny(y), nz(z) {}
+
+  [[nodiscard]] constexpr index_t size() const { return nx * ny * nz; }
+  [[nodiscard]] constexpr bool empty() const { return size() == 0; }
+
+  [[nodiscard]] constexpr index_t index(index_t x, index_t y, index_t z) const {
+    return x + nx * (y + ny * z);
+  }
+
+  [[nodiscard]] constexpr bool contains(index_t x, index_t y, index_t z) const {
+    return x >= 0 && x < nx && y >= 0 && y < ny && z >= 0 && z < nz;
+  }
+
+  [[nodiscard]] constexpr index_t operator[](int axis) const {
+    return axis == 0 ? nx : (axis == 1 ? ny : nz);
+  }
+
+  [[nodiscard]] constexpr index_t max_extent() const {
+    index_t m = nx > ny ? nx : ny;
+    return m > nz ? m : nz;
+  }
+
+  constexpr bool operator==(const Dim3&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(nx) + "x" + std::to_string(ny) + "x" + std::to_string(nz);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Dim3& d) { return os << d.str(); }
+
+/// Integer coordinate of a cell/block.
+struct Coord3 {
+  index_t x = 0;
+  index_t y = 0;
+  index_t z = 0;
+  constexpr bool operator==(const Coord3&) const = default;
+};
+
+/// Ceil-division, used throughout block partitioning.
+[[nodiscard]] constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Number of b-sized blocks needed to tile d along each axis.
+[[nodiscard]] constexpr Dim3 blocks_for(const Dim3& d, index_t b) {
+  return Dim3{ceil_div(d.nx, b), ceil_div(d.ny, b), ceil_div(d.nz, b)};
+}
+
+}  // namespace mrc

@@ -1,0 +1,30 @@
+#pragma once
+
+// Thin OpenMP shims so call sites stay readable and the library still builds
+// (serially) without OpenMP.
+
+#include <cstdint>
+
+#if defined(MRC_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace mrc {
+
+[[nodiscard]] inline int max_threads() {
+#if defined(MRC_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+[[nodiscard]] inline int thread_id() {
+#if defined(MRC_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mrc

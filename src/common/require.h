@@ -1,0 +1,37 @@
+#pragma once
+
+// Lightweight precondition / invariant checking used across the library.
+// Violations throw (never abort) so callers and tests can observe them;
+// see C++ Core Guidelines I.6/E.x — interfaces state and check expectations.
+
+#include <stdexcept>
+#include <string>
+
+namespace mrc {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an encoded stream is malformed or truncated.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw ContractError(std::string("requirement failed: ") + cond + " at " + file + ":" +
+                      std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace mrc
+
+#define MRC_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::mrc::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

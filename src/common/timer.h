@@ -1,0 +1,24 @@
+#pragma once
+
+// Wall-clock timer for the in-situ output-time and overhead experiments.
+
+#include <chrono>
+
+namespace mrc {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mrc

@@ -1,0 +1,54 @@
+#include "compressors/compressor.h"
+
+#include <cmath>
+
+namespace mrc {
+
+double compression_ratio(index_t n_values, std::size_t compressed_bytes) {
+  MRC_REQUIRE(compressed_bytes > 0, "empty compressed stream");
+  return static_cast<double>(n_values) * sizeof(float) /
+         static_cast<double>(compressed_bytes);
+}
+
+RoundTrip round_trip(const Compressor& c, const FieldF& f, double abs_eb) {
+  auto stream = c.compress(f, abs_eb);
+  RoundTrip rt;
+  rt.compressed_bytes = stream.size();
+  rt.ratio = compression_ratio(f.size(), stream.size());
+  rt.reconstructed = c.decompress(stream);
+  return rt;
+}
+
+namespace detail {
+
+void write_header(ByteWriter& w, std::uint32_t magic, Dim3 dims, double eb) {
+  w.put(magic);
+  w.put_varint(static_cast<std::uint64_t>(dims.nx));
+  w.put_varint(static_cast<std::uint64_t>(dims.ny));
+  w.put_varint(static_cast<std::uint64_t>(dims.nz));
+  w.put(eb);
+}
+
+Header read_header(ByteReader& r, std::uint32_t expected_magic, const char* codec_name) {
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != expected_magic)
+    throw CodecError(std::string(codec_name) + ": stream magic mismatch");
+  Header h;
+  h.dims.nx = static_cast<index_t>(r.get_varint());
+  h.dims.ny = static_cast<index_t>(r.get_varint());
+  h.dims.nz = static_cast<index_t>(r.get_varint());
+  h.eb = r.get<double>();
+  // Corrupt streams must fail cleanly, not attempt absurd allocations.
+  constexpr index_t kMaxExtent = index_t{1} << 32;
+  constexpr index_t kMaxSize = index_t{1} << 40;
+  if (h.dims.nx <= 0 || h.dims.ny <= 0 || h.dims.nz <= 0 || h.dims.nx > kMaxExtent ||
+      h.dims.ny > kMaxExtent || h.dims.nz > kMaxExtent || h.dims.size() > kMaxSize)
+    throw CodecError(std::string(codec_name) + ": bad extents");
+  if (!(h.eb > 0.0) || !std::isfinite(h.eb))
+    throw CodecError(std::string(codec_name) + ": bad error bound");
+  return h;
+}
+
+}  // namespace detail
+
+}  // namespace mrc

@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared interface for the three error-bounded lossy compressors
+// (SZ3-class interpolation, SZ2-class Lorenzo/regression, ZFP-class
+// transform). All of them:
+//   * take an absolute error bound and guarantee max|x - x̂| <= eb,
+//   * emit a self-describing byte stream (magic, extents, eb, payload),
+//   * decompress without any side information.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/dims.h"
+#include "grid/field.h"
+
+namespace mrc {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compresses `f` under absolute error bound `abs_eb` (> 0).
+  [[nodiscard]] virtual Bytes compress(const FieldF& f, double abs_eb) const = 0;
+
+  /// Reconstructs the field from a stream produced by compress().
+  [[nodiscard]] virtual FieldF decompress(std::span<const std::byte> stream) const = 0;
+};
+
+/// Compression ratio: original float bytes / compressed bytes.
+[[nodiscard]] double compression_ratio(index_t n_values, std::size_t compressed_bytes);
+
+/// Round-trip convenience used everywhere in benches/tests.
+struct RoundTrip {
+  FieldF reconstructed;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0.0;
+};
+[[nodiscard]] RoundTrip round_trip(const Compressor& c, const FieldF& f, double abs_eb);
+
+namespace detail {
+
+/// Stream header shared by all codecs.
+void write_header(ByteWriter& w, std::uint32_t magic, Dim3 dims, double eb);
+
+struct Header {
+  Dim3 dims;
+  double eb = 0.0;
+};
+[[nodiscard]] Header read_header(ByteReader& r, std::uint32_t expected_magic,
+                                 const char* codec_name);
+
+}  // namespace detail
+
+}  // namespace mrc

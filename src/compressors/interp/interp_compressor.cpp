@@ -1,0 +1,278 @@
+#include "compressors/interp/interp_compressor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "lossless/lzss.h"
+#include "lossless/quant_codec.h"
+
+namespace mrc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d33'5a53;  // "SZ3M"
+
+int ceil_log2(index_t n) {
+  int l = 0;
+  while ((index_t{1} << l) < n) ++l;
+  return l;
+}
+
+/// Prediction along one axis of the reconstruction buffer.
+/// `line` points at element 0 of the line, `ms` is the memory stride between
+/// consecutive elements along the axis. Returns the prediction and whether
+/// constant extrapolation was forced (right neighbor outside the grid).
+struct Prediction {
+  double value;
+  bool extrapolated;
+};
+
+Prediction predict(const float* line, index_t ms, index_t i, index_t n, index_t s,
+                   bool cubic) {
+  if (i + s > n - 1) return {static_cast<double>(line[(i - s) * ms]), true};
+  if (cubic && i - 3 * s >= 0 && i + 3 * s <= n - 1) {
+    const double a = line[(i - 3 * s) * ms];
+    const double b = line[(i - s) * ms];
+    const double c = line[(i + s) * ms];
+    const double d = line[(i + 3 * s) * ms];
+    return {(-a + 9.0 * b + 9.0 * c - d) / 16.0, false};
+  }
+  return {0.5 * (line[(i - s) * ms] + line[(i + s) * ms]), false};
+}
+
+/// Indices known *before* the current level's sweep along an axis
+/// (multiples of 2s) plus the per-line anchor at n-1.
+std::vector<index_t> coarse_set(index_t n, index_t s) {
+  std::vector<index_t> v;
+  for (index_t i = 0; i < n; i += 2 * s) v.push_back(i);
+  if (n > 1 && (n - 1) % (2 * s) != 0) v.push_back(n - 1);
+  return v;
+}
+
+/// Indices known after this level's sweep along an axis (multiples of s)
+/// plus the anchor.
+std::vector<index_t> fine_set(index_t n, index_t s) {
+  std::vector<index_t> v;
+  for (index_t i = 0; i < n; i += s) v.push_back(i);
+  if (n > 1 && (n - 1) % s != 0) v.push_back(n - 1);
+  return v;
+}
+
+/// Targets of this level's sweep along an axis: i ≡ s (mod 2s), excluding the
+/// anchor at n-1 which is coded up front.
+std::vector<index_t> target_set(index_t n, index_t s) {
+  std::vector<index_t> v;
+  for (index_t i = s; i < n - 1; i += 2 * s) v.push_back(i);
+  return v;
+}
+
+/// Anchor corners: every coordinate is 0 or n-1, deduplicated, ordered so a
+/// corner's parent (last nonzero coordinate zeroed) always precedes it.
+struct Corner {
+  index_t x, y, z;
+};
+
+std::vector<Corner> corner_list(Dim3 d) {
+  std::vector<Corner> corners;
+  auto ends = [](index_t n) {
+    return n > 1 ? std::vector<index_t>{0, n - 1} : std::vector<index_t>{0};
+  };
+  for (index_t z : ends(d.nz))
+    for (index_t y : ends(d.ny))
+      for (index_t x : ends(d.nx)) corners.push_back({x, y, z});
+  return corners;  // z-major loop order already places parents first
+}
+
+double corner_prediction(const FieldF& recon, const Corner& c) {
+  if (c.z != 0) return recon.at(c.x, c.y, 0);
+  if (c.y != 0) return recon.at(c.x, 0, 0);
+  if (c.x != 0) return recon.at(0, 0, 0);
+  return 0.0;
+}
+
+/// Visits every grid point exactly once in the fixed compressor order.
+/// handler(linear_index, prediction, level, extrapolated) where level = 1 is
+/// the finest stride and corners report the coarsest level.
+template <typename Handler>
+void traverse(const Dim3& d, FieldF& recon, bool cubic, Handler&& handler) {
+  const int levels = std::max(ceil_log2(d.max_extent()), 1);
+
+  for (const Corner& c : corner_list(d)) {
+    const double pred = corner_prediction(recon, c);
+    handler(d.index(c.x, c.y, c.z), pred, levels, false);
+  }
+
+  float* base = recon.data();
+  const index_t sx = 1, sy = d.nx, sz = d.nx * d.ny;
+
+  for (int lev = levels; lev >= 1; --lev) {
+    const index_t s = index_t{1} << (lev - 1);
+
+    // Sweep along x: y and z on the coarse grid.
+    {
+      const auto tx = target_set(d.nx, s);
+      if (!tx.empty()) {
+        const auto cy = coarse_set(d.ny, s);
+        const auto cz = coarse_set(d.nz, s);
+        for (index_t z : cz)
+          for (index_t y : cy) {
+            const float* line = base + d.index(0, y, z);
+            for (index_t x : tx) {
+              const auto p = predict(line, sx, x, d.nx, s, cubic);
+              handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+            }
+          }
+      }
+    }
+    // Sweep along y: x already refined this level, z still coarse.
+    {
+      const auto ty = target_set(d.ny, s);
+      if (!ty.empty()) {
+        const auto fx = fine_set(d.nx, s);
+        const auto cz = coarse_set(d.nz, s);
+        for (index_t z : cz)
+          for (index_t y : ty)
+            for (index_t x : fx) {
+              const float* line = base + d.index(x, 0, z);
+              const auto p = predict(line, sy, y, d.ny, s, cubic);
+              handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+            }
+      }
+    }
+    // Sweep along z: x and y refined this level.
+    {
+      const auto tz = target_set(d.nz, s);
+      if (!tz.empty()) {
+        const auto fx = fine_set(d.nx, s);
+        const auto fy = fine_set(d.ny, s);
+        for (index_t z : tz)
+          for (index_t y : fy)
+            for (index_t x : fx) {
+              const float* line = base + d.index(x, y, 0);
+              const auto p = predict(line, sz, z, d.nz, s, cubic);
+              handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+            }
+      }
+    }
+  }
+}
+
+/// Per-level error bound (QoZ-style; level 1 = finest keeps the full bound).
+double level_eb(double eb, int level, const InterpConfig& cfg) {
+  if (!cfg.adaptive_eb || level <= 1) return eb;
+  const double factor = std::min(std::pow(cfg.alpha, level - 1), cfg.beta);
+  return eb / factor;
+}
+
+}  // namespace
+
+InterpCompressor::InterpCompressor(InterpConfig cfg) : cfg_(cfg) {
+  MRC_REQUIRE(cfg_.quant_radius >= 2, "quant radius too small");
+  MRC_REQUIRE(cfg_.alpha > 1.0 && cfg_.beta >= 1.0, "bad adaptive-eb parameters");
+}
+
+std::string InterpCompressor::name() const {
+  return cfg_.adaptive_eb ? "interp(adaptive-eb)" : "interp";
+}
+
+Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
+  MRC_REQUIRE(abs_eb > 0.0, "error bound must be positive");
+  MRC_REQUIRE(!f.empty(), "empty field");
+  const Dim3 d = f.dims();
+  const auto radius = cfg_.quant_radius;
+
+  FieldF recon(d);
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(d.size()));
+  std::vector<float> outliers;
+  std::size_t emitted = 0;
+
+  const float* orig = f.data();
+  traverse(d, recon, cfg_.cubic,
+           [&](index_t idx, double pred, int level, bool /*extrap*/) {
+             const double eb = level_eb(abs_eb, level, cfg_);
+             const float x = orig[idx];
+             const double diff = static_cast<double>(x) - pred;
+             std::uint32_t code = 0;
+             if (std::abs(diff) < 2.0 * eb * radius) {
+               const auto q = std::llround(diff / (2.0 * eb));
+               if (std::llabs(q) < radius) {
+                 const auto cand = static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+                 if (std::abs(static_cast<double>(cand) - static_cast<double>(x)) <= eb) {
+                   code = static_cast<std::uint32_t>(q + radius);
+                   recon.data()[idx] = cand;
+                 }
+               }
+             }
+             if (code == 0) {
+               outliers.push_back(x);
+               recon.data()[idx] = x;
+             }
+             codes[emitted++] = code;
+           });
+  MRC_REQUIRE(emitted == codes.size(), "traversal did not cover the grid");
+
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, kMagic, d, abs_eb);
+  w.put(static_cast<std::uint8_t>(cfg_.adaptive_eb ? 1 : 0));
+  w.put(static_cast<std::uint8_t>(cfg_.cubic ? 1 : 0));
+  w.put(cfg_.alpha);
+  w.put(cfg_.beta);
+  w.put_varint(radius);
+
+  w.put_blob(lossless::encode_quant_codes(codes, radius));
+  const auto outlier_bytes = std::as_bytes(std::span<const float>(outliers));
+  w.put_blob(lossless::lzss_compress(outlier_bytes));
+  return out;
+}
+
+FieldF InterpCompressor::decompress(std::span<const std::byte> stream) const {
+  ByteReader r(stream);
+  const auto h = detail::read_header(r, kMagic, "interp");
+
+  InterpConfig cfg;
+  cfg.adaptive_eb = r.get<std::uint8_t>() != 0;
+  cfg.cubic = r.get<std::uint8_t>() != 0;
+  cfg.alpha = r.get<double>();
+  cfg.beta = r.get<double>();
+  cfg.quant_radius = static_cast<std::uint32_t>(r.get_varint());
+
+  const auto codes = lossless::decode_quant_codes(r.get_blob(), cfg.quant_radius);
+  if (static_cast<index_t>(codes.size()) != h.dims.size())
+    throw CodecError("interp: code count mismatch");
+  const auto outlier_raw = lossless::lzss_decompress(r.get_blob());
+  if (outlier_raw.size() % sizeof(float) != 0) throw CodecError("interp: bad outlier blob");
+  std::vector<float> outliers(outlier_raw.size() / sizeof(float));
+  std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+
+  FieldF recon(h.dims);
+  std::size_t ci = 0;
+  std::size_t oi = 0;
+  const auto radius = cfg.quant_radius;
+  traverse(h.dims, recon, cfg.cubic,
+           [&](index_t idx, double pred, int level, bool /*extrap*/) {
+             const double eb = level_eb(h.eb, level, cfg);
+             const std::uint32_t code = codes[ci++];
+             if (code == 0) {
+               if (oi >= outliers.size()) throw CodecError("interp: outlier underrun");
+               recon.data()[idx] = outliers[oi++];
+             } else {
+               const auto q = static_cast<std::int64_t>(code) - radius;
+               recon.data()[idx] =
+                   static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+             }
+           });
+  if (oi != outliers.size()) throw CodecError("interp: outlier overrun");
+  return recon;
+}
+
+index_t InterpCompressor::count_extrapolated_points(Dim3 dims) {
+  FieldF scratch(dims, 0.0f);
+  index_t count = 0;
+  traverse(dims, scratch, /*cubic=*/true,
+           [&](index_t, double, int, bool extrap) { count += extrap ? 1 : 0; });
+  return count;
+}
+
+}  // namespace mrc

@@ -1,0 +1,303 @@
+#include "compressors/lorenzo/lorenzo_compressor.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "common/parallel.h"
+#include "compressors/quantizer.h"
+#include "lossless/bitstream.h"
+#include "lossless/lzss.h"
+#include "lossless/quant_codec.h"
+
+namespace mrc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c32'5a53;  // "SZ2L"
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Regression plane v ≈ m + gx*(i-ci) + gy*(j-cj) + gz*(k-ck), local coords.
+struct Plane {
+  double m = 0, gx = 0, gy = 0, gz = 0;
+};
+
+Plane fit_plane(const float* orig, const Dim3& d, index_t x0, index_t y0, index_t z0,
+                index_t ex, index_t ey, index_t ez) {
+  const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
+  double sum = 0, sx = 0, sy = 0, sz = 0;
+  for (index_t k = 0; k < ez; ++k)
+    for (index_t j = 0; j < ey; ++j) {
+      const float* row = orig + d.index(x0, y0 + j, z0 + k);
+      for (index_t i = 0; i < ex; ++i) {
+        const double v = row[i];
+        sum += v;
+        sx += v * (i - ci);
+        sy += v * (j - cj);
+        sz += v * (k - ck);
+      }
+    }
+  const double n = static_cast<double>(ex * ey * ez);
+  auto var1d = [](index_t e) { return static_cast<double>(e) * (e * e - 1) / 12.0; };
+  Plane p;
+  p.m = sum / n;
+  const double vx = var1d(ex) * ey * ez;
+  const double vy = var1d(ey) * ex * ez;
+  const double vz = var1d(ez) * ex * ey;
+  p.gx = vx > 0 ? sx / vx : 0.0;
+  p.gy = vy > 0 ? sy / vy : 0.0;
+  p.gz = vz > 0 ? sz / vz : 0.0;
+  return p;
+}
+
+/// 3-D Lorenzo prediction from reconstructed data; positions below `zmin`
+/// (the chunk floor) or outside the domain contribute zero, so chunks stay
+/// independent.
+double lorenzo_pred(const float* recon, const Dim3& d, index_t x, index_t y, index_t z,
+                    index_t zmin) {
+  auto v = [&](index_t dx, index_t dy, index_t dz) -> double {
+    const index_t xx = x - dx, yy = y - dy, zz = z - dz;
+    if (xx < 0 || yy < 0 || zz < zmin) return 0.0;
+    return recon[d.index(xx, yy, zz)];
+  };
+  return v(1, 0, 0) + v(0, 1, 0) + v(0, 0, 1) - v(1, 1, 0) - v(1, 0, 1) - v(0, 1, 1) +
+         v(1, 1, 1);
+}
+
+/// Same stencil over the original data — the encoder-side estimate used for
+/// predictor selection (SZ2's trick: cheap, no reconstruction dependency).
+double lorenzo_pred_orig(const float* orig, const Dim3& d, index_t x, index_t y, index_t z,
+                         index_t zmin) {
+  return lorenzo_pred(orig, d, x, y, z, zmin);
+}
+
+struct ChunkStream {
+  Bytes flags;
+  Bytes coeffs;
+  Bytes codes;
+  Bytes outliers;
+};
+
+struct CoeffQuant {
+  double pm, pg;  // precision of mean / gradient codes
+
+  std::array<std::int64_t, 4> quantize(const Plane& p) const {
+    return {std::llround(p.m / pm), std::llround(p.gx / pg), std::llround(p.gy / pg),
+            std::llround(p.gz / pg)};
+  }
+  Plane dequantize(const std::array<std::int64_t, 4>& q) const {
+    return {q[0] * pm, q[1] * pg, q[2] * pg, q[3] * pg};
+  }
+};
+
+}  // namespace
+
+LorenzoCompressor::LorenzoCompressor(LorenzoConfig cfg) : cfg_(cfg) {
+  MRC_REQUIRE(cfg_.block_size >= 2, "block size too small");
+  MRC_REQUIRE(cfg_.quant_radius >= 2, "quant radius too small");
+  MRC_REQUIRE(cfg_.omp_chunks >= 1, "bad chunk count");
+}
+
+std::string LorenzoCompressor::name() const {
+  return cfg_.omp_chunks > 1 ? "lorenzo(omp)" : "lorenzo";
+}
+
+Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
+  MRC_REQUIRE(abs_eb > 0.0, "error bound must be positive");
+  MRC_REQUIRE(!f.empty(), "empty field");
+  const Dim3 d = f.dims();
+  const index_t bs = cfg_.block_size;
+  const index_t nbz = ceil_div(d.nz, bs);
+  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.omp_chunks, nbz));
+  const CoeffQuant cq{abs_eb / 2.0, abs_eb / (2.0 * static_cast<double>(bs))};
+  const LinearQuantizer quant{abs_eb, cfg_.quant_radius};
+
+  FieldF recon(d);
+  std::vector<ChunkStream> chunks(static_cast<std::size_t>(n_chunks));
+  const float* orig = f.data();
+
+#if defined(MRC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (int c = 0; c < n_chunks; ++c) {
+    const index_t bz0 = nbz * c / n_chunks;
+    const index_t bz1 = nbz * (c + 1) / n_chunks;
+    const index_t zmin = bz0 * bs;
+
+    lossless::BitWriter flag_bits;
+    Bytes coeff_bytes;
+    ByteWriter coeff_writer(coeff_bytes);
+    std::vector<std::uint32_t> codes;
+    std::vector<float> outliers;
+    std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
+
+    for (index_t bz = bz0; bz < bz1; ++bz)
+      for (index_t by = 0; by < ceil_div(d.ny, bs); ++by)
+        for (index_t bx = 0; bx < ceil_div(d.nx, bs); ++bx) {
+          const index_t x0 = bx * bs, y0 = by * bs, z0 = bz * bs;
+          const index_t ex = std::min(bs, d.nx - x0);
+          const index_t ey = std::min(bs, d.ny - y0);
+          const index_t ez = std::min(bs, d.nz - z0);
+
+          // Predictor selection on original data.
+          bool use_reg = false;
+          Plane plane;
+          if (cfg_.use_regression && ex * ey * ez >= 8) {
+            plane = fit_plane(orig, d, x0, y0, z0, ex, ey, ez);
+            double err_reg = 0, err_lor = 0;
+            const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
+            for (index_t k = 0; k < ez; ++k)
+              for (index_t j = 0; j < ey; ++j)
+                for (index_t i = 0; i < ex; ++i) {
+                  const double v = orig[d.index(x0 + i, y0 + j, z0 + k)];
+                  const double pr =
+                      plane.m + plane.gx * (i - ci) + plane.gy * (j - cj) + plane.gz * (k - ck);
+                  err_reg += std::abs(v - pr);
+                  err_lor += std::abs(
+                      v - lorenzo_pred_orig(orig, d, x0 + i, y0 + j, z0 + k, zmin));
+                }
+            use_reg = err_reg < err_lor;
+          }
+          flag_bits.write_bit(use_reg ? 1u : 0u);
+
+          Plane qplane;
+          if (use_reg) {
+            const auto q = cq.quantize(plane);
+            for (int t = 0; t < 4; ++t) {
+              coeff_writer.put_varint(zigzag(q[t] - prev_q[t]));
+            }
+            prev_q = q;
+            qplane = cq.dequantize(q);
+          }
+
+          const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
+          for (index_t k = 0; k < ez; ++k)
+            for (index_t j = 0; j < ey; ++j)
+              for (index_t i = 0; i < ex; ++i) {
+                const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
+                const double pred =
+                    use_reg ? qplane.m + qplane.gx * (i - ci) + qplane.gy * (j - cj) +
+                                  qplane.gz * (k - ck)
+                            : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
+                codes.push_back(quant.encode(orig[idx], pred, recon.data()[idx], outliers));
+              }
+        }
+
+    auto& cs = chunks[static_cast<std::size_t>(c)];
+    cs.flags = flag_bits.take();
+    cs.coeffs = lossless::lzss_compress(coeff_bytes);
+    cs.codes = lossless::encode_quant_codes(codes, cfg_.quant_radius);
+    cs.outliers = lossless::lzss_compress(std::as_bytes(std::span<const float>(outliers)));
+  }
+
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, kMagic, d, abs_eb);
+  w.put_varint(static_cast<std::uint64_t>(bs));
+  w.put_varint(cfg_.quant_radius);
+  w.put(static_cast<std::uint8_t>(cfg_.use_regression ? 1 : 0));
+  w.put_varint(static_cast<std::uint64_t>(n_chunks));
+  for (const auto& cs : chunks) {
+    w.put_blob(cs.flags);
+    w.put_blob(cs.coeffs);
+    w.put_blob(cs.codes);
+    w.put_blob(cs.outliers);
+  }
+  return out;
+}
+
+FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
+  ByteReader r(stream);
+  const auto h = detail::read_header(r, kMagic, "lorenzo");
+  const auto bs = static_cast<index_t>(r.get_varint());
+  const auto radius = static_cast<std::uint32_t>(r.get_varint());
+  (void)r.get<std::uint8_t>();  // use_regression flag (informational)
+  const auto n_chunks = static_cast<int>(r.get_varint());
+  const Dim3 d = h.dims;
+  const index_t nbz = ceil_div(d.nz, bs);
+  const CoeffQuant cq{h.eb / 2.0, h.eb / (2.0 * static_cast<double>(bs))};
+  const LinearQuantizer quant{h.eb, radius};
+
+  struct ChunkIn {
+    std::span<const std::byte> flags, coeffs, codes, outliers;
+  };
+  std::vector<ChunkIn> chunk_in(static_cast<std::size_t>(n_chunks));
+  for (auto& ci : chunk_in) {
+    ci.flags = r.get_blob();
+    ci.coeffs = r.get_blob();
+    ci.codes = r.get_blob();
+    ci.outliers = r.get_blob();
+  }
+
+  FieldF recon(d);
+  std::atomic<bool> failed{false};  // exceptions must not escape the omp region
+
+#if defined(MRC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (int c = 0; c < n_chunks; ++c) {
+   try {
+    const index_t bz0 = nbz * c / n_chunks;
+    const index_t bz1 = nbz * (c + 1) / n_chunks;
+    const index_t zmin = bz0 * bs;
+    const auto& ci_in = chunk_in[static_cast<std::size_t>(c)];
+
+    lossless::BitReader flag_bits(ci_in.flags);
+    const auto coeff_raw = lossless::lzss_decompress(ci_in.coeffs);
+    ByteReader coeff_reader(coeff_raw);
+    const auto codes = lossless::decode_quant_codes(ci_in.codes, radius);
+    const auto outlier_raw = lossless::lzss_decompress(ci_in.outliers);
+    std::vector<float> outliers(outlier_raw.size() / sizeof(float));
+    std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+
+    std::size_t code_pos = 0, outlier_pos = 0;
+    std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
+
+    for (index_t bz = bz0; bz < bz1; ++bz)
+      for (index_t by = 0; by < ceil_div(d.ny, bs); ++by)
+        for (index_t bx = 0; bx < ceil_div(d.nx, bs); ++bx) {
+          const index_t x0 = bx * bs, y0 = by * bs, z0 = bz * bs;
+          const index_t ex = std::min(bs, d.nx - x0);
+          const index_t ey = std::min(bs, d.ny - y0);
+          const index_t ez = std::min(bs, d.nz - z0);
+
+          const bool use_reg = flag_bits.read_bit() != 0;
+          Plane qplane;
+          if (use_reg) {
+            std::array<std::int64_t, 4> q;
+            for (int t = 0; t < 4; ++t)
+              q[t] = prev_q[t] + unzigzag(coeff_reader.get_varint());
+            prev_q = q;
+            qplane = cq.dequantize(q);
+          }
+
+          const double cx = (ex - 1) / 2.0, cy = (ey - 1) / 2.0, cz = (ez - 1) / 2.0;
+          for (index_t k = 0; k < ez; ++k)
+            for (index_t j = 0; j < ey; ++j)
+              for (index_t i = 0; i < ex; ++i) {
+                const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
+                const double pred =
+                    use_reg ? qplane.m + qplane.gx * (i - cx) + qplane.gy * (j - cy) +
+                                  qplane.gz * (k - cz)
+                            : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
+                if (code_pos >= codes.size()) throw CodecError("lorenzo: code underrun");
+                recon.data()[idx] = quant.decode(codes[code_pos++], pred, outliers, outlier_pos);
+              }
+        }
+   } catch (...) {
+     failed.store(true);
+   }
+  }
+  if (failed.load()) throw CodecError("lorenzo: corrupt chunk stream");
+  return recon;
+}
+
+}  // namespace mrc

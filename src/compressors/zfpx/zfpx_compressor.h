@@ -1,0 +1,51 @@
+#pragma once
+
+// ZFP-class fixed-accuracy transform codec.
+//
+// Faithful to the published ZFP pipeline for float32 volumes:
+//   4^3 blocks → block-floating-point (common exponent) → integer lifting
+//   transform along x/y/z → total-sequency coefficient reordering →
+//   negabinary → embedded bitplane coding with group testing.
+//
+// Accuracy mode: bitplanes are coded down to the ZFP cutoff
+//   maxprec = max(0, emax - floor(log2(eb)) + 2*(3+1)),
+// which guarantees max|x - x̂| <= eb and usually lands well below it — the
+// "underestimation characteristic" the paper exploits when choosing smaller
+// post-processing intensities for ZFP (§III-B).
+//
+// `omp_chunks > 1` encodes z-slabs of blocks into independent bit streams in
+// parallel (Table IX's OpenMP mode). Unlike SZ2, parallel ZFP loses no
+// compression ratio: blocks are independent already.
+
+#include "compressors/compressor.h"
+
+namespace mrc {
+
+struct ZfpxConfig {
+  int omp_chunks = 1;
+};
+
+class ZfpxCompressor final : public Compressor {
+ public:
+  explicit ZfpxCompressor(ZfpxConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Bytes compress(const FieldF& f, double abs_eb) const override;
+  [[nodiscard]] FieldF decompress(std::span<const std::byte> stream) const override;
+
+  static constexpr index_t kBlock = 4;
+
+ private:
+  ZfpxConfig cfg_;
+};
+
+namespace zfpx_detail {
+// Exposed for unit tests: the lifting pair is inverse up to low-order
+// rounding (each ">> 1" drops a bit), matching ZFP's standard transform.
+void fwd_lift(std::int32_t* p, std::ptrdiff_t s);
+void inv_lift(std::int32_t* p, std::ptrdiff_t s);
+/// Sequency-order permutation of the 4x4x4 coefficients.
+const std::array<std::uint8_t, 64>& sequency_perm();
+}  // namespace zfpx_detail
+
+}  // namespace mrc

@@ -1,0 +1,292 @@
+#include "core/sz3mr.h"
+
+#include <algorithm>
+
+#include "postproc/sampler.h"
+
+namespace mrc::sz3mr {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x314c'524d;  // "MRL1"
+
+InterpCompressor make_interp(const Config& cfg) {
+  InterpConfig ic;
+  ic.quant_radius = cfg.quant_radius;
+  ic.adaptive_eb = cfg.adaptive_eb;
+  ic.alpha = cfg.alpha;
+  ic.beta = cfg.beta;
+  return InterpCompressor(ic);
+}
+
+bool should_pad(const Config& cfg, index_t unit) {
+  return cfg.pad && cfg.merge == MergeKind::linear && unit >= cfg.min_pad_unit;
+}
+
+}  // namespace
+
+Config baseline_sz3() {
+  Config c;
+  c.pad = false;
+  c.adaptive_eb = false;
+  return c;
+}
+
+Config amric_sz3() {
+  Config c;
+  c.merge = MergeKind::stack;
+  c.pad = false;
+  c.adaptive_eb = false;
+  return c;
+}
+
+Config tac_sz3() {
+  Config c;
+  c.merge = MergeKind::tac;
+  c.pad = false;
+  c.adaptive_eb = false;
+  return c;
+}
+
+Config ours_pad() {
+  Config c;
+  c.pad = true;
+  c.adaptive_eb = false;
+  return c;
+}
+
+Config ours_pad_eb() {
+  Config c;
+  c.pad = true;
+  c.adaptive_eb = true;
+  return c;
+}
+
+Config ours_processed() {
+  Config c = ours_pad_eb();
+  c.postprocess = true;
+  return c;
+}
+
+PreparedLevel prepare_level(const LevelData& level, index_t unit, const Config& cfg) {
+  PreparedLevel prep;
+  prep.cfg = cfg;
+  prep.ratio = level.ratio;
+  // Occupancy scan only; the gathers below read the level grid directly so
+  // pre-processing is a single pass (the Table IV "collect data" phase).
+  prep.set = scan_unit_blocks(level, unit);
+  if (prep.set.block_count() == 0) return prep;
+
+  switch (cfg.merge) {
+    case MergeKind::linear:
+      prep.padded = should_pad(cfg, unit);
+      prep.merged = gather_linear(level, prep.set, prep.padded, cfg.pad_kind);
+      break;
+    case MergeKind::stack:
+      prep.merged = gather_stack(level, prep.set);
+      break;
+    case MergeKind::tac: {
+      auto full = extract_unit_blocks(level, unit);
+      prep.boxes = merge_tac(full);
+      break;
+    }
+  }
+  return prep;
+}
+
+Bytes encode_prepared(const PreparedLevel& prep, double abs_eb) {
+  const Config& cfg = prep.cfg;
+  const UnitBlockSet& set = prep.set;
+
+  Bytes out;
+  ByteWriter w(out);
+  w.put(kMagic);
+  w.put_varint(static_cast<std::uint64_t>(set.level_dims.nx));
+  w.put_varint(static_cast<std::uint64_t>(set.level_dims.ny));
+  w.put_varint(static_cast<std::uint64_t>(set.level_dims.nz));
+  w.put_varint(static_cast<std::uint64_t>(prep.ratio));
+  w.put_varint(static_cast<std::uint64_t>(set.unit));
+  w.put(static_cast<std::uint8_t>(cfg.merge));
+  w.put(static_cast<std::uint8_t>(prep.padded ? 1 : 0));
+  w.put(static_cast<std::uint8_t>(cfg.pad_kind));
+  w.put(abs_eb);
+
+  w.put_varint(static_cast<std::uint64_t>(set.block_count()));
+  index_t prev = -1;
+  for (const index_t id : set.block_ids) {
+    w.put_varint(static_cast<std::uint64_t>(id - prev));
+    prev = id;
+  }
+  if (set.block_count() == 0) {
+    w.put(static_cast<std::uint8_t>(0));  // no post-process section
+    return out;
+  }
+
+  const InterpCompressor interp = make_interp(cfg);
+
+  // Optional sampled Bézier intensities ("Ours (processed)"). The tuning
+  // works on the unpadded merged geometry, which is what decompression
+  // post-processes after stripping the pad.
+  double ax = 0.0, ay = 0.0, az = 0.0;
+  if (cfg.postprocess && cfg.merge != MergeKind::tac) {
+    const FieldF& tune_src = prep.merged;
+    const index_t unit = set.unit;
+    const auto plan = postproc::default_sampling(tune_src.dims(), unit);
+    const auto samples =
+        postproc::draw_sample_blocks(tune_src, plan.block_edge, plan.count, /*seed=*/42);
+    const auto tuned = postproc::tune_intensity(samples, interp, abs_eb, unit,
+                                                postproc::sz_candidates());
+    ax = tuned.ax;
+    ay = tuned.ay;
+    az = tuned.az;
+  }
+  w.put(static_cast<std::uint8_t>(cfg.postprocess ? 1 : 0));
+  if (cfg.postprocess) {
+    w.put(ax);
+    w.put(ay);
+    w.put(az);
+  }
+
+  if (cfg.merge == MergeKind::tac) {
+    w.put_varint(prep.boxes.size());
+    for (const TacBox& box : prep.boxes) {
+      w.put_varint(static_cast<std::uint64_t>(box.origin_blocks.x));
+      w.put_varint(static_cast<std::uint64_t>(box.origin_blocks.y));
+      w.put_varint(static_cast<std::uint64_t>(box.origin_blocks.z));
+      w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.nx));
+      w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.ny));
+      w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.nz));
+      w.put_blob(interp.compress(box.data, abs_eb));
+    }
+  } else {
+    w.put_blob(interp.compress(prep.merged, abs_eb));
+  }
+  return out;
+}
+
+Bytes compress_level(const LevelData& level, index_t unit, double abs_eb,
+                     const Config& cfg) {
+  return encode_prepared(prepare_level(level, unit, cfg), abs_eb);
+}
+
+LevelData decompress_level(std::span<const std::byte> stream) {
+  ByteReader r(stream);
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kMagic) throw CodecError("sz3mr: stream magic mismatch");
+
+  UnitBlockSet set;
+  Dim3 ld;
+  ld.nx = static_cast<index_t>(r.get_varint());
+  ld.ny = static_cast<index_t>(r.get_varint());
+  ld.nz = static_cast<index_t>(r.get_varint());
+  constexpr index_t kMaxExtent = index_t{1} << 32;
+  if (ld.nx <= 0 || ld.ny <= 0 || ld.nz <= 0 || ld.nx > kMaxExtent || ld.ny > kMaxExtent ||
+      ld.nz > kMaxExtent || ld.size() > (index_t{1} << 40))
+    throw CodecError("sz3mr: bad level extents");
+  const auto ratio = static_cast<index_t>(r.get_varint());
+  const auto unit = static_cast<index_t>(r.get_varint());
+  if (unit <= 0 || unit > ld.max_extent() || ratio <= 0)
+    throw CodecError("sz3mr: bad unit/ratio");
+  const auto merge = static_cast<MergeKind>(r.get<std::uint8_t>());
+  const bool padded = r.get<std::uint8_t>() != 0;
+  (void)r.get<std::uint8_t>();  // pad kind (informational; strip is shape-only)
+  const double eb = r.get<double>();
+
+  set.unit = unit;
+  set.level_dims = ld;
+  set.block_grid = blocks_for(ld, unit);
+  const auto n_blocks = static_cast<index_t>(r.get_varint());
+  if (n_blocks > set.block_grid.size()) throw CodecError("sz3mr: too many blocks");
+  index_t prev = -1;
+  for (index_t i = 0; i < n_blocks; ++i) {
+    const auto delta = static_cast<index_t>(r.get_varint());
+    if (delta <= 0) throw CodecError("sz3mr: non-increasing block ids");
+    prev += delta;
+    if (prev >= set.block_grid.size()) throw CodecError("sz3mr: block id out of range");
+    set.block_ids.push_back(prev);
+  }
+
+  LevelData level;
+  level.ratio = ratio;
+  level.data = FieldF(ld, 0.0f);
+  level.mask = MaskField(ld, 0);
+
+  const bool has_post = r.get<std::uint8_t>() != 0;
+  double ax = 0.0, ay = 0.0, az = 0.0;
+  if (has_post) {
+    ax = r.get<double>();
+    ay = r.get<double>();
+    az = r.get<double>();
+  }
+  if (n_blocks == 0) return level;
+
+  const InterpCompressor interp{};  // config decoded from the payload itself
+
+  if (merge == MergeKind::tac) {
+    const auto n_boxes = r.get_varint();
+    std::vector<TacBox> boxes;
+    boxes.reserve(static_cast<std::size_t>(n_boxes));
+    for (std::uint64_t b = 0; b < n_boxes; ++b) {
+      TacBox box;
+      box.origin_blocks.x = static_cast<index_t>(r.get_varint());
+      box.origin_blocks.y = static_cast<index_t>(r.get_varint());
+      box.origin_blocks.z = static_cast<index_t>(r.get_varint());
+      box.extent_blocks.nx = static_cast<index_t>(r.get_varint());
+      box.extent_blocks.ny = static_cast<index_t>(r.get_varint());
+      box.extent_blocks.nz = static_cast<index_t>(r.get_varint());
+      box.data = interp.decompress(r.get_blob());
+      boxes.push_back(std::move(box));
+    }
+    unmerge_tac(boxes, set);
+  } else {
+    FieldF merged = interp.decompress(r.get_blob());
+    if (padded) merged = strip_pad_xy(merged);
+    if (has_post && (ax > 0.0 || ay > 0.0 || az > 0.0)) {
+      postproc::BezierParams p{unit, eb, ax, ay, az};
+      merged = postproc::bezier_postprocess(merged, p);
+    }
+    if (merge == MergeKind::linear)
+      unmerge_linear(merged, set);
+    else
+      unmerge_stack(merged, set);
+  }
+
+  scatter_unit_blocks(set, level);
+  return level;
+}
+
+std::size_t MultiResStreams::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& s : level_streams) n += s.size();
+  return n;
+}
+
+MultiResStreams compress_multires(const MultiResField& mr, double abs_eb,
+                                  const Config& cfg) {
+  MultiResStreams out;
+  for (const auto& level : mr.levels) {
+    const index_t unit = std::max<index_t>(mr.block_size / level.ratio, 1);
+    out.level_streams.push_back(compress_level(level, unit, abs_eb, cfg));
+  }
+  return out;
+}
+
+MultiResField decompress_multires(const MultiResStreams& streams) {
+  MultiResField mr;
+  MRC_REQUIRE(!streams.level_streams.empty(), "no level streams");
+  for (const auto& s : streams.level_streams)
+    mr.levels.push_back(decompress_level(s));
+  mr.fine_dims = mr.levels.front().data.dims();
+  // block size = unit of the finest level; recover from its dims/ratio via
+  // the coarsest ratio (units halve per level).
+  mr.block_size = 0;
+  for (const auto& l : mr.levels) mr.block_size = std::max(mr.block_size, l.ratio);
+  return mr;
+}
+
+double multires_ratio(const MultiResField& mr, const MultiResStreams& s) {
+  return static_cast<double>(mr.stored_samples()) * sizeof(float) /
+         static_cast<double>(s.total_bytes());
+}
+
+}  // namespace mrc::sz3mr

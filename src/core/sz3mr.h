@@ -1,0 +1,81 @@
+#pragma once
+
+// SZ3MR: the paper's multi-resolution compression pipeline (§III-A) plus the
+// baselines it is evaluated against.
+//
+// Per level:  extract unit blocks → merge (linear / stack / TAC) →
+//             [pad the two small dims] → SZ3-class compression with
+//             [per-level adaptive error bounds] → self-describing stream.
+// Decompression mirrors the pipeline and can optionally run the Bézier
+// post-process on the merged array before unmerging ("Ours (processed)").
+//
+// Named presets reproduce the curves of Figs. 15/17/18:
+//   baseline_sz3()  — linear merge, plain SZ3
+//   amric_sz3()     — AMRIC's stack merge, plain SZ3
+//   tac_sz3()       — TAC's adjacency merge, plain SZ3 per box (offline only)
+//   ours_pad()      — linear merge + padding
+//   ours_pad_eb()   — + adaptive error bound (the full SZ3MR)
+//   ours_processed()— + sampled Bézier post-process
+
+#include "compressors/interp/interp_compressor.h"
+#include "merge/merge_strategies.h"
+#include "merge/padding.h"
+
+namespace mrc::sz3mr {
+
+struct Config {
+  MergeKind merge = MergeKind::linear;
+  bool pad = true;
+  PadKind pad_kind = PadKind::linear;
+  index_t min_pad_unit = 5;  ///< pad only when unit > 4 (paper §III-A)
+  bool adaptive_eb = true;
+  double alpha = 2.25;
+  double beta = 8.0;
+  std::uint32_t quant_radius = 512;
+  bool postprocess = false;  ///< tune + embed Bézier intensities in the stream
+};
+
+[[nodiscard]] Config baseline_sz3();
+[[nodiscard]] Config amric_sz3();
+[[nodiscard]] Config tac_sz3();
+[[nodiscard]] Config ours_pad();
+[[nodiscard]] Config ours_pad_eb();
+[[nodiscard]] Config ours_processed();
+
+/// Preprocessing output — separated from encoding so the in-situ experiment
+/// (Table IV) can time "collect data into the compression buffer" apart from
+/// "compress and write".
+struct PreparedLevel {
+  UnitBlockSet set;             ///< ids + geometry (payload moved into merged/boxes)
+  FieldF merged;                ///< linear/stack merges
+  std::vector<TacBox> boxes;    ///< tac merge
+  index_t ratio = 1;
+  bool padded = false;
+  Config cfg;
+};
+
+[[nodiscard]] PreparedLevel prepare_level(const LevelData& level, index_t unit,
+                                          const Config& cfg);
+[[nodiscard]] Bytes encode_prepared(const PreparedLevel& prep, double abs_eb);
+
+/// prepare + encode in one call.
+[[nodiscard]] Bytes compress_level(const LevelData& level, index_t unit, double abs_eb,
+                                   const Config& cfg);
+
+/// Full inverse; reconstructs the level's data + mask (zeros elsewhere).
+[[nodiscard]] LevelData decompress_level(std::span<const std::byte> stream);
+
+/// Hierarchy-level driver. Unit block size per level = block_size / ratio.
+struct MultiResStreams {
+  std::vector<Bytes> level_streams;
+  [[nodiscard]] std::size_t total_bytes() const;
+};
+
+[[nodiscard]] MultiResStreams compress_multires(const MultiResField& mr, double abs_eb,
+                                                const Config& cfg);
+[[nodiscard]] MultiResField decompress_multires(const MultiResStreams& streams);
+
+/// Compression ratio over the *stored* samples of the hierarchy.
+[[nodiscard]] double multires_ratio(const MultiResField& mr, const MultiResStreams& s);
+
+}  // namespace mrc::sz3mr

@@ -1,0 +1,70 @@
+#include "core/workflow.h"
+
+#include <fstream>
+
+#include "common/timer.h"
+
+namespace mrc::workflow {
+
+CompressedAdaptive compress_uniform(const FieldF& uniform, double abs_eb,
+                                    const Config& cfg) {
+  CompressedAdaptive out;
+  out.adaptive = roi::extract_adaptive(uniform, cfg.roi_block, cfg.roi_fraction);
+  out.streams = sz3mr::compress_multires(out.adaptive, abs_eb, cfg.pipeline);
+  out.ratio = sz3mr::multires_ratio(out.adaptive, out.streams);
+  return out;
+}
+
+OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
+                            const sz3mr::Config& cfg, const std::string& path) {
+  OutputTiming t;
+
+  // Phase 1: pre-process — collect data into compression buffers.
+  WallTimer timer;
+  std::vector<sz3mr::PreparedLevel> prepared;
+  prepared.reserve(mr.levels.size());
+  for (const auto& level : mr.levels) {
+    const index_t unit = std::max<index_t>(mr.block_size / level.ratio, 1);
+    prepared.push_back(sz3mr::prepare_level(level, unit, cfg));
+  }
+  t.preprocess_s = timer.seconds();
+
+  // Phase 2: compression + writing to the file system.
+  timer.restart();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);
+  const auto n_levels = static_cast<std::uint64_t>(prepared.size());
+  f.write(reinterpret_cast<const char*>(&n_levels), sizeof(n_levels));
+  for (const auto& prep : prepared) {
+    const Bytes stream = sz3mr::encode_prepared(prep, abs_eb);
+    const auto len = static_cast<std::uint64_t>(stream.size());
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write(reinterpret_cast<const char*>(stream.data()),
+            static_cast<std::streamsize>(stream.size()));
+    t.bytes_written += sizeof(len) + stream.size();
+  }
+  f.flush();
+  MRC_REQUIRE(f.good(), "snapshot write failed: " + path);
+  t.compress_write_s = timer.seconds();
+  return t;
+}
+
+MultiResField read_snapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);
+  std::uint64_t n_levels = 0;
+  f.read(reinterpret_cast<char*>(&n_levels), sizeof(n_levels));
+  sz3mr::MultiResStreams streams;
+  for (std::uint64_t l = 0; l < n_levels; ++l) {
+    std::uint64_t len = 0;
+    f.read(reinterpret_cast<char*>(&len), sizeof(len));
+    MRC_REQUIRE(f.good(), "truncated snapshot: " + path);
+    Bytes b(len);
+    f.read(reinterpret_cast<char*>(b.data()), static_cast<std::streamsize>(len));
+    MRC_REQUIRE(f.good(), "truncated snapshot: " + path);
+    streams.level_streams.push_back(std::move(b));
+  }
+  return sz3mr::decompress_multires(streams);
+}
+
+}  // namespace mrc::workflow

@@ -1,0 +1,47 @@
+#pragma once
+
+// End-to-end workflow driver (paper Fig. 3): uniform data → ROI-based
+// adaptive conversion → per-level SZ3MR compression → storage, with the
+// in-situ output-time instrumentation used by Table IV.
+
+#include <string>
+
+#include "core/sz3mr.h"
+#include "roi/roi_extract.h"
+
+namespace mrc::workflow {
+
+struct Config {
+  index_t roi_block = 16;     ///< ROI partition b (2^n, n > 2)
+  double roi_fraction = 0.5;  ///< paper's x (top blocks kept at full res)
+  sz3mr::Config pipeline = sz3mr::ours_pad_eb();
+};
+
+/// Uniform field → adaptive multi-resolution → compressed streams.
+struct CompressedAdaptive {
+  sz3mr::MultiResStreams streams;
+  MultiResField adaptive;  ///< the (uncompressed) adaptive structure
+  double ratio = 0.0;      ///< stored samples vs compressed bytes
+};
+[[nodiscard]] CompressedAdaptive compress_uniform(const FieldF& uniform, double abs_eb,
+                                                  const Config& cfg);
+
+/// In-situ snapshot output with the paper's two-phase timing split:
+/// (1) pre-process — collect unit blocks into the compression buffer
+///     (merge + optional padding),
+/// (2) compression + writing the compressed data to the file system.
+struct OutputTiming {
+  double preprocess_s = 0.0;
+  double compress_write_s = 0.0;
+  std::size_t bytes_written = 0;
+  [[nodiscard]] double total_s() const { return preprocess_s + compress_write_s; }
+};
+
+[[nodiscard]] OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
+                                          const sz3mr::Config& cfg,
+                                          const std::string& path);
+
+/// Reads back a snapshot written by write_snapshot.
+[[nodiscard]] MultiResField read_snapshot(const std::string& path);
+
+}  // namespace mrc::workflow

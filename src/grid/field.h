@@ -1,0 +1,83 @@
+#pragma once
+
+// Owning 3-D scalar field. Header-only: this type is on every hot path.
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/dims.h"
+#include "common/require.h"
+
+namespace mrc {
+
+/// Row-major (x fastest) owning 3-D array of scalars.
+template <typename T>
+class Field3D {
+ public:
+  Field3D() = default;
+
+  explicit Field3D(Dim3 dims, T init = T{})
+      : dims_(dims), data_(static_cast<std::size_t>(dims.size()), init) {
+    MRC_REQUIRE(dims.nx >= 0 && dims.ny >= 0 && dims.nz >= 0, "negative extent");
+  }
+
+  Field3D(Dim3 dims, std::vector<T> data) : dims_(dims), data_(std::move(data)) {
+    MRC_REQUIRE(static_cast<index_t>(data_.size()) == dims_.size(),
+                "data size does not match extents");
+  }
+
+  [[nodiscard]] const Dim3& dims() const { return dims_; }
+  [[nodiscard]] index_t size() const { return dims_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& at(index_t x, index_t y, index_t z) {
+    return data_[static_cast<std::size_t>(dims_.index(x, y, z))];
+  }
+  [[nodiscard]] const T& at(index_t x, index_t y, index_t z) const {
+    return data_[static_cast<std::size_t>(dims_.index(x, y, z))];
+  }
+
+  /// Bounds-checked access; use in tests and non-hot paths.
+  [[nodiscard]] T& at_checked(index_t x, index_t y, index_t z) {
+    MRC_REQUIRE(dims_.contains(x, y, z), "index out of range");
+    return at(x, y, z);
+  }
+
+  [[nodiscard]] T& operator[](index_t i) { return data_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const T& operator[](index_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_.data(), data_.size()}; }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  [[nodiscard]] std::pair<T, T> min_max() const {
+    MRC_REQUIRE(!data_.empty(), "min_max of empty field");
+    auto [lo, hi] = std::minmax_element(data_.begin(), data_.end());
+    return {*lo, *hi};
+  }
+
+  [[nodiscard]] double value_range() const {
+    auto [lo, hi] = min_max();
+    return static_cast<double>(hi) - static_cast<double>(lo);
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool operator==(const Field3D&) const = default;
+
+ private:
+  Dim3 dims_{};
+  std::vector<T> data_{};
+};
+
+using FieldF = Field3D<float>;
+using FieldD = Field3D<double>;
+using MaskField = Field3D<std::uint8_t>;
+
+}  // namespace mrc

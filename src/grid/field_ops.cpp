@@ -1,0 +1,139 @@
+#include "grid/field_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrc {
+
+FieldF restrict_average(const FieldF& fine, index_t factor) {
+  MRC_REQUIRE(factor >= 1, "bad restriction factor");
+  const Dim3 fd = fine.dims();
+  MRC_REQUIRE(fd.nx % factor == 0 && fd.ny % factor == 0 && fd.nz % factor == 0,
+              "extents not divisible by restriction factor");
+  const Dim3 cd{fd.nx / factor, fd.ny / factor, fd.nz / factor};
+  FieldF coarse(cd);
+  const double inv = 1.0 / static_cast<double>(factor * factor * factor);
+  for (index_t z = 0; z < cd.nz; ++z)
+    for (index_t y = 0; y < cd.ny; ++y)
+      for (index_t x = 0; x < cd.nx; ++x) {
+        double sum = 0.0;
+        for (index_t k = 0; k < factor; ++k)
+          for (index_t j = 0; j < factor; ++j)
+            for (index_t i = 0; i < factor; ++i)
+              sum += fine.at(x * factor + i, y * factor + j, z * factor + k);
+        coarse.at(x, y, z) = static_cast<float>(sum * inv);
+      }
+  return coarse;
+}
+
+FieldF prolong_nearest(const FieldF& coarse, Dim3 fine_dims) {
+  const Dim3 cd = coarse.dims();
+  FieldF fine(fine_dims);
+  for (index_t z = 0; z < fine_dims.nz; ++z) {
+    const index_t cz = std::min(z * cd.nz / fine_dims.nz, cd.nz - 1);
+    for (index_t y = 0; y < fine_dims.ny; ++y) {
+      const index_t cy = std::min(y * cd.ny / fine_dims.ny, cd.ny - 1);
+      for (index_t x = 0; x < fine_dims.nx; ++x) {
+        const index_t cx = std::min(x * cd.nx / fine_dims.nx, cd.nx - 1);
+        fine.at(x, y, z) = coarse.at(cx, cy, cz);
+      }
+    }
+  }
+  return fine;
+}
+
+FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims) {
+  const Dim3 cd = coarse.dims();
+  FieldF fine(fine_dims);
+  // Cell-centered alignment: fine cell center x_f maps to coarse coordinate
+  // (x_f + 0.5) * (cd/fd) - 0.5.
+  const double rx = static_cast<double>(cd.nx) / static_cast<double>(fine_dims.nx);
+  const double ry = static_cast<double>(cd.ny) / static_cast<double>(fine_dims.ny);
+  const double rz = static_cast<double>(cd.nz) / static_cast<double>(fine_dims.nz);
+  auto clampi = [](index_t v, index_t lo, index_t hi) { return std::clamp(v, lo, hi); };
+  for (index_t z = 0; z < fine_dims.nz; ++z) {
+    const double gz = (static_cast<double>(z) + 0.5) * rz - 0.5;
+    const auto z0 = clampi(static_cast<index_t>(std::floor(gz)), 0, cd.nz - 1);
+    const auto z1 = clampi(z0 + 1, 0, cd.nz - 1);
+    const double fz = std::clamp(gz - static_cast<double>(z0), 0.0, 1.0);
+    for (index_t y = 0; y < fine_dims.ny; ++y) {
+      const double gy = (static_cast<double>(y) + 0.5) * ry - 0.5;
+      const auto y0 = clampi(static_cast<index_t>(std::floor(gy)), 0, cd.ny - 1);
+      const auto y1 = clampi(y0 + 1, 0, cd.ny - 1);
+      const double fy = std::clamp(gy - static_cast<double>(y0), 0.0, 1.0);
+      for (index_t x = 0; x < fine_dims.nx; ++x) {
+        const double gx = (static_cast<double>(x) + 0.5) * rx - 0.5;
+        const auto x0 = clampi(static_cast<index_t>(std::floor(gx)), 0, cd.nx - 1);
+        const auto x1 = clampi(x0 + 1, 0, cd.nx - 1);
+        const double fx = std::clamp(gx - static_cast<double>(x0), 0.0, 1.0);
+        const double c00 = coarse.at(x0, y0, z0) * (1 - fx) + coarse.at(x1, y0, z0) * fx;
+        const double c10 = coarse.at(x0, y1, z0) * (1 - fx) + coarse.at(x1, y1, z0) * fx;
+        const double c01 = coarse.at(x0, y0, z1) * (1 - fx) + coarse.at(x1, y0, z1) * fx;
+        const double c11 = coarse.at(x0, y1, z1) * (1 - fx) + coarse.at(x1, y1, z1) * fx;
+        const double c0 = c00 * (1 - fy) + c10 * fy;
+        const double c1 = c01 * (1 - fy) + c11 * fy;
+        fine.at(x, y, z) = static_cast<float>(c0 * (1 - fz) + c1 * fz);
+      }
+    }
+  }
+  return fine;
+}
+
+FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent) {
+  MRC_REQUIRE(origin.x >= 0 && origin.y >= 0 && origin.z >= 0 &&
+                  origin.x + extent.nx <= f.dims().nx &&
+                  origin.y + extent.ny <= f.dims().ny &&
+                  origin.z + extent.nz <= f.dims().nz,
+              "region outside field");
+  FieldF r(extent);
+  for (index_t z = 0; z < extent.nz; ++z)
+    for (index_t y = 0; y < extent.ny; ++y)
+      for (index_t x = 0; x < extent.nx; ++x)
+        r.at(x, y, z) = f.at(origin.x + x, origin.y + y, origin.z + z);
+  return r;
+}
+
+void insert_region(FieldF& f, Coord3 origin, const FieldF& region) {
+  const Dim3 e = region.dims();
+  MRC_REQUIRE(origin.x >= 0 && origin.y >= 0 && origin.z >= 0 &&
+                  origin.x + e.nx <= f.dims().nx && origin.y + e.ny <= f.dims().ny &&
+                  origin.z + e.nz <= f.dims().nz,
+              "region outside field");
+  for (index_t z = 0; z < e.nz; ++z)
+    for (index_t y = 0; y < e.ny; ++y)
+      for (index_t x = 0; x < e.nx; ++x)
+        f.at(origin.x + x, origin.y + y, origin.z + z) = region.at(x, y, z);
+}
+
+FieldF central_slice_z(const FieldF& f) {
+  const Dim3 d = f.dims();
+  return extract_region(f, {0, 0, d.nz / 2}, {d.nx, d.ny, 1});
+}
+
+std::vector<double> block_value_ranges(const FieldF& f, index_t block) {
+  MRC_REQUIRE(block >= 1, "bad block size");
+  const Dim3 d = f.dims();
+  const Dim3 nb = blocks_for(d, block);
+  std::vector<double> ranges(static_cast<std::size_t>(nb.size()));
+  for (index_t bz = 0; bz < nb.nz; ++bz)
+    for (index_t by = 0; by < nb.ny; ++by)
+      for (index_t bx = 0; bx < nb.nx; ++bx) {
+        float lo = f.at(bx * block, by * block, bz * block);
+        float hi = lo;
+        const index_t ex = std::min(block, d.nx - bx * block);
+        const index_t ey = std::min(block, d.ny - by * block);
+        const index_t ez = std::min(block, d.nz - bz * block);
+        for (index_t k = 0; k < ez; ++k)
+          for (index_t j = 0; j < ey; ++j)
+            for (index_t i = 0; i < ex; ++i) {
+              const float v = f.at(bx * block + i, by * block + j, bz * block + k);
+              lo = std::min(lo, v);
+              hi = std::max(hi, v);
+            }
+        ranges[static_cast<std::size_t>(nb.index(bx, by, bz))] =
+            static_cast<double>(hi) - static_cast<double>(lo);
+      }
+  return ranges;
+}
+
+}  // namespace mrc

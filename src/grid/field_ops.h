@@ -1,0 +1,34 @@
+#pragma once
+
+// Whole-field operations shared by the AMR model, ROI conversion, metrics
+// and benches: restriction/prolongation between resolution levels, region
+// copies, and slicing.
+
+#include "grid/field.h"
+
+namespace mrc {
+
+/// Box-average downsampling by an integer factor along every axis.
+/// Extents must be divisible by the factor.
+[[nodiscard]] FieldF restrict_average(const FieldF& fine, index_t factor);
+
+/// Nearest-neighbor (injection) upsampling to `fine_dims`.
+[[nodiscard]] FieldF prolong_nearest(const FieldF& coarse, Dim3 fine_dims);
+
+/// Trilinear upsampling to `fine_dims` (cell-centered alignment).
+[[nodiscard]] FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims);
+
+/// Copies the box [origin, origin+extent) out of `f`.
+[[nodiscard]] FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent);
+
+/// Writes `region` into `f` at `origin`.
+void insert_region(FieldF& f, Coord3 origin, const FieldF& region);
+
+/// Central z-slice as a degenerate (nz == 1) field, used for 2-D SSIM.
+[[nodiscard]] FieldF central_slice_z(const FieldF& f);
+
+/// Per-block value range (max - min) over a b^3 tiling — the paper's ROI
+/// criterion. Returns one value per block, in block raster order.
+[[nodiscard]] std::vector<double> block_value_ranges(const FieldF& f, index_t block);
+
+}  // namespace mrc

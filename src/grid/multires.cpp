@@ -1,0 +1,110 @@
+#include "grid/multires.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mrc {
+
+double LevelData::density() const {
+  if (mask.empty()) return 0.0;
+  return static_cast<double>(valid_count()) / static_cast<double>(mask.size());
+}
+
+index_t LevelData::valid_count() const {
+  index_t n = 0;
+  for (index_t i = 0; i < mask.size(); ++i) n += mask[i] ? 1 : 0;
+  return n;
+}
+
+FieldF MultiResField::reconstruct_uniform() const {
+  MRC_REQUIRE(!levels.empty(), "empty hierarchy");
+  // Start from the coarsest level prolonged everywhere, then overlay finer
+  // levels where they are valid.
+  FieldF out = prolong_trilinear(levels.back().data, fine_dims);
+  for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
+    const LevelData& lev = levels[static_cast<std::size_t>(l)];
+    const index_t r = lev.ratio;
+    const Dim3 ld = lev.data.dims();
+    // Prolong only where this level is valid; nearest for ratio 1.
+    if (r == 1) {
+      for (index_t i = 0; i < ld.size(); ++i)
+        if (lev.mask[i]) out[i] = lev.data[i];
+    } else {
+      FieldF up = prolong_trilinear(lev.data, fine_dims);
+      for (index_t z = 0; z < fine_dims.nz; ++z)
+        for (index_t y = 0; y < fine_dims.ny; ++y)
+          for (index_t x = 0; x < fine_dims.nx; ++x) {
+            if (lev.mask.at(x / r, y / r, z / r))
+              out.at(x, y, z) = up.at(x, y, z);
+          }
+    }
+  }
+  return out;
+}
+
+index_t MultiResField::stored_samples() const {
+  index_t n = 0;
+  for (const auto& l : levels) n += l.valid_count();
+  return n;
+}
+
+namespace amr {
+
+MultiResField build_hierarchy(const FieldF& fine, index_t block_size,
+                              std::span<const double> fractions) {
+  MRC_REQUIRE(!fractions.empty(), "need at least one level");
+  const auto n_levels = static_cast<int>(fractions.size());
+  const Dim3 fd = fine.dims();
+  MRC_REQUIRE(block_size >= 2 && (block_size & (block_size - 1)) == 0,
+              "block size must be a power of two");
+  const index_t coarsest_ratio = index_t{1} << (n_levels - 1);
+  MRC_REQUIRE(block_size % coarsest_ratio == 0,
+              "block size must be divisible by the coarsest refinement ratio");
+  MRC_REQUIRE(fd.nx % block_size == 0 && fd.ny % block_size == 0 && fd.nz % block_size == 0,
+              "extents must be divisible by the block size");
+
+  // Rank blocks by value range and assign to levels by rank quantile.
+  const auto ranges = block_value_ranges(fine, block_size);
+  const Dim3 nb = blocks_for(fd, block_size);
+  std::vector<index_t> order(ranges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](index_t a, index_t b) { return ranges[static_cast<std::size_t>(a)] > ranges[static_cast<std::size_t>(b)]; });
+
+  std::vector<int> level_of(ranges.size(), n_levels - 1);
+  std::size_t cursor = 0;
+  for (int l = 0; l < n_levels - 1; ++l) {
+    const auto take = static_cast<std::size_t>(
+        std::llround(fractions[static_cast<std::size_t>(l)] * static_cast<double>(ranges.size())));
+    for (std::size_t i = 0; i < take && cursor < order.size(); ++i, ++cursor)
+      level_of[static_cast<std::size_t>(order[cursor])] = l;
+  }
+
+  MultiResField mr;
+  mr.fine_dims = fd;
+  mr.block_size = block_size;
+  mr.levels.resize(static_cast<std::size_t>(n_levels));
+
+  for (int l = 0; l < n_levels; ++l) {
+    auto& lev = mr.levels[static_cast<std::size_t>(l)];
+    lev.ratio = index_t{1} << l;
+    const Dim3 ld{fd.nx / lev.ratio, fd.ny / lev.ratio, fd.nz / lev.ratio};
+    lev.data = (l == 0) ? fine : restrict_average(fine, lev.ratio);
+    lev.mask = MaskField(ld, 0);
+    const index_t lb = block_size / lev.ratio;  // block extent at this level
+    for (index_t bz = 0; bz < nb.nz; ++bz)
+      for (index_t by = 0; by < nb.ny; ++by)
+        for (index_t bx = 0; bx < nb.nx; ++bx) {
+          if (level_of[static_cast<std::size_t>(nb.index(bx, by, bz))] != l) continue;
+          for (index_t k = 0; k < lb; ++k)
+            for (index_t j = 0; j < lb; ++j)
+              for (index_t i = 0; i < lb; ++i)
+                lev.mask.at(bx * lb + i, by * lb + j, bz * lb + k) = 1;
+        }
+  }
+  return mr;
+}
+
+}  // namespace amr
+
+}  // namespace mrc

@@ -1,0 +1,19 @@
+#include "io/obj_writer.h"
+
+#include <fstream>
+
+namespace mrc::io {
+
+void write_obj(const uq::TriMesh& mesh, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  MRC_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << "# mrcomp isosurface: " << mesh.vertex_count() << " vertices, "
+      << mesh.triangle_count() << " triangles\n";
+  for (const auto& v : mesh.vertices)
+    out << "v " << v[0] << ' ' << v[1] << ' ' << v[2] << '\n';
+  for (const auto& t : mesh.triangles)
+    out << "f " << t[0] + 1 << ' ' << t[1] + 1 << ' ' << t[2] + 1 << '\n';
+  MRC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+}  // namespace mrc::io

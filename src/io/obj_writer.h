@@ -1,0 +1,13 @@
+#pragma once
+
+// Wavefront OBJ export of marching-cubes isosurfaces.
+
+#include <string>
+
+#include "uncertainty/marching_cubes.h"
+
+namespace mrc::io {
+
+void write_obj(const uq::TriMesh& mesh, const std::string& path);
+
+}  // namespace mrc::io

@@ -1,0 +1,49 @@
+#include "io/raw_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace mrc::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4d524357'46333231ull;  // "MRCWF321"
+}
+
+void write_raw(const FieldF& f, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MRC_REQUIRE(out.good(), "cannot open for writing: " + path);
+  const std::uint64_t header[4] = {kMagic, static_cast<std::uint64_t>(f.dims().nx),
+                                   static_cast<std::uint64_t>(f.dims().ny),
+                                   static_cast<std::uint64_t>(f.dims().nz)};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(f.data()),
+            static_cast<std::streamsize>(f.size() * sizeof(float)));
+  MRC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+FieldF read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MRC_REQUIRE(in.good(), "cannot open for reading: " + path);
+  std::uint64_t header[4] = {};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  MRC_REQUIRE(in.good() && header[0] == kMagic, "not an mrcomp raw file: " + path);
+  const Dim3 d{static_cast<index_t>(header[1]), static_cast<index_t>(header[2]),
+               static_cast<index_t>(header[3])};
+  FieldF f(d);
+  in.read(reinterpret_cast<char*>(f.data()),
+          static_cast<std::streamsize>(f.size() * sizeof(float)));
+  MRC_REQUIRE(in.good(), "truncated raw file: " + path);
+  return f;
+}
+
+FieldF read_raw_f32(const std::string& path, Dim3 dims) {
+  std::ifstream in(path, std::ios::binary);
+  MRC_REQUIRE(in.good(), "cannot open for reading: " + path);
+  FieldF f(dims);
+  in.read(reinterpret_cast<char*>(f.data()),
+          static_cast<std::streamsize>(f.size() * sizeof(float)));
+  MRC_REQUIRE(in.good(), "truncated f32 file: " + path);
+  return f;
+}
+
+}  // namespace mrc::io

@@ -1,0 +1,23 @@
+#pragma once
+
+// Raw binary field I/O (SDRBench-style .f32 payload with a tiny header for
+// self-description) used by examples and the overhead experiment's I/O
+// phase.
+
+#include <string>
+
+#include "grid/field.h"
+
+namespace mrc::io {
+
+/// Writes extents + float32 payload.
+void write_raw(const FieldF& f, const std::string& path);
+
+/// Reads a file written by write_raw.
+[[nodiscard]] FieldF read_raw(const std::string& path);
+
+/// Reads a bare float32 payload with caller-supplied extents (SDRBench
+/// files carry no header).
+[[nodiscard]] FieldF read_raw_f32(const std::string& path, Dim3 dims);
+
+}  // namespace mrc::io

@@ -1,0 +1,58 @@
+#include "io/vtk_writer.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+namespace mrc::io {
+
+namespace {
+
+template <typename T>
+void write_big_endian(std::ofstream& out, const T* data, index_t count) {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+  std::vector<char> buf(static_cast<std::size_t>(count) * sizeof(T));
+  for (index_t i = 0; i < count; ++i) {
+    char tmp[sizeof(T)];
+    std::memcpy(tmp, &data[i], sizeof(T));
+    if constexpr (std::endian::native == std::endian::little) {
+      for (std::size_t b = 0; b < sizeof(T); ++b)
+        buf[static_cast<std::size_t>(i) * sizeof(T) + b] = tmp[sizeof(T) - 1 - b];
+    } else {
+      std::memcpy(buf.data() + static_cast<std::size_t>(i) * sizeof(T), tmp, sizeof(T));
+    }
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+template <typename T>
+void write_vtk_impl(const Field3D<T>& f, const std::string& path,
+                    const std::string& field_name, const char* vtk_type) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MRC_REQUIRE(out.good(), "cannot open for writing: " + path);
+  const Dim3 d = f.dims();
+  out << "# vtk DataFile Version 3.0\n"
+      << "mrcomp field\n"
+      << "BINARY\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << d.nx << ' ' << d.ny << ' ' << d.nz << '\n'
+      << "ORIGIN 0 0 0\n"
+      << "SPACING 1 1 1\n"
+      << "POINT_DATA " << d.size() << '\n'
+      << "SCALARS " << field_name << ' ' << vtk_type << " 1\n"
+      << "LOOKUP_TABLE default\n";
+  write_big_endian(out, f.data(), f.size());
+  MRC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+void write_vtk(const FieldF& f, const std::string& path, const std::string& field_name) {
+  write_vtk_impl(f, path, field_name, "float");
+}
+
+void write_vtk(const FieldD& f, const std::string& path, const std::string& field_name) {
+  write_vtk_impl(f, path, field_name, "double");
+}
+
+}  // namespace mrc::io

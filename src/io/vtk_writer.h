@@ -1,0 +1,21 @@
+#pragma once
+
+// Legacy-VTK structured-points writer so decompressed fields and probability
+// volumes drop straight into ParaView/VisIt — the visualization half of the
+// paper's workflow.
+
+#include <string>
+
+#include "grid/field.h"
+
+namespace mrc::io {
+
+/// Writes a scalar volume as legacy VTK (binary, big-endian per spec).
+void write_vtk(const FieldF& f, const std::string& path,
+               const std::string& field_name = "value");
+
+/// Double-precision overload (e.g. crossing-probability fields).
+void write_vtk(const FieldD& f, const std::string& path,
+               const std::string& field_name = "probability");
+
+}  // namespace mrc::io

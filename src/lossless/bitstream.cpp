@@ -1,0 +1,3 @@
+#include "lossless/bitstream.h"
+
+// Header-only implementation; this translation unit anchors the target.

@@ -1,0 +1,74 @@
+#pragma once
+
+// Bit-granular I/O used by the entropy coders and the ZFP-class codec.
+// Bits are packed LSB-first within each byte; multi-bit writes emit the
+// least-significant bit of the value first, and reads mirror that order.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/require.h"
+
+namespace mrc::lossless {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void write_bit(std::uint32_t bit) {
+    if (nbits_ == 0) out_.push_back(std::byte{0});
+    if (bit & 1u) {
+      out_.back() = static_cast<std::byte>(static_cast<std::uint8_t>(out_.back()) |
+                                           (1u << nbits_));
+    }
+    nbits_ = (nbits_ + 1) & 7;
+  }
+
+  /// Writes the low `n` bits of `v`, LSB first. n in [0, 64].
+  void write_bits(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) write_bit(static_cast<std::uint32_t>((v >> i) & 1u));
+  }
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::uint64_t bit_count() const {
+    return out_.size() * 8 - ((8 - nbits_) & 7);
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+  int nbits_ = 0;  // bits used in the last byte (0 == byte boundary)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> in) : in_(in) {}
+
+  [[nodiscard]] std::uint32_t read_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= in_.size()) throw CodecError("bit stream truncated");
+    const auto b = static_cast<std::uint8_t>(in_[byte]);
+    const std::uint32_t bit = (b >> (pos_ & 7)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  [[nodiscard]] std::uint64_t read_bits(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(read_bit()) << i;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t bit_position() const { return pos_; }
+  [[nodiscard]] std::uint64_t bits_remaining() const { return in_.size() * 8 - pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace mrc::lossless

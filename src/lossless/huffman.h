@@ -1,0 +1,52 @@
+#pragma once
+
+// Canonical Huffman coding over a bounded symbol alphabet.
+//
+// The codebook is reusable symbol-at-a-time so callers (the quantization-code
+// codec) can interleave Huffman codes with raw extra bits in one bit stream,
+// the way SZ-family compressors interleave run lengths.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lossless/bitstream.h"
+
+namespace mrc::lossless {
+
+class HuffmanCodebook {
+ public:
+  /// Builds length-limited (<= 56 bits) canonical codes from frequencies.
+  /// Symbols with zero frequency get no code.
+  static HuffmanCodebook from_frequencies(std::span<const std::uint64_t> freqs);
+
+  /// Writes the code-length table (only used symbols) to the stream.
+  void serialize(BitWriter& bw) const;
+
+  /// Reads a code-length table produced by serialize().
+  static HuffmanCodebook deserialize(BitReader& br);
+
+  void encode(BitWriter& bw, std::uint32_t symbol) const;
+  [[nodiscard]] std::uint32_t decode(BitReader& br) const;
+
+  [[nodiscard]] std::size_t alphabet_size() const { return lengths_.size(); }
+  [[nodiscard]] int code_length(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  void build_canonical();
+
+  std::vector<std::uint8_t> lengths_;   // per-symbol code length (0 == unused)
+  std::vector<std::uint64_t> codes_;    // canonical code, MSB-first semantics
+  // Canonical decoding state: for each length, the first code and the index
+  // of its first symbol in the length-sorted symbol list.
+  std::vector<std::uint64_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint32_t> sorted_symbols_;
+  int max_length_ = 0;
+};
+
+/// Convenience one-shot helpers (tests, small metadata streams).
+Bytes huffman_encode(std::span<const std::uint32_t> symbols, std::uint32_t alphabet_size);
+std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> in);
+
+}  // namespace mrc::lossless

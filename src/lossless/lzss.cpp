@@ -1,0 +1,153 @@
+#include "lossless/lzss.h"
+
+#include <array>
+#include <cstring>
+
+namespace mrc::lossless {
+
+namespace {
+
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 259;  // length - kMinMatch fits one byte
+constexpr int kHashBits = 15;
+constexpr int kMaxChain = 48;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+enum class Mode : std::uint8_t { raw = 0, compressed = 1 };
+
+}  // namespace
+
+Bytes lzss_compress(std::span<const std::byte> in) {
+  Bytes out;
+  ByteWriter header(out);
+  header.put(Mode::compressed);
+  header.put_varint(in.size());
+
+  // Token stream: a control byte precedes each group of 8 tokens; bit i set
+  // means token i is a match (3 bytes: 16-bit distance, 8-bit length-4),
+  // clear means a literal byte.
+  std::vector<std::int64_t> head(static_cast<std::size_t>(1) << kHashBits, -1);
+  std::vector<std::int64_t> prev(in.size(), -1);
+
+  Bytes tokens;
+  std::uint8_t control = 0;
+  int group_fill = 0;
+  std::size_t control_pos = 0;
+  auto begin_group = [&] {
+    control = 0;
+    group_fill = 0;
+    control_pos = tokens.size();
+    tokens.push_back(std::byte{0});
+  };
+  auto end_token = [&](bool is_match) {
+    if (is_match) control |= static_cast<std::uint8_t>(1u << group_fill);
+    if (++group_fill == 8) {
+      tokens[control_pos] = static_cast<std::byte>(control);
+      begin_group();
+    }
+  };
+
+  begin_group();
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= in.size()) {
+      const auto h = hash4(in.data() + i);
+      std::int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow &&
+             chain++ < kMaxChain) {
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t limit = std::min(kMaxMatch, in.size() - i);
+        while (len < limit && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      tokens.push_back(static_cast<std::byte>(best_dist & 0xff));
+      tokens.push_back(static_cast<std::byte>((best_dist >> 8) & 0xff));
+      tokens.push_back(static_cast<std::byte>(best_len - kMinMatch));
+      end_token(true);
+      // Insert hash entries for the covered positions so later matches can
+      // reference the interior of this match.
+      const std::size_t stop = std::min(i + best_len, in.size() - kMinMatch + 1);
+      for (std::size_t j = i; j < stop; ++j) {
+        const auto h = hash4(in.data() + j);
+        prev[j] = head[h];
+        head[h] = static_cast<std::int64_t>(j);
+      }
+      i += best_len;
+    } else {
+      if (i + kMinMatch <= in.size()) {
+        const auto h = hash4(in.data() + i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      tokens.push_back(in[i]);
+      end_token(false);
+      ++i;
+    }
+  }
+  if (group_fill > 0) tokens[control_pos] = static_cast<std::byte>(control);
+
+  header.put_bytes(tokens);
+  if (out.size() >= in.size() + 2) {
+    Bytes raw;
+    ByteWriter rw(raw);
+    rw.put(Mode::raw);
+    rw.put_varint(in.size());
+    rw.put_bytes(in);
+    return raw;
+  }
+  return out;
+}
+
+Bytes lzss_decompress(std::span<const std::byte> in) {
+  ByteReader r(in);
+  const auto mode = r.get<Mode>();
+  const auto n = static_cast<std::size_t>(r.get_varint());
+  if (mode == Mode::raw) {
+    auto body = r.get_bytes(n);
+    return Bytes(body.begin(), body.end());
+  }
+  if (mode != Mode::compressed) throw CodecError("lzss: bad mode byte");
+
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto control = static_cast<std::uint8_t>(r.get<std::byte>());
+    for (int t = 0; t < 8 && out.size() < n; ++t) {
+      if (control & (1u << t)) {
+        const auto lo = static_cast<std::uint32_t>(static_cast<std::uint8_t>(r.get<std::byte>()));
+        const auto hi = static_cast<std::uint32_t>(static_cast<std::uint8_t>(r.get<std::byte>()));
+        const std::size_t dist = lo | (hi << 8);
+        const std::size_t len =
+            static_cast<std::size_t>(static_cast<std::uint8_t>(r.get<std::byte>())) + kMinMatch;
+        if (dist == 0 || dist > out.size()) throw CodecError("lzss: bad match distance");
+        // Overlapping copies are valid (e.g. run-length style matches).
+        const std::size_t start = out.size() - dist;
+        for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+      } else {
+        out.push_back(r.get<std::byte>());
+      }
+    }
+  }
+  if (out.size() != n) throw CodecError("lzss: size mismatch");
+  return out;
+}
+
+}  // namespace mrc::lossless

@@ -1,0 +1,19 @@
+#pragma once
+
+// Byte-oriented LZSS with a 64 KiB window. Plays the role zstd plays behind
+// SZ-family compressors: squeezing residual redundancy out of already
+// entropy-light payloads (outlier arrays, metadata streams).
+
+#include <span>
+
+#include "common/bytes.h"
+
+namespace mrc::lossless {
+
+/// Compresses `in`; output always decompresses back exactly. If compression
+/// does not pay off the payload is stored raw (one header byte overhead).
+[[nodiscard]] Bytes lzss_compress(std::span<const std::byte> in);
+
+[[nodiscard]] Bytes lzss_decompress(std::span<const std::byte> in);
+
+}  // namespace mrc::lossless

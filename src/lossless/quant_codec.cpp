@@ -1,0 +1,100 @@
+#include "lossless/quant_codec.h"
+
+#include "lossless/huffman.h"
+
+namespace mrc::lossless {
+
+namespace {
+
+constexpr std::size_t kMinRun = 6;    // shorter zero runs are cheaper as literals
+constexpr int kRunBuckets = 48;       // bucket b covers runs in [2^b, 2^{b+1})
+
+struct Token {
+  std::uint32_t symbol;
+  std::uint64_t extra;
+  int extra_bits;
+};
+
+int bucket_of(std::uint64_t run) {
+  int b = 0;
+  while ((run >> (b + 1)) != 0) ++b;
+  return b;
+}
+
+std::vector<Token> tokenize(std::span<const std::uint32_t> codes, std::uint32_t radius) {
+  const std::uint32_t zero = radius;
+  const std::uint32_t run_base = 2 * radius + 1;
+  std::vector<Token> tokens;
+  tokens.reserve(codes.size() / 4 + 16);
+
+  std::size_t i = 0;
+  while (i < codes.size()) {
+    if (codes[i] == zero) {
+      std::size_t j = i;
+      while (j < codes.size() && codes[j] == zero) ++j;
+      const std::uint64_t run = j - i;
+      if (run >= kMinRun) {
+        const int b = bucket_of(run);
+        tokens.push_back({run_base + static_cast<std::uint32_t>(b),
+                          run - (std::uint64_t{1} << b), b});
+      } else {
+        for (std::uint64_t k = 0; k < run; ++k) tokens.push_back({zero, 0, 0});
+      }
+      i = j;
+    } else {
+      MRC_REQUIRE(codes[i] <= 2 * radius, "quant code outside alphabet");
+      tokens.push_back({codes[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Bytes encode_quant_codes(std::span<const std::uint32_t> codes, std::uint32_t radius) {
+  const auto tokens = tokenize(codes, radius);
+  const std::uint32_t alphabet = 2 * radius + 1 + kRunBuckets;
+
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (const auto& t : tokens) ++freqs[t.symbol];
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+
+  BitWriter bw;
+  bw.write_bits(codes.size(), 48);
+  cb.serialize(bw);
+  for (const auto& t : tokens) {
+    cb.encode(bw, t.symbol);
+    if (t.extra_bits > 0) bw.write_bits(t.extra, t.extra_bits);
+  }
+  return bw.take();
+}
+
+std::vector<std::uint32_t> decode_quant_codes(std::span<const std::byte> in,
+                                              std::uint32_t radius) {
+  const std::uint32_t zero = radius;
+  const std::uint32_t run_base = 2 * radius + 1;
+
+  BitReader br(in);
+  const auto n = static_cast<std::size_t>(br.read_bits(48));
+  if (n > (std::size_t{1} << 40)) throw CodecError("quant codec: implausible count");
+  const auto cb = HuffmanCodebook::deserialize(br);
+
+  std::vector<std::uint32_t> codes;
+  codes.reserve(n);
+  while (codes.size() < n) {
+    const auto sym = cb.decode(br);
+    if (sym < run_base) {
+      codes.push_back(sym);
+    } else {
+      const int b = static_cast<int>(sym - run_base);
+      if (b >= kRunBuckets) throw CodecError("quant codec: bad run bucket");
+      const std::uint64_t run = (std::uint64_t{1} << b) + br.read_bits(b);
+      if (codes.size() + run > n) throw CodecError("quant codec: run overflow");
+      codes.insert(codes.end(), static_cast<std::size_t>(run), zero);
+    }
+  }
+  return codes;
+}
+
+}  // namespace mrc::lossless

@@ -1,0 +1,33 @@
+#pragma once
+
+// Entropy codec for error-bounded quantization codes.
+//
+// SZ-family compressors follow quantization with Huffman + a dictionary
+// stage (zstd); the dictionary stage is what pushes rates below one bit per
+// value on smooth data, where almost every residual lands in the zero bin.
+// We reach the same sub-bit regime directly: runs of the zero bin are
+// re-tokenized into run-length symbols (deflate-style logarithmic buckets
+// with raw extra bits), then the whole token stream is Huffman coded.
+//
+// Code conventions (shared with all compressors in this library):
+//   code == 0         : outlier escape — the exact value is stored separately
+//   code == radius    : zero residual
+//   code in [1, 2*radius] : residual bin (code - radius)
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace mrc::lossless {
+
+/// Encodes `codes` (each in [0, 2*radius]).
+[[nodiscard]] Bytes encode_quant_codes(std::span<const std::uint32_t> codes,
+                                       std::uint32_t radius);
+
+/// Decodes a stream produced by encode_quant_codes.
+[[nodiscard]] std::vector<std::uint32_t> decode_quant_codes(std::span<const std::byte> in,
+                                                            std::uint32_t radius);
+
+}  // namespace mrc::lossless

@@ -1,0 +1,63 @@
+#include "merge/padding.h"
+
+namespace mrc {
+
+namespace {
+
+/// Extrapolates one step past the end of a line given up to three trailing
+/// samples (a = f[n-1], b = f[n-2], c = f[n-3]); falls back to lower order
+/// when the line is short.
+float extrapolate(PadKind kind, float a, float b, float c, int avail) {
+  switch (kind) {
+    case PadKind::constant:
+      return a;
+    case PadKind::linear:
+      return avail >= 2 ? 2.0f * a - b : a;
+    case PadKind::quadratic:
+      if (avail >= 3) return 3.0f * a - 3.0f * b + c;
+      return avail >= 2 ? 2.0f * a - b : a;
+  }
+  return a;
+}
+
+}  // namespace
+
+FieldF pad_xy(const FieldF& merged, PadKind kind) {
+  const Dim3 d = merged.dims();
+  FieldF out({d.nx + 1, d.ny + 1, d.nz});
+  const int ax = d.nx >= 3 ? 3 : static_cast<int>(d.nx);
+  const int ay = d.ny >= 3 ? 3 : static_cast<int>(d.ny);
+  for (index_t z = 0; z < d.nz; ++z) {
+    for (index_t y = 0; y < d.ny; ++y) {
+      for (index_t x = 0; x < d.nx; ++x) out.at(x, y, z) = merged.at(x, y, z);
+      out.at(d.nx, y, z) = extrapolate(
+          kind, merged.at(d.nx - 1, y, z), d.nx >= 2 ? merged.at(d.nx - 2, y, z) : 0.0f,
+          d.nx >= 3 ? merged.at(d.nx - 3, y, z) : 0.0f, ax);
+    }
+    // Pad the +y layer, including the new +x column.
+    for (index_t x = 0; x <= d.nx; ++x) {
+      out.at(x, d.ny, z) = extrapolate(
+          kind, out.at(x, d.ny - 1, z), d.ny >= 2 ? out.at(x, d.ny - 2, z) : 0.0f,
+          d.ny >= 3 ? out.at(x, d.ny - 3, z) : 0.0f, ay);
+    }
+  }
+  return out;
+}
+
+FieldF strip_pad_xy(const FieldF& padded) {
+  const Dim3 d = padded.dims();
+  MRC_REQUIRE(d.nx >= 2 && d.ny >= 2, "nothing to strip");
+  FieldF out({d.nx - 1, d.ny - 1, d.nz});
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny - 1; ++y)
+      for (index_t x = 0; x < d.nx - 1; ++x) out.at(x, y, z) = padded.at(x, y, z);
+  return out;
+}
+
+double padding_overhead(index_t u) {
+  MRC_REQUIRE(u >= 1, "bad unit size");
+  const double up = static_cast<double>(u + 1);
+  return (up * up) / (static_cast<double>(u) * static_cast<double>(u));
+}
+
+}  // namespace mrc

@@ -1,0 +1,25 @@
+#pragma once
+
+// SZ3MR Improvement 1 (paper §III-A, Figs. 7-8): pad one extrapolated layer
+// onto the two small dimensions (x, y) of a linearly merged array, turning
+// each u = 2^k extent into 2^k + 1 so the interpolation predictor never has
+// to extrapolate at inner points. The paper tests constant, linear and
+// quadratic pad-value extrapolation and picks linear; all three are kept for
+// the ablation bench.
+
+#include "grid/field.h"
+
+namespace mrc {
+
+enum class PadKind : std::uint8_t { constant = 0, linear = 1, quadratic = 2 };
+
+/// Appends one extrapolated layer along +x and +y.
+[[nodiscard]] FieldF pad_xy(const FieldF& merged, PadKind kind);
+
+/// Drops the last x/y layer (inverse of pad_xy's shape change).
+[[nodiscard]] FieldF strip_pad_xy(const FieldF& padded);
+
+/// Size overhead factor of padding, (u+1)^2 / u^2 (paper §III-A).
+[[nodiscard]] double padding_overhead(index_t u);
+
+}  // namespace mrc

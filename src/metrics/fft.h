@@ -1,0 +1,24 @@
+#pragma once
+
+// Minimal in-house FFT (iterative radix-2) powering the power-spectrum
+// analysis and the Gaussian-random-field generators. Extents must be powers
+// of two.
+
+#include <complex>
+#include <vector>
+
+#include "common/dims.h"
+
+namespace mrc::metrics {
+
+using cplx = std::complex<double>;
+
+/// In-place 1-D FFT, n a power of two. inverse=true applies 1/n scaling.
+void fft_1d(cplx* data, std::size_t n, bool inverse);
+
+/// In-place 3-D FFT over row-major (x fastest) data.
+void fft_3d(std::vector<cplx>& data, Dim3 dims, bool inverse);
+
+[[nodiscard]] constexpr bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace mrc::metrics

@@ -1,0 +1,41 @@
+#include "metrics/psnr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mrc::metrics {
+
+ErrorStats error_stats(std::span<const float> reference, std::span<const float> test) {
+  MRC_REQUIRE(reference.size() == test.size() && !reference.empty(),
+              "mismatched or empty inputs");
+  double mse = 0.0, max_err = 0.0;
+  float lo = reference[0], hi = reference[0];
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double diff = static_cast<double>(reference[i]) - static_cast<double>(test[i]);
+    mse += diff * diff;
+    max_err = std::max(max_err, std::abs(diff));
+    lo = std::min(lo, reference[i]);
+    hi = std::max(hi, reference[i]);
+  }
+  ErrorStats s;
+  s.mse = mse / static_cast<double>(reference.size());
+  s.rmse = std::sqrt(s.mse);
+  s.max_abs_err = max_err;
+  s.value_range = static_cast<double>(hi) - static_cast<double>(lo);
+  s.psnr = s.rmse > 0.0 && s.value_range > 0.0
+               ? 20.0 * std::log10(s.value_range / s.rmse)
+               : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+ErrorStats error_stats(const FieldF& reference, const FieldF& test) {
+  MRC_REQUIRE(reference.dims() == test.dims(), "dimension mismatch");
+  return error_stats(reference.span(), test.span());
+}
+
+double psnr(const FieldF& reference, const FieldF& test) {
+  return error_stats(reference, test).psnr;
+}
+
+}  // namespace mrc::metrics

@@ -1,0 +1,28 @@
+#pragma once
+
+// Pointwise quality metrics in the convention of the lossy-compression
+// literature: PSNR = 20*log10(value_range / RMSE) against the reference's
+// value range.
+
+#include <span>
+
+#include "grid/field.h"
+
+namespace mrc::metrics {
+
+struct ErrorStats {
+  double mse = 0.0;
+  double rmse = 0.0;
+  double psnr = 0.0;
+  double max_abs_err = 0.0;
+  double value_range = 0.0;  ///< of the reference data
+};
+
+[[nodiscard]] ErrorStats error_stats(std::span<const float> reference,
+                                     std::span<const float> test);
+
+[[nodiscard]] ErrorStats error_stats(const FieldF& reference, const FieldF& test);
+
+[[nodiscard]] double psnr(const FieldF& reference, const FieldF& test);
+
+}  // namespace mrc::metrics

@@ -1,0 +1,69 @@
+#include "metrics/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/fft.h"
+
+namespace mrc::metrics {
+
+std::vector<double> power_spectrum(const FieldF& f, int n_bins) {
+  MRC_REQUIRE(n_bins >= 2, "need at least two bins");
+  const Dim3 d = f.dims();
+  std::vector<cplx> data(static_cast<std::size_t>(d.size()));
+  // Work on the density *contrast* so P(k) is scale-comparable across error
+  // bounds (standard cosmology practice: delta = rho/mean - 1).
+  double mean = 0.0;
+  for (index_t i = 0; i < f.size(); ++i) mean += f[i];
+  mean /= static_cast<double>(f.size());
+  const double inv_mean = mean != 0.0 ? 1.0 / mean : 1.0;
+  for (index_t i = 0; i < f.size(); ++i)
+    data[static_cast<std::size_t>(i)] = cplx(f[i] * inv_mean - 1.0, 0.0);
+
+  fft_3d(data, d, /*inverse=*/false);
+
+  std::vector<double> sum(static_cast<std::size_t>(n_bins), 0.0);
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n_bins), 0);
+  auto wrapped = [](index_t i, index_t n) {
+    return static_cast<double>(i <= n / 2 ? i : i - n);
+  };
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x) {
+        const double kx = wrapped(x, d.nx);
+        const double ky = wrapped(y, d.ny);
+        const double kz = wrapped(z, d.nz);
+        const auto bin = static_cast<int>(
+            std::llround(std::sqrt(kx * kx + ky * ky + kz * kz)));
+        if (bin >= n_bins) continue;
+        const cplx v = data[static_cast<std::size_t>(d.index(x, y, z))];
+        sum[static_cast<std::size_t>(bin)] += std::norm(v);
+        ++count[static_cast<std::size_t>(bin)];
+      }
+  std::vector<double> spectrum(static_cast<std::size_t>(n_bins), 0.0);
+  for (int i = 0; i < n_bins; ++i)
+    if (count[static_cast<std::size_t>(i)] > 0)
+      spectrum[static_cast<std::size_t>(i)] =
+          sum[static_cast<std::size_t>(i)] / static_cast<double>(count[static_cast<std::size_t>(i)]);
+  return spectrum;
+}
+
+SpectrumError spectrum_error(const FieldF& original, const FieldF& test, int k_max) {
+  MRC_REQUIRE(original.dims() == test.dims(), "dimension mismatch");
+  const auto po = power_spectrum(original, k_max + 1);
+  const auto pt = power_spectrum(test, k_max + 1);
+  SpectrumError e;
+  int n = 0;
+  for (int k = 1; k < k_max; ++k) {
+    const double denom = po[static_cast<std::size_t>(k)];
+    if (denom <= 0.0) continue;
+    const double rel = std::abs(pt[static_cast<std::size_t>(k)] / denom - 1.0);
+    e.max_rel = std::max(e.max_rel, rel);
+    e.avg_rel += rel;
+    ++n;
+  }
+  if (n > 0) e.avg_rel /= static_cast<double>(n);
+  return e;
+}
+
+}  // namespace mrc::metrics

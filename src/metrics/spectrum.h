@@ -1,0 +1,27 @@
+#pragma once
+
+// Matter power-spectrum analysis for the Nyx experiments (paper Table VI):
+// radially binned P(k) = <|F(k)|^2> and the relative error of decompressed
+// vs original spectra for all k below a cutoff (the paper uses k < 10 and a
+// 1 % acceptability threshold).
+
+#include <vector>
+
+#include "grid/field.h"
+
+namespace mrc::metrics {
+
+/// Radially binned power spectrum; bin i holds the average |F(k)|^2 over
+/// integer shells |k| ∈ [i - 0.5, i + 0.5). Extents must be powers of two.
+[[nodiscard]] std::vector<double> power_spectrum(const FieldF& f, int n_bins);
+
+struct SpectrumError {
+  double max_rel = 0.0;
+  double avg_rel = 0.0;
+};
+
+/// Relative spectrum error |p'(k)/p(k) - 1| over bins 1..k_max-1.
+[[nodiscard]] SpectrumError spectrum_error(const FieldF& original, const FieldF& test,
+                                           int k_max = 10);
+
+}  // namespace mrc::metrics

@@ -1,0 +1,26 @@
+#pragma once
+
+// Structural Similarity for 3-D volumes and 2-D slices. The paper's SSIM is
+// measured on rendered images; volume SSIM tracks the same artifacts
+// (blocking, oversmoothing) directly on the data — see DESIGN.md §4.
+
+#include "grid/field.h"
+
+namespace mrc::metrics {
+
+struct SsimConfig {
+  index_t window = 7;   ///< cubic window edge
+  index_t stride = 2;   ///< window placement stride (1 = dense)
+  double k1 = 0.01;
+  double k2 = 0.03;
+};
+
+/// Mean SSIM over sliding windows; dynamic range from the reference field.
+[[nodiscard]] double ssim(const FieldF& reference, const FieldF& test,
+                          const SsimConfig& cfg = {});
+
+/// SSIM of the central z-slice with a dense 2-D 8x8 window — closest analog
+/// of the paper's image-based SSIM values.
+[[nodiscard]] double ssim_central_slice(const FieldF& reference, const FieldF& test);
+
+}  // namespace mrc::metrics

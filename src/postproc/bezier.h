@@ -1,0 +1,52 @@
+#pragma once
+
+// Error-bounded Bézier post-processing for block-wise compressors
+// (paper §III-B, Figs. 10-13).
+//
+// For each point adjacent to a compression-block boundary, a quadratic
+// Bézier curve through its two neighbors across the boundary is evaluated at
+// t = 0.5:  B(0.5) = (d_{i-1} + 2 d_i + d_{i+1}) / 4,
+// and the update is clamped to [d_i - a*eb, d_i + a*eb]; the intensity
+// a < 1 is the dynamic limit tuned by sampling (see sampler.h).
+//
+// The filter runs one sweep per axis (x, y, z). Within a sweep updates are
+// Jacobi-style (read the pre-sweep buffer), so each sweep is deterministic,
+// order-independent and embarrassingly parallel — the property Table IX's
+// overhead numbers rely on.
+
+#include "grid/field.h"
+
+namespace mrc::postproc {
+
+/// Boundary-correction curve family. The paper uses the quadratic Bézier
+/// and names exploring other curves as future work (§V); the two
+/// alternatives below implement that extension and are compared in
+/// bench_ablation_curves.
+enum class CurveKind : std::uint8_t {
+  bezier_quadratic = 0,  ///< B(0.5) = (d_{i-1} + 2 d_i + d_{i+1}) / 4
+  catmull_cubic = 1,     ///< cubic through d_{i±1}, d_{i±2}, blended 50/50 with d_i
+  bspline = 2,           ///< cubic B-spline filter (d_{i-1} + 4 d_i + d_{i+1}) / 6
+};
+
+struct BezierParams {
+  index_t block_size = 4;  ///< compressor block edge (4 for ZFP, 4/6 for SZ2, u for SZ3MR)
+  double eb = 0.0;         ///< compressor absolute error bound
+  double ax = 0.0;         ///< per-axis intensity a (0 disables the axis)
+  double ay = 0.0;
+  double az = 0.0;
+  CurveKind curve = CurveKind::bezier_quadratic;
+};
+
+/// Full x→y→z post-process.
+[[nodiscard]] FieldF bezier_postprocess(const FieldF& dec, const BezierParams& p);
+
+/// One-axis sweep (axis 0 = x, 1 = y, 2 = z) — used by the intensity tuner.
+[[nodiscard]] FieldF bezier_postprocess_axis(const FieldF& dec, index_t block_size,
+                                             double eb, double a, int axis,
+                                             CurveKind curve = CurveKind::bezier_quadratic);
+
+/// Unclamped variant ("Bezier" curve in Fig. 12): B(0.5) applied at block
+/// boundaries with no error-bound limit. Kept as a comparison baseline.
+[[nodiscard]] FieldF bezier_unclamped(const FieldF& dec, index_t block_size);
+
+}  // namespace mrc::postproc

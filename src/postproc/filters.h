@@ -1,0 +1,22 @@
+#pragma once
+
+// Classic image smoothing/denoising filters (Table I comparison baselines).
+// These treat the volume like an image stack and, as the paper shows, are
+// the wrong tool for error-bounded scientific data — they over-smooth and
+// drop PSNR well below the unfiltered decompressed data.
+
+#include "grid/field.h"
+
+namespace mrc::postproc {
+
+/// 3x3x3 median filter.
+[[nodiscard]] FieldF median_filter3(const FieldF& f);
+
+/// Separable Gaussian blur, truncated at radius = ceil(3*sigma).
+[[nodiscard]] FieldF gaussian_blur(const FieldF& f, double sigma);
+
+/// Perona–Malik anisotropic diffusion (exponential conductance).
+[[nodiscard]] FieldF anisotropic_diffusion(const FieldF& f, int iterations, double kappa,
+                                           double lambda);
+
+}  // namespace mrc::postproc

@@ -1,0 +1,67 @@
+#pragma once
+
+// Sampling-based selection of the post-processing intensity `a`
+// (paper §III-B, "sample + model" stage of Fig. 3).
+//
+// i^3 sample blocks of edge j*blocksize are drawn (< 1.5 % of the data),
+// round-tripped through the same compressor and error bound, and the
+// candidate intensity minimizing the sampled L2 error is picked per
+// dimension by coordinate descent over the paper's fixed candidate sets
+// (a_sz ∈ {0.05..0.50}, a_zfp ∈ {0.005..0.05}). The same samples provide
+// the compression-error distribution reused by the uncertainty model
+// (§III-C, "reusing the information").
+
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "postproc/bezier.h"
+
+namespace mrc::postproc {
+
+struct SampleBlocks {
+  std::vector<FieldF> originals;
+  index_t block_edge = 0;
+  double sample_rate = 0.0;  ///< sampled values / total values
+};
+
+/// Draws `count` random aligned blocks of edge `block_edge` (deterministic
+/// under `seed`). Blocks are clipped to the field, so degenerate extents are
+/// handled (e.g. thin WarpX slabs).
+[[nodiscard]] SampleBlocks draw_sample_blocks(const FieldF& f, index_t block_edge, int count,
+                                              std::uint64_t seed);
+
+/// Picks block edge/count for a target sample rate (default ~1.5 %).
+struct SamplingPlan {
+  index_t block_edge;
+  int count;
+};
+[[nodiscard]] SamplingPlan default_sampling(Dim3 dims, index_t compressor_block,
+                                            double target_rate = 0.015);
+
+/// The paper's candidate sets.
+[[nodiscard]] std::vector<double> sz_candidates();   // 0.05 .. 0.50 step 0.05
+[[nodiscard]] std::vector<double> zfp_candidates();  // 0.005 .. 0.05 step 0.005
+
+struct IntensityResult {
+  double ax = 0.0, ay = 0.0, az = 0.0;
+  double base_mse = 0.0;   ///< sampled MSE before post-processing
+  double tuned_mse = 0.0;  ///< sampled MSE after post-processing
+};
+
+/// Tunes per-axis intensities on the samples. `block_size` is the
+/// compressor's block edge (the Bézier boundary period).
+[[nodiscard]] IntensityResult tune_intensity(const SampleBlocks& samples,
+                                             const Compressor& comp, double abs_eb,
+                                             index_t block_size,
+                                             std::span<const double> candidates);
+
+/// Paired original/decompressed values from the sample round trips, reused
+/// by the uncertainty error model.
+struct ErrorSamples {
+  std::vector<float> orig;
+  std::vector<float> dec;
+};
+[[nodiscard]] ErrorSamples collect_error_samples(const SampleBlocks& samples,
+                                                 const Compressor& comp, double abs_eb);
+
+}  // namespace mrc::postproc

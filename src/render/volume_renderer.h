@@ -1,0 +1,60 @@
+#pragma once
+
+// Software volume renderer: orthographic front-to-back ray marching with a
+// configurable color/opacity transfer function, plus the red uncertainty
+// overlay of Fig. 14c (crossing-probability blended over the rendering).
+//
+// §V lists "incorporate other visualization methods (e.g., volume
+// rendering)" as future work for the uncertainty pipeline — this module
+// implements it. Renders also let benches compute *image-space* SSIM, the
+// quantity the paper actually reports for its figures.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "grid/field.h"
+
+namespace mrc::render {
+
+struct Image {
+  index_t width = 0;
+  index_t height = 0;
+  std::vector<std::array<std::uint8_t, 3>> pixels;  // row-major, y-down
+
+  [[nodiscard]] std::array<std::uint8_t, 3>& at(index_t x, index_t y) {
+    return pixels[static_cast<std::size_t>(y * width + x)];
+  }
+  [[nodiscard]] const std::array<std::uint8_t, 3>& at(index_t x, index_t y) const {
+    return pixels[static_cast<std::size_t>(y * width + x)];
+  }
+};
+
+/// Cool-to-warm transfer function over [lo, hi]; opacity ramps linearly
+/// from 0 at `lo` scaled by `opacity_scale` per sample.
+struct TransferFunction {
+  double lo = 0.0;
+  double hi = 1.0;
+  double opacity_scale = 0.05;
+};
+
+/// Builds a transfer function spanning the field's value range.
+[[nodiscard]] TransferFunction auto_transfer(const FieldF& f, double opacity_scale = 0.05);
+
+/// Orthographic ray march along +z (one ray per (x, y) column).
+[[nodiscard]] Image volume_render(const FieldF& f, const TransferFunction& tf);
+
+/// Fig. 14c: blends red into pixels whose column contains a cell with
+/// crossing probability >= threshold (probability field from
+/// uq::crossing_probability; extents = field extents - 1).
+[[nodiscard]] Image overlay_probability(const Image& base, const FieldD& prob,
+                                        double threshold);
+
+/// Mean SSIM between two renderings (8x8 windows) — the paper's image-space
+/// quality metric.
+[[nodiscard]] double image_ssim(const Image& a, const Image& b);
+
+/// Binary PPM (P6) writer.
+void write_ppm(const Image& img, const std::string& path);
+
+}  // namespace mrc::render

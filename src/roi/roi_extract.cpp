@@ -1,0 +1,32 @@
+#include "roi/roi_extract.h"
+
+#include <array>
+
+namespace mrc::roi {
+
+MultiResField extract_adaptive(const FieldF& uniform, index_t block_size,
+                               double roi_fraction) {
+  MRC_REQUIRE(roi_fraction > 0.0 && roi_fraction <= 1.0, "roi fraction in (0, 1]");
+  MRC_REQUIRE(block_size >= 8, "paper requires b = 2^n with n > 2");
+  const std::array<double, 2> fractions{roi_fraction, 1.0 - roi_fraction};
+  return amr::build_hierarchy(uniform, block_size, fractions);
+}
+
+double captured_fraction(const MultiResField& adaptive, const FieldF& original,
+                         float threshold) {
+  MRC_REQUIRE(!adaptive.levels.empty(), "empty hierarchy");
+  const LevelData& fine = adaptive.levels.front();
+  MRC_REQUIRE(fine.data.dims() == original.dims(), "dimension mismatch");
+  index_t interesting = 0;
+  index_t captured = 0;
+  for (index_t i = 0; i < original.size(); ++i) {
+    if (original[i] >= threshold) {
+      ++interesting;
+      captured += fine.mask[i] ? 1 : 0;
+    }
+  }
+  return interesting == 0 ? 1.0
+                          : static_cast<double>(captured) / static_cast<double>(interesting);
+}
+
+}  // namespace mrc::roi

@@ -1,0 +1,24 @@
+#pragma once
+
+// Compression-oriented ROI extraction (paper §III preamble, Fig. 4):
+// converts uniform-resolution data into two-level "adaptive data" by keeping
+// the top-x% of b^3 blocks (ranked by value range) at full resolution and
+// storing the rest 2x coarser.
+
+#include "grid/multires.h"
+
+namespace mrc::roi {
+
+/// Converts a uniform field into adaptive (2-level) multi-resolution data.
+/// `roi_fraction` is the paper's x (default 0.5), `block_size` its b (2^n,
+/// n > 2).
+[[nodiscard]] MultiResField extract_adaptive(const FieldF& uniform, index_t block_size,
+                                             double roi_fraction);
+
+/// Fig. 4 diagnostic: fraction of "interesting" cells (value above
+/// `threshold`, e.g. over-density halos) that the ROI keeps at full
+/// resolution.
+[[nodiscard]] double captured_fraction(const MultiResField& adaptive, const FieldF& original,
+                                       float threshold);
+
+}  // namespace mrc::roi

@@ -1,0 +1,36 @@
+#pragma once
+
+// Synthetic stand-ins for the paper's evaluation datasets (Table III).
+// Each generator reproduces the statistical features that drive the paper's
+// results — see DESIGN.md §4 for the substitution rationale. All are
+// deterministic under the seed.
+
+#include "grid/field.h"
+
+namespace mrc::sim {
+
+/// Gaussian random field with power-law spectrum P(k) ∝ k^-spectral_index,
+/// normalized to zero mean / unit variance. Extents must be powers of two.
+[[nodiscard]] FieldF gaussian_random_field(Dim3 dims, double spectral_index,
+                                           std::uint64_t seed);
+
+/// Nyx-like baryon density: log-normal transform of a GRF — heavy-tailed,
+/// halo-dominated, mean ~1e9 (Nyx's unit scale).
+[[nodiscard]] FieldF nyx_density(Dim3 dims, std::uint64_t seed, double bias = 2.0);
+
+/// WarpX-like Ez: laser wake-field packet + trailing plasma oscillation.
+[[nodiscard]] FieldF warpx_ez(Dim3 dims, std::uint64_t seed);
+
+/// Rayleigh–Taylor instability: perturbed heavy/light interface with
+/// plume structure concentrated near the interface.
+[[nodiscard]] FieldF rayleigh_taylor(Dim3 dims, std::uint64_t seed);
+
+/// Hurricane-like wind-speed magnitude: tilted Rankine vortex with spiral
+/// rain bands and a calm (near-zero) far field.
+[[nodiscard]] FieldF hurricane_field(Dim3 dims, std::uint64_t seed);
+
+/// S3D-like combustion temperature: wrinkled spherical flame fronts with
+/// steep reaction layers.
+[[nodiscard]] FieldF s3d_flame(Dim3 dims, std::uint64_t seed);
+
+}  // namespace mrc::sim

@@ -1,0 +1,48 @@
+#include "simdata/mini_nyx.h"
+
+#include <array>
+#include <cmath>
+
+#include "simdata/generators.h"
+
+namespace mrc::sim {
+
+MiniNyx::MiniNyx(const Params& p)
+    : params_(p),
+      gaussian_(gaussian_random_field(p.dims, 3.0, p.seed)),
+      bias_(p.initial_bias) {
+  rebuild_density();
+}
+
+void MiniNyx::rebuild_density() {
+  const Dim3 d = params_.dims;
+  density_ = FieldF(d);
+  // Structure drifts along x as it grows, so consecutive snapshots differ
+  // in both amplitude and position (enough to exercise in-situ output).
+  const index_t shift = static_cast<index_t>(step_ * 3) % d.nx;
+  double sum = 0.0;
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x) {
+        const index_t xs = (x + shift) % d.nx;
+        const double v = std::exp(bias_ * static_cast<double>(gaussian_.at(xs, y, z)));
+        density_.at(x, y, z) = static_cast<float>(v);
+        sum += v;
+      }
+  const double scale = 1e9 * static_cast<double>(d.size()) / sum;
+  for (index_t i = 0; i < d.size(); ++i)
+    density_[i] = static_cast<float>(density_[i] * scale);
+}
+
+void MiniNyx::step() {
+  ++step_;
+  bias_ += params_.growth_per_step;
+  rebuild_density();
+}
+
+MultiResField MiniNyx::hierarchy() const {
+  const std::array<double, 2> fractions{params_.fine_fraction, 1.0 - params_.fine_fraction};
+  return amr::build_hierarchy(density_, params_.block_size, fractions);
+}
+
+}  // namespace mrc::sim

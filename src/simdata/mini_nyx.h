@@ -1,0 +1,45 @@
+#pragma once
+
+// MiniNyx: a toy AMR cosmology driver for the in-situ experiments
+// (paper §IV-B, Fig. 15 / Table IV). It evolves a log-normal density field
+// by growing the fluctuation amplitude (linear-growth emulation) and
+// re-grids a two-level AMR hierarchy each step, mimicking the output side
+// of the real Nyx + AMReX pipeline: per-step hierarchy → compress → write.
+
+#include "grid/multires.h"
+
+namespace mrc::sim {
+
+class MiniNyx {
+ public:
+  struct Params {
+    Dim3 dims{256, 256, 256};
+    std::uint64_t seed = 7;
+    double initial_bias = 1.2;   ///< log-normal amplitude at step 0
+    double growth_per_step = 0.15;
+    index_t block_size = 16;     ///< AMR refinement granularity
+    double fine_fraction = 0.18; ///< Nyx-T1's fine-level density (Table III)
+  };
+
+  explicit MiniNyx(const Params& p);
+
+  /// Advances one coarse time step (grows structure, drifts the field).
+  void step();
+
+  [[nodiscard]] const FieldF& density() const { return density_; }
+  [[nodiscard]] int current_step() const { return step_; }
+
+  /// Regrids and returns the current two-level hierarchy.
+  [[nodiscard]] MultiResField hierarchy() const;
+
+ private:
+  void rebuild_density();
+
+  Params params_;
+  FieldF gaussian_;  ///< frozen initial GRF
+  FieldF density_;
+  double bias_;
+  int step_ = 0;
+};
+
+}  // namespace mrc::sim

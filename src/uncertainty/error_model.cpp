@@ -1,0 +1,45 @@
+#include "uncertainty/error_model.h"
+
+#include <cmath>
+
+namespace mrc::uq {
+
+namespace {
+
+ErrorModel fit_filtered(std::span<const float> orig, std::span<const float> dec,
+                        bool filtered, double isovalue, double window) {
+  MRC_REQUIRE(orig.size() == dec.size() && !orig.empty(), "mismatched or empty samples");
+  double sum = 0.0, sum2 = 0.0;
+  index_t n = 0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (filtered && std::abs(static_cast<double>(orig[i]) - isovalue) > window) continue;
+    const double e = static_cast<double>(orig[i]) - static_cast<double>(dec[i]);
+    sum += e;
+    sum2 += e * e;
+    ++n;
+  }
+  ErrorModel m;
+  m.n_samples = n;
+  if (n > 0) {
+    m.mean = sum / static_cast<double>(n);
+    const double var = std::max(0.0, sum2 / static_cast<double>(n) - m.mean * m.mean);
+    m.sigma = std::sqrt(var);
+  }
+  return m;
+}
+
+}  // namespace
+
+ErrorModel ErrorModel::fit(std::span<const float> orig, std::span<const float> dec) {
+  return fit_filtered(orig, dec, false, 0.0, 0.0);
+}
+
+ErrorModel ErrorModel::fit_near_isovalue(std::span<const float> orig,
+                                         std::span<const float> dec, double isovalue,
+                                         double window, index_t min_samples) {
+  ErrorModel m = fit_filtered(orig, dec, true, isovalue, window);
+  if (m.n_samples < min_samples) return fit(orig, dec);
+  return m;
+}
+
+}  // namespace mrc::uq

@@ -1,0 +1,90 @@
+#include "uncertainty/marching_cubes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace mrc::uq {
+
+namespace {
+
+// Corner numbering (Bourke convention): corner c at offsets
+//   0:(0,0,0) 1:(1,0,0) 2:(1,1,0) 3:(0,1,0) 4:(0,0,1) 5:(1,0,1) 6:(1,1,1) 7:(0,1,1)
+constexpr int kCornerOffset[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                     {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+
+// Edge e connects corners kEdgeCorners[e][0..1].
+constexpr int kEdgeCorners[12][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6},
+                                     {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+
+struct EdgeKey {
+  std::uint64_t a, b;
+  bool operator==(const EdgeKey&) const = default;
+};
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& k) const {
+    return std::hash<std::uint64_t>()(k.a * 0x9e3779b97f4a7c15ull ^ k.b);
+  }
+};
+
+}  // namespace
+
+TriMesh marching_cubes(const FieldF& f, double isovalue) {
+  const Dim3 d = f.dims();
+  TriMesh mesh;
+  if (d.nx < 2 || d.ny < 2 || d.nz < 2) return mesh;
+
+  // Deduplicate vertices along shared edges so meshes are watertight.
+  std::unordered_map<EdgeKey, std::uint32_t, EdgeKeyHash> edge_vertex;
+
+  auto point_id = [&](index_t x, index_t y, index_t z) {
+    return static_cast<std::uint64_t>(d.index(x, y, z));
+  };
+
+  auto edge_vertex_index = [&](index_t x, index_t y, index_t z, int edge) {
+    const int* c0 = kCornerOffset[kEdgeCorners[edge][0]];
+    const int* c1 = kCornerOffset[kEdgeCorners[edge][1]];
+    const index_t x0 = x + c0[0], y0 = y + c0[1], z0 = z + c0[2];
+    const index_t x1 = x + c1[0], y1 = y + c1[1], z1 = z + c1[2];
+    EdgeKey key{point_id(x0, y0, z0), point_id(x1, y1, z1)};
+    if (key.a > key.b) std::swap(key.a, key.b);
+    if (const auto it = edge_vertex.find(key); it != edge_vertex.end()) return it->second;
+
+    const double v0 = f.at(x0, y0, z0);
+    const double v1 = f.at(x1, y1, z1);
+    double t = 0.5;
+    if (std::abs(v1 - v0) > 1e-300) t = (isovalue - v0) / (v1 - v0);
+    t = std::clamp(t, 0.0, 1.0);
+    const std::array<float, 3> p{
+        static_cast<float>(x0 + t * (x1 - x0)),
+        static_cast<float>(y0 + t * (y1 - y0)),
+        static_cast<float>(z0 + t * (z1 - z0)),
+    };
+    const auto id = static_cast<std::uint32_t>(mesh.vertices.size());
+    mesh.vertices.push_back(p);
+    edge_vertex.emplace(key, id);
+    return id;
+  };
+
+  for (index_t z = 0; z < d.nz - 1; ++z)
+    for (index_t y = 0; y < d.ny - 1; ++y)
+      for (index_t x = 0; x < d.nx - 1; ++x) {
+        unsigned cube = 0;
+        for (int c = 0; c < 8; ++c) {
+          const double v = f.at(x + kCornerOffset[c][0], y + kCornerOffset[c][1],
+                                z + kCornerOffset[c][2]);
+          if (v < isovalue) cube |= 1u << c;
+        }
+        if (tables::kEdgeTable[cube] == 0) continue;
+        const auto& tri = tables::kTriTable[cube];
+        for (int t = 0; tri[static_cast<std::size_t>(t)] != -1; t += 3) {
+          const auto i0 = edge_vertex_index(x, y, z, tri[static_cast<std::size_t>(t)]);
+          const auto i1 = edge_vertex_index(x, y, z, tri[static_cast<std::size_t>(t) + 1]);
+          const auto i2 = edge_vertex_index(x, y, z, tri[static_cast<std::size_t>(t) + 2]);
+          mesh.triangles.push_back({i0, i1, i2});
+        }
+      }
+  return mesh;
+}
+
+}  // namespace mrc::uq

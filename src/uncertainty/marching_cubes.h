@@ -1,0 +1,31 @@
+#pragma once
+
+// Marching cubes isosurface extraction (Lorensen & Cline) with the full
+// 256-case tables, used for the isosurface comparisons of Figs. 9/14/16 and
+// the OBJ exports in the examples.
+
+#include <array>
+#include <vector>
+
+#include "grid/field.h"
+
+namespace mrc::uq {
+
+struct TriMesh {
+  std::vector<std::array<float, 3>> vertices;
+  std::vector<std::array<std::uint32_t, 3>> triangles;
+
+  [[nodiscard]] std::size_t triangle_count() const { return triangles.size(); }
+  [[nodiscard]] std::size_t vertex_count() const { return vertices.size(); }
+};
+
+/// Extracts the isosurface at `isovalue`. Vertices are in grid coordinates
+/// with linear interpolation along cell edges.
+[[nodiscard]] TriMesh marching_cubes(const FieldF& f, double isovalue);
+
+namespace tables {
+extern const std::array<std::uint16_t, 256> kEdgeTable;
+extern const std::array<std::array<std::int8_t, 16>, 256> kTriTable;
+}  // namespace tables
+
+}  // namespace mrc::uq

@@ -1,0 +1,133 @@
+#include "uncertainty/probabilistic_mc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace mrc::uq {
+
+namespace {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+Dim3 cell_dims(Dim3 d) {
+  return {std::max<index_t>(d.nx - 1, 1), std::max<index_t>(d.ny - 1, 1),
+          std::max<index_t>(d.nz - 1, 1)};
+}
+
+/// Collects the up-to-8 corner values of cell (x, y, z).
+int cell_corners(const FieldF& f, index_t x, index_t y, index_t z, double* out) {
+  const Dim3 d = f.dims();
+  int n = 0;
+  for (index_t k = 0; k < 2; ++k)
+    for (index_t j = 0; j < 2; ++j)
+      for (index_t i = 0; i < 2; ++i) {
+        const index_t xx = std::min(x + i, d.nx - 1);
+        const index_t yy = std::min(y + j, d.ny - 1);
+        const index_t zz = std::min(z + k, d.nz - 1);
+        out[n++] = f.at(xx, yy, zz);
+      }
+  return n;
+}
+
+}  // namespace
+
+FieldD crossing_probability(const FieldF& dec, double isovalue, const ErrorModel& model) {
+  const Dim3 cd = cell_dims(dec.dims());
+  FieldD prob(cd);
+  const double sigma = std::max(model.sigma, 1e-300);
+
+#if defined(MRC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t z = 0; z < cd.nz; ++z)
+    for (index_t y = 0; y < cd.ny; ++y)
+      for (index_t x = 0; x < cd.nx; ++x) {
+        double corners[8];
+        cell_corners(dec, x, y, z, corners);
+        // Per-voxel value ~ N(dec + mean, sigma^2): the model's mean is the
+        // expected (orig - dec) bias.
+        double p_below = 1.0, p_above = 1.0;
+        for (double c : corners) {
+          const double mu = c + model.mean;
+          const double pb = normal_cdf((isovalue - mu) / sigma);
+          p_below *= pb;
+          p_above *= 1.0 - pb;
+        }
+        prob.at(x, y, z) = std::clamp(1.0 - p_below - p_above, 0.0, 1.0);
+      }
+  return prob;
+}
+
+FieldD crossing_probability_mc(const FieldF& dec, double isovalue, const ErrorModel& model,
+                               int n_draws, std::uint64_t seed) {
+  MRC_REQUIRE(n_draws >= 1, "need at least one draw");
+  const Dim3 cd = cell_dims(dec.dims());
+  FieldD prob(cd);
+
+#if defined(MRC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t z = 0; z < cd.nz; ++z) {
+    Rng rng(seed ^ (0x9e37u + static_cast<std::uint64_t>(z) * 0x1000193u));
+    for (index_t y = 0; y < cd.ny; ++y)
+      for (index_t x = 0; x < cd.nx; ++x) {
+        double corners[8];
+        cell_corners(dec, x, y, z, corners);
+        int crossings = 0;
+        for (int t = 0; t < n_draws; ++t) {
+          bool any_above = false, any_below = false;
+          for (double c : corners) {
+            const double v = c + rng.normal(model.mean, model.sigma);
+            (v >= isovalue ? any_above : any_below) = true;
+          }
+          crossings += (any_above && any_below) ? 1 : 0;
+        }
+        prob.at(x, y, z) = static_cast<double>(crossings) / static_cast<double>(n_draws);
+      }
+  }
+  return prob;
+}
+
+Field3D<std::uint8_t> crossing_cells(const FieldF& f, double isovalue) {
+  const Dim3 cd = cell_dims(f.dims());
+  Field3D<std::uint8_t> cells(cd, 0);
+  for (index_t z = 0; z < cd.nz; ++z)
+    for (index_t y = 0; y < cd.ny; ++y)
+      for (index_t x = 0; x < cd.nx; ++x) {
+        double corners[8];
+        cell_corners(f, x, y, z, corners);
+        bool any_above = false, any_below = false;
+        for (double c : corners) (c >= isovalue ? any_above : any_below) = true;
+        cells.at(x, y, z) = (any_above && any_below) ? 1 : 0;
+      }
+  return cells;
+}
+
+UncertaintyStats compare_isosurfaces(const FieldF& original, const FieldF& dec,
+                                     const FieldD& prob, double isovalue,
+                                     double p_threshold) {
+  MRC_REQUIRE(original.dims() == dec.dims(), "dimension mismatch");
+  const auto co = crossing_cells(original, isovalue);
+  const auto cdx = crossing_cells(dec, isovalue);
+  MRC_REQUIRE(co.dims() == prob.dims(), "probability field dims mismatch");
+
+  UncertaintyStats s;
+  for (index_t i = 0; i < co.size(); ++i) {
+    const bool in_orig = co[i] != 0;
+    const bool in_dec = cdx[i] != 0;
+    s.cells_crossed_original += in_orig ? 1 : 0;
+    s.cells_crossed_decompressed += in_dec ? 1 : 0;
+    if (in_orig && !in_dec) {
+      ++s.cells_missed;
+      if (prob[i] >= p_threshold) ++s.missed_recovered;
+    } else if (!in_orig && in_dec) {
+      ++s.cells_spurious;
+    }
+  }
+  return s;
+}
+
+}  // namespace mrc::uq

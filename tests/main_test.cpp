@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+
+#include "common/dims.h"
+
+TEST(Scaffold, DimsIndexing) {
+  mrc::Dim3 d{4, 5, 6};
+  EXPECT_EQ(d.size(), 120);
+  EXPECT_EQ(d.index(1, 2, 3), 1 + 4 * (2 + 5 * 3));
+}

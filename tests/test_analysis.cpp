@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "analysis/halo_finder.h"
+#include "compressors/interp/interp_compressor.h"
+#include "simdata/generators.h"
+#include "test_util.h"
+
+namespace mrc::analysis {
+namespace {
+
+/// Field with `n` well-separated Gaussian blobs of known mass ordering.
+FieldF blob_field(Dim3 d, int n, double amp = 100.0) {
+  FieldF f(d, 1.0f);
+  Rng rng(31);
+  for (int i = 0; i < n; ++i) {
+    const double cx = (0.15 + 0.7 * (i % 3) / 2.0) * d.nx;
+    const double cy = (0.15 + 0.7 * ((i / 3) % 3) / 2.0) * d.ny;
+    const double cz = (0.15 + 0.7 * (i / 9) / 2.0) * d.nz;
+    const double sigma = 2.0 + 0.3 * i;
+    for (index_t z = 0; z < d.nz; ++z)
+      for (index_t y = 0; y < d.ny; ++y)
+        for (index_t x = 0; x < d.nx; ++x) {
+          const double r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy) + (z - cz) * (z - cz);
+          f.at(x, y, z) += static_cast<float>(amp * std::exp(-r2 / (2 * sigma * sigma)));
+        }
+  }
+  return f;
+}
+
+TEST(HaloFinder, FindsIsolatedBlobs) {
+  const FieldF f = blob_field({48, 48, 48}, 5);
+  const auto cat = find_halos(f, 20.0f, 4);
+  EXPECT_EQ(cat.count(), 5u);
+}
+
+TEST(HaloFinder, EmptyFieldHasNoHalos) {
+  FieldF f({16, 16, 16}, 0.0f);
+  EXPECT_EQ(find_halos(f, 1.0f).count(), 0u);
+}
+
+TEST(HaloFinder, MinCellsFiltersNoise) {
+  FieldF f({16, 16, 16}, 0.0f);
+  f.at(3, 3, 3) = 100.0f;  // single hot voxel
+  EXPECT_EQ(find_halos(f, 10.0f, 2).count(), 0u);
+  EXPECT_EQ(find_halos(f, 10.0f, 1).count(), 1u);
+}
+
+TEST(HaloFinder, CatalogSortedByMass) {
+  const FieldF f = blob_field({48, 48, 48}, 4);
+  const auto cat = find_halos(f, 20.0f, 4);
+  for (std::size_t i = 1; i < cat.count(); ++i)
+    EXPECT_GE(cat.halos[i - 1].total_mass, cat.halos[i].total_mass);
+}
+
+TEST(HaloFinder, PeakInsideComponent) {
+  const FieldF f = blob_field({32, 32, 32}, 1);
+  const auto cat = find_halos(f, 20.0f, 4);
+  ASSERT_EQ(cat.count(), 1u);
+  const auto& h = cat.halos[0];
+  EXPECT_FLOAT_EQ(f.at(h.peak.x, h.peak.y, h.peak.z), h.peak_value);
+  EXPECT_GE(h.peak_value, 20.0f);
+}
+
+TEST(HaloFinder, TouchingBlobsMergeAcrossThreshold) {
+  // Two blobs bridged above threshold form one halo; below, two.
+  FieldF f({32, 16, 16}, 0.0f);
+  for (index_t x = 8; x <= 24; ++x) f.at(x, 8, 8) = 50.0f;  // bridge
+  f.at(8, 8, 8) = 100.0f;
+  f.at(24, 8, 8) = 100.0f;
+  EXPECT_EQ(find_halos(f, 40.0f, 1).count(), 1u);
+  EXPECT_EQ(find_halos(f, 80.0f, 1).count(), 2u);
+}
+
+TEST(HaloFinder, SelfComparisonIsPerfect) {
+  const FieldF f = blob_field({48, 48, 48}, 5);
+  const auto cat = find_halos(f, 20.0f, 4);
+  const auto cmp = compare_catalogs(cat, cat);
+  EXPECT_EQ(cmp.matched, cat.count());
+  EXPECT_DOUBLE_EQ(cmp.match_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.max_mass_rel_err, 0.0);
+}
+
+TEST(HaloFinder, CompressionAtSmallEbPreservesCatalog) {
+  const FieldF f = sim::nyx_density({64, 64, 64}, 3);
+  const float threshold = static_cast<float>(5e9);
+  const auto ref = find_halos(f, threshold, 4);
+  ASSERT_GT(ref.count(), 3u);
+
+  const auto rt = round_trip(InterpCompressor{}, f, f.value_range() * 1e-6);
+  const auto test = find_halos(rt.reconstructed, threshold, 4);
+  const auto cmp = compare_catalogs(ref, test);
+  EXPECT_GT(cmp.match_rate(), 0.95);
+  EXPECT_LT(cmp.mean_mass_rel_err, 0.01);
+}
+
+TEST(HaloFinder, AggressiveCompressionDegradesCatalog) {
+  const FieldF f = sim::nyx_density({64, 64, 64}, 3);
+  const float threshold = static_cast<float>(5e9);
+  const auto ref = find_halos(f, threshold, 4);
+  const auto tight = round_trip(InterpCompressor{}, f, f.value_range() * 1e-6);
+  const auto loose = round_trip(InterpCompressor{}, f, f.value_range() * 5e-2);
+  const auto cmp_tight = compare_catalogs(ref, find_halos(tight.reconstructed, threshold, 4));
+  const auto cmp_loose = compare_catalogs(ref, find_halos(loose.reconstructed, threshold, 4));
+  EXPECT_GE(cmp_tight.match_rate(), cmp_loose.match_rate());
+}
+
+}  // namespace
+}  // namespace mrc::analysis

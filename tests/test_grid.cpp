@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "grid/field_ops.h"
+#include "grid/multires.h"
+#include "test_util.h"
+
+namespace mrc {
+namespace {
+
+using test::smooth_field;
+
+TEST(FieldOps, RestrictAverageExact) {
+  FieldF f({4, 4, 4});
+  for (index_t i = 0; i < f.size(); ++i) f[i] = static_cast<float>(i);
+  const FieldF c = restrict_average(f, 2);
+  EXPECT_EQ(c.dims(), Dim3(2, 2, 2));
+  // First coarse cell averages fine cells (0,0,0),(1,0,0),(0,1,0),(1,1,0),
+  // (0,0,1),(1,0,1),(0,1,1),(1,1,1) -> indices 0,1,4,5,16,17,20,21.
+  const double expected = (0 + 1 + 4 + 5 + 16 + 17 + 20 + 21) / 8.0;
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0), static_cast<float>(expected));
+}
+
+TEST(FieldOps, RestrictRejectsIndivisible) {
+  FieldF f({5, 4, 4});
+  EXPECT_THROW((void)restrict_average(f, 2), ContractError);
+}
+
+TEST(FieldOps, ProlongNearestInvertsRestrictionOfConstant) {
+  FieldF f({8, 8, 8}, 3.5f);
+  const FieldF c = restrict_average(f, 2);
+  const FieldF up = prolong_nearest(c, {8, 8, 8});
+  for (index_t i = 0; i < up.size(); ++i) EXPECT_FLOAT_EQ(up[i], 3.5f);
+}
+
+TEST(FieldOps, ProlongTrilinearPreservesLinearRamp) {
+  FieldF coarse({4, 4, 4});
+  for (index_t z = 0; z < 4; ++z)
+    for (index_t y = 0; y < 4; ++y)
+      for (index_t x = 0; x < 4; ++x) coarse.at(x, y, z) = static_cast<float>(x);
+  const FieldF fine = prolong_trilinear(coarse, {8, 8, 8});
+  // In the interior, a linear ramp must stay linear: fine x=3 maps to coarse
+  // coordinate (3+0.5)*0.5-0.5 = 1.25.
+  EXPECT_NEAR(fine.at(3, 4, 4), 1.25f, 1e-5);
+}
+
+TEST(FieldOps, ExtractInsertRoundTrip) {
+  FieldF f = smooth_field({12, 12, 12});
+  const FieldF r = extract_region(f, {2, 3, 4}, {5, 4, 3});
+  FieldF g({12, 12, 12}, 0.0f);
+  insert_region(g, {2, 3, 4}, r);
+  EXPECT_FLOAT_EQ(g.at(2, 3, 4), f.at(2, 3, 4));
+  EXPECT_FLOAT_EQ(g.at(6, 6, 6), f.at(6, 6, 6));
+  EXPECT_FLOAT_EQ(g.at(0, 0, 0), 0.0f);
+}
+
+TEST(FieldOps, ExtractOutOfRangeThrows) {
+  FieldF f({4, 4, 4});
+  EXPECT_THROW((void)extract_region(f, {2, 0, 0}, {4, 1, 1}), ContractError);
+}
+
+TEST(FieldOps, CentralSlice) {
+  FieldF f = smooth_field({6, 7, 8});
+  const FieldF s = central_slice_z(f);
+  EXPECT_EQ(s.dims(), Dim3(6, 7, 1));
+  EXPECT_FLOAT_EQ(s.at(3, 3, 0), f.at(3, 3, 4));
+}
+
+TEST(FieldOps, BlockValueRanges) {
+  FieldF f({8, 4, 4}, 1.0f);
+  f.at(1, 1, 1) = 11.0f;  // only block (0,0,0) has range 10
+  const auto ranges = block_value_ranges(f, 4);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranges[0], 10.0);
+  EXPECT_DOUBLE_EQ(ranges[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AMR hierarchy construction.
+// ---------------------------------------------------------------------------
+
+TEST(Amr, TwoLevelDensitiesMatchFractions) {
+  const FieldF f = test::noise_field({64, 64, 64}, 10.0);
+  const std::array<double, 2> fr{0.25, 0.75};
+  const auto mr = amr::build_hierarchy(f, 16, fr);
+  ASSERT_EQ(mr.levels.size(), 2u);
+  EXPECT_EQ(mr.levels[0].ratio, 1);
+  EXPECT_EQ(mr.levels[1].ratio, 2);
+  EXPECT_NEAR(mr.levels[0].density(), 0.25, 0.02);
+  EXPECT_NEAR(mr.levels[1].density(), 0.75, 0.02);
+}
+
+TEST(Amr, ThreeLevelStructure) {
+  const FieldF f = test::noise_field({64, 64, 64}, 10.0);
+  const std::array<double, 3> fr{0.15, 0.31, 0.54};
+  const auto mr = amr::build_hierarchy(f, 16, fr);
+  ASSERT_EQ(mr.levels.size(), 3u);
+  EXPECT_EQ(mr.levels[2].ratio, 4);
+  EXPECT_EQ(mr.levels[2].data.dims(), Dim3(16, 16, 16));
+  EXPECT_NEAR(mr.levels[0].density(), 0.15, 0.03);
+}
+
+TEST(Amr, EveryFineCellCoveredExactlyOnce) {
+  const FieldF f = test::noise_field({32, 32, 32}, 5.0);
+  const std::array<double, 2> fr{0.5, 0.5};
+  const auto mr = amr::build_hierarchy(f, 8, fr);
+  // Project all masks to the fine grid; each cell must be covered once.
+  for (index_t z = 0; z < 32; ++z)
+    for (index_t y = 0; y < 32; ++y)
+      for (index_t x = 0; x < 32; ++x) {
+        int covered = 0;
+        for (const auto& lev : mr.levels)
+          covered += lev.mask.at(x / lev.ratio, y / lev.ratio, z / lev.ratio) ? 1 : 0;
+        ASSERT_EQ(covered, 1) << "cell " << x << "," << y << "," << z;
+      }
+}
+
+TEST(Amr, HighRangeBlocksGoToFineLevel) {
+  // A field with activity confined to one corner: that corner must be
+  // kept at level 0.
+  FieldF f({32, 32, 32}, 0.0f);
+  for (index_t z = 0; z < 8; ++z)
+    for (index_t y = 0; y < 8; ++y)
+      for (index_t x = 0; x < 8; ++x)
+        f.at(x, y, z) = static_cast<float>((x + y + z) % 7);
+  const std::array<double, 2> fr{0.02, 0.98};  // one block's worth
+  const auto mr = amr::build_hierarchy(f, 8, fr);
+  EXPECT_EQ(mr.levels[0].mask.at(0, 0, 0), 1);
+  EXPECT_EQ(mr.levels[0].mask.at(31, 31, 31), 0);
+}
+
+TEST(Amr, ReconstructUniformExactOnFineRegions) {
+  const FieldF f = smooth_field({32, 32, 32});
+  const std::array<double, 2> fr{0.5, 0.5};
+  const auto mr = amr::build_hierarchy(f, 8, fr);
+  const FieldF rec = mr.reconstruct_uniform();
+  for (index_t i = 0; i < f.size(); ++i) {
+    if (mr.levels[0].mask[i]) EXPECT_FLOAT_EQ(rec[i], f[i]);
+  }
+}
+
+TEST(Amr, ReconstructUniformCloseEverywhereOnSmoothData) {
+  const FieldF f = smooth_field({32, 32, 32}, 100.0);
+  const std::array<double, 2> fr{0.3, 0.7};
+  const auto mr = amr::build_hierarchy(f, 8, fr);
+  const FieldF rec = mr.reconstruct_uniform();
+  // Coarse regions are smooth by construction, so 2x downsample + trilinear
+  // upsample stays close.
+  double max_err = 0;
+  for (index_t i = 0; i < f.size(); ++i)
+    max_err = std::max(max_err, std::abs(static_cast<double>(f[i]) - rec[i]));
+  EXPECT_LT(max_err, 15.0);
+}
+
+TEST(Amr, StoredSamplesLessThanUniform) {
+  const FieldF f = test::noise_field({32, 32, 32}, 3.0);
+  const std::array<double, 2> fr{0.25, 0.75};
+  const auto mr = amr::build_hierarchy(f, 8, fr);
+  // 25% at full res + 75% at 1/8 resolution ≈ 34% of the original samples.
+  EXPECT_LT(mr.stored_samples(), f.size() / 2);
+  EXPECT_GT(mr.stored_samples(), f.size() / 5);
+}
+
+TEST(Amr, RejectsBadBlockSize) {
+  const FieldF f = smooth_field({32, 32, 32});
+  const std::array<double, 2> fr{0.5, 0.5};
+  EXPECT_THROW((void)amr::build_hierarchy(f, 12, fr), ContractError);  // not 2^n
+  EXPECT_THROW((void)amr::build_hierarchy(f, 0, fr), ContractError);
+}
+
+TEST(Amr, RejectsIndivisibleExtents) {
+  const FieldF f = smooth_field({30, 32, 32});
+  const std::array<double, 2> fr{0.5, 0.5};
+  EXPECT_THROW((void)amr::build_hierarchy(f, 8, fr), ContractError);
+}
+
+}  // namespace
+}  // namespace mrc

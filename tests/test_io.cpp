@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/obj_writer.h"
+#include "io/raw_io.h"
+#include "io/vtk_writer.h"
+#include "test_util.h"
+#include "uncertainty/marching_cubes.h"
+
+namespace mrc::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(RawIo, RoundTrip) {
+  const FieldF f = test::smooth_field({6, 7, 8});
+  const auto path = temp_path("mrc_test_raw.bin");
+  write_raw(f, path);
+  const FieldF g = read_raw(path);
+  EXPECT_EQ(f, g);
+  std::remove(path.c_str());
+}
+
+TEST(RawIo, BareF32RoundTrip) {
+  const FieldF f = test::noise_field({5, 4, 3}, 2.0);
+  const auto path = temp_path("mrc_test_bare.f32");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(f.data()),
+              static_cast<std::streamsize>(f.size() * sizeof(float)));
+  }
+  const FieldF g = read_raw_f32(path, {5, 4, 3});
+  EXPECT_EQ(f, g);
+  std::remove(path.c_str());
+}
+
+TEST(RawIo, RejectsWrongMagic) {
+  const auto path = temp_path("mrc_test_junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = {1, 2, 3};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW((void)read_raw(path), ContractError);
+  std::remove(path.c_str());
+}
+
+TEST(RawIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_raw("/nonexistent/path/file.bin"), ContractError);
+}
+
+TEST(VtkWriter, ProducesWellFormedHeader) {
+  const FieldF f = test::smooth_field({4, 5, 6});
+  const auto path = temp_path("mrc_test.vtk");
+  write_vtk(f, path, "density");
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("DIMENSIONS 4 5 6"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS density float 1"), std::string::npos);
+  // Binary payload size: header + 4 bytes per value.
+  EXPECT_GT(std::filesystem::file_size(path), 120u * 4u);
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, DoubleOverload) {
+  FieldD p({3, 3, 3}, 0.5);
+  const auto path = temp_path("mrc_test_prob.vtk");
+  write_vtk(p, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("SCALARS probability double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObjWriter, WritesValidMesh) {
+  FieldF f({8, 8, 8});
+  for (index_t z = 0; z < 8; ++z)
+    for (index_t y = 0; y < 8; ++y)
+      for (index_t x = 0; x < 8; ++x) f.at(x, y, z) = static_cast<float>(z) - 3.5f;
+  const auto mesh = uq::marching_cubes(f, 0.0);
+  ASSERT_GT(mesh.triangle_count(), 0u);
+  const auto path = temp_path("mrc_test.obj");
+  write_obj(mesh, path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t nv = 0, nf = 0;
+  while (std::getline(in, line)) {
+    if (line.starts_with("v ")) ++nv;
+    if (line.starts_with("f ")) ++nf;
+  }
+  EXPECT_EQ(nv, mesh.vertex_count());
+  EXPECT_EQ(nf, mesh.triangle_count());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrc::io

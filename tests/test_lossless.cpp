@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lossless/bitstream.h"
+#include "lossless/huffman.h"
+#include "lossless/lzss.h"
+#include "lossless/quant_codec.h"
+
+namespace mrc::lossless {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  BitWriter bw;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (int b : pattern) bw.write_bit(static_cast<std::uint32_t>(b));
+  BitReader br(bw.bytes());
+  for (int b : pattern) EXPECT_EQ(br.read_bit(), static_cast<std::uint32_t>(b));
+}
+
+TEST(BitStream, MultiBitValues) {
+  BitWriter bw;
+  bw.write_bits(0x2a, 6);
+  bw.write_bits(0xdeadbeefcafeull, 48);
+  bw.write_bits(0, 0);
+  bw.write_bits(1, 1);
+  BitReader br(bw.bytes());
+  EXPECT_EQ(br.read_bits(6), 0x2au);
+  EXPECT_EQ(br.read_bits(48), 0xdeadbeefcafeull);
+  EXPECT_EQ(br.read_bits(0), 0u);
+  EXPECT_EQ(br.read_bit(), 1u);
+}
+
+TEST(BitStream, BitCount) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.write_bits(0, 13);
+  EXPECT_EQ(bw.bit_count(), 13u);
+}
+
+TEST(BitStream, TruncationThrows) {
+  BitWriter bw;
+  bw.write_bits(5, 3);
+  BitReader br(bw.bytes());
+  (void)br.read_bits(8);  // rest of the final byte is readable
+  EXPECT_THROW((void)br.read_bit(), CodecError);
+}
+
+TEST(Huffman, RoundTripSkewed) {
+  Rng rng(1);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    syms.push_back(u < 0.85 ? 0 : (u < 0.95 ? 1 : static_cast<std::uint32_t>(rng.uniform_index(50))));
+  }
+  const auto enc = huffman_encode(syms, 50);
+  EXPECT_EQ(huffman_decode(enc), syms);
+  // Entropy ~0.8 bits/symbol; assert we beat 2 bits/symbol comfortably.
+  EXPECT_LT(enc.size() * 8, syms.size() * 2);
+}
+
+TEST(Huffman, RoundTripUniform) {
+  Rng rng(2);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 5000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.uniform_index(256)));
+  EXPECT_EQ(huffman_decode(huffman_encode(syms, 256)), syms);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint32_t> syms(1000, 7);
+  const auto enc = huffman_encode(syms, 16);
+  EXPECT_EQ(huffman_decode(enc), syms);
+  EXPECT_LT(enc.size(), 200u);  // 1 bit/symbol + header
+}
+
+TEST(Huffman, EmptyInput) {
+  std::vector<std::uint32_t> syms;
+  EXPECT_EQ(huffman_decode(huffman_encode(syms, 4)), syms);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> syms{0, 1, 0, 0, 1, 1, 1, 0};
+  EXPECT_EQ(huffman_decode(huffman_encode(syms, 2)), syms);
+}
+
+TEST(Huffman, SymbolOutsideAlphabetThrows) {
+  std::vector<std::uint32_t> syms{0, 5};
+  EXPECT_THROW(huffman_encode(syms, 4), ContractError);
+}
+
+TEST(Huffman, CodebookSerializationStandalone) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[1] = 100;
+  freqs[5] = 10;
+  freqs[9] = 1;
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  BitWriter bw;
+  cb.serialize(bw);
+  cb.encode(bw, 1);
+  cb.encode(bw, 9);
+  cb.encode(bw, 5);
+  BitReader br(bw.bytes());
+  const auto cb2 = HuffmanCodebook::deserialize(br);
+  EXPECT_EQ(cb2.decode(br), 1u);
+  EXPECT_EQ(cb2.decode(br), 9u);
+  EXPECT_EQ(cb2.decode(br), 5u);
+}
+
+TEST(Huffman, ShorterCodesForFrequentSymbols) {
+  std::vector<std::uint64_t> freqs{1000, 10, 10, 10};
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  EXPECT_LE(cb.code_length(0), cb.code_length(1));
+  EXPECT_LE(cb.code_length(0), cb.code_length(3));
+}
+
+Bytes to_bytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+TEST(Lzss, RoundTripText) {
+  const auto in = to_bytes(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again and again");
+  const auto enc = lzss_compress(in);
+  EXPECT_EQ(lzss_decompress(enc), in);
+  EXPECT_LT(enc.size(), in.size());
+}
+
+TEST(Lzss, RoundTripEmpty) {
+  Bytes in;
+  EXPECT_EQ(lzss_decompress(lzss_compress(in)), in);
+}
+
+TEST(Lzss, RoundTripIncompressible) {
+  Rng rng(3);
+  Bytes in(4096);
+  for (auto& b : in) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  const auto enc = lzss_compress(in);
+  EXPECT_EQ(lzss_decompress(enc), in);
+  EXPECT_LE(enc.size(), in.size() + 16);  // raw fallback keeps overhead tiny
+}
+
+TEST(Lzss, LongRuns) {
+  Bytes in(100000, std::byte{0x42});
+  const auto enc = lzss_compress(in);
+  EXPECT_EQ(lzss_decompress(enc), in);
+  EXPECT_LT(enc.size(), in.size() / 50);
+}
+
+TEST(Lzss, OverlappingMatches) {
+  // abcabcabc... forces overlapping copy semantics.
+  Bytes in;
+  for (int i = 0; i < 3000; ++i) in.push_back(static_cast<std::byte>('a' + i % 3));
+  EXPECT_EQ(lzss_decompress(lzss_compress(in)), in);
+}
+
+TEST(Lzss, CorruptStreamThrows) {
+  Bytes bogus{std::byte{9}, std::byte{1}};
+  EXPECT_THROW(lzss_decompress(bogus), CodecError);
+}
+
+class QuantCodecParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QuantCodecParam, RoundTripMixed) {
+  const std::uint32_t radius = GetParam();
+  Rng rng(radius);
+  std::vector<std::uint32_t> codes;
+  for (int i = 0; i < 30000; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.7)
+      codes.push_back(radius);  // zero bin dominates (smooth data)
+    else if (u < 0.98)
+      codes.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(21)) - 10);
+    else
+      codes.push_back(0);  // outlier escape
+  }
+  const auto enc = encode_quant_codes(codes, radius);
+  EXPECT_EQ(decode_quant_codes(enc, radius), codes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, QuantCodecParam, ::testing::Values(16u, 512u, 32768u));
+
+TEST(QuantCodec, AllZeroBinSubBitRate) {
+  const std::uint32_t radius = 512;
+  std::vector<std::uint32_t> codes(1 << 20, radius);
+  const auto enc = encode_quant_codes(codes, radius);
+  EXPECT_EQ(decode_quant_codes(enc, radius), codes);
+  // A megasample of pure zero-bins should cost (far) less than 0.01 bpv.
+  EXPECT_LT(enc.size() * 8, codes.size() / 100);
+}
+
+TEST(QuantCodec, ShortRunsStayLiterals) {
+  const std::uint32_t radius = 8;
+  std::vector<std::uint32_t> codes{8, 8, 8, 1, 8, 8, 15, 8};
+  EXPECT_EQ(decode_quant_codes(encode_quant_codes(codes, radius), radius), codes);
+}
+
+TEST(QuantCodec, EmptyInput) {
+  std::vector<std::uint32_t> codes;
+  EXPECT_EQ(decode_quant_codes(encode_quant_codes(codes, 8), 8), codes);
+}
+
+TEST(QuantCodec, CodeAboveAlphabetThrows) {
+  std::vector<std::uint32_t> codes{99};
+  EXPECT_THROW(encode_quant_codes(codes, 8), ContractError);
+}
+
+}  // namespace
+}  // namespace mrc::lossless

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "merge/merge_strategies.h"
+#include "merge/padding.h"
+#include "roi/roi_extract.h"
+#include "test_util.h"
+
+namespace mrc {
+namespace {
+
+using test::noise_field;
+using test::smooth_field;
+
+/// Builds a 2-level hierarchy and returns the requested level.
+LevelData make_level(Dim3 fine_dims, index_t block, double fine_frac, int level) {
+  const FieldF f = noise_field(fine_dims, 10.0, 77);
+  const std::array<double, 2> fr{fine_frac, 1.0 - fine_frac};
+  auto mr = amr::build_hierarchy(f, block, fr);
+  return std::move(mr.levels[static_cast<std::size_t>(level)]);
+}
+
+TEST(UnitBlocks, ExtractCountMatchesMaskDensity) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.25, 0);
+  const auto set = extract_unit_blocks(lev, 8);
+  EXPECT_EQ(set.unit, 8);
+  EXPECT_EQ(set.block_grid, Dim3(4, 4, 4));
+  EXPECT_EQ(set.block_count(), 16);  // 25% of 64 blocks
+  EXPECT_EQ(static_cast<index_t>(set.data.size()), set.block_count() * 512);
+}
+
+TEST(UnitBlocks, ScatterRestoresDataAndMask) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.5, 0);
+  const auto set = extract_unit_blocks(lev, 8);
+  LevelData out;
+  out.ratio = lev.ratio;
+  out.data = FieldF(lev.data.dims(), 0.0f);
+  out.mask = MaskField(lev.mask.dims(), 0);
+  scatter_unit_blocks(set, out);
+  for (index_t i = 0; i < lev.data.size(); ++i) {
+    EXPECT_EQ(out.mask[i], lev.mask[i]);
+    if (lev.mask[i]) EXPECT_FLOAT_EQ(out.data[i], lev.data[i]);
+  }
+}
+
+TEST(UnitBlocks, BlockCoordRoundTrip) {
+  UnitBlockSet set;
+  set.block_grid = {4, 5, 6};
+  const Coord3 c = set.block_coord(set.block_grid.index(3, 2, 5));
+  EXPECT_EQ(c, (Coord3{3, 2, 5}));
+}
+
+TEST(UnitBlocks, RejectsIndivisibleExtents) {
+  LevelData lev;
+  lev.ratio = 1;
+  lev.data = FieldF({10, 8, 8});
+  lev.mask = MaskField({10, 8, 8}, 1);
+  EXPECT_THROW((void)extract_unit_blocks(lev, 8), ContractError);
+}
+
+class MergeRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(MergeRoundTrip, LinearExact) {
+  const LevelData lev = make_level({32, 32, 32}, 8, GetParam(), 0);
+  auto set = extract_unit_blocks(lev, 8);
+  const auto original = set.data;
+  const FieldF merged = merge_linear(set);
+  EXPECT_EQ(merged.dims(), Dim3(8, 8, 8 * set.block_count()));
+  unmerge_linear(merged, set);
+  EXPECT_EQ(set.data, original);
+}
+
+TEST_P(MergeRoundTrip, StackExact) {
+  const LevelData lev = make_level({32, 32, 32}, 8, GetParam(), 0);
+  auto set = extract_unit_blocks(lev, 8);
+  const auto original = set.data;
+  const FieldF merged = merge_stack(set);
+  // Near-cubic arrangement.
+  EXPECT_GE(merged.dims().size(), set.block_count() * 512);
+  unmerge_stack(merged, set);
+  EXPECT_EQ(set.data, original);
+}
+
+TEST_P(MergeRoundTrip, TacExact) {
+  const LevelData lev = make_level({32, 32, 32}, 8, GetParam(), 0);
+  auto set = extract_unit_blocks(lev, 8);
+  const auto original = set.data;
+  const auto boxes = merge_tac(set);
+  // Boxes must tile exactly the occupied blocks.
+  index_t covered = 0;
+  for (const auto& b : boxes) covered += b.extent_blocks.size();
+  EXPECT_EQ(covered, set.block_count());
+  unmerge_tac(boxes, set);
+  EXPECT_EQ(set.data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, MergeRoundTrip, ::testing::Values(0.1, 0.5, 0.9, 1.0));
+
+TEST(MergeTac, FullyOccupiedGridIsOneBox) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 1.0, 0);
+  const auto set = extract_unit_blocks(lev, 8);
+  const auto boxes = merge_tac(set);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].extent_blocks, Dim3(4, 4, 4));
+}
+
+TEST(MergeTac, SparseDataProducesManyBoxes) {
+  // Sparse levels fragment into many variably-shaped boxes — the encoding
+  // overhead the paper attributes to TAC on the RT dataset.
+  const LevelData lev = make_level({64, 64, 64}, 8, 0.1, 0);
+  const auto set = extract_unit_blocks(lev, 8);
+  const auto boxes = merge_tac(set);
+  EXPECT_GT(boxes.size(), 5u);
+}
+
+TEST(MergeStack, ArrangementIsNearCubic) {
+  const LevelData lev = make_level({64, 64, 64}, 8, 0.5, 0);
+  auto set = extract_unit_blocks(lev, 8);
+  const FieldF merged = merge_stack(set);
+  const Dim3 d = merged.dims();
+  const double aspect = static_cast<double>(d.max_extent()) /
+                        static_cast<double>(std::min({d.nx, d.ny, d.nz}));
+  EXPECT_LE(aspect, 2.5);
+}
+
+TEST(GatherFused, LinearMatchesMergeThenPad) {
+  // The in-situ single-pass gather must be bit-identical to the two-step
+  // reference path (merge_linear then pad_xy).
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.4, 0);
+  auto set = extract_unit_blocks(lev, 8);
+  for (const auto kind : {PadKind::constant, PadKind::linear, PadKind::quadratic}) {
+    const FieldF reference = pad_xy(merge_linear(set), kind);
+    const FieldF fused = gather_linear(lev, set, /*pad=*/true, kind);
+    ASSERT_EQ(fused.dims(), reference.dims());
+    for (index_t i = 0; i < fused.size(); ++i) ASSERT_FLOAT_EQ(fused[i], reference[i]);
+  }
+  // Unpadded variant matches plain merge.
+  EXPECT_EQ(gather_linear(lev, set, false, PadKind::linear), merge_linear(set));
+}
+
+TEST(GatherFused, StackMatchesMergeStack) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.4, 0);
+  auto set = extract_unit_blocks(lev, 8);
+  EXPECT_EQ(gather_stack(lev, set), merge_stack(set));
+}
+
+TEST(GatherFused, ScanMatchesExtractIds) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.3, 0);
+  const auto scanned = scan_unit_blocks(lev, 8);
+  const auto full = extract_unit_blocks(lev, 8);
+  EXPECT_EQ(scanned.block_ids, full.block_ids);
+  EXPECT_EQ(scanned.block_grid, full.block_grid);
+  EXPECT_TRUE(scanned.data.empty());
+}
+
+TEST(MergeLinear, KeepsExtractionOrderAlongZ) {
+  const LevelData lev = make_level({16, 16, 16}, 8, 1.0, 0);
+  auto set = extract_unit_blocks(lev, 8);
+  const FieldF merged = merge_linear(set);
+  // First block occupies z in [0, 8): spot check a sample.
+  EXPECT_FLOAT_EQ(merged.at(3, 4, 5), lev.data.at(3, 4, 5));
+}
+
+// ---------------------------------------------------------------------------
+// Padding (paper Figs. 7-8).
+// ---------------------------------------------------------------------------
+
+TEST(Padding, ShapeAndStrip) {
+  const FieldF f = smooth_field({8, 8, 24});
+  const FieldF p = pad_xy(f, PadKind::linear);
+  EXPECT_EQ(p.dims(), Dim3(9, 9, 24));
+  const FieldF s = strip_pad_xy(p);
+  EXPECT_EQ(s.dims(), f.dims());
+  for (index_t i = 0; i < f.size(); ++i) EXPECT_FLOAT_EQ(s[i], f[i]);
+}
+
+TEST(Padding, ConstantExtrapolation) {
+  FieldF f({4, 4, 1});
+  for (index_t y = 0; y < 4; ++y)
+    for (index_t x = 0; x < 4; ++x) f.at(x, y, 0) = static_cast<float>(x);
+  const FieldF p = pad_xy(f, PadKind::constant);
+  EXPECT_FLOAT_EQ(p.at(4, 2, 0), 3.0f);  // copies last layer
+}
+
+TEST(Padding, LinearExtrapolationExactOnRamps) {
+  FieldF f({4, 4, 1});
+  for (index_t y = 0; y < 4; ++y)
+    for (index_t x = 0; x < 4; ++x) f.at(x, y, 0) = static_cast<float>(2 * x + y);
+  const FieldF p = pad_xy(f, PadKind::linear);
+  EXPECT_FLOAT_EQ(p.at(4, 2, 0), 10.0f);  // 2*4 + 2
+  EXPECT_FLOAT_EQ(p.at(2, 4, 0), 8.0f);   // 2*2 + 4
+  EXPECT_FLOAT_EQ(p.at(4, 4, 0), 12.0f);  // corner: both extrapolations
+}
+
+TEST(Padding, QuadraticExtrapolationExactOnParabolas) {
+  FieldF f({5, 4, 1});
+  for (index_t y = 0; y < 4; ++y)
+    for (index_t x = 0; x < 5; ++x) f.at(x, y, 0) = static_cast<float>(x * x);
+  const FieldF p = pad_xy(f, PadKind::quadratic);
+  EXPECT_FLOAT_EQ(p.at(5, 1, 0), 25.0f);
+}
+
+TEST(Padding, OverheadFormula) {
+  EXPECT_NEAR(padding_overhead(4), 1.5625, 1e-12);  // paper: 56% for u = 4
+  EXPECT_NEAR(padding_overhead(16), 1.12890625, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// ROI extraction (paper Fig. 4).
+// ---------------------------------------------------------------------------
+
+TEST(Roi, ExtractAdaptiveSelectsRequestedFraction) {
+  const FieldF f = noise_field({64, 64, 64}, 10.0);
+  const auto mr = roi::extract_adaptive(f, 16, 0.15);
+  ASSERT_EQ(mr.levels.size(), 2u);
+  EXPECT_NEAR(mr.levels[0].density(), 0.15, 0.02);
+}
+
+TEST(Roi, CapturesHighValueRegions) {
+  // Halos = rare high peaks; range thresholding must capture them.
+  FieldF f({64, 64, 64}, 1.0f);
+  Rng rng(5);
+  for (int h = 0; h < 30; ++h) {
+    const auto x = static_cast<index_t>(rng.uniform_index(64));
+    const auto y = static_cast<index_t>(rng.uniform_index(64));
+    const auto z = static_cast<index_t>(rng.uniform_index(64));
+    f.at(x, y, z) = 1000.0f;
+  }
+  const auto mr = roi::extract_adaptive(f, 8, 0.15);
+  EXPECT_GT(roi::captured_fraction(mr, f, 500.0f), 0.95);
+}
+
+TEST(Roi, RejectsSmallBlocks) {
+  const FieldF f = smooth_field({32, 32, 32});
+  EXPECT_THROW((void)roi::extract_adaptive(f, 4, 0.5), ContractError);  // b must be > 4
+}
+
+TEST(Roi, RejectsBadFraction) {
+  const FieldF f = smooth_field({32, 32, 32});
+  EXPECT_THROW((void)roi::extract_adaptive(f, 8, 0.0), ContractError);
+  EXPECT_THROW((void)roi::extract_adaptive(f, 8, 1.5), ContractError);
+}
+
+}  // namespace
+}  // namespace mrc

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "metrics/fft.h"
+#include "metrics/psnr.h"
+#include "metrics/spectrum.h"
+#include "metrics/ssim.h"
+#include "simdata/generators.h"
+#include "test_util.h"
+
+namespace mrc::metrics {
+namespace {
+
+TEST(Psnr, IdenticalFieldsInfinite) {
+  const FieldF f = test::smooth_field({8, 8, 8});
+  EXPECT_TRUE(std::isinf(psnr(f, f)));
+}
+
+TEST(Psnr, KnownValue) {
+  // Range 100, RMSE 1 -> PSNR = 40 dB.
+  FieldF a({100, 1, 1}), b({100, 1, 1});
+  for (index_t i = 0; i < 100; ++i) {
+    a[i] = static_cast<float>(i);  // range 99
+    b[i] = a[i] + ((i % 2) ? 1.0f : -1.0f);
+  }
+  const auto s = error_stats(a, b);
+  EXPECT_DOUBLE_EQ(s.rmse, 1.0);
+  EXPECT_NEAR(s.psnr, 20.0 * std::log10(99.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 1.0);
+}
+
+TEST(Psnr, MismatchedDimsThrow) {
+  FieldF a({4, 4, 4}), b({4, 4, 2});
+  EXPECT_THROW((void)psnr(a, b), ContractError);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const FieldF f = test::smooth_field({16, 16, 16});
+  EXPECT_NEAR(ssim(f, f), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoise) {
+  const FieldF f = test::smooth_field({16, 16, 16}, 100.0);
+  FieldF noisy = f;
+  Rng rng(3);
+  for (index_t i = 0; i < noisy.size(); ++i)
+    noisy[i] += static_cast<float>(rng.normal(0.0, 20.0));
+  const double s = ssim(f, noisy);
+  EXPECT_LT(s, 0.95);
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(Ssim, OrderSensitivityIsMild) {
+  const FieldF a = test::smooth_field({16, 16, 16}, 100.0);
+  FieldF b = a;
+  for (index_t i = 0; i < b.size(); ++i) b[i] += 5.0f;
+  // Symmetric-ish metric: both directions agree to first order.
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 0.05);
+}
+
+TEST(Ssim, MoreDistortionLowerScore) {
+  const FieldF f = test::smooth_field({16, 16, 16}, 100.0);
+  FieldF mild = f, severe = f;
+  Rng rng(4);
+  for (index_t i = 0; i < f.size(); ++i) {
+    const float n = static_cast<float>(rng.normal());
+    mild[i] += 2.0f * n;
+    severe[i] += 30.0f * n;
+  }
+  EXPECT_GT(ssim(f, mild), ssim(f, severe));
+}
+
+TEST(Ssim, CentralSliceWorks) {
+  const FieldF f = test::smooth_field({32, 32, 8}, 50.0);
+  EXPECT_NEAR(ssim_central_slice(f, f), 1.0, 1e-12);
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<cplx> data(16, cplx{});
+  data[0] = 1.0;
+  fft_1d(data.data(), 16, false);
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, RoundTrip1D) {
+  Rng rng(5);
+  std::vector<cplx> data(64);
+  for (auto& v : data) v = cplx(rng.normal(), rng.normal());
+  auto copy = data;
+  fft_1d(data.data(), 64, false);
+  fft_1d(data.data(), 64, true);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] - copy[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, SingleToneLandsInRightBin) {
+  const std::size_t n = 32;
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::cos(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) / n);
+  fft_1d(data.data(), n, false);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTrip3D) {
+  const Dim3 d{8, 16, 4};
+  Rng rng(6);
+  std::vector<cplx> data(static_cast<std::size_t>(d.size()));
+  for (auto& v : data) v = cplx(rng.normal(), rng.normal());
+  auto copy = data;
+  fft_3d(data, d, false);
+  fft_3d(data, d, true);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] - copy[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalHolds3D) {
+  const Dim3 d{8, 8, 8};
+  Rng rng(7);
+  std::vector<cplx> data(static_cast<std::size_t>(d.size()));
+  double time_energy = 0;
+  for (auto& v : data) {
+    v = cplx(rng.normal(), 0.0);
+    time_energy += std::norm(v);
+  }
+  fft_3d(data, d, false);
+  double freq_energy = 0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(d.size()), time_energy,
+              time_energy * 1e-10);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cplx> data(12);
+  EXPECT_THROW(fft_1d(data.data(), 12, false), ContractError);
+}
+
+TEST(Spectrum, IdenticalFieldsZeroError) {
+  const FieldF f = sim::nyx_density({32, 32, 32}, 3);
+  const auto e = spectrum_error(f, f, 10);
+  EXPECT_DOUBLE_EQ(e.max_rel, 0.0);
+  EXPECT_DOUBLE_EQ(e.avg_rel, 0.0);
+}
+
+TEST(Spectrum, PowerLawShapeIsDecreasing) {
+  const FieldF g = sim::gaussian_random_field({64, 64, 64}, 3.0, 11);
+  FieldF f({64, 64, 64});
+  for (index_t i = 0; i < f.size(); ++i) f[i] = g[i] + 10.0f;  // positive mean
+  const auto p = power_spectrum(f, 16);
+  // P(k) ∝ k^-3: strictly decreasing over the resolved range.
+  EXPECT_GT(p[1], p[4]);
+  EXPECT_GT(p[4], p[10]);
+}
+
+TEST(Spectrum, SmallPerturbationSmallError) {
+  const FieldF f = sim::nyx_density({32, 32, 32}, 9);
+  FieldF g = f;
+  Rng rng(8);
+  const double range = f.value_range();
+  for (index_t i = 0; i < g.size(); ++i)
+    g[i] += static_cast<float>(rng.normal(0.0, 1e-5 * range));
+  const auto e = spectrum_error(f, g, 10);
+  EXPECT_LT(e.max_rel, 0.05);
+}
+
+TEST(Spectrum, LargePerturbationLargerError) {
+  const FieldF f = sim::nyx_density({32, 32, 32}, 9);
+  FieldF small = f, big = f;
+  Rng rng(9);
+  const double range = f.value_range();
+  for (index_t i = 0; i < f.size(); ++i) {
+    const double n = rng.normal();
+    small[i] += static_cast<float>(1e-5 * range * n);
+    big[i] += static_cast<float>(1e-2 * range * n);
+  }
+  EXPECT_LT(spectrum_error(f, small, 10).avg_rel, spectrum_error(f, big, 10).avg_rel);
+}
+
+}  // namespace
+}  // namespace mrc::metrics

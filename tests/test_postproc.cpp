@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "metrics/psnr.h"
+#include "postproc/bezier.h"
+#include "postproc/filters.h"
+#include "postproc/sampler.h"
+#include "test_util.h"
+
+namespace mrc {
+namespace {
+
+using postproc::BezierParams;
+using test::max_abs_err;
+using test::smooth_field;
+
+TEST(Bezier, ClampInvariant) {
+  // Post-processed values never move further than a*eb per axis pass
+  // (3*a*eb total, plus float rounding of the stored values).
+  const FieldF f = test::noise_field({16, 16, 16}, 10.0);
+  const double eb = 0.5, a = 0.3;
+  const FieldF p = postproc::bezier_postprocess(f, {4, eb, a, a, a});
+  EXPECT_LE(max_abs_err(f, p), 3.0 * a * eb * (1.0 + 1e-5));
+}
+
+TEST(Bezier, OnlyBoundaryAdjacentPointsChange) {
+  const FieldF f = test::noise_field({16, 16, 16}, 10.0);
+  const FieldF p = postproc::bezier_postprocess_axis(f, 4, 1.0, 0.5, 0);
+  for (index_t z = 0; z < 16; ++z)
+    for (index_t y = 0; y < 16; ++y)
+      for (index_t x = 0; x < 16; ++x) {
+        const index_t r = x % 4;
+        const bool boundary = (r == 0 || r == 3) && x > 0 && x < 15;
+        if (!boundary) EXPECT_FLOAT_EQ(p.at(x, y, z), f.at(x, y, z));
+      }
+}
+
+TEST(Bezier, ZeroIntensityIsIdentity) {
+  const FieldF f = test::noise_field({12, 12, 12}, 5.0);
+  const FieldF p = postproc::bezier_postprocess(f, {4, 1.0, 0.0, 0.0, 0.0});
+  for (index_t i = 0; i < f.size(); ++i) EXPECT_FLOAT_EQ(p[i], f[i]);
+}
+
+TEST(Bezier, SmoothsArtificialBlockDiscontinuity) {
+  // A field that is flat inside each 4-block but jumps at boundaries —
+  // an idealized blocking artifact. The Bézier pass must reduce total
+  // variation at the boundary.
+  FieldF f({16, 1, 1});
+  for (index_t x = 0; x < 16; ++x) f.at(x, 0, 0) = static_cast<float>((x / 4) % 2);
+  const FieldF p = postproc::bezier_postprocess_axis(f, 4, 1.0, 0.5, 0);
+  // Total variation is conserved by a monotone smoothing, so measure jump
+  // *energy* (sum of squared differences), which smoothing must reduce.
+  double e_before = 0, e_after = 0;
+  for (index_t x = 1; x < 16; ++x) {
+    e_before += std::pow(f.at(x, 0, 0) - f.at(x - 1, 0, 0), 2);
+    e_after += std::pow(p.at(x, 0, 0) - p.at(x - 1, 0, 0), 2);
+  }
+  EXPECT_LT(e_after, e_before);
+}
+
+TEST(Bezier, ImprovesZfpDecompressedQuality) {
+  // End-to-end: tuned post-processing must raise PSNR vs the original.
+  const FieldF f = smooth_field({32, 32, 32}, 1000.0);
+  const ZfpxCompressor comp;
+  const double eb = 8.0;
+  const auto rt = round_trip(comp, f, eb);
+
+  const auto plan = postproc::default_sampling(f.dims(), ZfpxCompressor::kBlock);
+  const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 7);
+  const auto tuned = postproc::tune_intensity(samples, comp, eb, ZfpxCompressor::kBlock,
+                                              postproc::zfp_candidates());
+  const FieldF processed = postproc::bezier_postprocess(
+      rt.reconstructed, {ZfpxCompressor::kBlock, eb, tuned.ax, tuned.ay, tuned.az});
+  EXPECT_GE(metrics::psnr(f, processed), metrics::psnr(f, rt.reconstructed));
+}
+
+TEST(Bezier, ImprovesSz2DecompressedQuality) {
+  const FieldF f = smooth_field({36, 36, 36}, 1000.0);
+  LorenzoConfig cfg;
+  cfg.block_size = 4;  // multi-resolution setting: more artifacts
+  const LorenzoCompressor comp(cfg);
+  const double eb = 10.0;
+  const auto rt = round_trip(comp, f, eb);
+
+  const auto plan = postproc::default_sampling(f.dims(), 4);
+  const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 7);
+  const auto tuned =
+      postproc::tune_intensity(samples, comp, eb, 4, postproc::sz_candidates());
+  const FieldF processed = postproc::bezier_postprocess(
+      rt.reconstructed, {4, eb, tuned.ax, tuned.ay, tuned.az});
+  EXPECT_GE(metrics::psnr(f, processed), metrics::psnr(f, rt.reconstructed));
+}
+
+TEST(Bezier, UnclampedCanHurt) {
+  // Fig. 12's lesson: the raw Bézier curve without the error-bound clamp
+  // must not beat the clamped version on error-bounded data.
+  const FieldF f = smooth_field({32, 32, 32}, 1000.0);
+  const ZfpxCompressor comp;
+  const auto rt = round_trip(comp, f, 4.0);
+  const FieldF unclamped = postproc::bezier_unclamped(rt.reconstructed, 4);
+  const FieldF clamped = postproc::bezier_postprocess(rt.reconstructed,
+                                                      {4, 4.0, 0.02, 0.02, 0.02});
+  EXPECT_GE(metrics::psnr(f, clamped), metrics::psnr(f, unclamped) - 1e-9);
+}
+
+TEST(Sampler, PlanStaysUnderTargetRate) {
+  const auto plan = postproc::default_sampling({256, 256, 256}, 4);
+  const double rate = static_cast<double>(plan.count) * plan.block_edge * plan.block_edge *
+                      plan.block_edge / (256.0 * 256.0 * 256.0);
+  EXPECT_LE(rate, 0.015 * 1.05);
+  EXPECT_GE(plan.count, 1);
+}
+
+TEST(Sampler, DrawDeterministicUnderSeed) {
+  const FieldF f = test::noise_field({32, 32, 32}, 1.0);
+  const auto a = postproc::draw_sample_blocks(f, 8, 4, 123);
+  const auto b = postproc::draw_sample_blocks(f, 8, 4, 123);
+  ASSERT_EQ(a.originals.size(), b.originals.size());
+  for (std::size_t i = 0; i < a.originals.size(); ++i)
+    EXPECT_EQ(a.originals[i], b.originals[i]);
+}
+
+TEST(Sampler, ClipsToThinFields) {
+  const FieldF f = test::noise_field({64, 64, 4}, 1.0);  // thin slab
+  const auto s = postproc::draw_sample_blocks(f, 16, 3, 1);
+  for (const auto& b : s.originals) EXPECT_LE(b.dims().nz, 4);
+}
+
+TEST(Sampler, CandidatesMatchPaper) {
+  const auto sz = postproc::sz_candidates();
+  const auto zfp = postproc::zfp_candidates();
+  ASSERT_EQ(sz.size(), 10u);
+  ASSERT_EQ(zfp.size(), 10u);
+  EXPECT_DOUBLE_EQ(sz.front(), 0.05);
+  EXPECT_DOUBLE_EQ(sz.back(), 0.50);
+  EXPECT_DOUBLE_EQ(zfp.front(), 0.005);
+  EXPECT_DOUBLE_EQ(zfp.back(), 0.05);
+}
+
+TEST(Sampler, TunedNeverWorseThanBaseOnSamples) {
+  const FieldF f = smooth_field({32, 32, 32}, 500.0);
+  const ZfpxCompressor comp;
+  const auto samples = postproc::draw_sample_blocks(f, 16, 4, 9);
+  const auto r = postproc::tune_intensity(samples, comp, 4.0, 4, postproc::zfp_candidates());
+  EXPECT_LE(r.tuned_mse, r.base_mse * (1.0 + 1e-9));
+}
+
+TEST(Sampler, ErrorSamplesPairUp) {
+  const FieldF f = smooth_field({24, 24, 24});
+  const ZfpxCompressor comp;
+  const auto samples = postproc::draw_sample_blocks(f, 8, 2, 3);
+  const auto es = postproc::collect_error_samples(samples, comp, 0.5);
+  ASSERT_EQ(es.orig.size(), es.dec.size());
+  ASSERT_GT(es.orig.size(), 0u);
+  for (std::size_t i = 0; i < es.orig.size(); ++i)
+    EXPECT_LE(std::abs(es.orig[i] - es.dec[i]), 0.5 + 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Image filters (Table I baselines).
+// ---------------------------------------------------------------------------
+
+TEST(Filters, MedianPreservesConstant) {
+  FieldF f({8, 8, 8}, 5.0f);
+  const FieldF m = postproc::median_filter3(f);
+  for (index_t i = 0; i < f.size(); ++i) EXPECT_FLOAT_EQ(m[i], 5.0f);
+}
+
+TEST(Filters, MedianRemovesSaltNoise) {
+  FieldF f({8, 8, 8}, 1.0f);
+  f.at(4, 4, 4) = 1000.0f;
+  const FieldF m = postproc::median_filter3(f);
+  EXPECT_FLOAT_EQ(m.at(4, 4, 4), 1.0f);
+}
+
+TEST(Filters, GaussianPreservesMeanApproximately) {
+  const FieldF f = test::noise_field({16, 16, 16}, 2.0, 6);
+  const FieldF g = postproc::gaussian_blur(f, 1.0);
+  double m0 = 0, m1 = 0;
+  for (index_t i = 0; i < f.size(); ++i) {
+    m0 += f[i];
+    m1 += g[i];
+  }
+  EXPECT_NEAR(m0 / f.size(), m1 / f.size(), 0.05);
+}
+
+TEST(Filters, GaussianReducesVariance) {
+  const FieldF f = test::noise_field({16, 16, 16}, 2.0, 8);
+  const FieldF g = postproc::gaussian_blur(f, 1.5);
+  double v0 = 0, v1 = 0;
+  for (index_t i = 0; i < f.size(); ++i) {
+    v0 += f[i] * f[i];
+    v1 += g[i] * g[i];
+  }
+  EXPECT_LT(v1, v0 * 0.5);
+}
+
+TEST(Filters, AnisotropicDiffusionPreservesStrongEdges) {
+  const FieldF f = test::step_field({16, 16, 16}, 0.0, 1000.0);
+  const FieldF d = postproc::anisotropic_diffusion(f, 4, 30.0, 0.1);
+  // Edge magnitude across the step barely changes (conductance ~ 0).
+  const double jump = std::abs(d.at(8, 8, 8) - d.at(7, 8, 8));
+  EXPECT_GT(jump, 900.0);
+}
+
+TEST(Filters, FiltersLosePsnrVsBezier) {
+  // Table I's core finding: image filters reduce PSNR on error-bounded
+  // decompressed data, our clamped post-process does not.
+  const FieldF f = smooth_field({32, 32, 32}, 1000.0);
+  const ZfpxCompressor comp;
+  const double eb = 4.0;
+  const auto rt = round_trip(comp, f, eb);
+  const double base = metrics::psnr(f, rt.reconstructed);
+
+  const double p_gauss = metrics::psnr(f, postproc::gaussian_blur(rt.reconstructed, 1.0));
+  // Our post-process uses the *tuned* intensity (a = 0 competes), so it can
+  // only match or improve the sampled quality — the untuned fixed-a variant
+  // is exactly what the paper's dynamic limit exists to avoid.
+  const auto samples = postproc::draw_sample_blocks(f, 16, 6, 11);
+  const auto tuned =
+      postproc::tune_intensity(samples, comp, eb, 4, postproc::zfp_candidates());
+  const FieldF ours = postproc::bezier_postprocess(
+      rt.reconstructed, {4, eb, tuned.ax, tuned.ay, tuned.az});
+  const double p_ours = metrics::psnr(f, ours);
+  EXPECT_LT(p_gauss, base);
+  EXPECT_GE(p_ours, base - 0.1);  // tuned on samples; full-field drift is tiny
+}
+
+}  // namespace
+}  // namespace mrc

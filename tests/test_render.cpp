@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "render/volume_renderer.h"
+#include "test_util.h"
+#include "uncertainty/probabilistic_mc.h"
+
+namespace mrc::render {
+namespace {
+
+TEST(VolumeRender, ImageDimensionsMatchGrid) {
+  const FieldF f = test::smooth_field({24, 16, 8});
+  const auto img = volume_render(f, auto_transfer(f));
+  EXPECT_EQ(img.width, 24);
+  EXPECT_EQ(img.height, 16);
+  EXPECT_EQ(img.pixels.size(), 24u * 16u);
+}
+
+TEST(VolumeRender, EmptyVolumeRendersBlack) {
+  FieldF f({8, 8, 8}, 0.0f);
+  TransferFunction tf{0.0, 1.0, 0.1};
+  const auto img = volume_render(f, tf);
+  for (const auto& p : img.pixels) {
+    EXPECT_EQ(p[0], 0);
+    EXPECT_EQ(p[1], 0);
+    EXPECT_EQ(p[2], 0);
+  }
+}
+
+TEST(VolumeRender, HotColumnShowsWarmColor) {
+  FieldF f({8, 8, 8}, 0.0f);
+  for (index_t z = 0; z < 8; ++z) f.at(4, 4, z) = 100.0f;
+  TransferFunction tf{0.0, 100.0, 0.4};
+  const auto img = volume_render(f, tf);
+  // Hot column: red channel dominates; empty corner stays black.
+  EXPECT_GT(img.at(4, 4)[0], img.at(4, 4)[2]);
+  EXPECT_EQ(img.at(0, 0)[0], 0);
+}
+
+TEST(VolumeRender, IdenticalInputsGiveSsimOne) {
+  const FieldF f = test::smooth_field({32, 32, 16});
+  const auto img = volume_render(f, auto_transfer(f));
+  EXPECT_NEAR(image_ssim(img, img), 1.0, 1e-12);
+}
+
+TEST(VolumeRender, DistortionLowersImageSsim) {
+  const FieldF f = test::smooth_field({32, 32, 16}, 100.0);
+  FieldF g = f;
+  Rng rng(9);
+  for (index_t i = 0; i < g.size(); ++i) g[i] += static_cast<float>(rng.normal(0, 25.0));
+  const auto tf = auto_transfer(f);
+  const auto ia = volume_render(f, tf);
+  const auto ib = volume_render(g, tf);
+  EXPECT_LT(image_ssim(ia, ib), 0.999);
+}
+
+TEST(VolumeRender, ProbabilityOverlayPaintsRed) {
+  const FieldF f = test::smooth_field({16, 16, 8});
+  const auto img = volume_render(f, auto_transfer(f));
+  FieldD prob({15, 15, 7}, 0.0);
+  prob.at(5, 5, 3) = 0.9;
+  const auto over = overlay_probability(img, prob, 0.5);
+  EXPECT_GT(over.at(5, 5)[0], 200);  // red
+  EXPECT_EQ(over.at(0, 0), img.at(0, 0));  // untouched elsewhere
+}
+
+TEST(VolumeRender, PpmRoundTripHeader) {
+  const FieldF f = test::smooth_field({10, 6, 4});
+  const auto img = volume_render(f, auto_transfer(f));
+  const auto path = (std::filesystem::temp_directory_path() / "mrc_test.ppm").string();
+  write_ppm(img, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 10);
+  EXPECT_EQ(h, 6);
+  EXPECT_EQ(maxv, 255);
+  EXPECT_EQ(std::filesystem::file_size(path) - static_cast<std::size_t>(in.tellg()) - 1,
+            10u * 6u * 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrc::render

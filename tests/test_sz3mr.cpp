@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/sz3mr.h"
+#include "test_util.h"
+
+namespace mrc {
+namespace {
+
+using test::noise_field;
+using test::smooth_field;
+
+LevelData make_level(Dim3 fine_dims, index_t block, double fine_frac, int level,
+                     std::uint64_t seed = 21) {
+  // Smooth + noise mixture so levels have realistic structure.
+  FieldF f = smooth_field(fine_dims, 50.0);
+  const FieldF n = noise_field(fine_dims, 5.0, seed);
+  for (index_t i = 0; i < f.size(); ++i) f[i] += n[i];
+  const std::array<double, 2> fr{fine_frac, 1.0 - fine_frac};
+  auto mr = amr::build_hierarchy(f, block, fr);
+  return std::move(mr.levels[static_cast<std::size_t>(level)]);
+}
+
+double masked_max_err(const LevelData& a, const LevelData& b) {
+  double m = 0.0;
+  for (index_t i = 0; i < a.data.size(); ++i)
+    if (a.mask[i])
+      m = std::max(m, std::abs(static_cast<double>(a.data[i]) - b.data[i]));
+  return m;
+}
+
+struct PresetCase {
+  sz3mr::Config cfg;
+  const char* name;
+};
+
+class Sz3mrPresets : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(Sz3mrPresets, LevelRoundTripRespectsBound) {
+  const auto& p = GetParam();
+  const LevelData lev = make_level({32, 32, 32}, 16, 0.4, 0);
+  const double eb = 0.5;
+  const auto stream = sz3mr::compress_level(lev, 16, eb, p.cfg);
+  const LevelData out = sz3mr::decompress_level(stream);
+  EXPECT_EQ(out.data.dims(), lev.data.dims());
+  EXPECT_EQ(out.ratio, lev.ratio);
+  // Mask restored exactly.
+  for (index_t i = 0; i < lev.mask.size(); ++i) EXPECT_EQ(out.mask[i], lev.mask[i]);
+  EXPECT_LE(masked_max_err(lev, out), eb * 1.5 + 1e-9)
+      << p.name;  // 1.5: post-process may add a*eb (a <= 0.5)
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, Sz3mrPresets,
+    ::testing::Values(PresetCase{sz3mr::baseline_sz3(), "baseline"},
+                      PresetCase{sz3mr::amric_sz3(), "amric"},
+                      PresetCase{sz3mr::tac_sz3(), "tac"},
+                      PresetCase{sz3mr::ours_pad(), "pad"},
+                      PresetCase{sz3mr::ours_pad_eb(), "pad+eb"},
+                      PresetCase{sz3mr::ours_processed(), "processed"}),
+    [](const auto& info) { return std::string(info.param.name == std::string("pad+eb")
+                                                  ? "pad_eb"
+                                                  : info.param.name); });
+
+TEST(Sz3mr, StrictBoundWithoutPostprocess) {
+  // All non-postprocessed presets must respect the bound exactly.
+  const LevelData lev = make_level({32, 32, 32}, 16, 0.5, 0);
+  for (const auto& cfg : {sz3mr::baseline_sz3(), sz3mr::amric_sz3(), sz3mr::tac_sz3(),
+                          sz3mr::ours_pad(), sz3mr::ours_pad_eb()}) {
+    const auto stream = sz3mr::compress_level(lev, 16, 0.25, cfg);
+    const LevelData out = sz3mr::decompress_level(stream);
+    EXPECT_LE(masked_max_err(lev, out), 0.25 * (1 + 1e-12));
+  }
+}
+
+TEST(Sz3mr, CoarseLevelSmallUnitSkipsPadding) {
+  // unit = 4 (< min_pad_unit): padding must be skipped even for ours_pad.
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.5, 1);  // coarse: unit 4
+  const auto stream = sz3mr::compress_level(lev, 4, 0.5, sz3mr::ours_pad());
+  const LevelData out = sz3mr::decompress_level(stream);
+  EXPECT_LE(masked_max_err(lev, out), 0.5 * (1 + 1e-12));
+}
+
+TEST(Sz3mr, EmptyLevelProducesValidStream) {
+  LevelData lev;
+  lev.ratio = 2;
+  lev.data = FieldF({16, 16, 16}, 0.0f);
+  lev.mask = MaskField({16, 16, 16}, 0);  // nothing valid
+  const auto stream = sz3mr::compress_level(lev, 4, 0.5, sz3mr::ours_pad_eb());
+  const LevelData out = sz3mr::decompress_level(stream);
+  EXPECT_EQ(out.data.dims(), Dim3(16, 16, 16));
+  for (index_t i = 0; i < out.mask.size(); ++i) EXPECT_EQ(out.mask[i], 0);
+}
+
+TEST(Sz3mr, PaddingOverheadBoundedByGeometry) {
+  // Improvement 1 carries (17/16)^2 ≈ 12.9% extra samples. On data the
+  // predictor can handle, the better (extrapolation-free) prediction wins
+  // most of that back: the padded stream must stay well under the raw
+  // sample overhead, and never exceed it.
+  FieldF f = test::smooth_field({64, 64, 64}, 50.0);
+  const std::array<double, 2> fr{0.35, 0.65};
+  auto mr = amr::build_hierarchy(f, 16, fr);
+  const LevelData& lev = mr.levels[0];
+  const double eb = 0.5;
+  const auto s_base = sz3mr::compress_level(lev, 16, eb, sz3mr::baseline_sz3());
+  const auto s_pad = sz3mr::compress_level(lev, 16, eb, sz3mr::ours_pad());
+  EXPECT_LT(static_cast<double>(s_pad.size()),
+            static_cast<double>(s_base.size()) * padding_overhead(16));
+}
+
+TEST(Sz3mr, MultiResRoundTrip) {
+  FieldF f = smooth_field({32, 32, 32}, 50.0);
+  const std::array<double, 2> fr{0.3, 0.7};
+  const auto mr = amr::build_hierarchy(f, 16, fr);
+  const auto streams = sz3mr::compress_multires(mr, 0.5, sz3mr::ours_pad_eb());
+  ASSERT_EQ(streams.level_streams.size(), 2u);
+  const auto out = sz3mr::decompress_multires(streams);
+  ASSERT_EQ(out.levels.size(), 2u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_LE(masked_max_err(mr.levels[l], out.levels[l]), 0.5 * (1 + 1e-12));
+  }
+  EXPECT_GT(sz3mr::multires_ratio(mr, streams), 1.0);
+}
+
+TEST(Sz3mr, TacStreamsCarryBoxStructure) {
+  const LevelData lev = make_level({32, 32, 32}, 8, 0.3, 0);
+  const auto stream = sz3mr::compress_level(lev, 8, 0.5, sz3mr::tac_sz3());
+  const LevelData out = sz3mr::decompress_level(stream);
+  EXPECT_LE(masked_max_err(lev, out), 0.5 * (1 + 1e-12));
+}
+
+TEST(Sz3mr, CorruptStreamRejected) {
+  Bytes garbage(128, std::byte{0x77});
+  EXPECT_THROW((void)sz3mr::decompress_level(garbage), CodecError);
+}
+
+TEST(Sz3mr, PreparedLevelSeparatesPhases) {
+  const LevelData lev = make_level({32, 32, 32}, 16, 0.5, 0);
+  const auto prep = sz3mr::prepare_level(lev, 16, sz3mr::ours_pad());
+  EXPECT_TRUE(prep.padded);
+  EXPECT_EQ(prep.merged.dims().nx, 17);  // 16 + pad
+  const auto stream = sz3mr::encode_prepared(prep, 0.5);
+  const LevelData out = sz3mr::decompress_level(stream);
+  EXPECT_LE(masked_max_err(lev, out), 0.5 * (1 + 1e-12));
+}
+
+}  // namespace
+}  // namespace mrc

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "uncertainty/error_model.h"
+#include "uncertainty/marching_cubes.h"
+#include "uncertainty/probabilistic_mc.h"
+#include "test_util.h"
+
+namespace mrc::uq {
+namespace {
+
+TEST(ErrorModel, FitRecoversMoments) {
+  Rng rng(12);
+  std::vector<float> orig, dec;
+  const double mu = 0.3, sigma = 0.8;
+  for (int i = 0; i < 50000; ++i) {
+    const float o = static_cast<float>(rng.uniform(0.0, 100.0));
+    orig.push_back(o);
+    dec.push_back(o - static_cast<float>(rng.normal(mu, sigma)));
+  }
+  const auto m = ErrorModel::fit(orig, dec);
+  EXPECT_NEAR(m.mean, mu, 0.02);
+  EXPECT_NEAR(m.sigma, sigma, 0.02);
+}
+
+TEST(ErrorModel, IsovalueConditioningSelectsLocalErrors) {
+  // Error depends on value: tiny below 50, large above.
+  std::vector<float> orig, dec;
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const float o = static_cast<float>(rng.uniform(0.0, 100.0));
+    const double s = o < 50.0 ? 0.01 : 2.0;
+    orig.push_back(o);
+    dec.push_back(o + static_cast<float>(rng.normal(0.0, s)));
+  }
+  const auto low = ErrorModel::fit_near_isovalue(orig, dec, 25.0, 10.0);
+  const auto high = ErrorModel::fit_near_isovalue(orig, dec, 75.0, 10.0);
+  EXPECT_LT(low.sigma, 0.1);
+  EXPECT_GT(high.sigma, 1.0);
+}
+
+TEST(ErrorModel, FallsBackWhenWindowEmpty) {
+  std::vector<float> orig(100, 1.0f), dec(100, 1.5f);
+  const auto m = ErrorModel::fit_near_isovalue(orig, dec, 1000.0, 0.5);
+  EXPECT_EQ(m.n_samples, 100);  // global fallback
+  EXPECT_NEAR(m.mean, -0.5, 1e-6);
+}
+
+TEST(ProbMc, DeterministicCellWellAwayFromIso) {
+  FieldF f({4, 4, 4}, 10.0f);
+  ErrorModel m{0.0, 0.01, 1000};
+  const FieldD p = crossing_probability(f, 0.0, m);
+  for (index_t i = 0; i < p.size(); ++i) EXPECT_LT(p[i], 1e-10);
+}
+
+TEST(ProbMc, CellStraddlingIsoHasProbabilityOne) {
+  FieldF f({2, 2, 2});
+  for (index_t i = 0; i < 8; ++i) f[i] = i < 4 ? -10.0f : 10.0f;
+  ErrorModel m{0.0, 0.1, 1000};
+  const FieldD p = crossing_probability(f, 0.0, m);
+  EXPECT_GT(p.at(0, 0, 0), 0.999);
+}
+
+TEST(ProbMc, LargeSigmaPushesProbabilityTowardUniform) {
+  FieldF f({2, 2, 2}, 5.0f);
+  ErrorModel tight{0.0, 0.01, 1000};
+  ErrorModel wide{0.0, 100.0, 1000};
+  const double p_tight = crossing_probability(f, 0.0, tight).at(0, 0, 0);
+  const double p_wide = crossing_probability(f, 0.0, wide).at(0, 0, 0);
+  EXPECT_LT(p_tight, 1e-10);
+  EXPECT_GT(p_wide, 0.3);
+}
+
+TEST(ProbMc, ClosedFormMatchesMonteCarlo) {
+  const FieldF f = test::smooth_field({8, 8, 8}, 10.0);
+  ErrorModel m{0.1, 2.0, 1000};
+  const FieldD exact = crossing_probability(f, 0.0, m);
+  const FieldD mc = crossing_probability_mc(f, 0.0, m, 4000, 5);
+  double max_diff = 0.0;
+  for (index_t i = 0; i < exact.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(exact[i] - mc[i]));
+  EXPECT_LT(max_diff, 0.05);  // ~4σ of the MC estimator at n=4000
+}
+
+TEST(ProbMc, MeanShiftMatters) {
+  // Corners at -1.5 and -0.5: without bias the cell sits fully below the
+  // isovalue; a +1 error-model bias moves the upper corners across it.
+  FieldF f({2, 2, 2});
+  for (index_t i = 0; i < 8; ++i) f[i] = i < 4 ? -1.5f : -0.5f;
+  ErrorModel no_bias{0.0, 0.1, 1000};
+  ErrorModel bias{1.0, 0.1, 1000};
+  EXPECT_LT(crossing_probability(f, 0.0, no_bias).at(0, 0, 0), 0.05);
+  EXPECT_GT(crossing_probability(f, 0.0, bias).at(0, 0, 0), 0.9);
+}
+
+TEST(ProbMc, CompareIsosurfacesCountsMissedCells) {
+  // Original has a thin feature; "decompression" flattens it out.
+  FieldF orig({8, 8, 8}, 0.0f);
+  for (index_t y = 0; y < 8; ++y)
+    for (index_t x = 0; x < 8; ++x) orig.at(x, y, 4) = 10.0f;  // sheet above iso
+  FieldF dec({8, 8, 8}, 0.0f);  // feature gone
+  ErrorModel m{0.0, 6.0, 1000};
+  const FieldD prob = crossing_probability(dec, 5.0, m);
+  const auto stats = compare_isosurfaces(orig, dec, prob, 5.0, 0.2);
+  EXPECT_GT(stats.cells_crossed_original, 0);
+  EXPECT_EQ(stats.cells_crossed_decompressed, 0);
+  EXPECT_EQ(stats.cells_missed, stats.cells_crossed_original);
+  // With sigma comparable to the lost amplitude, the probability field must
+  // flag (recover) the missing region.
+  EXPECT_GT(stats.recovery_rate(), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Marching cubes.
+// ---------------------------------------------------------------------------
+
+FieldF sphere_field(Dim3 d, double r) {
+  FieldF f(d);
+  const double cx = (d.nx - 1) / 2.0, cy = (d.ny - 1) / 2.0, cz = (d.nz - 1) / 2.0;
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        f.at(x, y, z) = static_cast<float>(
+            std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy) + (z - cz) * (z - cz)) - r);
+  return f;
+}
+
+double mesh_area(const TriMesh& m) {
+  double area = 0.0;
+  for (const auto& t : m.triangles) {
+    const auto& a = m.vertices[t[0]];
+    const auto& b = m.vertices[t[1]];
+    const auto& c = m.vertices[t[2]];
+    const double ux = b[0] - a[0], uy = b[1] - a[1], uz = b[2] - a[2];
+    const double vx = c[0] - a[0], vy = c[1] - a[1], vz = c[2] - a[2];
+    const double cxp = uy * vz - uz * vy;
+    const double cyp = uz * vx - ux * vz;
+    const double czp = ux * vy - uy * vx;
+    area += 0.5 * std::sqrt(cxp * cxp + cyp * cyp + czp * czp);
+  }
+  return area;
+}
+
+TEST(MarchingCubes, EmptyWhenNoCrossing) {
+  FieldF f({8, 8, 8}, 1.0f);
+  const auto mesh = marching_cubes(f, 5.0);
+  EXPECT_EQ(mesh.triangle_count(), 0u);
+}
+
+TEST(MarchingCubes, SphereAreaMatchesAnalytic) {
+  const double r = 10.0;
+  const auto mesh = marching_cubes(sphere_field({32, 32, 32}, r), 0.0);
+  EXPECT_GT(mesh.triangle_count(), 500u);
+  const double analytic = 4.0 * std::numbers::pi * r * r;
+  EXPECT_NEAR(mesh_area(mesh), analytic, analytic * 0.05);
+}
+
+TEST(MarchingCubes, PlaneAreaMatchesCrossSection) {
+  // f = z - 7.5 -> plane through a 16^3 grid: area = 15 x 15.
+  FieldF f({16, 16, 16});
+  for (index_t z = 0; z < 16; ++z)
+    for (index_t y = 0; y < 16; ++y)
+      for (index_t x = 0; x < 16; ++x) f.at(x, y, z) = static_cast<float>(z) - 7.5f;
+  const auto mesh = marching_cubes(f, 0.0);
+  EXPECT_NEAR(mesh_area(mesh), 225.0, 1.0);
+}
+
+TEST(MarchingCubes, VerticesLieOnIsosurface) {
+  const auto f = sphere_field({24, 24, 24}, 8.0);
+  const auto mesh = marching_cubes(f, 0.0);
+  const double c = 11.5;
+  for (const auto& v : mesh.vertices) {
+    const double r = std::sqrt((v[0] - c) * (v[0] - c) + (v[1] - c) * (v[1] - c) +
+                               (v[2] - c) * (v[2] - c));
+    EXPECT_NEAR(r, 8.0, 0.35);  // linear interpolation accuracy on unit cells
+  }
+}
+
+TEST(MarchingCubes, SharedVerticesAreDeduplicated) {
+  const auto mesh = marching_cubes(sphere_field({16, 16, 16}, 5.0), 0.0);
+  // A closed triangulated surface has E ≈ 1.5 T and V ≈ T/2 + 2 (Euler);
+  // without dedup V would be 3T.
+  EXPECT_LT(mesh.vertex_count(), mesh.triangle_count());
+}
+
+TEST(MarchingCubes, DegenerateGridsReturnEmpty) {
+  FieldF f({1, 8, 8}, 0.0f);
+  EXPECT_EQ(marching_cubes(f, 0.5).triangle_count(), 0u);
+}
+
+TEST(CrossingCells, MatchesMarchingCubesOccupancy) {
+  const auto f = sphere_field({16, 16, 16}, 5.0);
+  const auto cells = crossing_cells(f, 0.0);
+  index_t n_crossed = 0;
+  for (index_t i = 0; i < cells.size(); ++i) n_crossed += cells[i];
+  EXPECT_GT(n_crossed, 0);
+  // Each crossed cell emits at least one triangle.
+  const auto mesh = marching_cubes(f, 0.0);
+  EXPECT_GE(mesh.triangle_count(), static_cast<std::size_t>(n_crossed));
+}
+
+}  // namespace
+}  // namespace mrc::uq

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the test suite: deterministic field constructors and
+// error measurement.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "grid/field.h"
+
+namespace mrc::test {
+
+/// Smooth trigonometric field — friendly to every predictor.
+inline FieldF smooth_field(Dim3 d, double amp = 100.0) {
+  FieldF f(d);
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        f.at(x, y, z) = static_cast<float>(
+            amp * (std::sin(0.11 * x) * std::cos(0.07 * y) + std::sin(0.05 * z)));
+  return f;
+}
+
+/// White-noise field — worst case for prediction, exercises outliers.
+inline FieldF noise_field(Dim3 d, double amp = 1.0, std::uint64_t seed = 99) {
+  Rng rng(seed);
+  FieldF f(d);
+  for (index_t i = 0; i < d.size(); ++i)
+    f[i] = static_cast<float>(amp * rng.normal());
+  return f;
+}
+
+/// Piecewise-constant field with a sharp step — exercises outlier paths and
+/// artifact-prone regions.
+inline FieldF step_field(Dim3 d, double lo = 0.0, double hi = 1000.0) {
+  FieldF f(d);
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        f.at(x, y, z) = static_cast<float>(x < d.nx / 2 ? lo : hi);
+  return f;
+}
+
+inline double max_abs_err(const FieldF& a, const FieldF& b) {
+  double m = 0.0;
+  for (index_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  return m;
+}
+
+}  // namespace mrc::test

@@ -1,0 +1,153 @@
+// mrcc — command-line front end for the mrcomp workflow.
+//
+//   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb]
+//   mrcc decompress <in> <out.f32>
+//   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb]
+//   mrcc restore    <in.snapshot> <out.f32>
+//   mrcc info       <in>
+//
+// codec ∈ {interp, lorenzo, zfpx} (default interp). rel_eb is the absolute
+// error bound as a fraction of the value range (default 1e-4). "adaptive"
+// runs the full paper workflow: ROI extraction + SZ3MR, written as a
+// self-describing snapshot; "restore" reconstructs a uniform grid from it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "compressors/interp/interp_compressor.h"
+#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "core/workflow.h"
+#include "io/raw_io.h"
+
+using namespace mrc;
+
+namespace {
+
+std::unique_ptr<Compressor> make_codec(const std::string& name) {
+  if (name == "interp") return std::make_unique<InterpCompressor>();
+  if (name == "lorenzo") return std::make_unique<LorenzoCompressor>();
+  if (name == "zfpx") return std::make_unique<ZfpxCompressor>();
+  std::fprintf(stderr, "unknown codec '%s' (interp|lorenzo|zfpx)\n", name.c_str());
+  std::exit(2);
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MRC_REQUIRE(in.good(), "cannot open: " + path);
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  Bytes out(raw.size());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+void write_file(std::span<const std::byte> data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MRC_REQUIRE(out.good(), "cannot open: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  MRC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+/// Streams are self-describing; try each codec until the magic matches.
+FieldF decompress_any(std::span<const std::byte> stream, std::string* codec_name) {
+  for (const char* name : {"interp", "lorenzo", "zfpx"}) {
+    try {
+      const auto codec = make_codec(name);
+      FieldF f = codec->decompress(stream);
+      if (codec_name) *codec_name = name;
+      return f;
+    } catch (const CodecError&) {
+      continue;
+    }
+  }
+  throw CodecError("not an mrcomp compressed stream");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb]\n"
+               "  mrcc decompress <in> <out.f32>\n"
+               "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi] [rel_eb]\n"
+               "  mrcc restore    <in.snapshot> <out.f32>\n"
+               "  mrcc info       <in>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+ try {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "compress" && argc >= 7) {
+    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
+    const auto codec = make_codec(argc > 7 ? argv[7] : "interp");
+    const double rel = argc > 8 ? std::atof(argv[8]) : 1e-4;
+    const auto stream = codec->compress(f, f.value_range() * rel);
+    write_file(stream, argv[6]);
+    std::printf("%s: %lld values -> %zu bytes (CR %.1f)\n", codec->name().c_str(),
+                static_cast<long long>(f.size()), stream.size(),
+                compression_ratio(f.size(), stream.size()));
+    return 0;
+  }
+  if (cmd == "decompress" && argc == 4) {
+    const auto stream = read_file(argv[2]);
+    std::string codec;
+    const FieldF f = decompress_any(stream, &codec);
+    std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(f.data()),
+              static_cast<std::streamsize>(f.size() * sizeof(float)));
+    std::printf("%s stream, %s -> %s\n", codec.c_str(), f.dims().str().c_str(), argv[3]);
+    return 0;
+  }
+  if (cmd == "adaptive" && argc >= 7) {
+    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
+    workflow::Config cfg;
+    cfg.roi_fraction = argc > 7 ? std::atof(argv[7]) : 0.5;
+    const double rel = argc > 8 ? std::atof(argv[8]) : 1e-4;
+    const auto adaptive = roi::extract_adaptive(f, cfg.roi_block, cfg.roi_fraction);
+    const auto timing =
+        workflow::write_snapshot(adaptive, f.value_range() * rel, cfg.pipeline, argv[6]);
+    std::printf("adaptive snapshot: %zu bytes (CR %.1f on stored samples)\n",
+                timing.bytes_written,
+                static_cast<double>(adaptive.stored_samples()) * 4.0 /
+                    static_cast<double>(timing.bytes_written));
+    return 0;
+  }
+  if (cmd == "restore" && argc == 4) {
+    auto mr = workflow::read_snapshot(argv[2]);
+    mr.fine_dims = mr.levels.front().data.dims();
+    const FieldF f = mr.reconstruct_uniform();
+    std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(f.data()),
+              static_cast<std::streamsize>(f.size() * sizeof(float)));
+    std::printf("restored uniform grid %s -> %s\n", f.dims().str().c_str(), argv[3]);
+    return 0;
+  }
+  if (cmd == "info" && argc == 3) {
+    const auto stream = read_file(argv[2]);
+    std::string codec;
+    const FieldF f = decompress_any(stream, &codec);
+    const auto [lo, hi] = f.min_max();
+    std::printf("codec %s, dims %s, %zu bytes, CR %.1f, values in [%.4g, %.4g]\n",
+                codec.c_str(), f.dims().str().c_str(), stream.size(),
+                compression_ratio(f.size(), stream.size()), static_cast<double>(lo),
+                static_cast<double>(hi));
+    return 0;
+  }
+  return usage();
+ } catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+ }
+}
