@@ -4,7 +4,7 @@
 // each with its own tuned intensity.
 
 #include "bench_util.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "postproc/bezier.h"
 
 using namespace mrc;
@@ -14,20 +14,20 @@ int main() {
                      "WarpX Ez + ZFP; tuned intensity per curve");
 
   const FieldF f = sim::warpx_ez(scaled({256, 256, 1024}), 11);
-  const ZfpxCompressor comp;
-  const index_t bs = ZfpxCompressor::kBlock;
+  const auto comp = registry().make("zfpx");
+  const index_t bs = registry().find("zfpx")->block_edge;
   const double range = f.value_range();
 
   std::printf("%-10s %-10s %-12s %-14s %-12s\n", "CR", "ZFP", "Bezier(quad)",
               "Catmull(cubic)", "B-spline");
   for (const double rel : {5e-4, 1e-3, 2e-3, 5e-3}) {
     const double eb = range * rel;
-    const auto rt = round_trip(comp, f, eb);
+    const auto rt = round_trip(*comp, f, eb);
 
     const auto plan = postproc::default_sampling(f.dims(), bs);
     const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 7);
     const auto tuned =
-        postproc::tune_intensity(samples, comp, eb, bs, postproc::zfp_candidates());
+        postproc::tune_intensity(samples, *comp, eb, bs, postproc::zfp_candidates());
 
     auto apply = [&](postproc::CurveKind kind) {
       postproc::BezierParams p{bs, eb, tuned.ax, tuned.ay, tuned.az, kind};

@@ -5,7 +5,7 @@
 // dominates.
 
 #include "bench_util.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "postproc/bezier.h"
 
 using namespace mrc;
@@ -15,15 +15,15 @@ int main() {
                      "WarpX Ez field");
 
   const FieldF f = sim::warpx_ez(bench::warpx_dims(), 11);
-  const ZfpxCompressor comp;
+  const auto comp = registry().make("zfpx");
   const double range = f.value_range();
-  const index_t bs = ZfpxCompressor::kBlock;
+  const index_t bs = registry().find("zfpx")->block_edge;
 
   std::printf("%-10s %-10s %-12s %-10s %-12s\n", "CR", "ZFP", "Bezier-only", "a=1",
               "processed");
   for (const double rel : {2e-4, 5e-4, 1e-3, 2e-3, 5e-3}) {
     const double eb = range * rel;
-    const auto rt = round_trip(comp, f, eb);
+    const auto rt = round_trip(*comp, f, eb);
 
     const FieldF unclamped = postproc::bezier_unclamped(rt.reconstructed, bs);
     const FieldF a1 =
@@ -32,7 +32,7 @@ int main() {
     const auto plan = postproc::default_sampling(f.dims(), bs);
     const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 7);
     const auto tuned =
-        postproc::tune_intensity(samples, comp, eb, bs, postproc::zfp_candidates());
+        postproc::tune_intensity(samples, *comp, eb, bs, postproc::zfp_candidates());
     const FieldF proc = postproc::bezier_postprocess(
         rt.reconstructed, {bs, eb, tuned.ax, tuned.ay, tuned.az});
 

@@ -10,7 +10,7 @@
 #include <filesystem>
 
 #include "bench_util.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "io/obj_writer.h"
 #include "io/vtk_writer.h"
 #include "uncertainty/error_model.h"
@@ -24,7 +24,8 @@ int main() {
                      "Fig. 14", "Hurricane + ZFP @ CR~240, probabilistic MC");
 
   const FieldF f = sim::hurricane_field(bench::hurricane_dims(), 19);
-  const ZfpxCompressor comp;
+  const auto comp_ptr = registry().make("zfpx");
+  const Compressor& comp = *comp_ptr;
   const double iso = f.value_range() * 0.25;  // rain-band wind speed
   const auto dir = std::filesystem::temp_directory_path();
 
@@ -40,7 +41,7 @@ int main() {
         f.value_range() * 1e-3, /*iters=*/7);
     const auto rt = round_trip(comp, f, eb);
 
-    const auto plan = postproc::default_sampling(f.dims(), ZfpxCompressor::kBlock);
+    const auto plan = postproc::default_sampling(f.dims(), registry().find("zfpx")->block_edge);
     const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 42);
     const auto es = postproc::collect_error_samples(samples, comp, eb);
     const auto model = uq::ErrorModel::fit_near_isovalue(es.orig, es.dec, iso,

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "compressors/interp/interp_compressor.h"
+#include "compressors/registry.h"
 #include "merge/merge_strategies.h"
 #include "merge/padding.h"
 
@@ -42,12 +43,13 @@ int main() {
   const FieldF merged = merge_linear(set);
   const double eb = f.value_range() * 1e-4;
 
-  const InterpCompressor comp;
+  const auto comp_ptr = registry().make("interp");
+  const Compressor& comp = *comp_ptr;
   std::printf("\n%-12s %-14s %-10s\n", "pad kind", "bytes", "CR");
   const auto base = comp.compress(merged, eb);
   std::printf("%-12s %-14zu %-10.1f\n", "none", base.size(),
               compression_ratio(merged.size(), base.size()));
-  for (const auto [kind, name] :
+  for (const auto& [kind, name] :
        std::initializer_list<std::pair<PadKind, const char*>>{
            {PadKind::constant, "constant"},
            {PadKind::linear, "linear"},

@@ -4,7 +4,7 @@
 // Ours 82.9 — the filters *lose* quality, ours gains it.
 
 #include "bench_util.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "postproc/bezier.h"
 #include "postproc/filters.h"
 
@@ -15,17 +15,18 @@ int main() {
                      "Nyx density + ZFP");
 
   const FieldF f = sim::nyx_density(scaled({256, 256, 256}), 7);
-  const ZfpxCompressor comp;
+  const auto comp = registry().make("zfpx");
+  const index_t bs = registry().find("zfpx")->block_edge;
   const double eb = f.value_range() * 2e-3;
-  const auto rt = round_trip(comp, f, eb);
+  const auto rt = round_trip(*comp, f, eb);
   const FieldF& dec = rt.reconstructed;
 
-  const auto plan = postproc::default_sampling(f.dims(), ZfpxCompressor::kBlock);
+  const auto plan = postproc::default_sampling(f.dims(), bs);
   const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 42);
-  const auto tuned = postproc::tune_intensity(samples, comp, eb, ZfpxCompressor::kBlock,
+  const auto tuned = postproc::tune_intensity(samples, *comp, eb, bs,
                                               postproc::zfp_candidates());
   const FieldF ours = postproc::bezier_postprocess(
-      dec, {ZfpxCompressor::kBlock, eb, tuned.ax, tuned.ay, tuned.az});
+      dec, {bs, eb, tuned.ax, tuned.ay, tuned.az});
 
   std::printf("(CR = %.1f, tuned a = {%.3f, %.3f, %.3f})\n\n", rt.ratio, tuned.ax,
               tuned.ay, tuned.az);

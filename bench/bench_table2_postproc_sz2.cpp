@@ -4,7 +4,7 @@
 //   PSNR-Proc'ed 69.8 74.6 81.1 86.2 91.2 102.6 114.9
 
 #include "bench_util.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/registry.h"
 #include "postproc/bezier.h"
 
 using namespace mrc;
@@ -14,19 +14,19 @@ int main() {
                      "WarpX Ez field, SZ2 (6^3 blocks)");
 
   const FieldF f = sim::warpx_ez(bench::warpx_dims(), 11);
-  const LorenzoCompressor comp;
-  const index_t bs = comp.config().block_size;
+  const auto comp = registry().make("lorenzo");
+  const index_t bs = registry().find("lorenzo")->block_edge;
   const double range = f.value_range();
 
   std::printf("%-10s %-12s %-12s %-8s\n", "CR", "PSNR-SZ2", "PSNR-Proc'ed", "gain");
   for (const double rel : {3e-3, 1.5e-3, 8e-4, 4e-4, 2e-4, 1e-4, 5e-5}) {
     const double eb = range * rel;
-    const auto rt = round_trip(comp, f, eb);
+    const auto rt = round_trip(*comp, f, eb);
 
     const auto plan = postproc::default_sampling(f.dims(), bs);
     const auto samples = postproc::draw_sample_blocks(f, plan.block_edge, plan.count, 7);
     const auto tuned =
-        postproc::tune_intensity(samples, comp, eb, bs, postproc::sz_candidates());
+        postproc::tune_intensity(samples, *comp, eb, bs, postproc::sz_candidates());
     const FieldF proc = postproc::bezier_postprocess(
         rt.reconstructed, {bs, eb, tuned.ax, tuned.ay, tuned.az});
 

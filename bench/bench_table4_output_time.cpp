@@ -31,7 +31,7 @@ int main() {
 
   std::printf("%-12s %-8s %-12s %-14s %-10s\n", "eb", "method", "pre-process",
               "comp+write", "total");
-  for (const auto [rel, label] :
+  for (const auto& [rel, label] :
        std::initializer_list<std::pair<double, const char*>>{{2e-3, "big"},
                                                              {1e-4, "small"}}) {
     const double eb = range * rel;

@@ -5,7 +5,7 @@
 #include <array>
 
 #include "bench_util.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/registry.h"
 #include "simdata/mini_nyx.h"
 
 using namespace mrc;
@@ -23,9 +23,9 @@ int main() {
   const auto mr = nyx.hierarchy();
   const double range = nyx.density().value_range();
 
-  LorenzoConfig lc;
+  CodecTuning lc;
   lc.block_size = 4;  // AMRIC's choice for multi-resolution data
-  const LorenzoCompressor sz2(lc);
+  const auto sz2 = registry().make("lorenzo", lc);
   const auto candidates = postproc::sz_candidates();
 
   for (std::size_t l = 0; l < mr.levels.size(); ++l) {
@@ -35,7 +35,7 @@ int main() {
     std::printf("%-10s %-14s %-14s %-8s\n", "CR", "PSNR-AMRIC-SZ2", "PSNR-Post-SZ2",
                 "gain");
     for (const double rel : {4e-3, 2e-3, 1e-3, 4e-4, 1e-4}) {
-      const auto r = bench::blockwise_level_roundtrip(lev, unit, sz2, range * rel, 4,
+      const auto r = bench::blockwise_level_roundtrip(lev, unit, *sz2, range * rel, 4,
                                                       candidates);
       std::printf("%-10.1f %-14.2f %-14.2f %+.2f\n", r.cr, r.psnr_ori, r.psnr_post,
                   r.psnr_post - r.psnr_ori);

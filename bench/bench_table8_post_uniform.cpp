@@ -3,8 +3,7 @@
 // (+0.3..+2.6dB ZFP, +0.2..+2.7dB SZ2), larger at high CR.
 
 #include "bench_util.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "postproc/bezier.h"
 
 using namespace mrc;
@@ -12,15 +11,14 @@ using namespace mrc;
 namespace {
 
 void run(const char* dataset, const FieldF& f) {
-  const LorenzoCompressor sz2;  // uniform data: default 6^3 blocks
-  const ZfpxCompressor zfp;
   const double range = f.value_range();
 
-  for (const auto& [cname, comp, pp_block, candidates] :
-       std::initializer_list<std::tuple<const char*, const Compressor*, index_t,
-                                        std::vector<double>>>{
-           {"ZFP", &zfp, ZfpxCompressor::kBlock, postproc::zfp_candidates()},
-           {"SZ2", &sz2, 6, postproc::sz_candidates()}}) {
+  // Uniform data: registry defaults (SZ2 6^3 blocks, ZFP 4^3).
+  for (const auto& [cname, candidates] :
+       std::initializer_list<std::pair<const char*, std::vector<double>>>{
+           {"zfpx", postproc::zfp_candidates()}, {"lorenzo", postproc::sz_candidates()}}) {
+    const auto comp = registry().make(cname);
+    const index_t pp_block = registry().find(cname)->block_edge;
     std::printf("\n-- %s + %s --\n", dataset, cname);
     std::printf("%-10s %-12s %-12s %-8s\n", "CR", "PSNR-Ori", "PSNR-Post", "gain");
     for (const double rel : {4e-3, 2e-3, 1e-3, 4e-4, 2e-4, 5e-5}) {

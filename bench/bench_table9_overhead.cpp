@@ -15,8 +15,7 @@
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "common/timer.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "io/raw_io.h"
 #include "postproc/bezier.h"
 
@@ -82,7 +81,8 @@ BENCHMARK(BM_BezierProcess)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_SampleAndModel(benchmark::State& state) {
   const FieldF& f = s3d();
-  const ZfpxCompressor comp;
+  const auto comp_ptr = registry().make("zfpx");
+  const Compressor& comp = *comp_ptr;
   const double eb = f.value_range() * 1e-3;
   for (auto _ : state) {
     const auto plan = postproc::default_sampling(f.dims(), 4);
@@ -104,23 +104,21 @@ int main(int argc, char** argv) {
   const double range = f.value_range();
   const std::string tmpdir = std::filesystem::temp_directory_path().string();
 
-  ZfpxConfig zc;
-  zc.omp_chunks = std::max(1, max_threads() * 2);
-  const ZfpxCompressor zfp_omp(zc);
-  LorenzoConfig lo;
-  lo.omp_chunks = std::max(1, max_threads() * 2);
-  const LorenzoCompressor sz2_omp(lo);
-  const LorenzoCompressor sz2_serial;
+  CodecTuning parallel_tuning;
+  parallel_tuning.threads = std::max(1, max_threads() * 2);
+  const auto zfp_omp = registry().make("zfpx", parallel_tuning);
+  const auto sz2_omp = registry().make("lorenzo", parallel_tuning);
+  const auto sz2_serial = registry().make("lorenzo");
 
   std::printf("%-14s %-7s %7s %9s %9s %9s %9s %9s\n", "codec", "CR", "1.I/O",
               "2.Comp", "3.Sample", "4.Proc", "Ori(1+2)", "Ovh(3+4)/");
   for (const auto& [cname, comp, pp_block, candidates] :
        std::initializer_list<std::tuple<const char*, const Compressor*, index_t,
                                         std::vector<double>>>{
-           {"ZFP (OpenMP)", &zfp_omp, 4, postproc::zfp_candidates()},
-           {"SZ2 (OpenMP)", &sz2_omp, 6, postproc::sz_candidates()},
-           {"SZ2 (serial)", &sz2_serial, 6, postproc::sz_candidates()}}) {
-    for (const auto [rel, label] :
+           {"ZFP (OpenMP)", zfp_omp.get(), 4, postproc::zfp_candidates()},
+           {"SZ2 (OpenMP)", sz2_omp.get(), 6, postproc::sz_candidates()},
+           {"SZ2 (serial)", sz2_serial.get(), 6, postproc::sz_candidates()}}) {
+    for (const auto& [rel, label] :
          std::initializer_list<std::pair<double, const char*>>{
              {3e-3, "small"}, {8e-4, "mid"}, {2e-4, "large"}}) {
       const double eb = range * rel;

@@ -6,9 +6,7 @@
 
 #include <cstdio>
 
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
-#include "core/workflow.h"
+#include "api/mrc_api.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
 #include "postproc/bezier.h"
@@ -27,24 +25,24 @@ int main() {
   const double eb = ez.value_range() * 5e-3;  // aggressive enough for artifacts
   std::printf("Ez field %s, abs eb %.3g\n", ez.dims().str().c_str(), eb);
 
-  // Path A: multi-resolution SZ3MR (the paper's main pipeline).
-  workflow::Config cfg;
-  cfg.roi_fraction = 0.5;  // WarpX's 50/50 split (Table III)
-  const auto compressed = workflow::compress_uniform(ez, eb, cfg);
-  auto decoded = sz3mr::decompress_multires(compressed.streams);
-  decoded.fine_dims = ez.dims();
-  const FieldF recon = decoded.reconstruct_uniform();
-  std::printf("[SZ3MR adaptive]  CR %.1f  PSNR %.2f  SSIM %.4f\n", compressed.ratio,
-              metrics::psnr(ez, recon), metrics::ssim(ez, recon, {7, 4, 0.01, 0.03}));
+  // Path A: multi-resolution SZ3MR (the paper's main pipeline) through the
+  // facade — one Options struct, one snapshot stream out.
+  api::Options opt;
+  opt.eb = 5e-3;
+  opt.roi_fraction = 0.5;  // WarpX's 50/50 split (Table III)
+  const Bytes snapshot = api::compress_adaptive(ez, opt);
+  const FieldF recon = api::restore(snapshot);
+  std::printf("[SZ3MR adaptive]  CR %.1f  PSNR %.2f  SSIM %.4f\n",
+              compression_ratio(ez.size(), snapshot.size()), metrics::psnr(ez, recon),
+              metrics::ssim(ez, recon, {7, 4, 0.01, 0.03}));
 
-  // Path B: block-wise compressors + post-processing on the uniform grid.
-  const ZfpxCompressor zfp;
-  const LorenzoCompressor sz2;
-  for (const auto& [name, comp, block, candidates] :
-       std::initializer_list<std::tuple<const char*, const Compressor*, index_t,
-                                        std::vector<double>>>{
-           {"ZFP", &zfp, ZfpxCompressor::kBlock, postproc::zfp_candidates()},
-           {"SZ2", &sz2, 6, postproc::sz_candidates()}}) {
+  // Path B: block-wise codecs + post-processing on the uniform grid. Codecs
+  // come from the registry; their block granularity rides along in the entry.
+  for (const auto& [name, candidates] :
+       std::initializer_list<std::pair<const char*, std::vector<double>>>{
+           {"zfpx", postproc::zfp_candidates()}, {"lorenzo", postproc::sz_candidates()}}) {
+    const auto comp = registry().make(name);
+    const index_t block = registry().find(name)->block_edge;
     const auto rt = round_trip(*comp, ez, eb);
     const auto plan = postproc::default_sampling(ez.dims(), block);
     const auto samples = postproc::draw_sample_blocks(ez, plan.block_edge, plan.count, 3);

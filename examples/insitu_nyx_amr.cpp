@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/workflow.h"
+#include "api/mrc_api.h"
 #include "metrics/psnr.h"
 #include "simdata/mini_nyx.h"
 
@@ -32,7 +32,10 @@ int main() {
     const double eb = nyx.density().value_range() * 1e-4;
     const auto path = (out_dir / ("snapshot_" + std::to_string(step) + ".mrc")).string();
 
-    const auto timing = workflow::write_snapshot(hierarchy, eb, sz3mr::ours_pad_eb(), path);
+    // The pipeline config comes from the same api::Options every front end
+    // uses; "pad=1,adaptive_eb=1" is the full SZ3MR (sz3mr::ours_pad_eb()).
+    const auto opt = api::Options::parse("pad=1,adaptive_eb=1");
+    const auto timing = workflow::write_snapshot(hierarchy, eb, opt.pipeline(), path);
 
     // Verify the snapshot straight away (a downstream reader would do this
     // offline): fine-level PSNR over the valid samples.

@@ -1,17 +1,18 @@
-// Quickstart: the whole workflow in ~40 lines.
+// Quickstart: the whole workflow through the mrc::api facade in ~30 lines.
 //
 //   1. generate (or load) a uniform scientific field,
-//   2. convert it to multi-resolution "adaptive data" with ROI extraction,
-//   3. compress every level with SZ3MR (padding + adaptive error bounds),
-//   4. decompress, reconstruct a uniform field, and check quality.
+//   2. api::compress_adaptive — ROI extraction + multi-resolution SZ3MR
+//      compression into one self-describing snapshot stream,
+//   3. api::info — identify the stream from its header alone,
+//   4. api::restore — reconstruct a uniform field, and check quality.
 //
 // Build:  cmake --build build --target quickstart
-// Run:    ./build/examples/quickstart [abs_error_bound_rel]
+// Run:    ./build/examples/quickstart [rel_error_bound]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/workflow.h"
+#include "api/mrc_api.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
 #include "simdata/generators.h"
@@ -22,30 +23,27 @@ int main(int argc, char** argv) {
   // 1. A Nyx-like cosmology density field (swap in io::read_raw_f32(...) to
   //    load your own data).
   const FieldF field = sim::nyx_density({128, 128, 128}, /*seed=*/1);
-  const double rel_eb = argc > 1 ? std::atof(argv[1]) : 1e-4;
-  const double abs_eb = field.value_range() * rel_eb;
-  std::printf("input: %s, value range %.3g, abs eb %.3g\n",
-              field.dims().str().c_str(), field.value_range(), abs_eb);
 
-  // 2 + 3. ROI conversion (top 25%% of 16^3 blocks by value range stay at
-  // full resolution) and SZ3MR compression of each level.
-  workflow::Config cfg;
-  cfg.roi_block = 16;
-  cfg.roi_fraction = 0.25;
-  cfg.pipeline = sz3mr::ours_pad_eb();
-  const auto compressed = workflow::compress_uniform(field, abs_eb, cfg);
-  std::printf("adaptive data: %lld of %lld samples stored (%.1f%%)\n",
-              static_cast<long long>(compressed.adaptive.stored_samples()),
-              static_cast<long long>(field.size()),
-              100.0 * compressed.adaptive.stored_samples() / static_cast<double>(field.size()));
-  std::printf("compressed: %.2f MB -> %.2f MB  (CR %.1f on stored samples)\n",
-              field.size() * 4.0 / 1e6, compressed.streams.total_bytes() / 1e6,
-              compressed.ratio);
+  // 2. One Options struct configures everything: codec, error bound (here
+  //    relative to the value range), ROI split, pipeline knobs. The same
+  //    options parse from "key=value" strings — this line is equivalent to
+  //    api::Options::parse("eb=1e-4,roi_block=16,roi_fraction=0.25").
+  api::Options opt;
+  opt.eb = argc > 1 ? std::atof(argv[1]) : 1e-4;
+  opt.roi_block = 16;
+  opt.roi_fraction = 0.25;  // top 25% of 16^3 blocks stay at full resolution
+  const Bytes snapshot = api::compress_adaptive(field, opt);
+
+  // 3. The stream is self-describing; info() reads the header only.
+  const auto meta = api::info(snapshot);
+  std::printf("input: %s, abs eb %.3g\n", field.dims().str().c_str(), meta.eb);
+  std::printf("compressed: %.2f MB -> %.2f MB (CR %.1f, %zu-level %s stream)\n",
+              field.size() * 4.0 / 1e6, snapshot.size() / 1e6,
+              compression_ratio(field.size(), snapshot.size()), meta.levels,
+              meta.codec.c_str());
 
   // 4. Round-trip and quality check.
-  auto decoded = sz3mr::decompress_multires(compressed.streams);
-  decoded.fine_dims = field.dims();
-  const FieldF reconstructed = decoded.reconstruct_uniform();
+  const FieldF reconstructed = api::restore(snapshot);
   std::printf("quality vs original uniform field: PSNR %.2f dB, SSIM %.5f\n",
               metrics::psnr(field, reconstructed),
               metrics::ssim(field, reconstructed, {7, 4, 0.01, 0.03}));

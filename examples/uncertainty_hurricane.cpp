@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "io/obj_writer.h"
 #include "io/vtk_writer.h"
 #include "metrics/psnr.h"
@@ -23,18 +23,18 @@ int main() {
   using namespace mrc;
 
   const FieldF wind = sim::hurricane_field({256, 256, 64}, 19);
-  const ZfpxCompressor comp;
+  const auto comp = registry().make("zfpx");
   const double eb = wind.value_range() * 0.02;  // aggressive: artifacts appear
-  const auto rt = round_trip(comp, wind, eb);
+  const auto rt = round_trip(*comp, wind, eb);
   std::printf("hurricane %s: CR %.1f, PSNR %.2f dB\n", wind.dims().str().c_str(),
               rt.ratio, metrics::psnr(wind, rt.reconstructed));
 
   // Error model from the sampling pass, conditioned on values near the
   // isosurface of interest (the eye-wall wind speed).
   const double iso = wind.value_range() * 0.25;
-  const auto plan = postproc::default_sampling(wind.dims(), ZfpxCompressor::kBlock);
+  const auto plan = postproc::default_sampling(wind.dims(), registry().find("zfpx")->block_edge);
   const auto samples = postproc::draw_sample_blocks(wind, plan.block_edge, plan.count, 5);
-  const auto errors = postproc::collect_error_samples(samples, comp, eb);
+  const auto errors = postproc::collect_error_samples(samples, *comp, eb);
   const auto model = uq::ErrorModel::fit_near_isovalue(errors.orig, errors.dec, iso,
                                                        wind.value_range() * 0.05);
   std::printf("error model: mean %.4g sigma %.4g (%lld samples near iso %.3g)\n",

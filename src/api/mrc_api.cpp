@@ -1,0 +1,260 @@
+#include "api/mrc_api.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "roi/roi_extract.h"
+
+namespace mrc::api {
+
+namespace {
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  throw ContractError("options: bad boolean for '" + key + "': " + v);
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size() || v.empty())
+    throw ContractError("options: bad number for '" + key + "': " + v);
+  return d;
+}
+
+index_t parse_index(const std::string& key, const std::string& v, index_t min_value) {
+  const double d = parse_double(key, v);
+  const auto i = static_cast<index_t>(d);
+  if (static_cast<double>(i) != d || i < min_value)
+    throw ContractError("options: bad integer for '" + key + "': " + v);
+  return i;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* merge_str(MergeKind m) {
+  switch (m) {
+    case MergeKind::linear: return "linear";
+    case MergeKind::stack: return "stack";
+    default: return "tac";
+  }
+}
+
+const char* pad_kind_str(PadKind p) {
+  switch (p) {
+    case PadKind::constant: return "constant";
+    case PadKind::linear: return "linear";
+    default: return "quadratic";
+  }
+}
+
+}  // namespace
+
+void Options::set(const std::string& key, const std::string& value) {
+  if (key == "codec") {
+    codec = value;
+  } else if (key == "eb") {
+    eb = parse_double(key, value);
+    if (!(eb > 0.0)) throw ContractError("options: eb must be > 0, got " + value);
+  } else if (key == "eb_mode") {
+    if (value == "rel" || value == "relative")
+      eb_mode = EbMode::relative;
+    else if (value == "abs" || value == "absolute")
+      eb_mode = EbMode::absolute;
+    else
+      throw ContractError("options: eb_mode must be rel|abs, got " + value);
+  } else if (key == "merge") {
+    if (value == "linear")
+      merge = MergeKind::linear;
+    else if (value == "stack")
+      merge = MergeKind::stack;
+    else if (value == "tac")
+      merge = MergeKind::tac;
+    else
+      throw ContractError("options: merge must be linear|stack|tac, got " + value);
+  } else if (key == "pad") {
+    pad = parse_bool(key, value);
+  } else if (key == "pad_kind") {
+    if (value == "constant")
+      pad_kind = PadKind::constant;
+    else if (value == "linear")
+      pad_kind = PadKind::linear;
+    else if (value == "quadratic")
+      pad_kind = PadKind::quadratic;
+    else
+      throw ContractError("options: pad_kind must be constant|linear|quadratic, got " +
+                          value);
+  } else if (key == "min_pad_unit") {
+    min_pad_unit = parse_index(key, value, 1);
+  } else if (key == "adaptive_eb") {
+    adaptive_eb = parse_bool(key, value);
+  } else if (key == "alpha") {
+    alpha = parse_double(key, value);
+    if (!(alpha > 0.0)) throw ContractError("options: alpha must be > 0, got " + value);
+  } else if (key == "beta") {
+    beta = parse_double(key, value);
+    if (!(beta > 0.0)) throw ContractError("options: beta must be > 0, got " + value);
+  } else if (key == "quant_radius") {
+    quant_radius = static_cast<std::uint32_t>(parse_index(key, value, 1));
+  } else if (key == "postprocess") {
+    postprocess = parse_bool(key, value);
+  } else if (key == "roi_block") {
+    roi_block = parse_index(key, value, 1);
+  } else if (key == "roi_fraction") {
+    roi_fraction = parse_double(key, value);
+    // Negated range check so NaN is rejected too.
+    if (!(roi_fraction >= 0.0 && roi_fraction <= 1.0))
+      throw ContractError("options: roi_fraction must be in [0,1], got " + value);
+  } else if (key == "block_size") {
+    block_size = parse_index(key, value, 0);
+  } else if (key == "use_regression") {
+    use_regression = parse_bool(key, value);
+  } else if (key == "threads") {
+    threads = static_cast<int>(parse_index(key, value, 1));
+  } else {
+    throw ContractError(
+        "options: unknown key '" + key +
+        "' (known: codec eb eb_mode merge pad pad_kind min_pad_unit adaptive_eb alpha "
+        "beta quant_radius postprocess roi_block roi_fraction block_size "
+        "use_regression threads)");
+  }
+}
+
+Options Options::parse(const std::string& spec) {
+  Options o;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw ContractError("options: expected key=value, got '" + item + "'");
+    o.set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return o;
+}
+
+std::string Options::str() const {
+  std::string s;
+  s += "codec=" + codec;
+  s += ",eb=" + fmt_double(eb);
+  s += std::string(",eb_mode=") + (eb_mode == EbMode::relative ? "rel" : "abs");
+  s += std::string(",merge=") + merge_str(merge);
+  s += std::string(",pad=") + (pad ? "1" : "0");
+  s += std::string(",pad_kind=") + pad_kind_str(pad_kind);
+  s += ",min_pad_unit=" + std::to_string(min_pad_unit);
+  if (adaptive_eb.has_value())
+    s += std::string(",adaptive_eb=") + (*adaptive_eb ? "1" : "0");
+  s += ",alpha=" + fmt_double(alpha);
+  s += ",beta=" + fmt_double(beta);
+  s += ",quant_radius=" + std::to_string(quant_radius);
+  s += std::string(",postprocess=") + (postprocess ? "1" : "0");
+  s += ",roi_block=" + std::to_string(roi_block);
+  s += ",roi_fraction=" + fmt_double(roi_fraction);
+  s += ",block_size=" + std::to_string(block_size);
+  s += std::string(",use_regression=") + (use_regression ? "1" : "0");
+  s += ",threads=" + std::to_string(threads);
+  return s;
+}
+
+CodecTuning Options::tuning() const {
+  CodecTuning t;
+  t.quant_radius = quant_radius;
+  t.adaptive_eb = adaptive_eb.value_or(false);  // plain-codec default
+  t.alpha = alpha;
+  t.beta = beta;
+  t.block_size = block_size;
+  t.use_regression = use_regression;
+  t.threads = threads;
+  return t;
+}
+
+sz3mr::Config Options::pipeline() const {
+  sz3mr::Config c;
+  c.merge = merge;
+  c.pad = pad;
+  c.pad_kind = pad_kind;
+  c.min_pad_unit = min_pad_unit;
+  c.adaptive_eb = adaptive_eb.value_or(true);  // the paper's full SZ3MR
+  c.alpha = alpha;
+  c.beta = beta;
+  c.quant_radius = quant_radius;
+  c.postprocess = postprocess;
+  return c;
+}
+
+double Options::absolute_eb(const FieldF& f) const {
+  if (eb_mode == EbMode::absolute) return eb;
+  const double range = f.value_range();
+  // A constant field has zero range; any positive bound is exact then.
+  return eb * (range > 0.0 ? range : 1.0);
+}
+
+Bytes compress(const FieldF& f, const Options& opt) {
+  const auto codec = registry().make(opt.codec, opt.tuning());
+  return codec->compress(f, opt.absolute_eb(f));
+}
+
+FieldF decompress(std::span<const std::byte> stream) {
+  const StreamHeader h = peek_header(stream);
+  if (h.codec_magic == workflow::kSnapshotMagic) return restore(stream);
+  if (h.codec_magic == sz3mr::kLevelMagic)
+    // A bare level stream decodes to its level grid (zeros outside the mask).
+    return sz3mr::decompress_level(stream).data;
+  return registry().make_for_magic(h.codec_magic)->decompress(stream);
+}
+
+Bytes compress_adaptive(const FieldF& uniform, const Options& opt) {
+  // The multi-resolution pipeline is interp-based (paper §III-A); honoring
+  // other codecs here is future work, so reject rather than silently ignore.
+  MRC_REQUIRE(opt.codec == "interp",
+              "compress_adaptive: the multi-resolution pipeline supports only "
+              "codec=interp, got codec=" + opt.codec);
+  const auto adaptive = roi::extract_adaptive(uniform, opt.roi_block, opt.roi_fraction);
+  return workflow::encode_snapshot(adaptive, opt.absolute_eb(uniform), opt.pipeline());
+}
+
+MultiResField restore_adaptive(std::span<const std::byte> snapshot) {
+  return workflow::decode_snapshot(snapshot);
+}
+
+FieldF restore(std::span<const std::byte> snapshot) {
+  return workflow::decode_snapshot(snapshot).reconstruct_uniform();
+}
+
+StreamInfo info(std::span<const std::byte> stream) {
+  const StreamHeader h = peek_header(stream);
+  StreamInfo out;
+  out.version = h.version;
+  out.dims = h.dims;
+  out.eb = h.eb;
+  out.stream_bytes = stream.size();
+  if (h.codec_magic == workflow::kSnapshotMagic) {
+    out.kind = StreamInfo::Kind::snapshot;
+    out.codec = "snapshot";
+    ByteReader r(stream.subspan(h.header_bytes));
+    (void)r.get_varint();  // block size
+    out.levels = static_cast<std::size_t>(r.get_varint());
+  } else if (h.codec_magic == sz3mr::kLevelMagic) {
+    out.kind = StreamInfo::Kind::level;
+    out.codec = "sz3mr";
+  } else if (const auto* entry = registry().find_magic(h.codec_magic)) {
+    out.kind = StreamInfo::Kind::field;
+    out.codec = entry->name;
+  } else {
+    throw CodecError("stream written by an unregistered codec");
+  }
+  return out;
+}
+
+}  // namespace mrc::api

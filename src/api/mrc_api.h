@@ -1,0 +1,129 @@
+#pragma once
+
+// mrc::api — the single public entry point of the library.
+//
+// One Options struct (codec choice, error-bound mode, pipeline / ROI /
+// codec tuning knobs; parseable from "key=value" strings for CLIs) and four
+// free functions cover the whole workflow:
+//
+//   api::compress / api::decompress      — one field through one codec
+//   api::compress_adaptive / api::restore — the paper's full pipeline:
+//       ROI extraction -> multi-resolution SZ3MR -> self-describing snapshot,
+//       and back to a uniform grid.
+//
+// Every stream these functions produce starts with the shared container
+// header (compressor.h), so api::info identifies any of them — single-field
+// codec streams and multi-level snapshots alike — by peeking a few header
+// bytes, never by decompressing or probing codecs with exceptions.
+//
+//   const FieldF f = ...;
+//   auto opt = api::Options::parse("codec=zfpx,eb=1e-3,eb_mode=rel");
+//   const Bytes stream = api::compress(f, opt);
+//   const FieldF back = api::decompress(stream);
+//
+// New codecs become available here (and in every CLI/bench built on this
+// facade) by adding a CodecRegistry entry — no caller changes.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "compressors/registry.h"
+#include "core/workflow.h"
+
+namespace mrc::api {
+
+enum class EbMode : std::uint8_t {
+  relative,  ///< `eb` is a fraction of the field's value range
+  absolute,  ///< `eb` is the absolute bound itself
+};
+
+/// Unified configuration for the whole compression surface; subsumes
+/// sz3mr::Config and workflow::Config plus per-codec tuning.
+struct Options {
+  // Codec + error bound.
+  std::string codec = "interp";  ///< any registry name
+  double eb = 1e-4;
+  EbMode eb_mode = EbMode::relative;
+
+  // Multi-resolution pipeline (compress_adaptive / snapshots).
+  MergeKind merge = MergeKind::linear;
+  bool pad = true;
+  PadKind pad_kind = PadKind::linear;
+  index_t min_pad_unit = 5;
+  /// Per-level error-bound tightening. Unset = context default: ON for the
+  /// multi-resolution pipeline (the paper's full SZ3MR), OFF for single-codec
+  /// compress (plain-codec behavior). Set it to force either path.
+  std::optional<bool> adaptive_eb;
+  double alpha = 2.25;
+  double beta = 8.0;
+  std::uint32_t quant_radius = 512;
+  bool postprocess = false;
+
+  // ROI extraction (compress_adaptive).
+  index_t roi_block = 16;
+  double roi_fraction = 0.5;
+
+  // Codec-specific tuning.
+  index_t block_size = 0;  ///< lorenzo block edge; 0 = codec default
+  bool use_regression = true;
+  int threads = 1;
+
+  /// Applies one "key=value" assignment. Throws ContractError on an unknown
+  /// key or unparseable value.
+  void set(const std::string& key, const std::string& value);
+
+  /// Parses a comma-separated "key=value,key=value" list (empty items are
+  /// ignored, so trailing commas are fine).
+  [[nodiscard]] static Options parse(const std::string& spec);
+
+  /// Serializes every knob as "key=value,..."; parse(str()) round-trips.
+  [[nodiscard]] std::string str() const;
+
+  /// The knobs a codec factory understands.
+  [[nodiscard]] CodecTuning tuning() const;
+
+  /// The multi-resolution pipeline configuration.
+  [[nodiscard]] sz3mr::Config pipeline() const;
+
+  /// Resolves the error bound against a concrete field.
+  [[nodiscard]] double absolute_eb(const FieldF& f) const;
+};
+
+/// Compresses one field with the configured codec.
+[[nodiscard]] Bytes compress(const FieldF& f, const Options& opt = {});
+
+/// Reconstructs a uniform field from any stream this facade produces: codec
+/// streams decode through the registry (magic-peek dispatch), snapshots are
+/// restored to the uniform grid. Throws CodecError on foreign data.
+[[nodiscard]] FieldF decompress(std::span<const std::byte> stream);
+
+/// The paper's full workflow: ROI-based adaptive conversion + per-level
+/// SZ3MR compression, returned as one self-describing snapshot stream. The
+/// pipeline is interp-based; a different `opt.codec` is rejected with
+/// ContractError rather than silently ignored.
+[[nodiscard]] Bytes compress_adaptive(const FieldF& uniform, const Options& opt = {});
+
+/// Decodes a snapshot back to its multi-resolution form.
+[[nodiscard]] MultiResField restore_adaptive(std::span<const std::byte> snapshot);
+
+/// Decodes a snapshot and reconstructs the uniform fine-resolution grid.
+[[nodiscard]] FieldF restore(std::span<const std::byte> snapshot);
+
+/// What a stream is, from its container header alone (no decompression).
+struct StreamInfo {
+  enum class Kind : std::uint8_t { field, level, snapshot };
+  Kind kind = Kind::field;
+  std::string codec;  ///< registry name, or "sz3mr"/"snapshot" stream kinds
+  unsigned version = 0;
+  Dim3 dims;          ///< field extents (snapshot: finest-grid extents)
+  double eb = 0.0;    ///< absolute error bound the stream was encoded under
+  std::size_t levels = 1;       ///< snapshot level count (1 otherwise)
+  std::size_t stream_bytes = 0;
+};
+
+/// Identifies any mrcomp stream by its header. Throws CodecError on foreign
+/// or truncated data.
+[[nodiscard]] StreamInfo info(std::span<const std::byte> stream);
+
+}  // namespace mrc::api

@@ -19,10 +19,51 @@ RoundTrip round_trip(const Compressor& c, const FieldF& f, double abs_eb) {
   return rt;
 }
 
+namespace {
+
+StreamHeader parse_header(ByteReader& r, const char* who) {
+  StreamHeader h;
+  if (r.get<std::uint32_t>() != detail::kContainerMagic)
+    throw CodecError(std::string(who) + ": not an mrcomp stream");
+  h.version = r.get<std::uint8_t>();
+  if (h.version == 0 || h.version > detail::kContainerVersion)
+    throw CodecError(std::string(who) + ": unsupported stream version " +
+                     std::to_string(h.version));
+  h.codec_magic = r.get<std::uint32_t>();
+  h.dims.nx = static_cast<index_t>(r.get_varint());
+  h.dims.ny = static_cast<index_t>(r.get_varint());
+  h.dims.nz = static_cast<index_t>(r.get_varint());
+  h.eb = r.get<double>();
+  // Corrupt streams must fail cleanly, not attempt absurd allocations. The
+  // total-size check is division-based so the nx*ny*nz product can never
+  // overflow index_t, whatever the individual extents claim.
+  constexpr index_t kMaxExtent = index_t{1} << 32;
+  constexpr index_t kMaxSize = index_t{1} << 40;
+  if (h.dims.nx <= 0 || h.dims.ny <= 0 || h.dims.nz <= 0 || h.dims.nx > kMaxExtent ||
+      h.dims.ny > kMaxExtent || h.dims.nz > kMaxExtent)
+    throw CodecError(std::string(who) + ": bad extents");
+  if (h.dims.ny > kMaxSize / h.dims.nx ||
+      h.dims.nz > kMaxSize / (h.dims.nx * h.dims.ny))
+    throw CodecError(std::string(who) + ": bad extents");
+  if (!(h.eb > 0.0) || !std::isfinite(h.eb))
+    throw CodecError(std::string(who) + ": bad error bound");
+  h.header_bytes = r.position();
+  return h;
+}
+
+}  // namespace
+
+StreamHeader peek_header(std::span<const std::byte> stream) {
+  ByteReader r(stream);
+  return parse_header(r, "peek_header");
+}
+
 namespace detail {
 
-void write_header(ByteWriter& w, std::uint32_t magic, Dim3 dims, double eb) {
-  w.put(magic);
+void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb) {
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put(codec_magic);
   w.put_varint(static_cast<std::uint64_t>(dims.nx));
   w.put_varint(static_cast<std::uint64_t>(dims.ny));
   w.put_varint(static_cast<std::uint64_t>(dims.nz));
@@ -30,23 +71,10 @@ void write_header(ByteWriter& w, std::uint32_t magic, Dim3 dims, double eb) {
 }
 
 Header read_header(ByteReader& r, std::uint32_t expected_magic, const char* codec_name) {
-  const auto magic = r.get<std::uint32_t>();
-  if (magic != expected_magic)
+  const StreamHeader h = parse_header(r, codec_name);
+  if (h.codec_magic != expected_magic)
     throw CodecError(std::string(codec_name) + ": stream magic mismatch");
-  Header h;
-  h.dims.nx = static_cast<index_t>(r.get_varint());
-  h.dims.ny = static_cast<index_t>(r.get_varint());
-  h.dims.nz = static_cast<index_t>(r.get_varint());
-  h.eb = r.get<double>();
-  // Corrupt streams must fail cleanly, not attempt absurd allocations.
-  constexpr index_t kMaxExtent = index_t{1} << 32;
-  constexpr index_t kMaxSize = index_t{1} << 40;
-  if (h.dims.nx <= 0 || h.dims.ny <= 0 || h.dims.nz <= 0 || h.dims.nx > kMaxExtent ||
-      h.dims.ny > kMaxExtent || h.dims.nz > kMaxExtent || h.dims.size() > kMaxSize)
-    throw CodecError(std::string(codec_name) + ": bad extents");
-  if (!(h.eb > 0.0) || !std::isfinite(h.eb))
-    throw CodecError(std::string(codec_name) + ": bad error bound");
-  return h;
+  return Header{h.dims, h.eb};
 }
 
 }  // namespace detail

@@ -1,11 +1,20 @@
 #pragma once
 
-// Shared interface for the three error-bounded lossy compressors
-// (SZ3-class interpolation, SZ2-class Lorenzo/regression, ZFP-class
-// transform). All of them:
+// Shared interface for the error-bounded lossy compressors (SZ3-class
+// interpolation, SZ2-class Lorenzo/regression, ZFP-class transform, and any
+// future backend). All of them:
 //   * take an absolute error bound and guarantee max|x - x̂| <= eb,
-//   * emit a self-describing byte stream (magic, extents, eb, payload),
+//   * emit a self-describing byte stream: the versioned container header
+//     below (container magic, version, codec id, extents, eb), then the
+//     codec payload,
 //   * decompress without any side information.
+//
+// Callers normally do not construct compressors directly: they are built
+// through the CodecRegistry ("compressors/registry.h") which maps string
+// names and stream magics to factories, and most code should go through the
+// top-level facade in "api/mrc_api.h" (api::compress / api::decompress /
+// api::compress_adaptive / api::restore). Decode-side codec dispatch is a
+// zero-cost header peek (`peek_header`), never exception probing.
 
 #include <memory>
 #include <span>
@@ -41,15 +50,40 @@ struct RoundTrip {
 };
 [[nodiscard]] RoundTrip round_trip(const Compressor& c, const FieldF& f, double abs_eb);
 
+/// Decoded container header of any mrcomp stream — codec streams, sz3mr
+/// level streams, and snapshots all start with the same layout, so one
+/// reader identifies any of them without touching the payload:
+///   u32     container magic "MRC1"
+///   u8      container version
+///   u32     codec magic (the registry / stream-kind id)
+///   varint  nx, ny, nz
+///   f64     absolute error bound
+struct StreamHeader {
+  std::uint32_t codec_magic = 0;
+  unsigned version = 0;
+  Dim3 dims;
+  double eb = 0.0;
+  std::size_t header_bytes = 0;  ///< offset where the payload begins
+};
+
+/// Parses and validates the container header. Throws CodecError on anything
+/// that is not a well-formed mrcomp stream (wrong magic, unsupported
+/// version, truncation, absurd extents, non-finite eb).
+[[nodiscard]] StreamHeader peek_header(std::span<const std::byte> stream);
+
 namespace detail {
 
-/// Stream header shared by all codecs.
-void write_header(ByteWriter& w, std::uint32_t magic, Dim3 dims, double eb);
+inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
+inline constexpr std::uint8_t kContainerVersion = 2;
+
+/// Writes the shared container header (layout above).
+void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb);
 
 struct Header {
   Dim3 dims;
   double eb = 0.0;
 };
+/// Reads the container header and checks the codec magic matches.
 [[nodiscard]] Header read_header(ByteReader& r, std::uint32_t expected_magic,
                                  const char* codec_name);
 

@@ -11,7 +11,6 @@ namespace mrc {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4d33'5a53;  // "SZ3M"
 
 int ceil_log2(index_t n) {
   int l = 0;

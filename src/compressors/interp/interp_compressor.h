@@ -31,6 +31,9 @@ struct InterpConfig {
 
 class InterpCompressor final : public Compressor {
  public:
+  /// Stream/registry id written into the container header.
+  static constexpr std::uint32_t kMagic = 0x4d33'5a53;  // "SZ3M"
+
   explicit InterpCompressor(InterpConfig cfg = {});
 
   [[nodiscard]] std::string name() const override;

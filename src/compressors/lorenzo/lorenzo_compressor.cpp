@@ -16,7 +16,6 @@ namespace mrc {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4c32'5a53;  // "SZ2L"
 
 std::uint64_t zigzag(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);

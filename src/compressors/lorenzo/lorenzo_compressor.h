@@ -27,6 +27,9 @@ struct LorenzoConfig {
 
 class LorenzoCompressor final : public Compressor {
  public:
+  /// Stream/registry id written into the container header.
+  static constexpr std::uint32_t kMagic = 0x4c32'5a53;  // "SZ2L"
+
   explicit LorenzoCompressor(LorenzoConfig cfg = {});
 
   [[nodiscard]] std::string name() const override;

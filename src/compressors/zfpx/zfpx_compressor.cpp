@@ -57,7 +57,6 @@ using zfpx_detail::fwd_lift;
 using zfpx_detail::inv_lift;
 using zfpx_detail::sequency_perm;
 
-constexpr std::uint32_t kMagic = 0x5846'505a;  // "ZPFX"
 constexpr int kIntPrec = 32;
 constexpr int kExpBias = 300;  // biased block exponent, 10 bits
 

@@ -27,6 +27,9 @@ struct ZfpxConfig {
 
 class ZfpxCompressor final : public Compressor {
  public:
+  /// Stream/registry id written into the container header.
+  static constexpr std::uint32_t kMagic = 0x5846'505a;  // "ZPFX"
+
   explicit ZfpxCompressor(ZfpxConfig cfg = {});
 
   [[nodiscard]] std::string name() const override;

@@ -8,15 +8,13 @@ namespace mrc::sz3mr {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x314c'524d;  // "MRL1"
-
-InterpCompressor make_interp(const Config& cfg) {
-  InterpConfig ic;
-  ic.quant_radius = cfg.quant_radius;
-  ic.adaptive_eb = cfg.adaptive_eb;
-  ic.alpha = cfg.alpha;
-  ic.beta = cfg.beta;
-  return InterpCompressor(ic);
+std::unique_ptr<Compressor> make_interp(const Config& cfg) {
+  CodecTuning t;
+  t.quant_radius = cfg.quant_radius;
+  t.adaptive_eb = cfg.adaptive_eb;
+  t.alpha = cfg.alpha;
+  t.beta = cfg.beta;
+  return registry().make("interp", t);
 }
 
 bool should_pad(const Config& cfg, index_t unit) {
@@ -100,16 +98,12 @@ Bytes encode_prepared(const PreparedLevel& prep, double abs_eb) {
 
   Bytes out;
   ByteWriter w(out);
-  w.put(kMagic);
-  w.put_varint(static_cast<std::uint64_t>(set.level_dims.nx));
-  w.put_varint(static_cast<std::uint64_t>(set.level_dims.ny));
-  w.put_varint(static_cast<std::uint64_t>(set.level_dims.nz));
+  detail::write_header(w, kLevelMagic, set.level_dims, abs_eb);
   w.put_varint(static_cast<std::uint64_t>(prep.ratio));
   w.put_varint(static_cast<std::uint64_t>(set.unit));
   w.put(static_cast<std::uint8_t>(cfg.merge));
   w.put(static_cast<std::uint8_t>(prep.padded ? 1 : 0));
   w.put(static_cast<std::uint8_t>(cfg.pad_kind));
-  w.put(abs_eb);
 
   w.put_varint(static_cast<std::uint64_t>(set.block_count()));
   index_t prev = -1;
@@ -122,7 +116,7 @@ Bytes encode_prepared(const PreparedLevel& prep, double abs_eb) {
     return out;
   }
 
-  const InterpCompressor interp = make_interp(cfg);
+  const auto interp = make_interp(cfg);
 
   // Optional sampled Bézier intensities ("Ours (processed)"). The tuning
   // works on the unpadded merged geometry, which is what decompression
@@ -134,7 +128,7 @@ Bytes encode_prepared(const PreparedLevel& prep, double abs_eb) {
     const auto plan = postproc::default_sampling(tune_src.dims(), unit);
     const auto samples =
         postproc::draw_sample_blocks(tune_src, plan.block_edge, plan.count, /*seed=*/42);
-    const auto tuned = postproc::tune_intensity(samples, interp, abs_eb, unit,
+    const auto tuned = postproc::tune_intensity(samples, *interp, abs_eb, unit,
                                                 postproc::sz_candidates());
     ax = tuned.ax;
     ay = tuned.ay;
@@ -156,10 +150,10 @@ Bytes encode_prepared(const PreparedLevel& prep, double abs_eb) {
       w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.nx));
       w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.ny));
       w.put_varint(static_cast<std::uint64_t>(box.extent_blocks.nz));
-      w.put_blob(interp.compress(box.data, abs_eb));
+      w.put_blob(interp->compress(box.data, abs_eb));
     }
   } else {
-    w.put_blob(interp.compress(prep.merged, abs_eb));
+    w.put_blob(interp->compress(prep.merged, abs_eb));
   }
   return out;
 }
@@ -171,18 +165,11 @@ Bytes compress_level(const LevelData& level, index_t unit, double abs_eb,
 
 LevelData decompress_level(std::span<const std::byte> stream) {
   ByteReader r(stream);
-  const auto magic = r.get<std::uint32_t>();
-  if (magic != kMagic) throw CodecError("sz3mr: stream magic mismatch");
+  const auto header = detail::read_header(r, kLevelMagic, "sz3mr");
+  const Dim3 ld = header.dims;
+  const double eb = header.eb;
 
   UnitBlockSet set;
-  Dim3 ld;
-  ld.nx = static_cast<index_t>(r.get_varint());
-  ld.ny = static_cast<index_t>(r.get_varint());
-  ld.nz = static_cast<index_t>(r.get_varint());
-  constexpr index_t kMaxExtent = index_t{1} << 32;
-  if (ld.nx <= 0 || ld.ny <= 0 || ld.nz <= 0 || ld.nx > kMaxExtent || ld.ny > kMaxExtent ||
-      ld.nz > kMaxExtent || ld.size() > (index_t{1} << 40))
-    throw CodecError("sz3mr: bad level extents");
   const auto ratio = static_cast<index_t>(r.get_varint());
   const auto unit = static_cast<index_t>(r.get_varint());
   if (unit <= 0 || unit > ld.max_extent() || ratio <= 0)
@@ -190,7 +177,6 @@ LevelData decompress_level(std::span<const std::byte> stream) {
   const auto merge = static_cast<MergeKind>(r.get<std::uint8_t>());
   const bool padded = r.get<std::uint8_t>() != 0;
   (void)r.get<std::uint8_t>();  // pad kind (informational; strip is shape-only)
-  const double eb = r.get<double>();
 
   set.unit = unit;
   set.level_dims = ld;
@@ -220,7 +206,8 @@ LevelData decompress_level(std::span<const std::byte> stream) {
   }
   if (n_blocks == 0) return level;
 
-  const InterpCompressor interp{};  // config decoded from the payload itself
+  // Codec config is decoded from the nested payload itself.
+  const auto interp = registry().make("interp");
 
   if (merge == MergeKind::tac) {
     const auto n_boxes = r.get_varint();
@@ -234,12 +221,12 @@ LevelData decompress_level(std::span<const std::byte> stream) {
       box.extent_blocks.nx = static_cast<index_t>(r.get_varint());
       box.extent_blocks.ny = static_cast<index_t>(r.get_varint());
       box.extent_blocks.nz = static_cast<index_t>(r.get_varint());
-      box.data = interp.decompress(r.get_blob());
+      box.data = interp->decompress(r.get_blob());
       boxes.push_back(std::move(box));
     }
     unmerge_tac(boxes, set);
   } else {
-    FieldF merged = interp.decompress(r.get_blob());
+    FieldF merged = interp->decompress(r.get_blob());
     if (padded) merged = strip_pad_xy(merged);
     if (has_post && (ax > 0.0 || ay > 0.0 || az > 0.0)) {
       postproc::BezierParams p{unit, eb, ax, ay, az};

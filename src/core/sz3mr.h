@@ -16,12 +16,21 @@
 //   ours_pad()      — linear merge + padding
 //   ours_pad_eb()   — + adaptive error bound (the full SZ3MR)
 //   ours_processed()— + sampled Bézier post-process
+//
+// This is the pipeline layer under the "api/mrc_api.h" facade: applications
+// normally call api::compress_adaptive / api::restore with an api::Options
+// (which subsumes this Config) instead of driving sz3mr directly. Level
+// streams start with the shared container header of compressor.h under
+// kLevelMagic, so one reader (peek_header) identifies them too.
 
-#include "compressors/interp/interp_compressor.h"
+#include "compressors/registry.h"
 #include "merge/merge_strategies.h"
 #include "merge/padding.h"
 
 namespace mrc::sz3mr {
+
+/// Container-header stream id of an sz3mr level stream.
+inline constexpr std::uint32_t kLevelMagic = 0x314c'524d;  // "MRL1"
 
 struct Config {
   MergeKind merge = MergeKind::linear;

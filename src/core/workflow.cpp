@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/timer.h"
+#include "io/raw_io.h"
 
 namespace mrc::workflow {
 
@@ -14,6 +15,25 @@ CompressedAdaptive compress_uniform(const FieldF& uniform, double abs_eb,
   out.ratio = sz3mr::multires_ratio(out.adaptive, out.streams);
   return out;
 }
+
+namespace {
+
+/// Snapshot preamble: shared container header (finest-grid dims + eb) under
+/// kSnapshotMagic, then block size and level count. Level streams follow as
+/// length-prefixed blobs, identically on disk and in memory.
+Bytes snapshot_header(const MultiResField& mr, double abs_eb) {
+  MRC_REQUIRE(!mr.levels.empty(), "snapshot needs at least one level");
+  const Dim3 fine =
+      mr.fine_dims.size() > 0 ? mr.fine_dims : mr.levels.front().data.dims();
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, kSnapshotMagic, fine, abs_eb);
+  w.put_varint(static_cast<std::uint64_t>(mr.block_size));
+  w.put_varint(mr.levels.size());
+  return out;
+}
+
+}  // namespace
 
 OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
                             const sz3mr::Config& cfg, const std::string& path) {
@@ -33,15 +53,20 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
   timer.restart();
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);
-  const auto n_levels = static_cast<std::uint64_t>(prepared.size());
-  f.write(reinterpret_cast<const char*>(&n_levels), sizeof(n_levels));
+  const Bytes head = snapshot_header(mr, abs_eb);
+  f.write(reinterpret_cast<const char*>(head.data()),
+          static_cast<std::streamsize>(head.size()));
+  t.bytes_written += head.size();
   for (const auto& prep : prepared) {
     const Bytes stream = sz3mr::encode_prepared(prep, abs_eb);
-    const auto len = static_cast<std::uint64_t>(stream.size());
-    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    Bytes len;  // varint length prefix only; the payload is written directly
+    ByteWriter w(len);
+    w.put_varint(stream.size());
+    f.write(reinterpret_cast<const char*>(len.data()),
+            static_cast<std::streamsize>(len.size()));
     f.write(reinterpret_cast<const char*>(stream.data()),
             static_cast<std::streamsize>(stream.size()));
-    t.bytes_written += sizeof(len) + stream.size();
+    t.bytes_written += len.size() + stream.size();
   }
   f.flush();
   MRC_REQUIRE(f.good(), "snapshot write failed: " + path);
@@ -49,22 +74,33 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
   return t;
 }
 
-MultiResField read_snapshot(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);
-  std::uint64_t n_levels = 0;
-  f.read(reinterpret_cast<char*>(&n_levels), sizeof(n_levels));
-  sz3mr::MultiResStreams streams;
-  for (std::uint64_t l = 0; l < n_levels; ++l) {
-    std::uint64_t len = 0;
-    f.read(reinterpret_cast<char*>(&len), sizeof(len));
-    MRC_REQUIRE(f.good(), "truncated snapshot: " + path);
-    Bytes b(len);
-    f.read(reinterpret_cast<char*>(b.data()), static_cast<std::streamsize>(len));
-    MRC_REQUIRE(f.good(), "truncated snapshot: " + path);
-    streams.level_streams.push_back(std::move(b));
+Bytes encode_snapshot(const MultiResField& mr, double abs_eb,
+                      const sz3mr::Config& cfg) {
+  Bytes out = snapshot_header(mr, abs_eb);
+  ByteWriter w(out);
+  for (const auto& level : mr.levels) {
+    const index_t unit = std::max<index_t>(mr.block_size / level.ratio, 1);
+    w.put_blob(sz3mr::compress_level(level, unit, abs_eb, cfg));
   }
-  return sz3mr::decompress_multires(streams);
+  return out;
+}
+
+MultiResField decode_snapshot(std::span<const std::byte> snapshot) {
+  ByteReader r(snapshot);
+  const auto header = detail::read_header(r, kSnapshotMagic, "snapshot");
+  MultiResField mr;
+  mr.fine_dims = header.dims;
+  mr.block_size = static_cast<index_t>(r.get_varint());
+  const auto n_levels = r.get_varint();
+  if (mr.block_size <= 0 || n_levels == 0 || n_levels > 64)
+    throw CodecError("snapshot: bad block size / level count");
+  for (std::uint64_t l = 0; l < n_levels; ++l)
+    mr.levels.push_back(sz3mr::decompress_level(r.get_blob()));
+  return mr;
+}
+
+MultiResField read_snapshot(const std::string& path) {
+  return decode_snapshot(io::read_bytes(path));
 }
 
 }  // namespace mrc::workflow

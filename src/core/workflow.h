@@ -11,6 +11,12 @@
 
 namespace mrc::workflow {
 
+/// Container-header stream id of a multi-level snapshot. Snapshots start
+/// with the same versioned header as every codec stream (dims = finest-grid
+/// extents, eb = the bound all levels were encoded under), so peek_header
+/// identifies them without decompressing anything.
+inline constexpr std::uint32_t kSnapshotMagic = 0x5343'524d;  // "MRCS"
+
 struct Config {
   index_t roi_block = 16;     ///< ROI partition b (2^n, n > 2)
   double roi_fraction = 0.5;  ///< paper's x (top blocks kept at full res)
@@ -40,6 +46,15 @@ struct OutputTiming {
 [[nodiscard]] OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
                                           const sz3mr::Config& cfg,
                                           const std::string& path);
+
+/// In-memory form of write_snapshot's on-disk format (identical bytes):
+/// container header under kSnapshotMagic, then block size, level count, and
+/// one length-prefixed sz3mr level stream per level.
+[[nodiscard]] Bytes encode_snapshot(const MultiResField& mr, double abs_eb,
+                                    const sz3mr::Config& cfg);
+
+/// Full inverse of encode_snapshot / the bytes of a write_snapshot file.
+[[nodiscard]] MultiResField decode_snapshot(std::span<const std::byte> snapshot);
 
 /// Reads back a snapshot written by write_snapshot.
 [[nodiscard]] MultiResField read_snapshot(const std::string& path);

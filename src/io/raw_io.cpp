@@ -9,6 +9,24 @@ namespace {
 constexpr std::uint64_t kMagic = 0x4d524357'46333231ull;  // "MRCWF321"
 }
 
+Bytes read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  MRC_REQUIRE(in.good(), "cannot open: " + path);
+  Bytes out(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  MRC_REQUIRE(in.good(), "read failed: " + path);
+  return out;
+}
+
+void write_bytes(std::span<const std::byte> data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MRC_REQUIRE(out.good(), "cannot open: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  MRC_REQUIRE(out.good(), "write failed: " + path);
+}
+
 void write_raw(const FieldF& f, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   MRC_REQUIRE(out.good(), "cannot open for writing: " + path);

@@ -4,11 +4,19 @@
 // self-description) used by examples and the overhead experiment's I/O
 // phase.
 
+#include <span>
 #include <string>
 
+#include "common/bytes.h"
 #include "grid/field.h"
 
 namespace mrc::io {
+
+/// Reads a whole file into a byte buffer.
+[[nodiscard]] Bytes read_bytes(const std::string& path);
+
+/// Writes a byte buffer to a file, truncating.
+void write_bytes(std::span<const std::byte> data, const std::string& path);
 
 /// Writes extents + float32 payload.
 void write_raw(const FieldF& f, const std::string& path);

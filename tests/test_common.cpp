@@ -51,8 +51,8 @@ TEST(Field3D, ConstructAndAccess) {
 
 TEST(Field3D, CheckedAccessThrows) {
   Field3D<float> f({2, 2, 2});
-  EXPECT_THROW(f.at_checked(2, 0, 0), ContractError);
-  EXPECT_NO_THROW(f.at_checked(1, 1, 1));
+  EXPECT_THROW((void)f.at_checked(2, 0, 0), ContractError);
+  EXPECT_NO_THROW((void)f.at_checked(1, 1, 1));
 }
 
 TEST(Field3D, MinMaxAndRange) {
@@ -112,7 +112,7 @@ TEST(ByteRw, TruncationThrows) {
   ByteWriter w(buf);
   w.put<std::uint16_t>(1);
   ByteReader r(buf);
-  EXPECT_THROW(r.get<std::uint64_t>(), CodecError);
+  EXPECT_THROW((void)r.get<std::uint64_t>(), CodecError);
 }
 
 TEST(Rng, Deterministic) {

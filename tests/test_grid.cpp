@@ -136,7 +136,9 @@ TEST(Amr, ReconstructUniformExactOnFineRegions) {
   const auto mr = amr::build_hierarchy(f, 8, fr);
   const FieldF rec = mr.reconstruct_uniform();
   for (index_t i = 0; i < f.size(); ++i) {
-    if (mr.levels[0].mask[i]) EXPECT_FLOAT_EQ(rec[i], f[i]);
+    if (mr.levels[0].mask[i]) {
+      EXPECT_FLOAT_EQ(rec[i], f[i]);
+    }
   }
 }
 

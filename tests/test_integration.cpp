@@ -11,9 +11,7 @@
 #include <array>
 #include <memory>
 
-#include "compressors/interp/interp_compressor.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "core/workflow.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
@@ -50,14 +48,6 @@ const char* dataset_name(int id) {
   }
 }
 
-std::unique_ptr<Compressor> make_codec(int id) {
-  switch (id) {
-    case 0: return std::make_unique<InterpCompressor>();
-    case 1: return std::make_unique<LorenzoCompressor>();
-    default: return std::make_unique<ZfpxCompressor>();
-  }
-}
-
 const char* codec_name(int id) {
   switch (id) {
     case 0: return "interp";
@@ -65,6 +55,8 @@ const char* codec_name(int id) {
     default: return "zfpx";
   }
 }
+
+std::unique_ptr<Compressor> make_codec(int id) { return registry().make(codec_name(id)); }
 
 class DatasetCodecSweep : public ::testing::TestWithParam<IntegrationCase> {};
 
@@ -95,7 +87,8 @@ TEST_P(DatasetCodecSweep, TunedPostprocessNeverDegradesSamples) {
   const FieldF f = make_dataset(dataset);
   const auto codec = make_codec(codec_id);
   const double eb = f.value_range() * 2e-3;
-  const index_t block = codec_id == 2 ? ZfpxCompressor::kBlock : index_t{6};
+  const index_t block_edge = registry().find(codec_name(codec_id))->block_edge;
+  const index_t block = block_edge > 0 ? block_edge : index_t{6};
   const auto candidates =
       codec_id == 2 ? postproc::zfp_candidates() : postproc::sz_candidates();
   const auto samples = postproc::draw_sample_blocks(f, 4 * block, 4, 17);
@@ -131,9 +124,10 @@ TEST_P(WorkflowSweep, AdaptiveRoundTripWithinBoundOnRoi) {
   const auto dec = sz3mr::decompress_multires(comp.streams);
   const auto& fine_in = comp.adaptive.levels[0];
   for (index_t i = 0; i < fine_in.data.size(); ++i)
-    if (fine_in.mask[i])
+    if (fine_in.mask[i]) {
       ASSERT_LE(std::abs(static_cast<double>(fine_in.data[i]) - dec.levels[0].data[i]),
                 eb * (1 + 1e-12));
+    }
   EXPECT_GT(comp.ratio, 1.0);
 }
 

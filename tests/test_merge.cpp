@@ -40,7 +40,9 @@ TEST(UnitBlocks, ScatterRestoresDataAndMask) {
   scatter_unit_blocks(set, out);
   for (index_t i = 0; i < lev.data.size(); ++i) {
     EXPECT_EQ(out.mask[i], lev.mask[i]);
-    if (lev.mask[i]) EXPECT_FLOAT_EQ(out.data[i], lev.data[i]);
+    if (lev.mask[i]) {
+      EXPECT_FLOAT_EQ(out.data[i], lev.data[i]);
+    }
   }
 }
 

@@ -32,7 +32,9 @@ TEST(Bezier, OnlyBoundaryAdjacentPointsChange) {
       for (index_t x = 0; x < 16; ++x) {
         const index_t r = x % 4;
         const bool boundary = (r == 0 || r == 3) && x > 0 && x < 15;
-        if (!boundary) EXPECT_FLOAT_EQ(p.at(x, y, z), f.at(x, y, z));
+        if (!boundary) {
+          EXPECT_FLOAT_EQ(p.at(x, y, z), f.at(x, y, z));
+        }
       }
 }
 

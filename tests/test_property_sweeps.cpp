@@ -6,8 +6,7 @@
 #include <array>
 
 #include "compressors/interp/interp_compressor.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "grid/field_ops.h"
 #include "lossless/huffman.h"
 #include "lossless/quant_codec.h"
@@ -53,11 +52,7 @@ INSTANTIATE_TEST_SUITE_P(
 class CodecMonotonicity : public ::testing::TestWithParam<int> {
  protected:
   std::unique_ptr<Compressor> make() const {
-    switch (GetParam()) {
-      case 0: return std::make_unique<InterpCompressor>();
-      case 1: return std::make_unique<LorenzoCompressor>();
-      default: return std::make_unique<ZfpxCompressor>();
-    }
+    return registry().make(registry().names().at(static_cast<std::size_t>(GetParam())));
   }
 };
 
@@ -70,8 +65,9 @@ TEST_P(CodecMonotonicity, SizeGrowsAsBoundShrinks) {
   std::size_t prev = 0;
   for (const double eb : {10.0, 1.0, 0.1, 0.01}) {
     const auto s = codec->compress(f, eb).size();
-    if (prev > 0)
+    if (prev > 0) {
       EXPECT_GE(static_cast<double>(s), static_cast<double>(prev) * 0.9) << "eb " << eb;
+    }
     prev = s;
   }
 }
@@ -193,7 +189,9 @@ TEST_P(CurveSweep, ClampAndLocalityHold) {
         EXPECT_LE(delta, a * eb * (1 + 1e-5));
         const index_t r = x % 4;
         const bool boundary = (r == 0 || r == 3) && x > 0 && x < 15;
-        if (!boundary) EXPECT_EQ(p.at(x, y, z), f.at(x, y, z));
+        if (!boundary) {
+          EXPECT_EQ(p.at(x, y, z), f.at(x, y, z));
+        }
       }
 }
 

@@ -8,9 +8,7 @@
 #include <array>
 #include <memory>
 
-#include "compressors/interp/interp_compressor.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
+#include "compressors/registry.h"
 #include "core/sz3mr.h"
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
@@ -36,11 +34,7 @@ void expect_contained(Fn&& fn) {
 class CodecRobustness : public ::testing::TestWithParam<int> {
  protected:
   std::unique_ptr<Compressor> make() const {
-    switch (GetParam()) {
-      case 0: return std::make_unique<InterpCompressor>();
-      case 1: return std::make_unique<LorenzoCompressor>();
-      default: return std::make_unique<ZfpxCompressor>();
-    }
+    return registry().make(registry().names().at(static_cast<std::size_t>(GetParam())));
   }
 };
 

@@ -29,9 +29,10 @@ TEST(Workflow, UniformToAdaptiveEndToEnd) {
   const auto& fine_in = comp.adaptive.levels[0];
   const auto& fine_out = mr.levels[0];
   for (index_t i = 0; i < fine_in.data.size(); ++i)
-    if (fine_in.mask[i])
+    if (fine_in.mask[i]) {
       EXPECT_LE(std::abs(static_cast<double>(fine_in.data[i]) - fine_out.data[i]),
                 eb * (1 + 1e-12));
+    }
 }
 
 TEST(Workflow, ReconstructionQualityReasonable) {
@@ -71,8 +72,9 @@ TEST(Workflow, SnapshotWriteReadRoundTrip) {
     const auto& b = back.levels[l];
     ASSERT_EQ(a.data.dims(), b.data.dims());
     for (index_t i = 0; i < a.data.size(); ++i)
-      if (a.mask[i])
+      if (a.mask[i]) {
         EXPECT_LE(std::abs(static_cast<double>(a.data[i]) - b.data[i]), eb * (1 + 1e-12));
+      }
   }
   std::remove(path.c_str());
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify with warnings surfaced: configure, build with -Wall -Wextra
+# (always on in CMakeLists), print any compiler warnings, then run ctest.
+# Usage: tools/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+
+BUILD_LOG="$BUILD_DIR/ci-build.log"
+cmake --build "$BUILD_DIR" -j"$(nproc)" 2>&1 | tee "$BUILD_LOG"
+
+echo
+WARNINGS=$(grep -c "warning:" "$BUILD_LOG" || true)
+if [ "$WARNINGS" -gt 0 ]; then
+  echo "== $WARNINGS compiler warning(s) =="
+  grep "warning:" "$BUILD_LOG" | sort | uniq -c | sort -rn
+else
+  echo "== no compiler warnings =="
+fi
+
+echo
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo
+echo "ci.sh: OK (warnings: $WARNINGS)"

@@ -1,82 +1,78 @@
-// mrcc — command-line front end for the mrcomp workflow.
+// mrcc — command-line front end for the mrcomp workflow, built entirely on
+// the mrc::api facade.
 //
-//   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb]
+//   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc decompress <in> <out.f32>
-//   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb]
+//   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
 //   mrcc restore    <in.snapshot> <out.f32>
 //   mrcc info       <in>
+//   mrcc codecs
 //
-// codec ∈ {interp, lorenzo, zfpx} (default interp). rel_eb is the absolute
-// error bound as a fraction of the value range (default 1e-4). "adaptive"
-// runs the full paper workflow: ROI extraction + SZ3MR, written as a
+// Codec names come from the codec registry (`mrcc codecs` lists them); any
+// api::Options knob can be set with trailing key=value arguments, e.g.
+//   mrcc compress in.f32 64 64 64 out.mrc codec=zfpx eb=1e-3
+//   mrcc adaptive in.f32 64 64 64 out.mrc roi_fraction=0.25 postprocess=1
+// "adaptive" runs the full paper workflow (ROI extraction + SZ3MR) into a
 // self-describing snapshot; "restore" reconstructs a uniform grid from it.
+// "decompress" accepts any mrcomp stream — codec choice is read from the
+// stream header, snapshots are restored automatically. "info" reports kind,
+// codec, dims, and error bound from the header alone, without decompressing.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <memory>
 #include <string>
 
-#include "compressors/interp/interp_compressor.h"
-#include "compressors/lorenzo/lorenzo_compressor.h"
-#include "compressors/zfpx/zfpx_compressor.h"
-#include "core/workflow.h"
+#include "api/mrc_api.h"
 #include "io/raw_io.h"
 
 using namespace mrc;
 
 namespace {
 
-std::unique_ptr<Compressor> make_codec(const std::string& name) {
-  if (name == "interp") return std::make_unique<InterpCompressor>();
-  if (name == "lorenzo") return std::make_unique<LorenzoCompressor>();
-  if (name == "zfpx") return std::make_unique<ZfpxCompressor>();
-  std::fprintf(stderr, "unknown codec '%s' (interp|lorenzo|zfpx)\n", name.c_str());
-  std::exit(2);
+void write_raw_floats(const FieldF& f, const std::string& path) {
+  io::write_bytes(std::as_bytes(std::span(f.data(), static_cast<std::size_t>(f.size()))),
+                  path);
 }
 
-Bytes read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  MRC_REQUIRE(in.good(), "cannot open: " + path);
-  const std::string raw((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-  Bytes out(raw.size());
-  std::memcpy(out.data(), raw.data(), raw.size());
-  return out;
-}
-
-void write_file(std::span<const std::byte> data, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  MRC_REQUIRE(out.good(), "cannot open: " + path);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  MRC_REQUIRE(out.good(), "write failed: " + path);
-}
-
-/// Streams are self-describing; try each codec until the magic matches.
-FieldF decompress_any(std::span<const std::byte> stream, std::string* codec_name) {
-  for (const char* name : {"interp", "lorenzo", "zfpx"}) {
-    try {
-      const auto codec = make_codec(name);
-      FieldF f = codec->decompress(stream);
-      if (codec_name) *codec_name = name;
-      return f;
-    } catch (const CodecError&) {
-      continue;
+/// Applies trailing CLI arguments to `opt`: "key=value" goes through
+/// Options::set; for back-compat a bare codec name or number is accepted in
+/// the first two positions (codec, then relative error bound).
+void apply_args(api::Options& opt, char** begin, char** end, const char* bare1,
+                const char* bare2) {
+  int bare = 0;
+  for (char** a = begin; a != end; ++a) {
+    const std::string arg = *a;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opt.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (bare < 2) {
+      opt.set(bare == 0 ? bare1 : bare2, arg);
+      ++bare;
+    } else {
+      throw ContractError("unexpected argument: " + arg);
     }
   }
-  throw CodecError("not an mrcomp compressed stream");
+}
+
+const char* kind_str(api::StreamInfo::Kind k) {
+  switch (k) {
+    case api::StreamInfo::Kind::field: return "field";
+    case api::StreamInfo::Kind::level: return "level";
+    default: return "snapshot";
+  }
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb]\n"
-               "  mrcc decompress <in> <out.f32>\n"
-               "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi] [rel_eb]\n"
-               "  mrcc restore    <in.snapshot> <out.f32>\n"
-               "  mrcc info       <in>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
+      "  mrcc decompress <in> <out.f32>\n"
+      "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] "
+      "[key=value ...]\n"
+      "  mrcc restore    <in.snapshot> <out.f32>\n"
+      "  mrcc info       <in>\n"
+      "  mrcc codecs\n");
   return 2;
 }
 
@@ -84,65 +80,64 @@ int usage() {
 
 int main(int argc, char** argv) {
  try {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
+  if (cmd == "codecs") {
+    for (const auto& name : registry().names()) {
+      const auto* e = registry().find(name);
+      std::printf("%-10s %s\n", e->name.c_str(), e->description.c_str());
+    }
+    return 0;
+  }
   if (cmd == "compress" && argc >= 7) {
     const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
     const FieldF f = io::read_raw_f32(argv[2], dims);
-    const auto codec = make_codec(argc > 7 ? argv[7] : "interp");
-    const double rel = argc > 8 ? std::atof(argv[8]) : 1e-4;
-    const auto stream = codec->compress(f, f.value_range() * rel);
-    write_file(stream, argv[6]);
-    std::printf("%s: %lld values -> %zu bytes (CR %.1f)\n", codec->name().c_str(),
+    api::Options opt;
+    apply_args(opt, argv + 7, argv + argc, "codec", "eb");
+    const auto stream = api::compress(f, opt);
+    io::write_bytes(stream, argv[6]);
+    std::printf("%s: %lld values -> %zu bytes (CR %.1f)\n", opt.codec.c_str(),
                 static_cast<long long>(f.size()), stream.size(),
                 compression_ratio(f.size(), stream.size()));
     return 0;
   }
   if (cmd == "decompress" && argc == 4) {
-    const auto stream = read_file(argv[2]);
-    std::string codec;
-    const FieldF f = decompress_any(stream, &codec);
-    std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(f.data()),
-              static_cast<std::streamsize>(f.size() * sizeof(float)));
-    std::printf("%s stream, %s -> %s\n", codec.c_str(), f.dims().str().c_str(), argv[3]);
+    const auto stream = io::read_bytes(argv[2]);
+    const auto meta = api::info(stream);
+    const FieldF f = api::decompress(stream);
+    write_raw_floats(f, argv[3]);
+    std::printf("%s %s stream, %s -> %s\n", kind_str(meta.kind), meta.codec.c_str(),
+                f.dims().str().c_str(), argv[3]);
     return 0;
   }
   if (cmd == "adaptive" && argc >= 7) {
     const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
     const FieldF f = io::read_raw_f32(argv[2], dims);
-    workflow::Config cfg;
-    cfg.roi_fraction = argc > 7 ? std::atof(argv[7]) : 0.5;
-    const double rel = argc > 8 ? std::atof(argv[8]) : 1e-4;
-    const auto adaptive = roi::extract_adaptive(f, cfg.roi_block, cfg.roi_fraction);
-    const auto timing =
-        workflow::write_snapshot(adaptive, f.value_range() * rel, cfg.pipeline, argv[6]);
-    std::printf("adaptive snapshot: %zu bytes (CR %.1f on stored samples)\n",
-                timing.bytes_written,
-                static_cast<double>(adaptive.stored_samples()) * 4.0 /
-                    static_cast<double>(timing.bytes_written));
+    api::Options opt;
+    apply_args(opt, argv + 7, argv + argc, "roi_fraction", "eb");
+    const auto snapshot = api::compress_adaptive(f, opt);
+    io::write_bytes(snapshot, argv[6]);
+    std::printf("adaptive snapshot: %zu bytes (CR %.1f vs uniform)\n", snapshot.size(),
+                compression_ratio(f.size(), snapshot.size()));
     return 0;
   }
   if (cmd == "restore" && argc == 4) {
-    auto mr = workflow::read_snapshot(argv[2]);
-    mr.fine_dims = mr.levels.front().data.dims();
-    const FieldF f = mr.reconstruct_uniform();
-    std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(f.data()),
-              static_cast<std::streamsize>(f.size() * sizeof(float)));
+    const FieldF f = api::restore(io::read_bytes(argv[2]));
+    write_raw_floats(f, argv[3]);
     std::printf("restored uniform grid %s -> %s\n", f.dims().str().c_str(), argv[3]);
     return 0;
   }
   if (cmd == "info" && argc == 3) {
-    const auto stream = read_file(argv[2]);
-    std::string codec;
-    const FieldF f = decompress_any(stream, &codec);
-    const auto [lo, hi] = f.min_max();
-    std::printf("codec %s, dims %s, %zu bytes, CR %.1f, values in [%.4g, %.4g]\n",
-                codec.c_str(), f.dims().str().c_str(), stream.size(),
-                compression_ratio(f.size(), stream.size()), static_cast<double>(lo),
-                static_cast<double>(hi));
+    const auto stream = io::read_bytes(argv[2]);
+    const auto meta = api::info(stream);
+    std::printf("%s stream v%u, codec %s, dims %s, eb %.4g, %zu bytes (CR %.1f)",
+                kind_str(meta.kind), meta.version, meta.codec.c_str(),
+                meta.dims.str().c_str(), meta.eb, meta.stream_bytes,
+                compression_ratio(meta.dims.size(), meta.stream_bytes));
+    if (meta.kind == api::StreamInfo::Kind::snapshot)
+      std::printf(", %zu levels", meta.levels);
+    std::printf("\n");
     return 0;
   }
   return usage();
