@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "exec/thread_pool.h"
 #include "roi/roi_extract.h"
 
 namespace mrc::api {
@@ -118,13 +119,15 @@ void Options::set(const std::string& key, const std::string& value) {
   } else if (key == "use_regression") {
     use_regression = parse_bool(key, value);
   } else if (key == "threads") {
-    threads = static_cast<int>(parse_index(key, value, 1));
+    threads = static_cast<int>(parse_index(key, value, 0));  // 0 = hardware
+  } else if (key == "tile") {
+    tile = parse_index(key, value, 1);
   } else {
     throw ContractError(
         "options: unknown key '" + key +
         "' (known: codec eb eb_mode merge pad pad_kind min_pad_unit adaptive_eb alpha "
         "beta quant_radius postprocess roi_block roi_fraction block_size "
-        "use_regression threads)");
+        "use_regression threads tile)");
   }
 }
 
@@ -164,6 +167,7 @@ std::string Options::str() const {
   s += ",block_size=" + std::to_string(block_size);
   s += std::string(",use_regression=") + (use_regression ? "1" : "0");
   s += ",threads=" + std::to_string(threads);
+  s += ",tile=" + std::to_string(tile);
   return s;
 }
 
@@ -175,7 +179,8 @@ CodecTuning Options::tuning() const {
   t.beta = beta;
   t.block_size = block_size;
   t.use_regression = use_regression;
-  t.threads = threads;
+  // Codec chunk counts need a concrete width; 0 resolves to the hardware.
+  t.threads = threads == 0 ? exec::hardware_threads() : threads;
   return t;
 }
 
@@ -190,6 +195,16 @@ sz3mr::Config Options::pipeline() const {
   c.beta = beta;
   c.quant_radius = quant_radius;
   c.postprocess = postprocess;
+  c.threads = threads;
+  return c;
+}
+
+tiled::Config Options::tiled_config() const {
+  tiled::Config c;
+  c.codec = codec;
+  c.tuning = tuning();
+  c.brick = tile;
+  c.threads = threads;
   return c;
 }
 
@@ -208,6 +223,10 @@ Bytes compress(const FieldF& f, const Options& opt) {
 FieldF decompress(std::span<const std::byte> stream) {
   const StreamHeader h = peek_header(stream);
   if (h.codec_magic == workflow::kSnapshotMagic) return restore(stream);
+  if (h.codec_magic == tiled::kTiledMagic)
+    // Single lane, like every other facade default — callers that want the
+    // parallel decode pass threads to tiled::decompress / api::read_region.
+    return tiled::decompress(stream, /*threads=*/1);
   if (h.codec_magic == sz3mr::kLevelMagic)
     // A bare level stream decodes to its level grid (zeros outside the mask).
     return sz3mr::decompress_level(stream).data;
@@ -232,6 +251,15 @@ FieldF restore(std::span<const std::byte> snapshot) {
   return workflow::decode_snapshot(snapshot).reconstruct_uniform();
 }
 
+Bytes compress_tiled(const FieldF& f, const Options& opt) {
+  return tiled::compress(f, opt.absolute_eb(f), opt.tiled_config());
+}
+
+FieldF read_region(std::span<const std::byte> stream, const tiled::Box& region,
+                   int threads) {
+  return tiled::read_region(stream, region, threads).data;
+}
+
 StreamInfo info(std::span<const std::byte> stream) {
   const StreamHeader h = peek_header(stream);
   StreamInfo out;
@@ -245,6 +273,15 @@ StreamInfo info(std::span<const std::byte> stream) {
     ByteReader r(stream.subspan(h.header_bytes));
     (void)r.get_varint();  // block size
     out.levels = static_cast<std::size_t>(r.get_varint());
+  } else if (h.codec_magic == tiled::kTiledMagic) {
+    // O(1) preamble peek — the per-tile records are not walked here.
+    const tiled::Index idx = tiled::read_geometry(stream);
+    out.kind = StreamInfo::Kind::tiled;
+    out.codec = idx.codec;
+    out.brick = idx.brick;
+    out.overlap = idx.overlap;
+    out.tile_grid = idx.grid;
+    out.tiles = static_cast<std::size_t>(idx.grid.size());
   } else if (h.codec_magic == sz3mr::kLevelMagic) {
     out.kind = StreamInfo::Kind::level;
     out.codec = "sz3mr";

@@ -10,6 +10,10 @@
 //   api::compress_adaptive / api::restore — the paper's full pipeline:
 //       ROI extraction -> multi-resolution SZ3MR -> self-describing snapshot,
 //       and back to a uniform grid.
+//   api::compress_tiled / api::read_region — the brick-tiled container:
+//       every brick compressed independently on the exec thread pool
+//       (Options::tile / Options::threads), random-access region reads that
+//       decode only intersecting bricks.
 //
 // Every stream these functions produce starts with the shared container
 // header (compressor.h), so api::info identifies any of them — single-field
@@ -30,6 +34,7 @@
 
 #include "compressors/registry.h"
 #include "core/workflow.h"
+#include "tiled/tiled.h"
 
 namespace mrc::api {
 
@@ -67,7 +72,13 @@ struct Options {
   // Codec-specific tuning.
   index_t block_size = 0;  ///< lorenzo block edge; 0 = codec default
   bool use_regression = true;
+  /// Exec-pool lanes: brick compression in compress_tiled, per-level stream
+  /// compression in compress_adaptive, chunk count of the chunked codecs.
+  /// 0 = hardware concurrency.
   int threads = 1;
+
+  // Tiled container (compress_tiled / read_region).
+  index_t tile = tiled::kDefaultBrick;  ///< brick edge
 
   /// Applies one "key=value" assignment. Throws ContractError on an unknown
   /// key or unparseable value.
@@ -85,6 +96,9 @@ struct Options {
 
   /// The multi-resolution pipeline configuration.
   [[nodiscard]] sz3mr::Config pipeline() const;
+
+  /// The tiled-container configuration (codec, tuning, tile, threads).
+  [[nodiscard]] tiled::Config tiled_config() const;
 
   /// Resolves the error bound against a concrete field.
   [[nodiscard]] double absolute_eb(const FieldF& f) const;
@@ -110,16 +124,36 @@ struct Options {
 /// Decodes a snapshot and reconstructs the uniform fine-resolution grid.
 [[nodiscard]] FieldF restore(std::span<const std::byte> snapshot);
 
+/// Compresses `f` into the brick-tiled container: `opt.tile`-edge bricks
+/// (+1-sample overlap), each compressed independently with `opt.codec` on a
+/// pool of `opt.threads` lanes. The stream supports parallel decompression
+/// and random-access region reads, and is byte-identical for any thread
+/// count.
+[[nodiscard]] Bytes compress_tiled(const FieldF& f, const Options& opt = {});
+
+/// Reads `region` out of a tiled stream, decoding only the bricks that
+/// intersect it — bit-identical to the same window of a full decompress.
+/// threads = 0 means hardware concurrency.
+[[nodiscard]] FieldF read_region(std::span<const std::byte> stream,
+                                 const tiled::Box& region, int threads = 1);
+
 /// What a stream is, from its container header alone (no decompression).
 struct StreamInfo {
-  enum class Kind : std::uint8_t { field, level, snapshot };
+  enum class Kind : std::uint8_t { field, level, snapshot, tiled };
   Kind kind = Kind::field;
-  std::string codec;  ///< registry name, or "sz3mr"/"snapshot" stream kinds
+  std::string codec;  ///< registry name ("snapshot"/"sz3mr" for those kinds;
+                      ///< the per-brick codec for tiled streams)
   unsigned version = 0;
   Dim3 dims;          ///< field extents (snapshot: finest-grid extents)
   double eb = 0.0;    ///< absolute error bound the stream was encoded under
   std::size_t levels = 1;       ///< snapshot level count (1 otherwise)
   std::size_t stream_bytes = 0;
+
+  // Tile geometry (tiled streams only; zero otherwise).
+  index_t brick = 0;    ///< core brick edge
+  index_t overlap = 0;  ///< overlap samples per high face
+  Dim3 tile_grid;       ///< tile counts per axis
+  std::size_t tiles = 0;
 };
 
 /// Identifies any mrcomp stream by its header. Throws CodecError on foreign

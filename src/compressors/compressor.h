@@ -74,7 +74,9 @@ struct StreamHeader {
 namespace detail {
 
 inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
-inline constexpr std::uint8_t kContainerVersion = 2;
+// v3 adds the tiled container stream kind (tiled/tiled.h); v2 streams still
+// parse — peek_header accepts any version up to the current one.
+inline constexpr std::uint8_t kContainerVersion = 3;
 
 /// Writes the shared container header (layout above).
 void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb);

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <cstring>
 
-#include "common/parallel.h"
+#include "exec/thread_pool.h"
 #include "compressors/quantizer.h"
 #include "lossless/bitstream.h"
 #include "lossless/lzss.h"
@@ -102,11 +101,11 @@ struct CoeffQuant {
 LorenzoCompressor::LorenzoCompressor(LorenzoConfig cfg) : cfg_(cfg) {
   MRC_REQUIRE(cfg_.block_size >= 2, "block size too small");
   MRC_REQUIRE(cfg_.quant_radius >= 2, "quant radius too small");
-  MRC_REQUIRE(cfg_.omp_chunks >= 1, "bad chunk count");
+  MRC_REQUIRE(cfg_.chunks >= 1, "bad chunk count");
 }
 
 std::string LorenzoCompressor::name() const {
-  return cfg_.omp_chunks > 1 ? "lorenzo(omp)" : "lorenzo";
+  return cfg_.chunks > 1 ? "lorenzo(mt)" : "lorenzo";
 }
 
 Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
@@ -115,7 +114,7 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
   const Dim3 d = f.dims();
   const index_t bs = cfg_.block_size;
   const index_t nbz = ceil_div(d.nz, bs);
-  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.omp_chunks, nbz));
+  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.chunks, nbz));
   const CoeffQuant cq{abs_eb / 2.0, abs_eb / (2.0 * static_cast<double>(bs))};
   const LinearQuantizer quant{abs_eb, cfg_.quant_radius};
 
@@ -123,10 +122,8 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
   std::vector<ChunkStream> chunks(static_cast<std::size_t>(n_chunks));
   const float* orig = f.data();
 
-#if defined(MRC_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (int c = 0; c < n_chunks; ++c) {
+  exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
+  pool.parallel_for(n_chunks, [&](index_t c) {
     const index_t bz0 = nbz * c / n_chunks;
     const index_t bz1 = nbz * (c + 1) / n_chunks;
     const index_t zmin = bz0 * bs;
@@ -195,7 +192,7 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
     cs.coeffs = lossless::lzss_compress(coeff_bytes);
     cs.codes = lossless::encode_quant_codes(codes, cfg_.quant_radius);
     cs.outliers = lossless::lzss_compress(std::as_bytes(std::span<const float>(outliers)));
-  }
+  });
 
   Bytes out;
   ByteWriter w(out);
@@ -221,7 +218,9 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
   (void)r.get<std::uint8_t>();  // use_regression flag (informational)
   const auto n_chunks = static_cast<int>(r.get_varint());
   const Dim3 d = h.dims;
+  if (bs < 2) throw CodecError("lorenzo: bad block size");
   const index_t nbz = ceil_div(d.nz, bs);
+  if (n_chunks < 1 || n_chunks > nbz) throw CodecError("lorenzo: bad chunk count");
   const CoeffQuant cq{h.eb / 2.0, h.eb / (2.0 * static_cast<double>(bs))};
   const LinearQuantizer quant{h.eb, radius};
 
@@ -237,12 +236,9 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
   }
 
   FieldF recon(d);
-  std::atomic<bool> failed{false};  // exceptions must not escape the omp region
 
-#if defined(MRC_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (int c = 0; c < n_chunks; ++c) {
+  exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
+  pool.parallel_for(n_chunks, [&](index_t c) {
    try {
     const index_t bz0 = nbz * c / n_chunks;
     const index_t bz1 = nbz * (c + 1) / n_chunks;
@@ -292,10 +288,9 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
               }
         }
    } catch (...) {
-     failed.store(true);
+     throw CodecError("lorenzo: corrupt chunk stream");
    }
-  }
-  if (failed.load()) throw CodecError("lorenzo: corrupt chunk stream");
+  });
   return recon;
 }
 

@@ -9,10 +9,10 @@
 //     artifacts;
 //   * regression predictions never cross block boundaries, which is the
 //     source of the blocking artifacts the Bézier post-process removes;
-//   * `omp_chunks > 1` splits the domain into z-slabs compressed and
-//     entropy-coded independently (per-chunk Huffman tables). That is the
-//     "embarrassingly parallel" OpenMP mode of Table IX — faster, slightly
-//     lower compression ratio.
+//   * `chunks > 1` splits the domain into z-slabs compressed and
+//     entropy-coded independently (per-chunk Huffman tables) on the exec
+//     thread pool. That is the "embarrassingly parallel" mode of Table IX —
+//     faster, slightly lower compression ratio.
 
 #include "compressors/compressor.h"
 
@@ -22,7 +22,7 @@ struct LorenzoConfig {
   index_t block_size = 6;
   std::uint32_t quant_radius = 512;
   bool use_regression = true;  ///< per-block choice; false = pure Lorenzo
-  int omp_chunks = 1;          ///< independent z-slab chunks (parallel mode)
+  int chunks = 1;              ///< independent z-slab chunks (parallel mode)
 };
 
 class LorenzoCompressor final : public Compressor {

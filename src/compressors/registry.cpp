@@ -96,7 +96,7 @@ CodecRegistry make_builtin_registry() {
                  if (t.block_size > 0) c.block_size = t.block_size;
                  c.quant_radius = t.quant_radius;
                  c.use_regression = t.use_regression;
-                 c.omp_chunks = t.threads;
+                 c.chunks = t.threads;
                  return std::make_unique<LorenzoCompressor>(c);
                }});
   reg.add({.name = "zfpx",
@@ -106,7 +106,7 @@ CodecRegistry make_builtin_registry() {
            .factory =
                [](const CodecTuning& t) -> std::unique_ptr<Compressor> {
                  ZfpxConfig c;
-                 c.omp_chunks = t.threads;
+                 c.chunks = t.threads;
                  return std::make_unique<ZfpxCompressor>(c);
                }});
   return reg;

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <numeric>
 
-#include "common/parallel.h"
+#include "exec/thread_pool.h"
 #include "lossless/bitstream.h"
 
 namespace mrc {
@@ -210,11 +209,11 @@ void scatter(FieldF& f, index_t x0, index_t y0, index_t z0, const float* in) {
 }  // namespace
 
 ZfpxCompressor::ZfpxCompressor(ZfpxConfig cfg) : cfg_(cfg) {
-  MRC_REQUIRE(cfg_.omp_chunks >= 1, "bad chunk count");
+  MRC_REQUIRE(cfg_.chunks >= 1, "bad chunk count");
 }
 
 std::string ZfpxCompressor::name() const {
-  return cfg_.omp_chunks > 1 ? "zfpx(omp)" : "zfpx";
+  return cfg_.chunks > 1 ? "zfpx(mt)" : "zfpx";
 }
 
 Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
@@ -223,14 +222,12 @@ Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
   const Dim3 d = f.dims();
   const Dim3 nb = blocks_for(d, kBlock);
   const double minexp = std::floor(std::log2(abs_eb));
-  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.omp_chunks, nb.nz));
+  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.chunks, nb.nz));
 
   std::vector<Bytes> streams(static_cast<std::size_t>(n_chunks));
 
-#if defined(MRC_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (int c = 0; c < n_chunks; ++c) {
+  exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
+  pool.parallel_for(n_chunks, [&](index_t c) {
     const index_t bz0 = nb.nz * c / n_chunks;
     const index_t bz1 = nb.nz * (c + 1) / n_chunks;
     lossless::BitWriter bw;
@@ -242,7 +239,7 @@ Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
           encode_block(bw, block, minexp);
         }
     streams[static_cast<std::size_t>(c)] = bw.take();
-  }
+  });
 
   Bytes out;
   ByteWriter w(out);
@@ -258,18 +255,16 @@ FieldF ZfpxCompressor::decompress(std::span<const std::byte> stream) const {
   const auto n_chunks = static_cast<int>(r.get_varint());
   const Dim3 d = h.dims;
   const Dim3 nb = blocks_for(d, kBlock);
+  if (n_chunks < 1 || n_chunks > nb.nz) throw CodecError("zfpx: bad chunk count");
   const double minexp = std::floor(std::log2(h.eb));
 
   std::vector<std::span<const std::byte>> chunk_in(static_cast<std::size_t>(n_chunks));
   for (auto& ci : chunk_in) ci = r.get_blob();
 
   FieldF recon(d);
-  std::atomic<bool> failed{false};
 
-#if defined(MRC_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (int c = 0; c < n_chunks; ++c) {
+  exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
+  pool.parallel_for(n_chunks, [&](index_t c) {
    try {
     const index_t bz0 = nb.nz * c / n_chunks;
     const index_t bz1 = nb.nz * (c + 1) / n_chunks;
@@ -282,10 +277,9 @@ FieldF ZfpxCompressor::decompress(std::span<const std::byte> stream) const {
           scatter(recon, bx * kBlock, by * kBlock, bz * kBlock, block);
         }
    } catch (...) {
-     failed.store(true);
+     throw CodecError("zfpx: corrupt chunk stream");
    }
-  }
-  if (failed.load()) throw CodecError("zfpx: corrupt chunk stream");
+  });
   return recon;
 }
 

@@ -13,16 +13,16 @@
 // "underestimation characteristic" the paper exploits when choosing smaller
 // post-processing intensities for ZFP (§III-B).
 //
-// `omp_chunks > 1` encodes z-slabs of blocks into independent bit streams in
-// parallel (Table IX's OpenMP mode). Unlike SZ2, parallel ZFP loses no
-// compression ratio: blocks are independent already.
+// `chunks > 1` encodes z-slabs of blocks into independent bit streams in
+// parallel on the exec thread pool (Table IX's parallel mode). Unlike SZ2,
+// parallel ZFP loses no compression ratio: blocks are independent already.
 
 #include "compressors/compressor.h"
 
 namespace mrc {
 
 struct ZfpxConfig {
-  int omp_chunks = 1;
+  int chunks = 1;  ///< independent z-slab chunks, compressed in parallel
 };
 
 class ZfpxCompressor final : public Compressor {

@@ -42,6 +42,10 @@ struct Config {
   double beta = 8.0;
   std::uint32_t quant_radius = 512;
   bool postprocess = false;  ///< tune + embed Bézier intensities in the stream
+  /// Exec-pool lanes used to compress/decompress hierarchy levels
+  /// concurrently (compress_multires / encode_snapshot); streams are
+  /// byte-identical for any value. 0 = hardware.
+  int threads = 1;
 };
 
 [[nodiscard]] Config baseline_sz3();

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 #include "io/raw_io.h"
 
 namespace mrc::workflow {
@@ -49,16 +50,29 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
   }
   t.preprocess_s = timer.seconds();
 
-  // Phase 2: compression + writing to the file system.
+  // Phase 2: compression + writing to the file system, in level order. With
+  // one lane, each level is encoded and written before the next is touched
+  // (peak memory = one compressed level); with more, levels encode
+  // concurrently and buffer until the ordered write.
   timer.restart();
+  // Open (and so validate) the output path before any encoding work.
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);
+  exec::ThreadPool pool(cfg.threads);
+  std::vector<Bytes> encoded(prepared.size());
+  if (pool.size() > 1)
+    pool.parallel_for(static_cast<index_t>(prepared.size()), [&](index_t l) {
+      encoded[static_cast<std::size_t>(l)] =
+          sz3mr::encode_prepared(prepared[static_cast<std::size_t>(l)], abs_eb);
+    });
   const Bytes head = snapshot_header(mr, abs_eb);
   f.write(reinterpret_cast<const char*>(head.data()),
           static_cast<std::streamsize>(head.size()));
   t.bytes_written += head.size();
-  for (const auto& prep : prepared) {
-    const Bytes stream = sz3mr::encode_prepared(prep, abs_eb);
+  for (std::size_t l = 0; l < prepared.size(); ++l) {
+    const Bytes stream = pool.size() > 1
+                             ? std::move(encoded[l])
+                             : sz3mr::encode_prepared(prepared[l], abs_eb);
     Bytes len;  // varint length prefix only; the payload is written directly
     ByteWriter w(len);
     w.put_varint(stream.size());
@@ -76,12 +90,12 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
 
 Bytes encode_snapshot(const MultiResField& mr, double abs_eb,
                       const sz3mr::Config& cfg) {
+  // Per-level SZ3MR streams compress concurrently (cfg.threads lanes); the
+  // snapshot bytes are identical for any thread count.
+  const sz3mr::MultiResStreams streams = sz3mr::compress_multires(mr, abs_eb, cfg);
   Bytes out = snapshot_header(mr, abs_eb);
   ByteWriter w(out);
-  for (const auto& level : mr.levels) {
-    const index_t unit = std::max<index_t>(mr.block_size / level.ratio, 1);
-    w.put_blob(sz3mr::compress_level(level, unit, abs_eb, cfg));
-  }
+  for (const Bytes& s : streams.level_streams) w.put_blob(s);
   return out;
 }
 

@@ -1,0 +1,99 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace mrc::exec {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  MRC_REQUIRE(threads >= 0, "negative thread count");
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  if (workers_.empty()) {  // single-lane pool: run inline, no queue traffic
+    fn();
+    return;
+  }
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& body,
+                              index_t grain) {
+  MRC_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (n <= 0) return;
+  const int lanes = static_cast<int>(std::min<index_t>(size(), ceil_div(n, grain)));
+  if (lanes <= 1) {
+    for (index_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<index_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr error;
+  } sh;
+
+  auto lane = [&sh, n, grain, &body] {
+    try {
+      for (;;) {
+        if (sh.failed.load(std::memory_order_relaxed)) return;
+        const index_t i0 = sh.next.fetch_add(grain, std::memory_order_relaxed);
+        if (i0 >= n) return;
+        const index_t i1 = std::min(i0 + grain, n);
+        for (index_t i = i0; i < i1; ++i) body(i);
+      }
+    } catch (...) {
+      const std::lock_guard lock(sh.err_mu);
+      if (!sh.error) sh.error = std::current_exception();
+      sh.failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int i = 0; i < lanes - 1; ++i) futs.push_back(submit(lane));
+  lane();  // the calling thread is a lane too
+  for (auto& f : futs) f.get();  // lane() never throws; errors land in sh.error
+  if (sh.error) std::rethrow_exception(sh.error);
+}
+
+}  // namespace mrc::exec

@@ -1,0 +1,80 @@
+#pragma once
+
+// Dependency-free parallel execution engine — the library's scheduling
+// primitive. A fixed-size std::thread pool with two entry points:
+//
+//   * submit(fn)          — run a task asynchronously, get a std::future
+//   * parallel_for(n, fn) — dynamic (work-stealing-counter) loop over [0, n)
+//
+// A pool of size N owns N-1 worker threads; the calling thread is the N-th
+// lane, so ThreadPool(1) spawns nothing and runs everything inline — serial
+// call sites pay zero overhead. Construction with threads=0 sizes the pool
+// to the hardware. Pools are cheap enough to build per operation (thread
+// spawn is microseconds against the millisecond-scale compression work they
+// schedule), so call sites that already know their width — the tiled
+// container, per-level snapshot encoding, chunked codecs — construct one
+// locally instead of sharing global mutable state.
+//
+// Exceptions thrown by tasks propagate: submit() delivers them through the
+// future, parallel_for() rethrows the first one after all lanes have
+// drained (remaining iterations may be skipped — fail fast, never deadlock).
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/dims.h"
+
+namespace mrc::exec {
+
+/// Usable hardware concurrency; always >= 1 (hardware_concurrency() may
+/// report 0 on exotic platforms).
+[[nodiscard]] int hardware_threads();
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` execution lanes (calling thread included);
+  /// 0 means hardware_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes (worker threads + the calling thread), >= 1.
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Schedules `fn` on a worker (inline when the pool has no workers) and
+  /// returns the future of its result.
+  template <typename F>
+  [[nodiscard]] auto submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs body(i) for i in [0, n) across all lanes, grabbing `grain`-sized
+  /// chunks off a shared counter (dynamic load balancing for uneven work
+  /// like variable-entropy bricks). Blocks until done; rethrows the first
+  /// task exception.
+  void parallel_for(index_t n, const std::function<void(index_t)>& body,
+                    index_t grain = 1);
+
+ private:
+  void post(std::function<void()> fn);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrc::exec

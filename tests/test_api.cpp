@@ -193,7 +193,7 @@ TEST(ApiOptions, KeyValueParsingSetsEveryKnob) {
   const auto o = api::Options::parse(
       "codec=zfpx,eb=0.5,eb_mode=abs,merge=stack,pad=0,pad_kind=quadratic,"
       "min_pad_unit=7,adaptive_eb=0,alpha=3,beta=9,quant_radius=256,postprocess=1,"
-      "roi_block=8,roi_fraction=0.75,block_size=4,use_regression=0,threads=3");
+      "roi_block=8,roi_fraction=0.75,block_size=4,use_regression=0,threads=3,tile=48");
   EXPECT_EQ(o.codec, "zfpx");
   EXPECT_EQ(o.eb, 0.5);
   EXPECT_EQ(o.eb_mode, api::EbMode::absolute);
@@ -211,6 +211,7 @@ TEST(ApiOptions, KeyValueParsingSetsEveryKnob) {
   EXPECT_EQ(o.block_size, 4);
   EXPECT_FALSE(o.use_regression);
   EXPECT_EQ(o.threads, 3);
+  EXPECT_EQ(o.tile, 48);
 }
 
 TEST(ApiOptions, StrRoundTrips) {
@@ -242,7 +243,8 @@ TEST(ApiOptions, BadInputRejected) {
   EXPECT_THROW(o.set("roi_fraction", "1.5"), ContractError);
   EXPECT_THROW(o.set("roi_fraction", "nan"), ContractError);
   EXPECT_THROW(o.set("alpha", "nan"), ContractError);
-  EXPECT_THROW(o.set("threads", "0"), ContractError);
+  EXPECT_THROW(o.set("threads", "-1"), ContractError);
+  EXPECT_THROW(o.set("tile", "0"), ContractError);
   EXPECT_THROW((void)api::Options::parse("justakey"), ContractError);
 }
 
@@ -272,6 +274,44 @@ TEST(ApiOptions, AdaptiveEbDefaultsPerContext) {
   const auto forced = api::Options::parse("adaptive_eb=1");
   EXPECT_TRUE(forced.tuning().adaptive_eb);
   EXPECT_TRUE(forced.pipeline().adaptive_eb);
+}
+
+TEST(ApiOptions, ThreadsZeroMeansHardware) {
+  // threads=0 resolves to the hardware width before reaching codec chunk
+  // configs (which require a concrete count >= 1).
+  const auto o = api::Options::parse("threads=0");
+  EXPECT_GE(o.tuning().threads, 1);
+  const FieldF f = test::smooth_field({16, 16, 16});
+  EXPECT_EQ(api::decompress(api::compress(f, o)).dims(), f.dims());
+}
+
+TEST(ApiFacade, TiledStreamRoundTripsAndReportsGeometry) {
+  const FieldF f = test::smooth_field({40, 24, 17});
+  const auto opt = api::Options::parse("codec=zfpx,tile=16,threads=2,eb=1e-3");
+  const Bytes stream = api::compress_tiled(f, opt);
+
+  const auto meta = api::info(stream);
+  EXPECT_EQ(meta.kind, api::StreamInfo::Kind::tiled);
+  EXPECT_EQ(meta.codec, "zfpx");
+  EXPECT_EQ(meta.dims, f.dims());
+  EXPECT_EQ(meta.brick, 16);
+  EXPECT_EQ(meta.overlap, tiled::kOverlap);
+  EXPECT_EQ(meta.tile_grid, (Dim3{3, 2, 2}));
+  EXPECT_EQ(meta.tiles, 12u);
+
+  // Tiled streams decode through the generic facade entry point.
+  const FieldF back = api::decompress(stream);
+  ASSERT_EQ(back.dims(), f.dims());
+  EXPECT_LE(test::max_abs_err(f, back), opt.absolute_eb(f) * (1 + 1e-9));
+
+  // And a region read matches the full decompress bit-for-bit.
+  const tiled::Box box{{5, 3, 2}, {23, 20, 11}};
+  const FieldF region = api::read_region(stream, box, 2);
+  ASSERT_EQ(region.dims(), box.extent());
+  for (index_t z = 0; z < region.dims().nz; ++z)
+    for (index_t y = 0; y < region.dims().ny; ++y)
+      for (index_t x = 0; x < region.dims().nx; ++x)
+        ASSERT_EQ(region.at(x, y, z), back.at(box.lo.x + x, box.lo.y + y, box.lo.z + z));
 }
 
 TEST(ApiFacade, AdaptiveRejectsNonInterpCodec) {

@@ -25,7 +25,7 @@ TEST_P(LorenzoErrorBound, MaxErrorWithinBound) {
   const FieldF f = smooth_field(p.dims);
   LorenzoConfig cfg;
   cfg.block_size = p.block;
-  cfg.omp_chunks = p.chunks;
+  cfg.chunks = p.chunks;
   const LorenzoCompressor comp(cfg);
   const auto rt = round_trip(comp, f, p.eb);
   EXPECT_EQ(rt.reconstructed.dims(), p.dims);
@@ -76,7 +76,7 @@ TEST(Lorenzo, ChunkedModeTradesRatioForIndependence) {
   // parallel" SZ2) must not beat single-stream coding.
   const FieldF f = smooth_field({32, 32, 64});
   LorenzoConfig serial, chunked;
-  chunked.omp_chunks = 8;
+  chunked.chunks = 8;
   const auto s1 = LorenzoCompressor{serial}.compress(f, 0.1);
   const auto s8 = LorenzoCompressor{chunked}.compress(f, 0.1);
   EXPECT_LE(s1.size(), s8.size() * 1.02);  // allow 2% noise either way

@@ -1,0 +1,327 @@
+// tiled:: brick container — round trips across codecs and awkward extents,
+// overlap geometry, random-access region reads (decode counters +
+// bit-exactness against a full decompress), determinism across thread
+// counts, and index-corruption robustness (every malformed stream must fail
+// with a clean CodecError, no OOB access — the ASan ci pass enforces the
+// latter).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/mrc_api.h"
+#include "test_util.h"
+#include "tiled/tiled.h"
+
+namespace mrc {
+namespace {
+
+using tiled::Box;
+
+Bytes make_stream(const FieldF& f, const std::string& codec = "zfpx",
+                  index_t brick = 16, int threads = 2, double eb = 0.05) {
+  tiled::Config cfg;
+  cfg.codec = codec;
+  cfg.brick = brick;
+  cfg.threads = threads;
+  return tiled::compress(f, eb, cfg);
+}
+
+/// Re-serializes a (possibly mutated) index in front of the original
+/// payload — the targeted fuzzing tool: corrupt exactly one index field and
+/// nothing else.
+Bytes rebuild(const tiled::Index& idx, std::span<const std::byte> payload) {
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, tiled::kTiledMagic, idx.dims, idx.eb);
+  w.put_varint(static_cast<std::uint64_t>(idx.brick));
+  w.put_varint(static_cast<std::uint64_t>(idx.overlap));
+  w.put(idx.codec_magic);
+  w.put_varint(static_cast<std::uint64_t>(idx.grid.nx));
+  w.put_varint(static_cast<std::uint64_t>(idx.grid.ny));
+  w.put_varint(static_cast<std::uint64_t>(idx.grid.nz));
+  w.put_varint(idx.payload_bytes);
+  for (const auto& e : idx.tiles) {
+    w.put_varint(e.offset);
+    w.put_varint(e.length);
+    w.put_varint(static_cast<std::uint64_t>(e.origin.x));
+    w.put_varint(static_cast<std::uint64_t>(e.origin.y));
+    w.put_varint(static_cast<std::uint64_t>(e.origin.z));
+    w.put_varint(static_cast<std::uint64_t>(e.stored.nx));
+    w.put_varint(static_cast<std::uint64_t>(e.stored.ny));
+    w.put_varint(static_cast<std::uint64_t>(e.stored.nz));
+    w.put(e.vmin);
+    w.put(e.vmax);
+  }
+  w.put_bytes(payload);
+  return out;
+}
+
+/// Applies `mutate` to a freshly parsed index and returns the corrupted
+/// stream.
+template <typename M>
+Bytes corrupt(std::span<const std::byte> stream, M mutate) {
+  tiled::Index idx = tiled::read_index(stream);
+  const auto payload = stream.subspan(idx.payload_offset);
+  mutate(idx);
+  return rebuild(idx, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips + geometry.
+// ---------------------------------------------------------------------------
+
+TEST(Tiled, RoundTripAllCodecsAwkwardExtents) {
+  for (const auto& codec : registry().names()) {
+    for (const Dim3 d : {Dim3{33, 18, 9}, Dim3{16, 16, 16}, Dim3{70, 5, 3}}) {
+      const FieldF f = test::smooth_field(d);
+      const Bytes stream = make_stream(f, codec, 16);
+      const FieldF back = tiled::decompress(stream, 2);
+      ASSERT_EQ(back.dims(), d) << codec << " " << d;
+      EXPECT_LE(test::max_abs_err(f, back), 0.05 * (1 + 1e-9)) << codec << " " << d;
+    }
+  }
+}
+
+TEST(Tiled, DegenerateAndSingleBrickFields) {
+  // 2-D, 1-D, and brick >= extent all collapse to valid tilings.
+  for (const Dim3 d : {Dim3{40, 30, 1}, Dim3{100, 1, 1}, Dim3{7, 7, 7}}) {
+    const FieldF f = test::smooth_field(d);
+    const Bytes stream = make_stream(f, "interp", 16, 1);
+    EXPECT_EQ(tiled::read_index(stream).grid, blocks_for(d, 16));
+    EXPECT_EQ(tiled::decompress(stream).dims(), d);
+  }
+}
+
+TEST(Tiled, IndexRecordsOverlapGeometry) {
+  // 40^3 at brick 16 -> grid 3^3. Interior bricks store 17 samples per axis
+  // (+1 overlap), the last brick along each axis stores the 8 remaining.
+  const FieldF f = test::smooth_field({40, 40, 40});
+  const auto idx = tiled::read_index(make_stream(f, "zfpx", 16));
+  ASSERT_EQ(idx.grid, (Dim3{3, 3, 3}));
+  EXPECT_EQ(idx.brick, 16);
+  EXPECT_EQ(idx.overlap, tiled::kOverlap);
+  EXPECT_EQ(idx.tiles[0].stored, (Dim3{17, 17, 17}));
+  EXPECT_EQ(idx.tiles[2].stored, (Dim3{8, 17, 17}));  // x-edge brick
+  EXPECT_EQ(idx.tiles[0].origin, (Coord3{0, 0, 0}));
+  EXPECT_EQ(idx.tiles[2].origin, (Coord3{32, 0, 0}));
+  EXPECT_EQ(idx.core_extent(0), (Dim3{16, 16, 16}));
+  EXPECT_EQ(idx.core_extent(2), (Dim3{8, 16, 16}));
+  // min/max are per-brick value ranges of the original data.
+  const auto [lo, hi] = f.min_max();
+  for (const auto& e : idx.tiles) {
+    EXPECT_GE(e.vmin, lo);
+    EXPECT_LE(e.vmax, hi);
+    EXPECT_LE(e.vmin, e.vmax);
+  }
+}
+
+TEST(Tiled, StreamBytesIdenticalForAnyThreadCount) {
+  const FieldF f = test::noise_field({48, 33, 21}, 10.0);
+  const Bytes s1 = make_stream(f, "interp", 16, 1);
+  const Bytes s2 = make_stream(f, "interp", 16, 2);
+  const Bytes s7 = make_stream(f, "interp", 16, 7);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s7);
+}
+
+TEST(Tiled, RejectsBadConfigAndInputs) {
+  const FieldF f = test::smooth_field({16, 16, 16});
+  tiled::Config cfg;
+  cfg.brick = 0;
+  EXPECT_THROW((void)tiled::compress(f, 0.1, cfg), ContractError);
+  cfg.brick = 16;
+  cfg.codec = "no-such-codec";
+  EXPECT_THROW((void)tiled::compress(f, 0.1, cfg), CodecError);
+  EXPECT_THROW((void)tiled::compress(FieldF{}, 0.1, {}), ContractError);
+  EXPECT_THROW((void)tiled::compress(f, 0.0, {}), ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// Random-access region reads.
+// ---------------------------------------------------------------------------
+
+TEST(Tiled, ReadRegionDecodesOnlyIntersectingBricks) {
+  const FieldF f = test::smooth_field({64, 64, 64});
+  const Bytes stream = make_stream(f, "zfpx", 16);  // 4^3 = 64 bricks
+
+  // Strictly inside one brick.
+  auto rr = tiled::read_region(stream, {{17, 18, 19}, {30, 31, 32}}, 2);
+  EXPECT_EQ(rr.tiles_total, 64u);
+  EXPECT_EQ(rr.tiles_decoded, 1u);
+
+  // Crossing one brick boundary along x only.
+  rr = tiled::read_region(stream, {{12, 0, 0}, {20, 16, 16}}, 2);
+  EXPECT_EQ(rr.tiles_decoded, 2u);
+
+  // A 2x2x2 brick corner.
+  rr = tiled::read_region(stream, {{15, 15, 15}, {17, 17, 17}}, 2);
+  EXPECT_EQ(rr.tiles_decoded, 8u);
+
+  // The whole domain.
+  rr = tiled::read_region(stream, tiled::full_box(f.dims()), 2);
+  EXPECT_EQ(rr.tiles_decoded, 64u);
+}
+
+TEST(Tiled, ReadRegionMatchesFullDecompressBitForBit) {
+  const FieldF f = test::noise_field({40, 36, 28}, 25.0);
+  const Bytes stream = make_stream(f, "interp", 16);
+  const FieldF full = tiled::decompress(stream, 2);
+
+  for (const Box box : {Box{{0, 0, 0}, {40, 36, 28}}, Box{{3, 5, 7}, {21, 19, 17}},
+                        Box{{15, 15, 15}, {17, 17, 17}}, Box{{39, 35, 27}, {40, 36, 28}},
+                        Box{{0, 0, 13}, {40, 36, 14}}}) {
+    const auto rr = tiled::read_region(stream, box, 2);
+    ASSERT_EQ(rr.data.dims(), box.extent());
+    for (index_t z = 0; z < rr.data.dims().nz; ++z)
+      for (index_t y = 0; y < rr.data.dims().ny; ++y)
+        for (index_t x = 0; x < rr.data.dims().nx; ++x)
+          ASSERT_EQ(rr.data.at(x, y, z),
+                    full.at(box.lo.x + x, box.lo.y + y, box.lo.z + z))
+              << box.lo.x << "," << box.lo.y << "," << box.lo.z;
+  }
+}
+
+TEST(Tiled, ReadRegionRejectsBadBoxes) {
+  const FieldF f = test::smooth_field({32, 32, 32});
+  const Bytes stream = make_stream(f);
+  EXPECT_THROW((void)tiled::read_region(stream, {{0, 0, 0}, {0, 16, 16}}, 1),
+               ContractError);  // empty
+  EXPECT_THROW((void)tiled::read_region(stream, {{-1, 0, 0}, {8, 8, 8}}, 1),
+               ContractError);  // negative origin
+  EXPECT_THROW((void)tiled::read_region(stream, {{0, 0, 0}, {33, 8, 8}}, 1),
+               ContractError);  // past the domain
+  EXPECT_THROW((void)tiled::read_region(stream, {{8, 8, 8}, {4, 16, 16}}, 1),
+               ContractError);  // inverted
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt / truncated streams: clean CodecError, never OOB.
+// ---------------------------------------------------------------------------
+
+TEST(TiledRobustness, TruncationAtEveryStageRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_stream(f, "zfpx", 16, 1);
+  const auto idx = tiled::read_index(stream);
+  // Cut inside the header, inside the index, at the payload start, and one
+  // byte short of the end.
+  for (const std::size_t len :
+       {std::size_t{5}, std::size_t{20}, idx.payload_offset / 2, idx.payload_offset,
+        stream.size() - 1}) {
+    const auto cut = std::span(stream).first(len);
+    EXPECT_THROW((void)tiled::decompress(cut), CodecError) << len;
+    EXPECT_THROW((void)api::decompress(cut), CodecError) << len;
+  }
+}
+
+TEST(TiledRobustness, OutOfRangeOffsetsAndLengthsRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_stream(f, "zfpx", 16, 1);
+
+  EXPECT_THROW((void)tiled::read_index(corrupt(
+                   stream, [](tiled::Index& i) { i.tiles[1].offset = i.payload_bytes; })),
+               CodecError);
+  EXPECT_THROW(
+      (void)tiled::read_index(corrupt(
+          stream, [](tiled::Index& i) { i.tiles[0].length = i.payload_bytes + 1; })),
+      CodecError);
+  EXPECT_THROW((void)tiled::read_index(
+                   corrupt(stream, [](tiled::Index& i) { i.tiles[3].length = 0; })),
+               CodecError);
+  // Offset pointing at the wrong (but in-bounds) brick: the brick decodes to
+  // extents that contradict the index record.
+  EXPECT_THROW((void)tiled::decompress(corrupt(
+                   stream,
+                   [](tiled::Index& i) {
+                     i.tiles[1].offset = i.tiles[0].offset;
+                     i.tiles[1].length = i.tiles[0].length;
+                   })),
+               CodecError);
+  // Claiming a longer payload section than the stream carries.
+  EXPECT_THROW((void)tiled::read_index(
+                   corrupt(stream, [](tiled::Index& i) { i.payload_bytes += 1000; })),
+               CodecError);
+}
+
+TEST(TiledRobustness, OverlappingOrMisplacedExtentsRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_stream(f, "zfpx", 16, 1);
+
+  // Off-lattice origin (would overlap its neighbour's core).
+  EXPECT_THROW((void)tiled::read_index(
+                   corrupt(stream, [](tiled::Index& i) { i.tiles[1].origin.x -= 3; })),
+               CodecError);
+  // Stored extents inflated past the overlap rule.
+  EXPECT_THROW((void)tiled::read_index(
+                   corrupt(stream, [](tiled::Index& i) { i.tiles[0].stored.ny += 2; })),
+               CodecError);
+  // Stored extents shrunk below the core.
+  EXPECT_THROW((void)tiled::read_index(
+                   corrupt(stream, [](tiled::Index& i) { i.tiles[7].stored.nz -= 4; })),
+               CodecError);
+}
+
+TEST(TiledRobustness, TileCountMismatchRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_stream(f, "zfpx", 16, 1);
+
+  // Grid that disagrees with dims/brick.
+  EXPECT_THROW(
+      (void)tiled::read_index(corrupt(stream, [](tiled::Index& i) { i.grid.nz += 1; })),
+      CodecError);
+  // Fewer index records than the grid demands (reader runs into payload
+  // bytes that cannot validate).
+  EXPECT_THROW(
+      (void)tiled::read_index(corrupt(stream, [](tiled::Index& i) { i.tiles.pop_back(); })),
+      CodecError);
+  // Brick edge that disagrees with the recorded grid.
+  EXPECT_THROW(
+      (void)tiled::read_index(corrupt(stream, [](tiled::Index& i) { i.brick = 8; })),
+      CodecError);
+  // Absurd overlap.
+  EXPECT_THROW(
+      (void)tiled::read_index(corrupt(stream, [](tiled::Index& i) { i.overlap = 99; })),
+      CodecError);
+}
+
+TEST(TiledRobustness, AstronomicalTileCountRejectedBeforeAllocation) {
+  // A ~50-byte hostile stream claiming a self-consistent 2^39-tile grid must
+  // fail on the records-vs-bytes check, not attempt a terabyte-scale
+  // index allocation (std::bad_alloc / OOM kill).
+  Bytes evil;
+  ByteWriter w(evil);
+  detail::write_header(w, tiled::kTiledMagic, {index_t{1} << 32, 1, 128}, 1.0);
+  w.put_varint(1);  // brick
+  w.put_varint(0);  // overlap
+  w.put(registry().find("zfpx")->magic);
+  w.put_varint(std::uint64_t{1} << 32);  // grid, consistent with dims/brick
+  w.put_varint(1);
+  w.put_varint(128);
+  w.put_varint(0);  // payload_bytes
+  EXPECT_THROW((void)tiled::read_index(evil), CodecError);
+  EXPECT_THROW((void)api::decompress(evil), CodecError);
+}
+
+TEST(TiledRobustness, EveryIndexByteFlipFailsCleanlyOrDecodes) {
+  // Exhaustive single-byte corruption of the header + index region: each
+  // mutant must either decode to the right extents (flips in advisory
+  // fields like min/max) or throw CodecError — anything else (crash, OOB,
+  // wrong dims) is a bug. ASan in ci.sh turns latent OOB reads into hard
+  // failures here.
+  const FieldF f = test::smooth_field({20, 20, 20});
+  const Bytes stream = make_stream(f, "zfpx", 8, 1);
+  const std::size_t index_end = tiled::read_index(stream).payload_offset;
+  for (std::size_t pos = 0; pos < index_end; ++pos) {
+    Bytes bad = stream;
+    bad[pos] ^= std::byte{0x2d};
+    try {
+      const FieldF out = tiled::decompress(bad, 1);
+      EXPECT_EQ(out.dims(), f.dims()) << "byte " << pos;
+    } catch (const CodecError&) {
+      // clean rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrc

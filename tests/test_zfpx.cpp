@@ -128,7 +128,7 @@ TEST(Zfpx, ChunkedMatchesSerialByteForByte) {
   // reconstructions (unlike SZ2, ratio is unaffected too).
   const FieldF f = smooth_field({32, 32, 48});
   ZfpxConfig serial, chunked;
-  chunked.omp_chunks = 4;
+  chunked.chunks = 4;
   const auto s1 = ZfpxCompressor{serial}.compress(f, 0.1);
   const auto s4 = ZfpxCompressor{chunked}.compress(f, 0.1);
   const auto r1 = ZfpxCompressor{serial}.decompress(s1);

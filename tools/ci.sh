@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify with warnings surfaced: configure, build with -Wall -Wextra
-# (always on in CMakeLists), print any compiler warnings, then run ctest.
-# Usage: tools/ci.sh [build-dir]   (default: build)
+# (always on in CMakeLists), print any compiler warnings, run ctest — then
+# repeat the test suite under AddressSanitizer (second cmake preset) so the
+# thread-pool / tiled-index code is leak- and overflow-checked on every
+# verify. Set MRC_SKIP_ASAN=1 to skip the sanitizer pass.
+# Usage: tools/ci.sh [build-dir]   (default: build; ASan uses <build-dir>-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +26,17 @@ fi
 
 echo
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [ "${MRC_SKIP_ASAN:-0}" != "1" ]; then
+  echo
+  echo "== AddressSanitizer pass =="
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . -DMRC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      > /dev/null
+  cmake --build "$ASAN_DIR" -j"$(nproc)" --target mrc_tests > /dev/null
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+      ctest --test-dir "$ASAN_DIR" --output-on-failure -j"$(nproc)"
+fi
 
 echo
 echo "ci.sh: OK (warnings: $WARNINGS)"

@@ -2,21 +2,30 @@
 // the mrc::api facade.
 //
 //   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
-//   mrcc decompress <in> <out.f32>
+//   mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
+//   mrcc decompress <in> <out.f32> [threads=N]   (threads applies to tiled streams)
 //   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
 //   mrcc restore    <in.snapshot> <out.f32>
-//   mrcc info       <in>
+//   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> <out.f32> [key=value ...]
+//   mrcc info       <in> [--tiles]
 //   mrcc codecs
 //
 // Codec names come from the codec registry (`mrcc codecs` lists them); any
-// api::Options knob can be set with trailing key=value arguments, e.g.
+// api::Options knob can be set with trailing key=value arguments (a leading
+// "--" is accepted, so `--tile=32 --threads=8` works too), e.g.
 //   mrcc compress in.f32 64 64 64 out.mrc codec=zfpx eb=1e-3
+//   mrcc tiled    in.f32 256 256 256 out.mrct --tile=64 --threads=8
 //   mrcc adaptive in.f32 64 64 64 out.mrc roi_fraction=0.25 postprocess=1
 // "adaptive" runs the full paper workflow (ROI extraction + SZ3MR) into a
 // self-describing snapshot; "restore" reconstructs a uniform grid from it.
-// "decompress" accepts any mrcomp stream — codec choice is read from the
-// stream header, snapshots are restored automatically. "info" reports kind,
-// codec, dims, and error bound from the header alone, without decompressing.
+// "tiled" writes the brick-tiled container (parallel per-brick compression);
+// "region" reads a half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of it,
+// decoding only the intersecting bricks. "decompress" accepts any mrcomp
+// stream — codec choice is read from the stream header; snapshots are
+// restored and tiled streams reassembled automatically. "info" reports
+// kind, codec, dims, and error bound from the header alone, without
+// decompressing — plus tile geometry (and the per-tile index with --tiles)
+// for tiled streams.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,17 +45,21 @@ void write_raw_floats(const FieldF& f, const std::string& path) {
 
 /// Applies trailing CLI arguments to `opt`: "key=value" goes through
 /// Options::set; for back-compat a bare codec name or number is accepted in
-/// the first two positions (codec, then relative error bound).
-void apply_args(api::Options& opt, char** begin, char** end, const char* bare1,
-                const char* bare2) {
+/// the first two positions (codec, then relative error bound). Commands with
+/// fewer meaningful positions pass nullptr — extra bare args are rejected
+/// rather than silently mapped onto unrelated knobs.
+void apply_args(api::Options& opt, char** begin, char** end,
+                const char* bare1 = nullptr, const char* bare2 = nullptr) {
+  const char* bare_keys[2] = {bare1, bare2};
   int bare = 0;
   for (char** a = begin; a != end; ++a) {
-    const std::string arg = *a;
+    std::string arg = *a;
+    if (arg.rfind("--", 0) == 0) arg.erase(0, 2);  // --tile=64 == tile=64
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       opt.set(arg.substr(0, eq), arg.substr(eq + 1));
-    } else if (bare < 2) {
-      opt.set(bare == 0 ? bare1 : bare2, arg);
+    } else if (bare < 2 && bare_keys[bare] != nullptr) {
+      opt.set(bare_keys[bare], arg);
       ++bare;
     } else {
       throw ContractError("unexpected argument: " + arg);
@@ -58,6 +71,7 @@ const char* kind_str(api::StreamInfo::Kind k) {
   switch (k) {
     case api::StreamInfo::Kind::field: return "field";
     case api::StreamInfo::Kind::level: return "level";
+    case api::StreamInfo::Kind::tiled: return "tiled";
     default: return "snapshot";
   }
 }
@@ -67,12 +81,16 @@ int usage() {
       stderr,
       "usage:\n"
       "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
-      "  mrcc decompress <in> <out.f32>\n"
+      "  mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
+      "  mrcc decompress <in> <out.f32> [threads=N (tiled streams)]\n"
       "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] "
       "[key=value ...]\n"
       "  mrcc restore    <in.snapshot> <out.f32>\n"
-      "  mrcc info       <in>\n"
-      "  mrcc codecs\n");
+      "  mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> <out.f32> "
+      "[key=value ...]\n"
+      "  mrcc info       <in> [--tiles]\n"
+      "  mrcc codecs\n"
+      "key=value may also be spelled --key=value (--tile=64 --threads=8).\n");
   return 2;
 }
 
@@ -102,10 +120,40 @@ int main(int argc, char** argv) {
                 compression_ratio(f.size(), stream.size()));
     return 0;
   }
-  if (cmd == "decompress" && argc == 4) {
+  if (cmd == "tiled" && argc >= 7) {
+    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
+    api::Options opt;
+    apply_args(opt, argv + 7, argv + argc, "codec", "eb");
+    const auto stream = api::compress_tiled(f, opt);
+    io::write_bytes(stream, argv[6]);
+    const auto meta = api::info(stream);
+    std::printf("tiled(%s): %lld values, %s bricks of %lld^3 -> %zu bytes (CR %.1f)\n",
+                opt.codec.c_str(), static_cast<long long>(f.size()),
+                meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
+                stream.size(), compression_ratio(f.size(), stream.size()));
+    return 0;
+  }
+  if (cmd == "region" && argc >= 10) {
+    const auto stream = io::read_bytes(argv[2]);
+    const tiled::Box box{{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])},
+                         {std::atoll(argv[6]), std::atoll(argv[7]), std::atoll(argv[8])}};
+    api::Options opt;
+    apply_args(opt, argv + 10, argv + argc, "threads");
+    const auto rr = tiled::read_region(stream, box, opt.threads);
+    write_raw_floats(rr.data, argv[9]);
+    std::printf("region %s: decoded %zu of %zu bricks -> %s\n",
+                rr.data.dims().str().c_str(), rr.tiles_decoded, rr.tiles_total, argv[9]);
+    return 0;
+  }
+  if (cmd == "decompress" && argc >= 4) {
     const auto stream = io::read_bytes(argv[2]);
     const auto meta = api::info(stream);
-    const FieldF f = api::decompress(stream);
+    api::Options opt;
+    apply_args(opt, argv + 4, argv + argc, "threads");
+    const FieldF f = meta.kind == api::StreamInfo::Kind::tiled
+                         ? tiled::decompress(stream, opt.threads)
+                         : api::decompress(stream);
     write_raw_floats(f, argv[3]);
     std::printf("%s %s stream, %s -> %s\n", kind_str(meta.kind), meta.codec.c_str(),
                 f.dims().str().c_str(), argv[3]);
@@ -128,7 +176,7 @@ int main(int argc, char** argv) {
     std::printf("restored uniform grid %s -> %s\n", f.dims().str().c_str(), argv[3]);
     return 0;
   }
-  if (cmd == "info" && argc == 3) {
+  if (cmd == "info" && (argc == 3 || (argc == 4 && std::string(argv[3]) == "--tiles"))) {
     const auto stream = io::read_bytes(argv[2]);
     const auto meta = api::info(stream);
     std::printf("%s stream v%u, codec %s, dims %s, eb %.4g, %zu bytes (CR %.1f)",
@@ -137,7 +185,23 @@ int main(int argc, char** argv) {
                 compression_ratio(meta.dims.size(), meta.stream_bytes));
     if (meta.kind == api::StreamInfo::Kind::snapshot)
       std::printf(", %zu levels", meta.levels);
+    if (meta.kind == api::StreamInfo::Kind::tiled)
+      std::printf(", %zu bricks (%s grid of %lld^3 +%lld overlap)", meta.tiles,
+                  meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
+                  static_cast<long long>(meta.overlap));
     std::printf("\n");
+    if (argc == 4 && meta.kind == api::StreamInfo::Kind::tiled) {
+      const auto idx = tiled::read_index(stream);
+      std::printf("%6s %22s %14s %10s %12s %12s\n", "tile", "origin", "stored", "bytes",
+                  "min", "max");
+      for (std::size_t t = 0; t < idx.tiles.size(); ++t) {
+        const auto& e = idx.tiles[t];
+        std::printf("%6zu %8lld,%5lld,%5lld %14s %10llu %12.5g %12.5g\n", t,
+                    static_cast<long long>(e.origin.x), static_cast<long long>(e.origin.y),
+                    static_cast<long long>(e.origin.z), e.stored.str().c_str(),
+                    static_cast<unsigned long long>(e.length), e.vmin, e.vmax);
+      }
+    }
     return 0;
   }
   return usage();
