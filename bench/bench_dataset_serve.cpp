@@ -1,0 +1,175 @@
+// bench_dataset_serve — the cached Dataset serving layer under load: builds
+// an LOD pyramid of a Nyx-like field, then sweeps cache budget x access
+// pattern and measures cold (empty cache) vs warm (second identical pass)
+// serving time plus the cache counters. Patterns:
+//
+//   scan          every brick-aligned window of level 0, in storage order
+//   random        uniformly random brick-sized windows (seeded, repeatable)
+//   viewport-walk a half-domain viewport panning across the volume in
+//                 brick/2 steps — consecutive reads overlap heavily, the
+//                 workload the brick cache exists for
+//
+// Results land in BENCH_dataset_serve.json (pattern, cache_mb, cold/warm
+// seconds, speedup, hit ratio, counters, hardware_threads) so the serving
+// trajectory across PRs has data points. The acceptance gate for the cache
+// is a warm-over-cold speedup >= 2x on viewport-walk with a fitting cache.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/mrc_api.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/thread_pool.h"
+#include "serve/dataset.h"
+
+using namespace mrc;
+
+namespace {
+
+struct Row {
+  std::string pattern;
+  double cache_mb = 0.0;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  serve::CacheStats stats;  ///< after the warm pass
+  std::size_t reads = 0;
+  std::uint64_t samples = 0;
+
+  [[nodiscard]] double speedup() const { return warm_s > 0.0 ? cold_s / warm_s : 0.0; }
+};
+
+/// One full traversal of the pattern; returns windows in finest coords.
+std::vector<tiled::Box> make_windows(const std::string& pattern, Dim3 d,
+                                     index_t brick) {
+  std::vector<tiled::Box> windows;
+  if (pattern == "scan") {
+    for (index_t z = 0; z < d.nz; z += brick)
+      for (index_t y = 0; y < d.ny; y += brick)
+        for (index_t x = 0; x < d.nx; x += brick)
+          windows.push_back({{x, y, z},
+                             {std::min(x + brick, d.nx), std::min(y + brick, d.ny),
+                              std::min(z + brick, d.nz)}});
+  } else if (pattern == "random") {
+    Rng rng(42);
+    const index_t n = (d.nx / brick) * (d.ny / brick) * (d.nz / brick);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t x = static_cast<index_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(std::max<index_t>(1, d.nx - brick))));
+      const index_t y = static_cast<index_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(std::max<index_t>(1, d.ny - brick))));
+      const index_t z = static_cast<index_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(std::max<index_t>(1, d.nz - brick))));
+      windows.push_back({{x, y, z},
+                         {std::min(x + brick, d.nx), std::min(y + brick, d.ny),
+                          std::min(z + brick, d.nz)}});
+    }
+  } else {  // viewport-walk
+    const Dim3 view{d.nx / 2, d.ny / 2, d.nz / 2};
+    const index_t step = std::max<index_t>(1, brick / 2);
+    for (index_t x = 0; x + view.nx <= d.nx; x += step)
+      windows.push_back({{x, d.ny / 4, d.nz / 4},
+                         {x + view.nx, d.ny / 4 + view.ny, d.nz / 4 + view.nz}});
+    for (index_t y = d.ny / 4; y + view.ny <= d.ny; y += step)
+      windows.push_back({{d.nx - view.nx, y, d.nz / 4},
+                         {d.nx, y + view.ny, d.nz / 4 + view.nz}});
+  }
+  return windows;
+}
+
+std::uint64_t run_pass(serve::Dataset& ds, const std::vector<tiled::Box>& windows) {
+  std::uint64_t samples = 0;
+  for (const auto& w : windows) {
+    const FieldF f = ds.read_region(0, w);
+    samples += static_cast<std::uint64_t>(f.size());
+  }
+  ds.wait_idle();  // fold outstanding prefetch into the measured pass
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  const Dim3 dims = scaled({256, 256, 256});
+  bench::print_title("dataset serving: cache size x access pattern",
+                     "new subsystem (no paper figure)", "Nyx-like density pyramid");
+
+  const FieldF f = sim::nyx_density(dims, /*seed=*/7);
+  api::Options opt = api::Options::parse("codec=interp,eb=1e-3,tile=32,threads=0");
+  const Bytes stream = api::build_pyramid(f, opt);
+  const auto idx = pyramid::read_geometry(stream);
+  std::printf("pyramid: %s, %zu levels, %zu bytes (CR %.1f), hardware threads %d\n",
+              dims.str().c_str(), idx.levels.size(), stream.size(),
+              compression_ratio(f.size(), stream.size()), exec::hardware_threads());
+
+  const double full_mb =
+      static_cast<double>(f.size()) * sizeof(float) / (1024.0 * 1024.0);
+  // Budgets: ~5% of level 0 (forced eviction), and comfortably the whole set.
+  const std::vector<double> cache_mbs{std::max(0.25, full_mb / 20.0),
+                                      2.0 * full_mb + 8.0};
+
+  std::vector<Row> rows;
+  std::printf("%14s %10s %10s %10s %9s %9s %10s %10s\n", "pattern", "cache MB",
+              "cold s", "warm s", "speedup", "hit%", "misses", "evicted");
+  for (const char* pattern : {"scan", "random", "viewport-walk"}) {
+    const auto windows = make_windows(pattern, dims, opt.tile);
+    for (const double mb : cache_mbs) {
+      opt.cache_mb = mb;
+      serve::Dataset ds = api::open_dataset(stream, opt);
+
+      Row row;
+      row.pattern = pattern;
+      row.cache_mb = mb;
+      row.reads = windows.size();
+
+      WallTimer timer;
+      row.samples = run_pass(ds, windows);
+      row.cold_s = timer.seconds();
+
+      timer.restart();
+      const std::uint64_t warm_samples = run_pass(ds, windows);
+      row.warm_s = timer.seconds();
+      MRC_REQUIRE(warm_samples == row.samples, "warm pass served different samples");
+
+      row.stats = ds.stats();
+      rows.push_back(row);
+      std::printf("%14s %10.2f %10.3f %10.3f %8.1fx %8.0f%% %10llu %10llu\n", pattern,
+                  mb, row.cold_s, row.warm_s, row.speedup(),
+                  100.0 * row.stats.hit_ratio(),
+                  static_cast<unsigned long long>(row.stats.misses),
+                  static_cast<unsigned long long>(row.stats.evictions));
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_dataset_serve.json", "w");
+  MRC_REQUIRE(json != nullptr, "cannot write BENCH_dataset_serve.json");
+  std::fprintf(json, "{\n  \"bench\": \"dataset_serve\",\n  \"dims\": \"%s\",\n",
+               dims.str().c_str());
+  std::fprintf(json, "  \"hardware_threads\": %d,\n", exec::hardware_threads());
+  std::fprintf(json, "  \"codec\": \"interp\",\n  \"rel_eb\": 1e-3,\n");
+  std::fprintf(json, "  \"brick\": %lld,\n  \"levels\": %zu,\n",
+               static_cast<long long>(opt.tile), idx.levels.size());
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"pattern\": \"%s\", \"cache_mb\": %.2f, \"reads\": %zu, "
+        "\"cold_s\": %.4f, \"warm_s\": %.4f, \"warm_speedup\": %.2f, "
+        "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
+        "\"evictions\": %llu, \"prefetched\": %llu}%s\n",
+        r.pattern.c_str(), r.cache_mb, r.reads, r.cold_s, r.warm_s, r.speedup(),
+        r.stats.hit_ratio(), static_cast<unsigned long long>(r.stats.hits),
+        static_cast<unsigned long long>(r.stats.misses),
+        static_cast<unsigned long long>(r.stats.evictions),
+        static_cast<unsigned long long>(r.stats.prefetched),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_dataset_serve.json (%zu rows)\n", rows.size());
+  return 0;
+}

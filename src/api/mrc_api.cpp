@@ -122,12 +122,23 @@ void Options::set(const std::string& key, const std::string& value) {
     threads = static_cast<int>(parse_index(key, value, 0));  // 0 = hardware
   } else if (key == "tile") {
     tile = parse_index(key, value, 1);
+  } else if (key == "levels") {
+    levels = static_cast<int>(parse_index(key, value, 0));  // 0 = auto
+    if (levels > pyramid::kMaxLevels)
+      throw ContractError("options: levels must be <= " +
+                          std::to_string(pyramid::kMaxLevels) + ", got " + value);
+  } else if (key == "cache_mb") {
+    cache_mb = parse_double(key, value);
+    if (!(cache_mb > 0.0))
+      throw ContractError("options: cache_mb must be > 0, got " + value);
+  } else if (key == "prefetch") {
+    prefetch = parse_bool(key, value);
   } else {
     throw ContractError(
         "options: unknown key '" + key +
         "' (known: codec eb eb_mode merge pad pad_kind min_pad_unit adaptive_eb alpha "
         "beta quant_radius postprocess roi_block roi_fraction block_size "
-        "use_regression threads tile)");
+        "use_regression threads tile levels cache_mb prefetch)");
   }
 }
 
@@ -147,7 +158,7 @@ Options Options::parse(const std::string& spec) {
   return o;
 }
 
-std::string Options::str() const {
+std::string Options::to_string() const {
   std::string s;
   s += "codec=" + codec;
   s += ",eb=" + fmt_double(eb);
@@ -168,6 +179,9 @@ std::string Options::str() const {
   s += std::string(",use_regression=") + (use_regression ? "1" : "0");
   s += ",threads=" + std::to_string(threads);
   s += ",tile=" + std::to_string(tile);
+  s += ",levels=" + std::to_string(levels);
+  s += ",cache_mb=" + fmt_double(cache_mb);
+  s += std::string(",prefetch=") + (prefetch ? "1" : "0");
   return s;
 }
 
@@ -208,6 +222,27 @@ tiled::Config Options::tiled_config() const {
   return c;
 }
 
+pyramid::Config Options::pyramid_config() const {
+  pyramid::Config c;
+  c.codec = codec;
+  c.tuning = tuning();
+  c.brick = tile;
+  c.threads = threads;
+  c.levels = levels;
+  return c;
+}
+
+serve::Config Options::serve_config() const {
+  // The field is public, so a caller can bypass set()'s check; a negative
+  // budget must fail here, not hit a float->size_t cast (UB when negative).
+  MRC_REQUIRE(cache_mb > 0.0, "options: cache_mb must be > 0");
+  serve::Config c;
+  c.cache_bytes = static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+  c.threads = threads;
+  c.prefetch = prefetch;
+  return c;
+}
+
 double Options::absolute_eb(const FieldF& f) const {
   if (eb_mode == EbMode::absolute) return eb;
   const double range = f.value_range();
@@ -227,6 +262,9 @@ FieldF decompress(std::span<const std::byte> stream) {
     // Single lane, like every other facade default — callers that want the
     // parallel decode pass threads to tiled::decompress / api::read_region.
     return tiled::decompress(stream, /*threads=*/1);
+  if (h.codec_magic == pyramid::kPyramidMagic)
+    // The uniform reconstruction of a pyramid is its finest level.
+    return pyramid::decompress_level(stream, /*level=*/0, /*threads=*/1);
   if (h.codec_magic == sz3mr::kLevelMagic)
     // A bare level stream decodes to its level grid (zeros outside the mask).
     return sz3mr::decompress_level(stream).data;
@@ -260,6 +298,14 @@ FieldF read_region(std::span<const std::byte> stream, const tiled::Box& region,
   return tiled::read_region(stream, region, threads).data;
 }
 
+Bytes build_pyramid(const FieldF& f, const Options& opt) {
+  return pyramid::build(f, opt.absolute_eb(f), opt.pyramid_config());
+}
+
+serve::Dataset open_dataset(Bytes stream, const Options& opt) {
+  return serve::Dataset(std::move(stream), opt.serve_config());
+}
+
 StreamInfo info(std::span<const std::byte> stream) {
   const StreamHeader h = peek_header(stream);
   StreamInfo out;
@@ -282,6 +328,15 @@ StreamInfo info(std::span<const std::byte> stream) {
     out.overlap = idx.overlap;
     out.tile_grid = idx.grid;
     out.tiles = static_cast<std::size_t>(idx.grid.size());
+  } else if (h.codec_magic == pyramid::kPyramidMagic) {
+    // O(levels) table peek — no nested tile index is walked here.
+    const pyramid::Index idx = pyramid::read_geometry(stream);
+    out.kind = StreamInfo::Kind::pyramid;
+    out.codec = idx.codec;
+    out.brick = idx.brick;
+    out.levels = idx.levels.size();
+    out.level_dims.reserve(idx.levels.size());
+    for (const auto& e : idx.levels) out.level_dims.push_back(e.dims);
   } else if (h.codec_magic == sz3mr::kLevelMagic) {
     out.kind = StreamInfo::Kind::level;
     out.codec = "sz3mr";

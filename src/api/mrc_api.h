@@ -14,6 +14,11 @@
 //       every brick compressed independently on the exec thread pool
 //       (Options::tile / Options::threads), random-access region reads that
 //       decode only intersecting bricks.
+//   api::build_pyramid / api::open_dataset — the LOD pyramid + the cached
+//       Dataset serving layer: the field at resolutions 1, 1/2, 1/4, ...
+//       (Options::levels), served through a byte-budgeted LRU brick cache
+//       (Options::cache_mb) with async neighbor prefetch (Options::prefetch)
+//       and adaptive choose_level LOD selection.
 //
 // Every stream these functions produce starts with the shared container
 // header (compressor.h), so api::info identifies any of them — single-field
@@ -31,9 +36,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "compressors/registry.h"
 #include "core/workflow.h"
+#include "pyramid/pyramid.h"
+#include "serve/dataset.h"
 #include "tiled/tiled.h"
 
 namespace mrc::api {
@@ -80,16 +88,26 @@ struct Options {
   // Tiled container (compress_tiled / read_region).
   index_t tile = tiled::kDefaultBrick;  ///< brick edge
 
+  // Pyramid + Dataset serving (build_pyramid / open_dataset).
+  int levels = 0;           ///< pyramid level count; 0 = auto (one-brick coarsest)
+  double cache_mb = 256.0;  ///< Dataset brick-cache budget in MiB
+  bool prefetch = true;     ///< Dataset async neighbor-brick warming
+
   /// Applies one "key=value" assignment. Throws ContractError on an unknown
-  /// key or unparseable value.
+  /// key or unparseable value — unknown keys are rejected with the full list
+  /// of valid keys, never silently ignored.
   void set(const std::string& key, const std::string& value);
 
   /// Parses a comma-separated "key=value,key=value" list (empty items are
   /// ignored, so trailing commas are fine).
   [[nodiscard]] static Options parse(const std::string& spec);
 
-  /// Serializes every knob as "key=value,..."; parse(str()) round-trips.
-  [[nodiscard]] std::string str() const;
+  /// Serializes every knob as "key=value,..."; parse(to_string())
+  /// round-trips, so CLIs can echo the effective options of any run.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Shorthand alias of to_string().
+  [[nodiscard]] std::string str() const { return to_string(); }
 
   /// The knobs a codec factory understands.
   [[nodiscard]] CodecTuning tuning() const;
@@ -99,6 +117,12 @@ struct Options {
 
   /// The tiled-container configuration (codec, tuning, tile, threads).
   [[nodiscard]] tiled::Config tiled_config() const;
+
+  /// The pyramid-build configuration (codec, tuning, tile, threads, levels).
+  [[nodiscard]] pyramid::Config pyramid_config() const;
+
+  /// The Dataset serving configuration (cache_mb, threads, prefetch).
+  [[nodiscard]] serve::Config serve_config() const;
 
   /// Resolves the error bound against a concrete field.
   [[nodiscard]] double absolute_eb(const FieldF& f) const;
@@ -137,23 +161,36 @@ struct Options {
 [[nodiscard]] FieldF read_region(std::span<const std::byte> stream,
                                  const tiled::Box& region, int threads = 1);
 
+/// Builds the LOD pyramid container: `f` at resolutions 1, 1/2, 1/4, ...
+/// (`opt.levels` levels; 0 = auto until the coarsest level fits one brick),
+/// every level a brick-tiled stream compressed in parallel with `opt.codec`.
+[[nodiscard]] Bytes build_pyramid(const FieldF& f, const Options& opt = {});
+
+/// Opens a pyramid stream (taking ownership of the bytes) as a cached
+/// serving Dataset: region reads per level through a `opt.cache_mb` LRU
+/// brick cache with async prefetch, plus choose_level adaptive LOD.
+[[nodiscard]] serve::Dataset open_dataset(Bytes stream, const Options& opt = {});
+
 /// What a stream is, from its container header alone (no decompression).
 struct StreamInfo {
-  enum class Kind : std::uint8_t { field, level, snapshot, tiled };
+  enum class Kind : std::uint8_t { field, level, snapshot, tiled, pyramid };
   Kind kind = Kind::field;
   std::string codec;  ///< registry name ("snapshot"/"sz3mr" for those kinds;
-                      ///< the per-brick codec for tiled streams)
+                      ///< the per-brick codec for tiled/pyramid streams)
   unsigned version = 0;
-  Dim3 dims;          ///< field extents (snapshot: finest-grid extents)
+  Dim3 dims;          ///< field extents (snapshot/pyramid: finest-grid extents)
   double eb = 0.0;    ///< absolute error bound the stream was encoded under
-  std::size_t levels = 1;       ///< snapshot level count (1 otherwise)
+  std::size_t levels = 1;       ///< snapshot/pyramid level count (1 otherwise)
   std::size_t stream_bytes = 0;
 
-  // Tile geometry (tiled streams only; zero otherwise).
+  // Tile geometry (tiled streams; pyramid streams report level 0's brick).
   index_t brick = 0;    ///< core brick edge
   index_t overlap = 0;  ///< overlap samples per high face
   Dim3 tile_grid;       ///< tile counts per axis
   std::size_t tiles = 0;
+
+  // Pyramid level extents, finest first (pyramid streams only).
+  std::vector<Dim3> level_dims;
 };
 
 /// Identifies any mrcomp stream by its header. Throws CodecError on foreign

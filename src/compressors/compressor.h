@@ -74,9 +74,10 @@ struct StreamHeader {
 namespace detail {
 
 inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
-// v3 adds the tiled container stream kind (tiled/tiled.h); v2 streams still
-// parse — peek_header accepts any version up to the current one.
-inline constexpr std::uint8_t kContainerVersion = 3;
+// v4 adds the LOD pyramid stream kind (pyramid/pyramid.h); v3 added the
+// tiled container (tiled/tiled.h). Older streams still parse — peek_header
+// accepts any version up to the current one.
+inline constexpr std::uint8_t kContainerVersion = 4;
 
 /// Writes the shared container header (layout above).
 void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb);

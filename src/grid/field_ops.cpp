@@ -26,6 +26,29 @@ FieldF restrict_average(const FieldF& fine, index_t factor) {
   return coarse;
 }
 
+FieldF restrict_half(const FieldF& fine) {
+  MRC_REQUIRE(!fine.empty(), "restrict_half of empty field");
+  const Dim3 fd = fine.dims();
+  const Dim3 cd = blocks_for(fd, 2);
+  FieldF coarse(cd);
+  for (index_t z = 0; z < cd.nz; ++z) {
+    const index_t z0 = 2 * z, z1 = std::min(z0 + 2, fd.nz);
+    for (index_t y = 0; y < cd.ny; ++y) {
+      const index_t y0 = 2 * y, y1 = std::min(y0 + 2, fd.ny);
+      for (index_t x = 0; x < cd.nx; ++x) {
+        const index_t x0 = 2 * x, x1 = std::min(x0 + 2, fd.nx);
+        double sum = 0.0;
+        for (index_t k = z0; k < z1; ++k)
+          for (index_t j = y0; j < y1; ++j)
+            for (index_t i = x0; i < x1; ++i) sum += fine.at(i, j, k);
+        coarse.at(x, y, z) = static_cast<float>(
+            sum / static_cast<double>((x1 - x0) * (y1 - y0) * (z1 - z0)));
+      }
+    }
+  }
+  return coarse;
+}
+
 FieldF prolong_nearest(const FieldF& coarse, Dim3 fine_dims) {
   const Dim3 cd = coarse.dims();
   FieldF fine(fine_dims);
@@ -77,6 +100,52 @@ FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims) {
     }
   }
   return fine;
+}
+
+double prolong_error_slab(const FieldF& coarse, const FieldF& fine, index_t z0,
+                          index_t z1) {
+  const Dim3 cd = coarse.dims();
+  const Dim3 fd = fine.dims();
+  MRC_REQUIRE(z0 >= 0 && z0 <= z1 && z1 <= fd.nz, "bad prolongation slab");
+  // Same cell-centered sampling as prolong_trilinear, but compared against
+  // `fine` sample-by-sample instead of stored.
+  const double rx = static_cast<double>(cd.nx) / static_cast<double>(fd.nx);
+  const double ry = static_cast<double>(cd.ny) / static_cast<double>(fd.ny);
+  const double rz = static_cast<double>(cd.nz) / static_cast<double>(fd.nz);
+  auto clampi = [](index_t v, index_t lo, index_t hi) { return std::clamp(v, lo, hi); };
+  double err = 0.0;
+  for (index_t z = z0; z < z1; ++z) {
+    const double gz = (static_cast<double>(z) + 0.5) * rz - 0.5;
+    const auto cz0 = clampi(static_cast<index_t>(std::floor(gz)), 0, cd.nz - 1);
+    const auto cz1 = clampi(cz0 + 1, 0, cd.nz - 1);
+    const double fz = std::clamp(gz - static_cast<double>(cz0), 0.0, 1.0);
+    for (index_t y = 0; y < fd.ny; ++y) {
+      const double gy = (static_cast<double>(y) + 0.5) * ry - 0.5;
+      const auto cy0 = clampi(static_cast<index_t>(std::floor(gy)), 0, cd.ny - 1);
+      const auto cy1 = clampi(cy0 + 1, 0, cd.ny - 1);
+      const double fy = std::clamp(gy - static_cast<double>(cy0), 0.0, 1.0);
+      for (index_t x = 0; x < fd.nx; ++x) {
+        const double gx = (static_cast<double>(x) + 0.5) * rx - 0.5;
+        const auto cx0 = clampi(static_cast<index_t>(std::floor(gx)), 0, cd.nx - 1);
+        const auto cx1 = clampi(cx0 + 1, 0, cd.nx - 1);
+        const double fx = std::clamp(gx - static_cast<double>(cx0), 0.0, 1.0);
+        const double c00 =
+            coarse.at(cx0, cy0, cz0) * (1 - fx) + coarse.at(cx1, cy0, cz0) * fx;
+        const double c10 =
+            coarse.at(cx0, cy1, cz0) * (1 - fx) + coarse.at(cx1, cy1, cz0) * fx;
+        const double c01 =
+            coarse.at(cx0, cy0, cz1) * (1 - fx) + coarse.at(cx1, cy0, cz1) * fx;
+        const double c11 =
+            coarse.at(cx0, cy1, cz1) * (1 - fx) + coarse.at(cx1, cy1, cz1) * fx;
+        const double c0 = c00 * (1 - fy) + c10 * fy;
+        const double c1 = c01 * (1 - fy) + c11 * fy;
+        const auto value = static_cast<float>(c0 * (1 - fz) + c1 * fz);
+        err = std::max(err, std::abs(static_cast<double>(value) -
+                                     static_cast<double>(fine.at(x, y, z))));
+      }
+    }
+  }
+  return err;
 }
 
 FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent) {

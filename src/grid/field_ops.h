@@ -12,11 +12,24 @@ namespace mrc {
 /// Extents must be divisible by the factor.
 [[nodiscard]] FieldF restrict_average(const FieldF& fine, index_t factor);
 
+/// Box-average downsampling by 2 for arbitrary extents: the coarse grid has
+/// ceil(n/2) samples per axis and each coarse cell averages its (possibly
+/// boundary-clipped) 2x2x2 fine box. The pyramid container's level chain is
+/// built by iterating this, so level extents follow ceil_div(dims, 2^level).
+[[nodiscard]] FieldF restrict_half(const FieldF& fine);
+
 /// Nearest-neighbor (injection) upsampling to `fine_dims`.
 [[nodiscard]] FieldF prolong_nearest(const FieldF& coarse, Dim3 fine_dims);
 
 /// Trilinear upsampling to `fine_dims` (cell-centered alignment).
 [[nodiscard]] FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims);
+
+/// Max |prolong_trilinear(coarse, fine.dims()) - fine| over the fine z-slab
+/// [z0, z1), without materializing the prolonged field. This is the pyramid
+/// builder's LOD-error kernel; slabs are independent, so callers parallelize
+/// by splitting z across a pool.
+[[nodiscard]] double prolong_error_slab(const FieldF& coarse, const FieldF& fine,
+                                        index_t z0, index_t z1);
 
 /// Copies the box [origin, origin+extent) out of `f`.
 [[nodiscard]] FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent);

@@ -6,6 +6,8 @@
 
 #include "grid/field.h"
 #include "metrics/ssim.h"
+#include "serve/dataset.h"
+#include "tiled/tiled.h"
 
 namespace mrc::render {
 
@@ -70,6 +72,11 @@ Image volume_render(const FieldF& f, const TransferFunction& tf) {
                       static_cast<std::uint8_t>(std::clamp(b, 0.0, 1.0) * 255.0)};
     }
   return img;
+}
+
+Image volume_render(serve::Dataset& ds, int level, const TransferFunction& tf) {
+  const FieldF f = ds.read_region(level, tiled::full_box(ds.dims(level)));
+  return volume_render(f, tf);
 }
 
 Image overlay_probability(const Image& base, const FieldD& prob, double threshold) {

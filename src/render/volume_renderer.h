@@ -15,6 +15,10 @@
 
 #include "grid/field.h"
 
+namespace mrc::serve {
+class Dataset;
+}
+
 namespace mrc::render {
 
 struct Image {
@@ -43,6 +47,13 @@ struct TransferFunction {
 
 /// Orthographic ray march along +z (one ray per (x, y) column).
 [[nodiscard]] Image volume_render(const FieldF& f, const TransferFunction& tf);
+
+/// Renders one pyramid level served through a Dataset's brick cache —
+/// identical pixels to volume_render(pyramid::decompress_level(...), tf),
+/// but the data flows through the cached serving layer, so a sequence of
+/// renders (camera orbits, level sweeps) decodes each brick once.
+[[nodiscard]] Image volume_render(serve::Dataset& ds, int level,
+                                  const TransferFunction& tf);
 
 /// Fig. 14c: blends red into pixels whose column contains a cell with
 /// crossing probability >= threshold (probability field from

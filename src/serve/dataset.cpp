@@ -1,0 +1,367 @@
+#include "serve/dataset.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace mrc::serve {
+
+namespace {
+
+/// Cache key: level in the high bits, tile id in the low 48 (the container
+/// caps total samples at 2^40, so tile counts never reach 2^48).
+std::uint64_t brick_key(int level, index_t tile) {
+  return (static_cast<std::uint64_t>(level) << 48) |
+         static_cast<std::uint64_t>(tile);
+}
+
+/// splitmix64 finalizer — spreads consecutive tile ids across shards.
+std::size_t key_hash(std::uint64_t k) {
+  k += 0x9e3779b97f4a7c15ull;
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(k ^ (k >> 31));
+}
+
+/// Cap on prefetch decodes in flight at once (per read and globally) — the
+/// pool queue is FIFO, so synchronous lane tasks of later reads wait behind
+/// queued prefetches; the cap bounds that backlog to a handful of bricks.
+inline constexpr std::size_t kMaxPrefetchInFlight = 64;
+
+}  // namespace
+
+struct Dataset::Impl {
+  // -- immutable after construction -----------------------------------------
+  Bytes stream;
+  Config cfg;
+  pyramid::Index pidx;
+  std::vector<tiled::Index> lidx;          ///< per-level tile index
+  std::unique_ptr<Compressor> codec;       ///< stateless; shared by all lanes
+
+  // -- sharded LRU brick cache ----------------------------------------------
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const FieldF> brick;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
+    std::size_t bytes = 0;
+  };
+  std::vector<Shard> shards;
+  std::size_t shard_budget = 0;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> prefetched{0};
+
+  // -- prefetch bookkeeping -------------------------------------------------
+  using BrickFuture = std::shared_future<std::shared_ptr<const FieldF>>;
+  std::mutex pf_mu;
+  std::condition_variable pf_cv;
+  /// Queued/running prefetch decodes. Synchronous reads that miss the cache
+  /// consult this first and adopt the in-flight result instead of decoding
+  /// the same brick a second time.
+  std::unordered_map<std::uint64_t, BrickFuture> pf_inflight;
+  /// Set in ~Impl: queued prefetch tasks still run during pool teardown
+  /// (the pool drains its queue), but they skip the pointless decode.
+  std::atomic<bool> shutting_down{false};
+
+  // Declared last: destroyed first, so queued prefetch tasks drain while the
+  // cache and indexes above are still alive.
+  exec::ThreadPool pool;
+
+  Impl(Bytes s, const Config& c)
+      : stream(std::move(s)),
+        cfg(c),
+        pidx(pyramid::read_index(stream)),
+        shards(static_cast<std::size_t>(std::clamp(c.shards, 1, 64))),
+        pool(c.threads) {
+    MRC_REQUIRE(cfg.cache_bytes >= 1, "serve: cache byte budget must be >= 1");
+    lidx.reserve(pidx.levels.size());
+    for (std::size_t l = 0; l < pidx.levels.size(); ++l)
+      lidx.push_back(tiled::read_index(pidx.level_stream(stream, l)));
+    codec = registry().make_for_magic(pidx.codec_magic);
+    shard_budget = std::max<std::size_t>(1, cfg.cache_bytes / shards.size());
+  }
+
+  ~Impl() {
+    // The pool destructor (first in destruction order) drains queued
+    // prefetch tasks; the flag turns the drained decodes into no-ops so
+    // teardown is bounded by in-flight work, not the whole backlog.
+    shutting_down.store(true, std::memory_order_relaxed);
+  }
+
+  Shard& shard_of(std::uint64_t key) { return shards[key_hash(key) % shards.size()]; }
+
+  /// Cache lookup; refreshes LRU position. Does not touch the counters —
+  /// the caller decides whether a probe is a served lookup or a prefetch
+  /// dedup check.
+  std::shared_ptr<const FieldF> get(std::uint64_t key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return nullptr;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->brick;
+  }
+
+  bool contains(std::uint64_t key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    return s.map.find(key) != s.map.end();
+  }
+
+  /// Inserts a decoded brick, evicting LRU entries to stay under the shard
+  /// budget. The newest entry is never evicted, so a budget smaller than one
+  /// brick degrades to "cache of one per shard" instead of thrashing empty.
+  void put(std::uint64_t key, std::shared_ptr<const FieldF> brick) {
+    const std::size_t bytes =
+        sizeof(FieldF) + sizeof(float) * static_cast<std::size_t>(brick->size());
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    if (s.map.find(key) != s.map.end()) return;  // a concurrent decode won
+    s.lru.push_front(Entry{key, std::move(brick), bytes});
+    s.map.emplace(key, s.lru.begin());
+    s.bytes += bytes;
+    while (s.bytes > shard_budget && s.lru.size() > 1) {
+      const Entry& victim = s.lru.back();
+      s.bytes -= victim.bytes;
+      s.map.erase(victim.key);
+      s.lru.pop_back();
+      evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::shared_ptr<const FieldF> decode(int level, index_t tile) {
+    return std::make_shared<const FieldF>(
+        tiled::decode_tile(lidx[static_cast<std::size_t>(level)], *codec,
+                           pidx.level_stream(stream, static_cast<std::size_t>(level)),
+                           static_cast<std::size_t>(tile)));
+  }
+
+  /// The in-flight future for `key`, if a prefetch decode is queued/running.
+  std::optional<BrickFuture> inflight(std::uint64_t key) {
+    const std::lock_guard lock(pf_mu);
+    const auto it = pf_inflight.find(key);
+    if (it == pf_inflight.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Queues async decodes for the bricks ringing `hit`'s bounding tile box.
+  void prefetch_ring(int level, const std::vector<index_t>& hit) {
+    const tiled::Index& ti = lidx[static_cast<std::size_t>(level)];
+    Coord3 lo{ti.grid.nx, ti.grid.ny, ti.grid.nz};
+    Coord3 hi{0, 0, 0};
+    for (const index_t t : hit) {
+      const Coord3 c = tiled::tile_coord(ti.grid, t);
+      lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+      hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+    }
+    for (index_t z = std::max<index_t>(0, lo.z - 1);
+         z <= std::min(ti.grid.nz - 1, hi.z + 1); ++z)
+      for (index_t y = std::max<index_t>(0, lo.y - 1);
+           y <= std::min(ti.grid.ny - 1, hi.y + 1); ++y)
+        for (index_t x = std::max<index_t>(0, lo.x - 1);
+             x <= std::min(ti.grid.nx - 1, hi.x + 1); ++x) {
+          if (x >= lo.x && x <= hi.x && y >= lo.y && y <= hi.y && z >= lo.z &&
+              z <= hi.z)
+            continue;  // inside the footprint: already decoded by the read
+          const index_t t = x + ti.grid.nx * (y + ti.grid.ny * z);
+          const std::uint64_t key = brick_key(level, t);
+          if (contains(key)) continue;
+          auto promise =
+              std::make_shared<std::promise<std::shared_ptr<const FieldF>>>();
+          {
+            const std::lock_guard lock(pf_mu);
+            if (pf_inflight.size() >= kMaxPrefetchInFlight) return;  // backlog cap
+            if (!pf_inflight.emplace(key, promise->get_future().share()).second)
+              continue;  // already queued
+          }
+          (void)pool.submit([this, level, t, key, promise] {
+            std::shared_ptr<const FieldF> brick;
+            try {
+              if (!shutting_down.load(std::memory_order_relaxed) && !contains(key)) {
+                brick = decode(level, t);
+                put(key, brick);
+                prefetched.fetch_add(1, std::memory_order_relaxed);
+              }
+            } catch (...) {
+              // Prefetch is advisory: a decode failure here resurfaces on
+              // the synchronous path of whoever actually needs the brick.
+            }
+            promise->set_value(std::move(brick));  // null = "look it up yourself"
+            {
+              const std::lock_guard lock(pf_mu);
+              pf_inflight.erase(key);
+            }
+            pf_cv.notify_all();
+          });
+        }
+  }
+};
+
+Dataset::Dataset(Bytes stream, const Config& cfg)
+    : impl_(std::make_unique<Impl>(std::move(stream), cfg)) {}
+Dataset::~Dataset() = default;
+Dataset::Dataset(Dataset&&) noexcept = default;
+Dataset& Dataset::operator=(Dataset&&) noexcept = default;
+
+const pyramid::Index& Dataset::index() const { return impl_->pidx; }
+int Dataset::levels() const { return static_cast<int>(impl_->pidx.levels.size()); }
+double Dataset::eb() const { return impl_->pidx.eb; }
+
+Dim3 Dataset::dims(int level) const {
+  MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  return impl_->pidx.levels[static_cast<std::size_t>(level)].dims;
+}
+
+double Dataset::level_error(int level) const {
+  MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  return impl_->pidx.levels[static_cast<std::size_t>(level)].approx_err;
+}
+
+FieldF Dataset::read_region(int level, const tiled::Box& region) {
+  MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  Impl& im = *impl_;
+  const tiled::Index& ti = im.lidx[static_cast<std::size_t>(level)];
+  const std::vector<index_t> hit = tiled::tiles_in_region(ti, region);
+
+  // Pass 1: serve what the cache holds; adopt bricks a prefetch task is
+  // already decoding (no second decode of the same brick); collect the rest.
+  std::vector<std::shared_ptr<const FieldF>> bricks(hit.size());
+  std::vector<std::pair<std::size_t, Impl::BrickFuture>> pending;
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    const std::uint64_t key = brick_key(level, hit[i]);
+    bricks[i] = im.get(key);
+    if (bricks[i] != nullptr) continue;
+    if (auto fut = im.inflight(key))
+      pending.emplace_back(i, std::move(*fut));
+    else
+      missing.push_back(i);
+  }
+  // An adopted in-flight decode is a hit: this read triggers no new decode.
+  im.hits.fetch_add(hit.size() - missing.size(), std::memory_order_relaxed);
+  im.misses.fetch_add(missing.size(), std::memory_order_relaxed);
+
+  // Pass 2: decode the misses in parallel, holding each brick locally so the
+  // result stays exact even if the cache immediately evicts it.
+  im.pool.parallel_for(static_cast<index_t>(missing.size()), [&](index_t i) {
+    const std::size_t slot = missing[static_cast<std::size_t>(i)];
+    auto brick = im.decode(level, hit[slot]);
+    im.put(brick_key(level, hit[slot]), brick);
+    bricks[slot] = std::move(brick);
+  });
+  for (auto& [slot, fut] : pending) {
+    bricks[slot] = fut.get();
+    if (bricks[slot] == nullptr) {
+      // The prefetch task bailed (brick appeared in cache first, or its
+      // decode failed and the error should surface here, synchronously).
+      const std::uint64_t key = brick_key(level, hit[slot]);
+      bricks[slot] = im.get(key);
+      if (bricks[slot] == nullptr) {
+        bricks[slot] = im.decode(level, hit[slot]);
+        im.put(key, bricks[slot]);
+      }
+    }
+  }
+
+  // Pass 3: assemble core ∩ region from every brick — the same ownership
+  // rule as tiled::read_region, hence bit-identical output.
+  FieldF out(region.extent());
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    const auto t = static_cast<std::size_t>(hit[i]);
+    const tiled::TileEntry& e = ti.tiles[t];
+    const FieldF& b = *bricks[i];
+    const Dim3 core = ti.core_extent(t);
+    const index_t x0 = std::max(e.origin.x, region.lo.x);
+    const index_t x1 = std::min(e.origin.x + core.nx, region.hi.x);
+    const index_t y0 = std::max(e.origin.y, region.lo.y);
+    const index_t y1 = std::min(e.origin.y + core.ny, region.hi.y);
+    const index_t z0 = std::max(e.origin.z, region.lo.z);
+    const index_t z1 = std::min(e.origin.z + core.nz, region.hi.z);
+    for (index_t z = z0; z < z1; ++z)
+      for (index_t y = y0; y < y1; ++y)
+        std::copy_n(&b.at(x0 - e.origin.x, y - e.origin.y, z - e.origin.z), x1 - x0,
+                    &out.at(x0 - region.lo.x, y - region.lo.y, z - region.lo.z));
+  }
+
+  // Single-lane pools would run "async" prefetch inline and make every read
+  // pay for its neighbors — only warm ahead when there are real workers.
+  if (im.cfg.prefetch && im.pool.size() > 1) im.prefetch_ring(level, hit);
+  return out;
+}
+
+tiled::Box Dataset::box_at_level(const tiled::Box& fine_box, int level) const {
+  MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  const Dim3 fd = impl_->pidx.dims;
+  const Dim3 ext = fine_box.extent();
+  MRC_REQUIRE(fine_box.lo.x >= 0 && fine_box.lo.y >= 0 && fine_box.lo.z >= 0 &&
+                  ext.nx > 0 && ext.ny > 0 && ext.nz > 0 && fine_box.hi.x <= fd.nx &&
+                  fine_box.hi.y <= fd.ny && fine_box.hi.z <= fd.nz,
+              "serve: box must be a non-empty box inside " + fd.str());
+  const index_t s = index_t{1} << level;
+  const Dim3 ld = dims(level);
+  return {{fine_box.lo.x / s, fine_box.lo.y / s, fine_box.lo.z / s},
+          {std::min(ceil_div(fine_box.hi.x, s), ld.nx),
+           std::min(ceil_div(fine_box.hi.y, s), ld.ny),
+           std::min(ceil_div(fine_box.hi.z, s), ld.nz)}};
+}
+
+int Dataset::choose_level(const tiled::Box& fine_box, index_t sample_budget) const {
+  MRC_REQUIRE(sample_budget >= 1, "serve: sample budget must be >= 1");
+  for (int l = 0; l < levels(); ++l)
+    if (box_at_level(fine_box, l).extent().size() <= sample_budget) return l;
+  return levels() - 1;
+}
+
+int Dataset::choose_level(double eb_budget) const {
+  MRC_REQUIRE(eb_budget > 0.0, "serve: error budget must be > 0");
+  for (int l = levels() - 1; l > 0; --l)
+    if (level_error(l) <= eb_budget) return l;
+  return 0;
+}
+
+CacheStats Dataset::stats() const {
+  const Impl& im = *impl_;
+  CacheStats s;
+  s.hits = im.hits.load(std::memory_order_relaxed);
+  s.misses = im.misses.load(std::memory_order_relaxed);
+  s.evictions = im.evictions.load(std::memory_order_relaxed);
+  s.prefetched = im.prefetched.load(std::memory_order_relaxed);
+  for (const Impl::Shard& sh : im.shards) {
+    const std::lock_guard lock(sh.mu);
+    s.bytes += sh.bytes;
+    s.entries += sh.lru.size();
+  }
+  return s;
+}
+
+void Dataset::wait_idle() {
+  Impl& im = *impl_;
+  std::unique_lock lock(im.pf_mu);
+  im.pf_cv.wait(lock, [&im] { return im.pf_inflight.empty(); });
+}
+
+void Dataset::drop_cache() {
+  for (Impl::Shard& sh : impl_->shards) {
+    const std::lock_guard lock(sh.mu);
+    sh.lru.clear();
+    sh.map.clear();
+    sh.bytes = 0;
+  }
+}
+
+}  // namespace mrc::serve

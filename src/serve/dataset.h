@@ -1,0 +1,101 @@
+#pragma once
+
+// Cached Dataset serving layer over the LOD pyramid container: open a
+// pyramid once, then answer region queries with a working set bounded by a
+// byte budget instead of the request size. The pieces:
+//
+//   * a sharded, thread-safe LRU brick cache (keyed by level + brick id,
+//     byte-budgeted, hit/miss/eviction counters) so repeated viewport
+//     queries decode each brick once;
+//   * async prefetch of the bricks ringing a query's footprint on the exec
+//     pool, so a panning viewport finds its next bricks already decoded;
+//   * adaptive LOD selection — choose_level maps a viewport box plus a
+//     sample budget (or an error budget) to the cheapest sufficient level,
+//     so callers ask for a window and a budget, not a level.
+//
+// Dataset is safe to hammer from any number of threads: every read is
+// bit-identical to pyramid::read_region on the same (level, box), whatever
+// the cache/prefetch state, and counters stay consistent (hits + misses ==
+// brick lookups).
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "pyramid/pyramid.h"
+
+namespace mrc::serve {
+
+struct Config {
+  std::size_t cache_bytes = 256ull << 20;  ///< decoded-brick byte budget
+  int threads = 0;   ///< exec-pool lanes for decode + prefetch; 0 = hardware
+  bool prefetch = true;  ///< warm neighbor bricks asynchronously (needs > 1 lane)
+  int shards = 8;    ///< cache shard count (lock striping)
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< brick lookups served from cache
+  std::uint64_t misses = 0;      ///< brick lookups that had to decode
+  std::uint64_t evictions = 0;   ///< bricks dropped to stay under budget
+  std::uint64_t prefetched = 0;  ///< bricks decoded by the prefetch path
+  std::size_t bytes = 0;         ///< decoded bytes currently cached
+  std::size_t entries = 0;       ///< bricks currently cached
+
+  [[nodiscard]] double hit_ratio() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class Dataset {
+ public:
+  /// Opens a pyramid stream (taking ownership of the bytes) and parses +
+  /// validates every level's tile index once. Throws CodecError on anything
+  /// that is not a well-formed pyramid stream.
+  explicit Dataset(Bytes stream, const Config& cfg = {});
+  ~Dataset();
+  Dataset(Dataset&&) noexcept;
+  Dataset& operator=(Dataset&&) noexcept;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  [[nodiscard]] const pyramid::Index& index() const;
+  [[nodiscard]] int levels() const;
+  [[nodiscard]] Dim3 dims(int level) const;  ///< extents of one level
+  [[nodiscard]] double eb() const;
+  /// LOD error bound of a level (pyramid::LevelEntry::approx_err).
+  [[nodiscard]] double level_error(int level) const;
+
+  /// Reads `region` (in level-`level` coordinates) through the brick cache —
+  /// bit-identical to pyramid::read_region(stream, level, region).
+  [[nodiscard]] FieldF read_region(int level, const tiled::Box& region);
+
+  /// A finest-grid box mapped onto level `level` (floor/ceil to cover the
+  /// same spatial extent, clipped to the level grid).
+  [[nodiscard]] tiled::Box box_at_level(const tiled::Box& fine_box, int level) const;
+
+  /// The finest level whose rendition of `fine_box` fits in `sample_budget`
+  /// samples; never exceeds the budget unless even the coarsest level does
+  /// (then the coarsest level — the cheapest available — is returned).
+  [[nodiscard]] int choose_level(const tiled::Box& fine_box,
+                                 index_t sample_budget) const;
+
+  /// The coarsest (cheapest) level whose LOD error bound stays within
+  /// `eb_budget`; level 0 if none does.
+  [[nodiscard]] int choose_level(double eb_budget) const;
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Blocks until all outstanding prefetch tasks have drained (benches and
+  /// tests use this to make cache contents deterministic).
+  void wait_idle();
+
+  /// Empties the brick cache (counters keep accumulating).
+  void drop_cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrc::serve

@@ -7,11 +7,11 @@
 
 namespace mrc::tiled {
 
-namespace {
-
 Coord3 tile_coord(const Dim3& grid, index_t t) {
   return {t % grid.nx, (t / grid.nx) % grid.ny, t / (grid.nx * grid.ny)};
 }
+
+namespace {
 
 /// Stored extents of the brick at core origin `o`: core + overlap, clipped
 /// to the domain.
@@ -30,9 +30,11 @@ std::string magic_hex(std::uint32_t magic) {
 /// Smallest possible index record: 8 single-byte varints + two f32s.
 inline constexpr std::size_t kMinTileRecord = 16;
 
-/// Decodes one brick and checks it against its index record.
+}  // namespace
+
 FieldF decode_tile(const Index& idx, const Compressor& codec,
                    std::span<const std::byte> stream, std::size_t t) {
+  MRC_REQUIRE(t < idx.tiles.size(), "decode_tile: tile id out of range");
   const TileEntry& e = idx.tiles[t];
   const auto payload = stream.subspan(idx.payload_offset,
                                       static_cast<std::size_t>(idx.payload_bytes));
@@ -45,7 +47,23 @@ FieldF decode_tile(const Index& idx, const Compressor& codec,
   return b;
 }
 
-}  // namespace
+std::vector<index_t> tiles_in_region(const Index& idx, const Box& region) {
+  const Dim3 ext = region.extent();
+  MRC_REQUIRE(region.lo.x >= 0 && region.lo.y >= 0 && region.lo.z >= 0 &&
+                  ext.nx > 0 && ext.ny > 0 && ext.nz > 0 && region.hi.x <= idx.dims.nx &&
+                  region.hi.y <= idx.dims.ny && region.hi.z <= idx.dims.nz,
+              "tiles_in_region: region must be a non-empty box inside " + idx.dims.str());
+  const index_t tx0 = region.lo.x / idx.brick, tx1 = ceil_div(region.hi.x, idx.brick);
+  const index_t ty0 = region.lo.y / idx.brick, ty1 = ceil_div(region.hi.y, idx.brick);
+  const index_t tz0 = region.lo.z / idx.brick, tz1 = ceil_div(region.hi.z, idx.brick);
+  std::vector<index_t> hit;
+  hit.reserve(static_cast<std::size_t>((tx1 - tx0) * (ty1 - ty0) * (tz1 - tz0)));
+  for (index_t tz = tz0; tz < tz1; ++tz)
+    for (index_t ty = ty0; ty < ty1; ++ty)
+      for (index_t tx = tx0; tx < tx1; ++tx)
+        hit.push_back(tx + idx.grid.nx * (ty + idx.grid.ny * tz));
+  return hit;
+}
 
 Dim3 Index::core_extent(std::size_t t) const {
   const Coord3 tc = tile_coord(grid, static_cast<index_t>(t));
@@ -207,25 +225,10 @@ Index read_index(std::span<const std::byte> stream) {
 
 RegionRead read_region(std::span<const std::byte> stream, const Box& region, int threads) {
   const Index idx = read_index(stream);
-  const Dim3 ext = region.extent();
-  MRC_REQUIRE(region.lo.x >= 0 && region.lo.y >= 0 && region.lo.z >= 0 &&
-                  ext.nx > 0 && ext.ny > 0 && ext.nz > 0 && region.hi.x <= idx.dims.nx &&
-                  region.hi.y <= idx.dims.ny && region.hi.z <= idx.dims.nz,
-              "read_region: region must be a non-empty box inside " + idx.dims.str());
-
-  // Tiles whose cores intersect the region.
-  const index_t tx0 = region.lo.x / idx.brick, tx1 = ceil_div(region.hi.x, idx.brick);
-  const index_t ty0 = region.lo.y / idx.brick, ty1 = ceil_div(region.hi.y, idx.brick);
-  const index_t tz0 = region.lo.z / idx.brick, tz1 = ceil_div(region.hi.z, idx.brick);
-  std::vector<index_t> hit;
-  hit.reserve(static_cast<std::size_t>((tx1 - tx0) * (ty1 - ty0) * (tz1 - tz0)));
-  for (index_t tz = tz0; tz < tz1; ++tz)
-    for (index_t ty = ty0; ty < ty1; ++ty)
-      for (index_t tx = tx0; tx < tx1; ++tx)
-        hit.push_back(tx + idx.grid.nx * (ty + idx.grid.ny * tz));
+  const std::vector<index_t> hit = tiles_in_region(idx, region);
 
   RegionRead out;
-  out.data = FieldF(ext);
+  out.data = FieldF(region.extent());
   out.tiles_total = idx.tiles.size();
   out.tiles_decoded = hit.size();
 

@@ -125,4 +125,18 @@ struct RegionRead {
 [[nodiscard]] RegionRead read_region(std::span<const std::byte> stream, const Box& region,
                                      int threads = 1);
 
+/// Decodes the single brick `t` of a parsed stream and validates its extents
+/// against the index record. `codec` must match idx.codec_magic (one
+/// stateless instance can serve any number of threads). This is the unit the
+/// serve-layer brick cache is built on.
+[[nodiscard]] FieldF decode_tile(const Index& idx, const Compressor& codec,
+                                 std::span<const std::byte> stream, std::size_t t);
+
+/// Tile ids of the bricks whose cores intersect `region` (x fastest), i.e.
+/// exactly the bricks a region read must decode.
+[[nodiscard]] std::vector<index_t> tiles_in_region(const Index& idx, const Box& region);
+
+/// Tile-grid coordinate of tile id `t` (ids are x fastest).
+[[nodiscard]] Coord3 tile_coord(const Dim3& grid, index_t t);
+
 }  // namespace mrc::tiled

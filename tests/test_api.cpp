@@ -193,7 +193,8 @@ TEST(ApiOptions, KeyValueParsingSetsEveryKnob) {
   const auto o = api::Options::parse(
       "codec=zfpx,eb=0.5,eb_mode=abs,merge=stack,pad=0,pad_kind=quadratic,"
       "min_pad_unit=7,adaptive_eb=0,alpha=3,beta=9,quant_radius=256,postprocess=1,"
-      "roi_block=8,roi_fraction=0.75,block_size=4,use_regression=0,threads=3,tile=48");
+      "roi_block=8,roi_fraction=0.75,block_size=4,use_regression=0,threads=3,tile=48,"
+      "levels=3,cache_mb=64,prefetch=0");
   EXPECT_EQ(o.codec, "zfpx");
   EXPECT_EQ(o.eb, 0.5);
   EXPECT_EQ(o.eb_mode, api::EbMode::absolute);
@@ -212,6 +213,27 @@ TEST(ApiOptions, KeyValueParsingSetsEveryKnob) {
   EXPECT_FALSE(o.use_regression);
   EXPECT_EQ(o.threads, 3);
   EXPECT_EQ(o.tile, 48);
+  EXPECT_EQ(o.levels, 3);
+  EXPECT_EQ(o.cache_mb, 64.0);
+  EXPECT_FALSE(o.prefetch);
+  // The serving/pyramid sub-configs carry the knobs through.
+  EXPECT_EQ(o.pyramid_config().levels, 3);
+  EXPECT_EQ(o.pyramid_config().brick, 48);
+  EXPECT_EQ(o.serve_config().cache_bytes, std::size_t{64} << 20);
+  EXPECT_FALSE(o.serve_config().prefetch);
+}
+
+TEST(ApiOptions, UnknownKeyRejectedListingValidKeys) {
+  // Unknown keys are rejected (never silently ignored) and the error names
+  // the valid keys so CLI typos are self-explaining.
+  try {
+    (void)api::Options::parse("cache_bm=64");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    for (const char* key : {"codec", "eb", "tile", "levels", "cache_mb", "prefetch"})
+      EXPECT_NE(msg.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(ApiOptions, StrRoundTrips) {
@@ -223,8 +245,12 @@ TEST(ApiOptions, StrRoundTrips) {
   a.pad_kind = PadKind::constant;
   a.roi_fraction = 0.3;
   a.threads = 4;
-  const auto b = api::Options::parse(a.str());
-  EXPECT_EQ(a.str(), b.str());
+  a.levels = 5;
+  a.cache_mb = 12.5;
+  a.prefetch = false;
+  const auto b = api::Options::parse(a.to_string());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.str(), a.to_string());  // str() is the short alias
 }
 
 TEST(ApiOptions, DefaultStrRoundTrips) {
@@ -245,6 +271,11 @@ TEST(ApiOptions, BadInputRejected) {
   EXPECT_THROW(o.set("alpha", "nan"), ContractError);
   EXPECT_THROW(o.set("threads", "-1"), ContractError);
   EXPECT_THROW(o.set("tile", "0"), ContractError);
+  EXPECT_THROW(o.set("levels", "-1"), ContractError);
+  EXPECT_THROW(o.set("levels", "99"), ContractError);
+  EXPECT_THROW(o.set("cache_mb", "0"), ContractError);
+  EXPECT_THROW(o.set("cache_mb", "-4"), ContractError);
+  EXPECT_THROW(o.set("prefetch", "maybe"), ContractError);
   EXPECT_THROW((void)api::Options::parse("justakey"), ContractError);
 }
 

@@ -1,0 +1,382 @@
+// pyramid:: LOD container — level geometry, round trips (every level's
+// region read bit-identical to decoding that level in full), determinism
+// across thread counts, facade integration, and header/level-table
+// corruption robustness mirroring test_tiled.cpp's exhaustive
+// single-byte-flip pass: hostile level counts, off-chain level extents,
+// overlapping records, and truncated tails must all fail with a clean
+// CodecError, never allocate from a hostile claim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/mrc_api.h"
+#include "grid/field_ops.h"
+#include "pyramid/pyramid.h"
+#include "test_util.h"
+
+namespace mrc {
+namespace {
+
+using tiled::Box;
+
+Bytes make_pyramid(const FieldF& f, const std::string& codec = "zfpx",
+                   index_t brick = 16, int threads = 2, double eb = 0.05,
+                   int levels = 0) {
+  pyramid::Config cfg;
+  cfg.codec = codec;
+  cfg.brick = brick;
+  cfg.threads = threads;
+  cfg.levels = levels;
+  return pyramid::build(f, eb, cfg);
+}
+
+/// Re-serializes a (possibly mutated) level table in front of the original
+/// payload — corrupt exactly one field of the table and nothing else.
+Bytes rebuild(const pyramid::Index& idx, std::span<const std::byte> payload) {
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, pyramid::kPyramidMagic, idx.dims, idx.eb);
+  w.put_varint(idx.levels.size());
+  w.put_varint(idx.payload_bytes);
+  for (const auto& e : idx.levels) {
+    w.put_varint(e.offset);
+    w.put_varint(e.length);
+    w.put_varint(static_cast<std::uint64_t>(e.dims.nx));
+    w.put_varint(static_cast<std::uint64_t>(e.dims.ny));
+    w.put_varint(static_cast<std::uint64_t>(e.dims.nz));
+    w.put(e.vmin);
+    w.put(e.vmax);
+    w.put(e.approx_err);
+  }
+  w.put_bytes(payload);
+  return out;
+}
+
+/// Applies `mutate` to a freshly parsed index and returns the corrupted
+/// stream.
+template <typename M>
+Bytes corrupt(std::span<const std::byte> stream, M mutate) {
+  pyramid::Index idx = pyramid::read_index(stream);
+  const auto payload = stream.subspan(idx.payload_offset);
+  mutate(idx);
+  return rebuild(idx, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry.
+// ---------------------------------------------------------------------------
+
+TEST(Pyramid, LevelDimsFollowTheHalvingChain) {
+  EXPECT_EQ(pyramid::level_dims({40, 36, 28}, 0), (Dim3{40, 36, 28}));
+  EXPECT_EQ(pyramid::level_dims({40, 36, 28}, 1), (Dim3{20, 18, 14}));
+  EXPECT_EQ(pyramid::level_dims({40, 36, 28}, 2), (Dim3{10, 9, 7}));
+  EXPECT_EQ(pyramid::level_dims({40, 36, 28}, 3), (Dim3{5, 5, 4}));
+  // Odd extents round up; degenerate axes stay at 1.
+  EXPECT_EQ(pyramid::level_dims({33, 1, 1}, 1), (Dim3{17, 1, 1}));
+  EXPECT_EQ(pyramid::level_dims({33, 1, 1}, 6), (Dim3{1, 1, 1}));
+}
+
+TEST(Pyramid, AutoLevelsStopAtOneBrick) {
+  EXPECT_EQ(pyramid::auto_levels({64, 64, 64}, 16), 3);   // 64 -> 32 -> 16
+  EXPECT_EQ(pyramid::auto_levels({65, 64, 64}, 16), 4);   // 65 -> 33 -> 17 -> 9
+  EXPECT_EQ(pyramid::auto_levels({16, 16, 16}, 16), 1);   // already one brick
+  EXPECT_EQ(pyramid::auto_levels({100, 1, 1}, 16), 4);    // 100 -> 50 -> 25 -> 13
+}
+
+TEST(Pyramid, RestrictHalfAveragesClippedBoxes) {
+  // 3x1x1 field: coarse cell 0 averages {0,1}, cell 1 averages {2} alone.
+  FieldF f({3, 1, 1});
+  f[0] = 2.0f;
+  f[1] = 4.0f;
+  f[2] = 8.0f;
+  const FieldF c = restrict_half(f);
+  ASSERT_EQ(c.dims(), (Dim3{2, 1, 1}));
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 8.0f);
+  // Divisible extents agree with restrict_average(_, 2).
+  const FieldF g = test::smooth_field({16, 12, 8});
+  EXPECT_EQ(restrict_half(g), restrict_average(g, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(Pyramid, IndexRecordsLevelChainAndRanges) {
+  const FieldF f = test::smooth_field({40, 36, 28});
+  const Bytes stream = make_pyramid(f, "zfpx", 16);
+  const auto idx = pyramid::read_index(stream);
+  ASSERT_EQ(idx.levels.size(), 3u);  // 40x36x28 -> 20x18x14 -> 10x9x7 (<= 16)
+  EXPECT_EQ(idx.codec, "zfpx");
+  EXPECT_EQ(idx.brick, 16);
+  EXPECT_EQ(idx.levels[0].dims, f.dims());
+  EXPECT_EQ(idx.levels[1].dims, (Dim3{20, 18, 14}));
+  EXPECT_EQ(idx.levels[2].dims, (Dim3{10, 9, 7}));
+  const auto [lo, hi] = f.min_max();
+  for (const auto& e : idx.levels) {
+    EXPECT_GE(e.vmin, lo - 1e-6);  // averaging keeps ranges inside the original
+    EXPECT_LE(e.vmax, hi + 1e-6);
+    EXPECT_LE(e.vmin, e.vmax);
+  }
+  // approx_err: level 0 is the codec bound, coarser levels only grow.
+  EXPECT_FLOAT_EQ(idx.levels[0].approx_err, 0.05f);
+  EXPECT_GE(idx.levels[1].approx_err, idx.levels[0].approx_err);
+  EXPECT_GE(idx.levels[2].approx_err, idx.levels[1].approx_err);
+}
+
+TEST(Pyramid, EveryLevelRegionReadMatchesFullLevelDecode) {
+  const FieldF f = test::noise_field({40, 36, 28}, 25.0);
+  const Bytes stream = make_pyramid(f, "interp", 16);
+  const auto idx = pyramid::read_index(stream);
+  for (int l = 0; l < static_cast<int>(idx.levels.size()); ++l) {
+    const FieldF full = pyramid::decompress_level(stream, l, 2);
+    const Dim3 ld = idx.levels[static_cast<std::size_t>(l)].dims;
+    ASSERT_EQ(full.dims(), ld) << l;
+    // Full-box region read is bit-identical to the full decode...
+    const auto rr = pyramid::read_region(stream, l, tiled::full_box(ld), 2);
+    EXPECT_EQ(rr.data, full) << l;
+    // ...and a brick-crossing window matches the same window of it.
+    const Box win{{ld.nx / 4, 0, ld.nz / 3},
+                  {ld.nx / 4 + std::max<index_t>(1, ld.nx / 2), ld.ny,
+                   ld.nz / 3 + std::max<index_t>(1, ld.nz / 3)}};
+    const auto wr = pyramid::read_region(stream, l, win, 2);
+    ASSERT_EQ(wr.data.dims(), win.extent()) << l;
+    for (index_t z = 0; z < wr.data.dims().nz; ++z)
+      for (index_t y = 0; y < wr.data.dims().ny; ++y)
+        for (index_t x = 0; x < wr.data.dims().nx; ++x)
+          ASSERT_EQ(wr.data.at(x, y, z),
+                    full.at(win.lo.x + x, win.lo.y + y, win.lo.z + z))
+              << l;
+  }
+}
+
+TEST(Pyramid, FinestLevelHonorsTheErrorBound) {
+  const FieldF f = test::smooth_field({24, 20, 12});
+  const double eb = 0.01;
+  const Bytes stream = make_pyramid(f, "interp", 8, 2, eb);
+  const FieldF back = pyramid::decompress_level(stream, 0, 1);
+  EXPECT_LE(test::max_abs_err(f, back), eb * (1 + 1e-9));
+}
+
+TEST(Pyramid, CoarserLevelsTrackTheRestrictHalfChain) {
+  const FieldF f = test::smooth_field({24, 20, 12});
+  const double eb = 0.01;
+  const Bytes stream = make_pyramid(f, "interp", 8, 2, eb);
+  const FieldF l1 = pyramid::decompress_level(stream, 1, 1);
+  const FieldF ref = restrict_half(f);
+  ASSERT_EQ(l1.dims(), ref.dims());
+  EXPECT_LE(test::max_abs_err(ref, l1), eb * (1 + 1e-9));
+}
+
+TEST(Pyramid, ApproxErrMatchesTheMaterializedProlongation) {
+  // The slabbed LOD-error kernel must agree exactly with "materialize
+  // prolong_trilinear, take the max diff" — the recorded approx_err is that
+  // measurement plus the codec bound, whatever the slab partition.
+  const FieldF f = test::smooth_field({24, 20, 12});
+  const double eb = 0.01;
+  const FieldF coarse = restrict_half(f);
+  double ref = 0.0;
+  {
+    const FieldF up = prolong_trilinear(coarse, f.dims());
+    for (index_t i = 0; i < f.size(); ++i)
+      ref = std::max(ref, std::abs(static_cast<double>(up[i]) -
+                                   static_cast<double>(f[i])));
+  }
+  EXPECT_EQ(prolong_error_slab(coarse, f, 0, f.dims().nz), ref);
+  // Any slab split yields the same max.
+  EXPECT_EQ(std::max(prolong_error_slab(coarse, f, 0, 5),
+                     prolong_error_slab(coarse, f, 5, f.dims().nz)),
+            ref);
+  const auto idx = pyramid::read_index(make_pyramid(f, "interp", 8, 2, eb));
+  EXPECT_FLOAT_EQ(idx.levels[1].approx_err, static_cast<float>(ref + eb));
+}
+
+TEST(Pyramid, StreamBytesIdenticalForAnyThreadCount) {
+  const FieldF f = test::noise_field({33, 21, 18}, 10.0);
+  const Bytes s1 = make_pyramid(f, "interp", 16, 1);
+  const Bytes s2 = make_pyramid(f, "interp", 16, 3);
+  const Bytes s7 = make_pyramid(f, "interp", 16, 7);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s7);
+}
+
+TEST(Pyramid, ExplicitLevelCountAndSingleLevel) {
+  const FieldF f = test::smooth_field({32, 32, 32});
+  const auto idx1 = pyramid::read_index(make_pyramid(f, "zfpx", 16, 1, 0.05, 1));
+  EXPECT_EQ(idx1.levels.size(), 1u);
+  const auto idx4 = pyramid::read_index(make_pyramid(f, "zfpx", 16, 1, 0.05, 4));
+  ASSERT_EQ(idx4.levels.size(), 4u);
+  EXPECT_EQ(idx4.levels[3].dims, (Dim3{4, 4, 4}));
+}
+
+TEST(Pyramid, RejectsBadConfigAndInputs) {
+  const FieldF f = test::smooth_field({16, 16, 16});
+  pyramid::Config cfg;
+  cfg.brick = 0;
+  EXPECT_THROW((void)pyramid::build(f, 0.1, cfg), ContractError);
+  cfg.brick = 16;
+  cfg.levels = pyramid::kMaxLevels + 1;
+  EXPECT_THROW((void)pyramid::build(f, 0.1, cfg), ContractError);
+  cfg.levels = 0;
+  cfg.codec = "no-such-codec";
+  EXPECT_THROW((void)pyramid::build(f, 0.1, cfg), CodecError);
+  EXPECT_THROW((void)pyramid::build(FieldF{}, 0.1, {}), ContractError);
+  EXPECT_THROW((void)pyramid::build(f, 0.0, {}), ContractError);
+  const Bytes stream = make_pyramid(f);
+  EXPECT_THROW((void)pyramid::decompress_level(stream, -1), ContractError);
+  EXPECT_THROW((void)pyramid::decompress_level(stream, 99), ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// Facade integration.
+// ---------------------------------------------------------------------------
+
+TEST(Pyramid, FacadeBuildInfoAndDecompress) {
+  const FieldF f = test::smooth_field({40, 40, 40});
+  const auto opt = api::Options::parse("codec=zfpx,tile=16,threads=2,eb=1e-3");
+  const Bytes stream = api::build_pyramid(f, opt);
+
+  const auto meta = api::info(stream);
+  EXPECT_EQ(meta.kind, api::StreamInfo::Kind::pyramid);
+  EXPECT_EQ(meta.codec, "zfpx");
+  EXPECT_EQ(meta.dims, f.dims());
+  EXPECT_EQ(meta.brick, 16);
+  ASSERT_EQ(meta.levels, 3u);
+  ASSERT_EQ(meta.level_dims.size(), 3u);
+  EXPECT_EQ(meta.level_dims[1], (Dim3{20, 20, 20}));
+
+  // api::decompress serves the finest level.
+  const FieldF back = api::decompress(stream);
+  EXPECT_EQ(back, pyramid::decompress_level(stream, 0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt / truncated streams: clean CodecError, never OOB.
+// ---------------------------------------------------------------------------
+
+TEST(PyramidRobustness, TruncationAtEveryStageRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_pyramid(f, "zfpx", 16, 1);
+  const auto idx = pyramid::read_index(stream);
+  // Cut inside the header, inside the level table, at the payload start, and
+  // one byte short of the end.
+  for (const std::size_t len :
+       {std::size_t{5}, std::size_t{20}, idx.payload_offset / 2, idx.payload_offset,
+        stream.size() - 1}) {
+    const auto cut = std::span(stream).first(len);
+    EXPECT_THROW((void)pyramid::read_geometry(cut), CodecError) << len;
+    EXPECT_THROW((void)pyramid::decompress_level(cut, 0), CodecError) << len;
+    EXPECT_THROW((void)api::decompress(cut), CodecError) << len;
+  }
+}
+
+TEST(PyramidRobustness, OffChainOrOverlappingLevelRecordsRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_pyramid(f, "zfpx", 8, 1);  // 3 levels
+
+  // Level extents off the halving chain.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.levels[1].dims.nx += 1; })),
+               CodecError);
+  // Overlapping level streams (offset pulled back into the previous level).
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.levels[1].offset -= 4; })),
+               CodecError);
+  // A gap between level streams.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.levels[1].offset += 4; })),
+               CodecError);
+  // Zero-length level.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.levels[2].length = 0; })),
+               CodecError);
+  // Length past the payload.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream,
+                   [](pyramid::Index& i) { i.levels[2].length += 1000; })),
+               CodecError);
+  // Level streams not tiling the payload exactly.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.payload_bytes += 64; })),
+               CodecError);
+  // Dropping the last level leaves untiled payload bytes.
+  EXPECT_THROW((void)pyramid::read_geometry(corrupt(
+                   stream, [](pyramid::Index& i) { i.levels.pop_back(); })),
+               CodecError);
+}
+
+TEST(PyramidRobustness, NestedStreamDisagreementsRejected) {
+  const FieldF f = test::smooth_field({24, 24, 24});
+  const Bytes stream = make_pyramid(f, "zfpx", 8, 1);
+  // Swap the level-1 and level-2 records' byte ranges: the table then points
+  // level 1 at a tiled stream of the wrong extents.
+  pyramid::Index idx = pyramid::read_index(stream);
+  const auto payload = std::span(stream).subspan(idx.payload_offset);
+  Bytes reordered;
+  {
+    // payload: level0 | level2 | level1, with the table still claiming the
+    // chain order.
+    const auto l0 = payload.first(static_cast<std::size_t>(idx.levels[0].length));
+    const auto l1 = payload.subspan(static_cast<std::size_t>(idx.levels[1].offset),
+                                    static_cast<std::size_t>(idx.levels[1].length));
+    const auto l2 = payload.subspan(static_cast<std::size_t>(idx.levels[2].offset),
+                                    static_cast<std::size_t>(idx.levels[2].length));
+    pyramid::Index swapped = idx;
+    swapped.levels[1].length = idx.levels[2].length;
+    swapped.levels[2].offset = swapped.levels[1].offset + swapped.levels[1].length;
+    swapped.levels[2].length = idx.levels[1].length;
+    Bytes body;
+    body.insert(body.end(), l0.begin(), l0.end());
+    body.insert(body.end(), l2.begin(), l2.end());
+    body.insert(body.end(), l1.begin(), l1.end());
+    reordered = rebuild(swapped, body);
+  }
+  EXPECT_THROW((void)pyramid::read_index(reordered), CodecError);
+}
+
+TEST(PyramidRobustness, HostileLevelCountRejectedBeforeAllocation) {
+  // A tiny hostile stream claiming an absurd level count must fail on the
+  // cap / records-vs-bytes check, never size an allocation from the claim.
+  for (const std::uint64_t n_levels :
+       {std::uint64_t{0}, std::uint64_t{41}, std::uint64_t{1} << 40}) {
+    Bytes evil;
+    ByteWriter w(evil);
+    detail::write_header(w, pyramid::kPyramidMagic, {1024, 1024, 1024}, 1.0);
+    w.put_varint(n_levels);
+    w.put_varint(0);  // payload_bytes
+    EXPECT_THROW((void)pyramid::read_geometry(evil), CodecError) << n_levels;
+    EXPECT_THROW((void)api::decompress(evil), CodecError) << n_levels;
+  }
+  // A plausible level count whose records cannot fit in the bytes we hold.
+  Bytes short_table;
+  ByteWriter w(short_table);
+  detail::write_header(w, pyramid::kPyramidMagic, {1024, 1024, 1024}, 1.0);
+  w.put_varint(11);
+  w.put_varint(0);
+  EXPECT_THROW((void)pyramid::read_geometry(short_table), CodecError);
+}
+
+TEST(PyramidRobustness, EveryTableByteFlipFailsCleanlyOrDecodes) {
+  // Exhaustive single-byte corruption of the header + level table: each
+  // mutant must either decode level 0 to the right extents (flips in
+  // advisory fields like min/max/approx_err) or throw CodecError — anything
+  // else (crash, OOB, wrong dims) is a bug. ASan/TSan in ci.sh turn latent
+  // OOB reads into hard failures here.
+  const FieldF f = test::smooth_field({20, 20, 20});
+  const Bytes stream = make_pyramid(f, "zfpx", 8, 1);
+  const std::size_t table_end = pyramid::read_index(stream).payload_offset;
+  for (std::size_t pos = 0; pos < table_end; ++pos) {
+    Bytes bad = stream;
+    bad[pos] ^= std::byte{0x2d};
+    try {
+      const FieldF out = pyramid::decompress_level(bad, 0, 1);
+      EXPECT_EQ(out.dims(), f.dims()) << "byte " << pos;
+    } catch (const CodecError&) {
+      // clean rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrc

@@ -3,8 +3,12 @@
 # (always on in CMakeLists), print any compiler warnings, run ctest — then
 # repeat the test suite under AddressSanitizer (second cmake preset) so the
 # thread-pool / tiled-index code is leak- and overflow-checked on every
-# verify. Set MRC_SKIP_ASAN=1 to skip the sanitizer pass.
-# Usage: tools/ci.sh [build-dir]   (default: build; ASan uses <build-dir>-asan)
+# verify, and finally run the concurrency-heavy suites (exec pool, tiled,
+# pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
+# under ThreadSanitizer (third preset, <build-dir>-tsan). Set MRC_SKIP_ASAN=1
+# / MRC_SKIP_TSAN=1 to skip the sanitizer passes.
+# Usage: tools/ci.sh [build-dir]   (default: build; sanitizer presets use
+# <build-dir>-asan and <build-dir>-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,11 +35,23 @@ if [ "${MRC_SKIP_ASAN:-0}" != "1" ]; then
   echo
   echo "== AddressSanitizer pass =="
   ASAN_DIR="${BUILD_DIR}-asan"
-  cmake -B "$ASAN_DIR" -S . -DMRC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  cmake -B "$ASAN_DIR" -S . -DMRC_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       > /dev/null
   cmake --build "$ASAN_DIR" -j"$(nproc)" --target mrc_tests > /dev/null
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
       ctest --test-dir "$ASAN_DIR" --output-on-failure -j"$(nproc)"
+fi
+
+if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
+  echo
+  echo "== ThreadSanitizer pass (exec / tiled / pyramid / serve) =="
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DMRC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      > /dev/null
+  cmake --build "$TSAN_DIR" -j"$(nproc)" --target mrc_tests > /dev/null
+  # Only the concurrency-bearing suites: the serial codec/metric suites add
+  # nothing under TSan but multiply its ~10x slowdown.
+  "$TSAN_DIR"/mrc_tests --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*'
 fi
 
 echo

@@ -3,10 +3,14 @@
 //
 //   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
+//   mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc decompress <in> <out.f32> [threads=N]   (threads applies to tiled streams)
 //   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
 //   mrcc restore    <in.snapshot> <out.f32>
-//   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> <out.f32> [key=value ...]
+//   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] [key=value ...]
+//   mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1>
+//                   [--budget=<samples> | --eb_budget=<err> | --level=<l>]
+//                   [--out=<file.raw>] [key=value ...]
 //   mrcc info       <in> [--tiles]
 //   mrcc codecs
 //
@@ -14,22 +18,30 @@
 // api::Options knob can be set with trailing key=value arguments (a leading
 // "--" is accepted, so `--tile=32 --threads=8` works too), e.g.
 //   mrcc compress in.f32 64 64 64 out.mrc codec=zfpx eb=1e-3
-//   mrcc tiled    in.f32 256 256 256 out.mrct --tile=64 --threads=8
-//   mrcc adaptive in.f32 64 64 64 out.mrc roi_fraction=0.25 postprocess=1
+//   mrcc pyramid  in.f32 256 256 256 out.mrcp --tile=64 --levels=0 --threads=8
+//   mrcc lod      out.mrcp 0 0 0 256 256 256 --budget=100000 --out=view.raw
 // "adaptive" runs the full paper workflow (ROI extraction + SZ3MR) into a
 // self-describing snapshot; "restore" reconstructs a uniform grid from it.
-// "tiled" writes the brick-tiled container (parallel per-brick compression);
-// "region" reads a half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of it,
-// decoding only the intersecting bricks. "decompress" accepts any mrcomp
-// stream — codec choice is read from the stream header; snapshots are
-// restored and tiled streams reassembled automatically. "info" reports
-// kind, codec, dims, and error bound from the header alone, without
-// decompressing — plus tile geometry (and the per-tile index with --tiles)
-// for tiled streams.
+// "tiled" writes the brick-tiled container; "pyramid" writes the LOD
+// pyramid (the field at resolutions 1, 1/2, 1/4, ...). "region" reads a
+// half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of a tiled stream,
+// decoding only the intersecting bricks; "lod" serves the same kind of box
+// (in finest-grid coordinates) from a pyramid through the cached Dataset
+// layer, picking the cheapest sufficient level for a sample or error budget
+// unless --level pins one. --out writes the result as a self-describing
+// .raw file (io::write_raw: extents header + f32 payload). "decompress"
+// accepts any mrcomp stream — codec choice is read from the stream header;
+// snapshots are restored, tiled streams reassembled, pyramids decoded at
+// full resolution. "info" reports kind, codec, dims, and error bound from
+// the header alone, without decompressing — plus tile geometry (and the
+// per-tile index with --tiles) for tiled streams and the level table for
+// pyramids. Bad arguments (unknown keys, malformed numbers, missing
+// operands) always exit nonzero with a message on stderr.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "api/mrc_api.h"
 #include "io/raw_io.h"
@@ -43,17 +55,34 @@ void write_raw_floats(const FieldF& f, const std::string& path) {
                   path);
 }
 
+/// Strict integer parse for positional operands (extents, box corners):
+/// rejects trailing garbage and empty strings instead of atoll's silent 0.
+index_t parse_ll(const char* s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0')
+    throw ContractError(std::string("bad ") + what + ": '" + s + "' (expected an integer)");
+  return static_cast<index_t>(v);
+}
+
+double parse_d(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size())
+    throw ContractError(std::string("bad ") + what + ": '" + s + "' (expected a number)");
+  return v;
+}
+
 /// Applies trailing CLI arguments to `opt`: "key=value" goes through
 /// Options::set; for back-compat a bare codec name or number is accepted in
 /// the first two positions (codec, then relative error bound). Commands with
 /// fewer meaningful positions pass nullptr — extra bare args are rejected
 /// rather than silently mapped onto unrelated knobs.
-void apply_args(api::Options& opt, char** begin, char** end,
+void apply_args(api::Options& opt, const std::vector<std::string>& args,
                 const char* bare1 = nullptr, const char* bare2 = nullptr) {
   const char* bare_keys[2] = {bare1, bare2};
   int bare = 0;
-  for (char** a = begin; a != end; ++a) {
-    std::string arg = *a;
+  for (std::string arg : args) {
     if (arg.rfind("--", 0) == 0) arg.erase(0, 2);  // --tile=64 == tile=64
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
@@ -67,11 +96,33 @@ void apply_args(api::Options& opt, char** begin, char** end,
   }
 }
 
+std::vector<std::string> tail_args(char** begin, char** end) {
+  return std::vector<std::string>(begin, end);
+}
+
+/// Extracts a command-specific "--name=value" flag from `args` (also
+/// accepted without the leading dashes). Returns true and fills `value` if
+/// present; the flag is removed so apply_args never sees it.
+bool take_flag(std::vector<std::string>& args, const std::string& name,
+               std::string& value) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    std::string a = *it;
+    if (a.rfind("--", 0) == 0) a.erase(0, 2);
+    if (a.rfind(name + "=", 0) == 0) {
+      value = a.substr(name.size() + 1);
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* kind_str(api::StreamInfo::Kind k) {
   switch (k) {
     case api::StreamInfo::Kind::field: return "field";
     case api::StreamInfo::Kind::level: return "level";
     case api::StreamInfo::Kind::tiled: return "tiled";
+    case api::StreamInfo::Kind::pyramid: return "pyramid";
     default: return "snapshot";
   }
 }
@@ -82,12 +133,15 @@ int usage() {
       "usage:\n"
       "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
+      "  mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc decompress <in> <out.f32> [threads=N (tiled streams)]\n"
       "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] "
       "[key=value ...]\n"
       "  mrcc restore    <in.snapshot> <out.f32>\n"
-      "  mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> <out.f32> "
+      "  mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] "
       "[key=value ...]\n"
+      "  mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1> [--budget=<samples> | "
+      "--eb_budget=<err> | --level=<l>] [--out=<file.raw>] [key=value ...]\n"
       "  mrcc info       <in> [--tiles]\n"
       "  mrcc codecs\n"
       "key=value may also be spelled --key=value (--tile=64 --threads=8).\n");
@@ -109,22 +163,25 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "compress" && argc >= 7) {
-    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
     const FieldF f = io::read_raw_f32(argv[2], dims);
     api::Options opt;
-    apply_args(opt, argv + 7, argv + argc, "codec", "eb");
+    apply_args(opt, tail_args(argv + 7, argv + argc), "codec", "eb");
     const auto stream = api::compress(f, opt);
     io::write_bytes(stream, argv[6]);
     std::printf("%s: %lld values -> %zu bytes (CR %.1f)\n", opt.codec.c_str(),
                 static_cast<long long>(f.size()), stream.size(),
                 compression_ratio(f.size(), stream.size()));
+    std::printf("options: %s\n", opt.to_string().c_str());
     return 0;
   }
   if (cmd == "tiled" && argc >= 7) {
-    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
     const FieldF f = io::read_raw_f32(argv[2], dims);
     api::Options opt;
-    apply_args(opt, argv + 7, argv + argc, "codec", "eb");
+    apply_args(opt, tail_args(argv + 7, argv + argc), "codec", "eb");
     const auto stream = api::compress_tiled(f, opt);
     io::write_bytes(stream, argv[6]);
     const auto meta = api::info(stream);
@@ -132,42 +189,124 @@ int main(int argc, char** argv) {
                 opt.codec.c_str(), static_cast<long long>(f.size()),
                 meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
                 stream.size(), compression_ratio(f.size(), stream.size()));
+    std::printf("options: %s\n", opt.to_string().c_str());
     return 0;
   }
-  if (cmd == "region" && argc >= 10) {
-    const auto stream = io::read_bytes(argv[2]);
-    const tiled::Box box{{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])},
-                         {std::atoll(argv[6]), std::atoll(argv[7]), std::atoll(argv[8])}};
+  if (cmd == "pyramid" && argc >= 7) {
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
     api::Options opt;
-    apply_args(opt, argv + 10, argv + argc, "threads");
+    apply_args(opt, tail_args(argv + 7, argv + argc), "codec", "eb");
+    const auto stream = api::build_pyramid(f, opt);
+    io::write_bytes(stream, argv[6]);
+    const auto idx = pyramid::read_geometry(stream);
+    std::printf("pyramid(%s): %zu levels, brick %lld^3 -> %zu bytes (CR %.1f)\n",
+                idx.codec.c_str(), idx.levels.size(), static_cast<long long>(idx.brick),
+                stream.size(), compression_ratio(f.size(), stream.size()));
+    for (std::size_t l = 0; l < idx.levels.size(); ++l) {
+      const auto& e = idx.levels[l];
+      std::printf("  level %zu: %-14s %10llu bytes, range [%.5g, %.5g], lod_err %.4g\n",
+                  l, e.dims.str().c_str(), static_cast<unsigned long long>(e.length),
+                  e.vmin, e.vmax, e.approx_err);
+    }
+    std::printf("options: %s\n", opt.to_string().c_str());
+    return 0;
+  }
+  if (cmd == "region" && argc >= 9) {
+    const auto stream = io::read_bytes(argv[2]);
+    const tiled::Box box{
+        {parse_ll(argv[3], "x0"), parse_ll(argv[4], "y0"), parse_ll(argv[5], "z0")},
+        {parse_ll(argv[6], "x1"), parse_ll(argv[7], "y1"), parse_ll(argv[8], "z1")}};
+    auto args = tail_args(argv + 9, argv + argc);
+    std::string out_path;
+    const bool have_out = take_flag(args, "out", out_path);
+    api::Options opt;
+    apply_args(opt, args, "threads");
     const auto rr = tiled::read_region(stream, box, opt.threads);
-    write_raw_floats(rr.data, argv[9]);
-    std::printf("region %s: decoded %zu of %zu bricks -> %s\n",
-                rr.data.dims().str().c_str(), rr.tiles_decoded, rr.tiles_total, argv[9]);
+    std::printf("region %s: decoded %zu of %zu bricks\n", rr.data.dims().str().c_str(),
+                rr.tiles_decoded, rr.tiles_total);
+    if (have_out) {
+      io::write_raw(rr.data, out_path);
+      std::printf("wrote %s (self-describing raw: extents + f32 payload)\n",
+                  out_path.c_str());
+    }
+    return 0;
+  }
+  if (cmd == "lod" && argc >= 9) {
+    auto stream = io::read_bytes(argv[2]);
+    const tiled::Box box{
+        {parse_ll(argv[3], "x0"), parse_ll(argv[4], "y0"), parse_ll(argv[5], "z0")},
+        {parse_ll(argv[6], "x1"), parse_ll(argv[7], "y1"), parse_ll(argv[8], "z1")}};
+    auto args = tail_args(argv + 9, argv + argc);
+    std::string budget_s, eb_budget_s, level_s, out_path;
+    const bool have_budget = take_flag(args, "budget", budget_s);
+    const bool have_eb_budget = take_flag(args, "eb_budget", eb_budget_s);
+    const bool have_level = take_flag(args, "level", level_s);
+    const bool have_out = take_flag(args, "out", out_path);
+    if (static_cast<int>(have_budget) + static_cast<int>(have_eb_budget) +
+            static_cast<int>(have_level) > 1)
+      throw ContractError("lod: --budget, --eb_budget and --level are exclusive");
+    api::Options opt;
+    apply_args(opt, args);
+
+    auto ds = api::open_dataset(std::move(stream), opt);
+    int level = 0;
+    if (have_level)
+      level = static_cast<int>(parse_ll(level_s.c_str(), "level"));
+    else if (have_eb_budget)
+      level = ds.choose_level(parse_d(eb_budget_s, "eb_budget"));
+    else if (have_budget)
+      level = ds.choose_level(box, parse_ll(budget_s.c_str(), "budget"));
+    // Without a budget or pinned level, serve the finest level.
+
+    const tiled::Box lbox = ds.box_at_level(box, level);
+    const FieldF data = ds.read_region(level, lbox);
+    const auto st = ds.stats();
+    std::printf("lod: level %d of %d (dims %s, lod_err %.4g), box %s -> %lld samples\n",
+                level, ds.levels(), ds.dims(level).str().c_str(), ds.level_error(level),
+                lbox.extent().str().c_str(), static_cast<long long>(data.size()));
+    std::printf("cache: %llu hits, %llu misses, %llu evictions (%.0f%% hit ratio)\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.evictions), 100.0 * st.hit_ratio());
+    if (have_out) {
+      io::write_raw(data, out_path);
+      std::printf("wrote %s (self-describing raw: extents + f32 payload)\n",
+                  out_path.c_str());
+    }
     return 0;
   }
   if (cmd == "decompress" && argc >= 4) {
     const auto stream = io::read_bytes(argv[2]);
     const auto meta = api::info(stream);
     api::Options opt;
-    apply_args(opt, argv + 4, argv + argc, "threads");
-    const FieldF f = meta.kind == api::StreamInfo::Kind::tiled
-                         ? tiled::decompress(stream, opt.threads)
-                         : api::decompress(stream);
+    apply_args(opt, tail_args(argv + 4, argv + argc), "threads");
+    // The brick-parallel containers honor threads=; everything else decodes
+    // through the facade's single-lane dispatch.
+    FieldF f;
+    if (meta.kind == api::StreamInfo::Kind::tiled)
+      f = tiled::decompress(stream, opt.threads);
+    else if (meta.kind == api::StreamInfo::Kind::pyramid)
+      f = pyramid::decompress_level(stream, /*level=*/0, opt.threads);
+    else
+      f = api::decompress(stream);
     write_raw_floats(f, argv[3]);
     std::printf("%s %s stream, %s -> %s\n", kind_str(meta.kind), meta.codec.c_str(),
                 f.dims().str().c_str(), argv[3]);
     return 0;
   }
   if (cmd == "adaptive" && argc >= 7) {
-    const Dim3 dims{std::atoll(argv[3]), std::atoll(argv[4]), std::atoll(argv[5])};
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
     const FieldF f = io::read_raw_f32(argv[2], dims);
     api::Options opt;
-    apply_args(opt, argv + 7, argv + argc, "roi_fraction", "eb");
+    apply_args(opt, tail_args(argv + 7, argv + argc), "roi_fraction", "eb");
     const auto snapshot = api::compress_adaptive(f, opt);
     io::write_bytes(snapshot, argv[6]);
     std::printf("adaptive snapshot: %zu bytes (CR %.1f vs uniform)\n", snapshot.size(),
                 compression_ratio(f.size(), snapshot.size()));
+    std::printf("options: %s\n", opt.to_string().c_str());
     return 0;
   }
   if (cmd == "restore" && argc == 4) {
@@ -189,6 +328,13 @@ int main(int argc, char** argv) {
       std::printf(", %zu bricks (%s grid of %lld^3 +%lld overlap)", meta.tiles,
                   meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
                   static_cast<long long>(meta.overlap));
+    if (meta.kind == api::StreamInfo::Kind::pyramid) {
+      std::printf(", %zu levels (brick %lld^3):", meta.levels,
+                  static_cast<long long>(meta.brick));
+      for (std::size_t l = 0; l < meta.level_dims.size(); ++l)
+        std::printf(" %s%s", meta.level_dims[l].str().c_str(),
+                    l + 1 < meta.level_dims.size() ? " ->" : "");
+    }
     std::printf("\n");
     if (argc == 4 && meta.kind == api::StreamInfo::Kind::tiled) {
       const auto idx = tiled::read_index(stream);
