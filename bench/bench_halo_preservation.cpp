@@ -17,12 +17,9 @@ int main() {
                      "Nyx density; threshold halo finder across CRs");
 
   const FieldF f = sim::nyx_density(scaled({256, 256, 256}), 7);
-  // Halo threshold: top 0.2% of density.
-  std::vector<float> sorted(f.span().begin(), f.span().end());
-  const auto cut = sorted.size() * 998 / 1000;
-  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(cut),
-                   sorted.end());
-  const float threshold = sorted[cut];
+  // Halo threshold: top 0.2% of density (the shared roi:: convention, same
+  // cut api::compress_adaptive_roi auto-derives for importance=halo).
+  const float threshold = roi::top_value_quantile(f.span(), 0.002);
   const auto reference = analysis::find_halos(f, threshold, 8);
   std::printf("reference catalog: %zu halos (threshold %.3g)\n\n", reference.count(),
               threshold);

@@ -11,17 +11,25 @@ double HaloCatalog::total_mass() const {
   return m;
 }
 
-HaloCatalog find_halos(const FieldF& density, float threshold, index_t min_cells) {
+namespace {
+
+/// Shared component sweep of find_halos / halo_mask: floods every
+/// above-threshold component once and hands the kept ones (and their cell
+/// lists) to the caller.
+HaloCatalog sweep_components(const FieldF& density, float threshold, index_t min_cells,
+                             MaskField* mask) {
   const Dim3 d = density.dims();
   HaloCatalog catalog;
   std::vector<std::uint8_t> visited(static_cast<std::size_t>(d.size()), 0);
   std::vector<index_t> stack;
+  std::vector<index_t> cells;  // current component, for the mask
 
   for (index_t seed = 0; seed < d.size(); ++seed) {
     if (visited[static_cast<std::size_t>(seed)] || density[seed] < threshold) continue;
 
     Halo halo;
     stack.clear();
+    cells.clear();
     stack.push_back(seed);
     visited[static_cast<std::size_t>(seed)] = 1;
     while (!stack.empty()) {
@@ -29,6 +37,7 @@ HaloCatalog find_halos(const FieldF& density, float threshold, index_t min_cells
       stack.pop_back();
       ++halo.cells;
       halo.total_mass += density[idx];
+      if (mask != nullptr) cells.push_back(idx);
       const index_t x = idx % d.nx;
       const index_t y = (idx / d.nx) % d.ny;
       const index_t z = idx / (d.nx * d.ny);
@@ -48,12 +57,28 @@ HaloCatalog find_halos(const FieldF& density, float threshold, index_t min_cells
       }
     }
     catalog.cells_above_threshold += halo.cells;
-    if (halo.cells >= min_cells) catalog.halos.push_back(halo);
+    if (halo.cells >= min_cells) {
+      catalog.halos.push_back(halo);
+      if (mask != nullptr)
+        for (const index_t idx : cells) (*mask)[idx] = 1;
+    }
   }
 
   std::sort(catalog.halos.begin(), catalog.halos.end(),
             [](const Halo& a, const Halo& b) { return a.total_mass > b.total_mass; });
   return catalog;
+}
+
+}  // namespace
+
+HaloCatalog find_halos(const FieldF& density, float threshold, index_t min_cells) {
+  return sweep_components(density, threshold, min_cells, nullptr);
+}
+
+MaskField halo_mask(const FieldF& density, float threshold, index_t min_cells) {
+  MaskField mask(density.dims(), 0);
+  (void)sweep_components(density, threshold, min_cells, &mask);
+  return mask;
 }
 
 HaloComparison compare_catalogs(const HaloCatalog& reference, const HaloCatalog& test,

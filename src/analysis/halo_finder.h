@@ -37,6 +37,13 @@ struct HaloCatalog {
 [[nodiscard]] HaloCatalog find_halos(const FieldF& density, float threshold,
                                      index_t min_cells = 8);
 
+/// Per-cell membership mask of the kept halos: 1 exactly on the cells of the
+/// components find_halos would report (same threshold / min_cells semantics),
+/// 0 elsewhere. This is the importance signal the adaptive container's
+/// halo-driven level assignment consumes.
+[[nodiscard]] MaskField halo_mask(const FieldF& density, float threshold,
+                                  index_t min_cells = 8);
+
 /// Catalog match: a reference halo is matched if some test halo's peak lies
 /// within `match_distance` cells and the total masses agree within
 /// `mass_rel_tol`.

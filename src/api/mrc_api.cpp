@@ -1,10 +1,13 @@
 #include "api/mrc_api.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "exec/thread_pool.h"
+#include "io/raw_io.h"
 #include "roi/roi_extract.h"
 
 namespace mrc::api {
@@ -27,6 +30,10 @@ double parse_double(const std::string& key, const std::string& v) {
 
 index_t parse_index(const std::string& key, const std::string& v, index_t min_value) {
   const double d = parse_double(key, v);
+  // Range-check before the cast: double -> int64 of an out-of-range value
+  // (e.g. 1e300) is undefined behavior, not merely a wrong number.
+  if (!(d >= -9.2e18 && d <= 9.2e18))
+    throw ContractError("options: bad integer for '" + key + "': " + v);
   const auto i = static_cast<index_t>(d);
   if (static_cast<double>(i) != d || i < min_value)
     throw ContractError("options: bad integer for '" + key + "': " + v);
@@ -55,6 +62,25 @@ const char* pad_kind_str(PadKind p) {
     case PadKind::linear: return "linear";
     default: return "quadratic";
   }
+}
+
+/// Parses "x0:y0:z0:x1:y1:z1" (':' or ',' separated) into a box.
+tiled::Box parse_box(const std::string& key, const std::string& v) {
+  std::array<index_t, 6> c{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t sep =
+        i + 1 < 6 ? std::min(v.find(':', pos), v.find(',', pos)) : std::string::npos;
+    const std::string item =
+        v.substr(pos, (sep == std::string::npos ? v.size() : sep) - pos);
+    c[i] = parse_index(key, item, 0);
+    if (i + 1 < 6) {
+      if (sep == std::string::npos)
+        throw ContractError("options: " + key + " needs x0:y0:z0:x1:y1:z1, got " + v);
+      pos = sep + 1;
+    }
+  }
+  return {{c[0], c[1], c[2]}, {c[3], c[4], c[5]}};
 }
 
 }  // namespace
@@ -133,12 +159,31 @@ void Options::set(const std::string& key, const std::string& value) {
       throw ContractError("options: cache_mb must be > 0, got " + value);
   } else if (key == "prefetch") {
     prefetch = parse_bool(key, value);
+  } else if (key == "importance") {
+    if (value != "halo" && value != "gradient" && value != "roi" && value != "file")
+      throw ContractError("options: importance must be halo|gradient|roi|file, got " +
+                          value);
+    importance = value;
+  } else if (key == "importance_file") {
+    importance_file = value;
+  } else if (key == "roi") {
+    roi = parse_box(key, value);
+  } else if (key == "coarse_level") {
+    coarse_level = static_cast<int>(parse_index(key, value, 0));
+    if (coarse_level >= adaptive::kMaxLevels)
+      throw ContractError("options: coarse_level must be < " +
+                          std::to_string(adaptive::kMaxLevels) + ", got " + value);
+  } else if (key == "halo_threshold") {
+    halo_threshold = parse_double(key, value);
+    if (!(halo_threshold >= 0.0))
+      throw ContractError("options: halo_threshold must be >= 0, got " + value);
   } else {
     throw ContractError(
         "options: unknown key '" + key +
         "' (known: codec eb eb_mode merge pad pad_kind min_pad_unit adaptive_eb alpha "
         "beta quant_radius postprocess roi_block roi_fraction block_size "
-        "use_regression threads tile levels cache_mb prefetch)");
+        "use_regression threads tile levels cache_mb prefetch importance "
+        "importance_file roi coarse_level halo_threshold)");
   }
 }
 
@@ -182,6 +227,14 @@ std::string Options::to_string() const {
   s += ",levels=" + std::to_string(levels);
   s += ",cache_mb=" + fmt_double(cache_mb);
   s += std::string(",prefetch=") + (prefetch ? "1" : "0");
+  s += ",importance=" + importance;
+  if (!importance_file.empty()) s += ",importance_file=" + importance_file;
+  if (roi.has_value())
+    s += ",roi=" + std::to_string(roi->lo.x) + ":" + std::to_string(roi->lo.y) + ":" +
+         std::to_string(roi->lo.z) + ":" + std::to_string(roi->hi.x) + ":" +
+         std::to_string(roi->hi.y) + ":" + std::to_string(roi->hi.z);
+  s += ",coarse_level=" + std::to_string(coarse_level);
+  s += ",halo_threshold=" + fmt_double(halo_threshold);
   return s;
 }
 
@@ -232,6 +285,16 @@ pyramid::Config Options::pyramid_config() const {
   return c;
 }
 
+adaptive::Config Options::adaptive_config() const {
+  adaptive::Config c;
+  c.codec = codec;
+  c.tuning = tuning();
+  c.brick = tile;
+  c.threads = threads;
+  c.pad_kind = pad_kind;
+  return c;
+}
+
 serve::Config Options::serve_config() const {
   // The field is public, so a caller can bypass set()'s check; a negative
   // budget must fail here, not hit a float->size_t cast (UB when negative).
@@ -265,6 +328,9 @@ FieldF decompress(std::span<const std::byte> stream) {
   if (h.codec_magic == pyramid::kPyramidMagic)
     // The uniform reconstruction of a pyramid is its finest level.
     return pyramid::decompress_level(stream, /*level=*/0, /*threads=*/1);
+  if (h.codec_magic == adaptive::kAdaptiveMagic)
+    // The seam-free blended finest grid of the adaptive container.
+    return adaptive::decompress(stream, /*threads=*/1);
   if (h.codec_magic == sz3mr::kLevelMagic)
     // A bare level stream decodes to its level grid (zeros outside the mask).
     return sz3mr::decompress_level(stream).data;
@@ -302,6 +368,36 @@ Bytes build_pyramid(const FieldF& f, const Options& opt) {
   return pyramid::build(f, opt.absolute_eb(f), opt.pyramid_config());
 }
 
+Bytes compress_adaptive_roi(const FieldF& f, const Options& opt) {
+  const index_t brick = opt.tile;
+  adaptive::LevelMap map;
+  if (opt.importance == "halo") {
+    const float thr = opt.halo_threshold > 0.0
+                          ? static_cast<float>(opt.halo_threshold)
+                          : roi::top_value_quantile(f.span(), 0.002);
+    map = adaptive::map_from_halos(f, brick, thr, /*min_cells=*/8, opt.coarse_level);
+  } else if (opt.importance == "gradient") {
+    map = adaptive::map_from_gradient(f, brick, opt.roi_fraction, opt.coarse_level);
+  } else if (opt.importance == "roi") {
+    MRC_REQUIRE(opt.roi.has_value(),
+                "compress_adaptive_roi: importance=roi needs roi=x0:y0:z0:x1:y1:z1");
+    const tiled::Box box = *opt.roi;
+    map = adaptive::map_from_boxes(f.dims(), brick, {&box, 1}, opt.coarse_level);
+  } else if (opt.importance == "file") {
+    MRC_REQUIRE(!opt.importance_file.empty(),
+                "compress_adaptive_roi: importance=file needs importance_file=<path>");
+    const FieldF score = io::read_raw(opt.importance_file);
+    MRC_REQUIRE(score.dims() == f.dims(),
+                "compress_adaptive_roi: importance field is " + score.dims().str() +
+                    ", data is " + f.dims().str());
+    map = adaptive::map_from_field(score, brick, opt.roi_fraction, opt.coarse_level);
+  } else {
+    throw ContractError("compress_adaptive_roi: importance must be "
+                        "halo|gradient|roi|file, got " + opt.importance);
+  }
+  return adaptive::compress(f, opt.absolute_eb(f), map, opt.adaptive_config());
+}
+
 serve::Dataset open_dataset(Bytes stream, const Options& opt) {
   return serve::Dataset(std::move(stream), opt.serve_config());
 }
@@ -335,8 +431,19 @@ StreamInfo info(std::span<const std::byte> stream) {
     out.codec = idx.codec;
     out.brick = idx.brick;
     out.levels = idx.levels.size();
-    out.level_dims.reserve(idx.levels.size());
-    for (const auto& e : idx.levels) out.level_dims.push_back(e.dims);
+    out.level_meta.reserve(idx.levels.size());
+    for (const auto& e : idx.levels)
+      out.level_meta.push_back({e.dims, e.length, e.vmin, e.vmax, e.approx_err});
+  } else if (h.codec_magic == adaptive::kAdaptiveMagic) {
+    // O(1) preamble peek — the per-brick records are not walked here.
+    const adaptive::Index idx = adaptive::read_geometry(stream);
+    out.kind = StreamInfo::Kind::adaptive;
+    out.codec = idx.codec;
+    out.brick = idx.brick;
+    out.overlap = idx.overlap;
+    out.tile_grid = idx.grid;
+    out.tiles = static_cast<std::size_t>(idx.grid.size());
+    out.levels = static_cast<std::size_t>(idx.n_levels);
   } else if (h.codec_magic == sz3mr::kLevelMagic) {
     out.kind = StreamInfo::Kind::level;
     out.codec = "sz3mr";

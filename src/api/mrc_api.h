@@ -19,6 +19,11 @@
 //       (Options::levels), served through a byte-budgeted LRU brick cache
 //       (Options::cache_mb) with async neighbor prefetch (Options::prefetch)
 //       and adaptive choose_level LOD selection.
+//   api::compress_adaptive_roi — the adaptive multi-resolution container
+//       (MRCA): every brick stored at its own level, chosen by an importance
+//       map (Options::importance = halo|gradient|roi|file, Options::roi,
+//       Options::coarse_level), decoded seam-free; open_dataset serves MRCA
+//       streams through the same brick cache.
 //
 // Every stream these functions produce starts with the shared container
 // header (compressor.h), so api::info identifies any of them — single-field
@@ -38,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/adaptive.h"
 #include "compressors/registry.h"
 #include "core/workflow.h"
 #include "pyramid/pyramid.h"
@@ -93,6 +99,21 @@ struct Options {
   double cache_mb = 256.0;  ///< Dataset brick-cache budget in MiB
   bool prefetch = true;     ///< Dataset async neighbor-brick warming
 
+  // Adaptive container (compress_adaptive_roi).
+  /// Importance source: "halo" (halo-finder membership), "gradient"
+  /// (|∇f| ranking), "roi" (explicit box, requires `roi`), "file"
+  /// (io::write_raw score field at `importance_file`).
+  std::string importance = "gradient";
+  std::string importance_file;   ///< importance=file: path of the score field
+  /// importance=roi box, finest-grid half-open [lo, hi). Parseable as
+  /// "roi=x0:y0:z0:x1:y1:z1" (':' keeps Options::parse's comma-splitting
+  /// happy; ',' is also accepted when set directly, e.g. from CLI args).
+  std::optional<tiled::Box> roi;
+  int coarse_level = 2;          ///< level of unimportant bricks
+  /// importance=halo density cut; 0 = auto (the top-0.2%-of-cells quantile,
+  /// the halo-preservation bench's convention).
+  double halo_threshold = 0.0;
+
   /// Applies one "key=value" assignment. Throws ContractError on an unknown
   /// key or unparseable value — unknown keys are rejected with the full list
   /// of valid keys, never silently ignored.
@@ -120,6 +141,10 @@ struct Options {
 
   /// The pyramid-build configuration (codec, tuning, tile, threads, levels).
   [[nodiscard]] pyramid::Config pyramid_config() const;
+
+  /// The adaptive-container configuration (codec, tuning, tile, threads,
+  /// pad_kind).
+  [[nodiscard]] adaptive::Config adaptive_config() const;
 
   /// The Dataset serving configuration (cache_mb, threads, prefetch).
   [[nodiscard]] serve::Config serve_config() const;
@@ -166,31 +191,54 @@ struct Options {
 /// every level a brick-tiled stream compressed in parallel with `opt.codec`.
 [[nodiscard]] Bytes build_pyramid(const FieldF& f, const Options& opt = {});
 
-/// Opens a pyramid stream (taking ownership of the bytes) as a cached
-/// serving Dataset: region reads per level through a `opt.cache_mb` LRU
-/// brick cache with async prefetch, plus choose_level adaptive LOD.
+/// Builds the adaptive multi-resolution container (MRCA): bricks the
+/// importance map marks as interesting stay at full resolution (level 0,
+/// byte-identical to the tiled container), the rest drop to
+/// `opt.coarse_level`. The importance map comes from `opt.importance`:
+/// "halo" runs the halo finder on `f` itself, "gradient"/"file" keep the
+/// top `opt.roi_fraction` of bricks by score, "roi" pins `opt.roi`.
+/// Decoding (api::decompress / adaptive::read_region / open_dataset) is
+/// seam-free across level boundaries.
+[[nodiscard]] Bytes compress_adaptive_roi(const FieldF& f, const Options& opt = {});
+
+/// Opens a pyramid (MRCP) or adaptive (MRCA) stream — taking ownership of
+/// the bytes — as a cached serving Dataset: region reads through a
+/// `opt.cache_mb` LRU brick cache with async prefetch, plus choose_level
+/// adaptive LOD (pyramids; adaptive streams serve level 0, the seam-free
+/// mixed-resolution reconstruction).
 [[nodiscard]] serve::Dataset open_dataset(Bytes stream, const Options& opt = {});
 
 /// What a stream is, from its container header alone (no decompression).
 struct StreamInfo {
-  enum class Kind : std::uint8_t { field, level, snapshot, tiled, pyramid };
+  enum class Kind : std::uint8_t { field, level, snapshot, tiled, pyramid, adaptive };
   Kind kind = Kind::field;
   std::string codec;  ///< registry name ("snapshot"/"sz3mr" for those kinds;
-                      ///< the per-brick codec for tiled/pyramid streams)
+                      ///< the per-brick codec for tiled/pyramid/adaptive streams)
   unsigned version = 0;
   Dim3 dims;          ///< field extents (snapshot/pyramid: finest-grid extents)
   double eb = 0.0;    ///< absolute error bound the stream was encoded under
-  std::size_t levels = 1;       ///< snapshot/pyramid level count (1 otherwise)
+  /// snapshot/pyramid level count; adaptive streams report 1 + the maximum
+  /// per-brick level (1 otherwise).
+  std::size_t levels = 1;
   std::size_t stream_bytes = 0;
 
-  // Tile geometry (tiled streams; pyramid streams report level 0's brick).
+  // Tile geometry (tiled/adaptive streams; pyramids report level 0's brick).
   index_t brick = 0;    ///< core brick edge
   index_t overlap = 0;  ///< overlap samples per high face
   Dim3 tile_grid;       ///< tile counts per axis
   std::size_t tiles = 0;
 
-  // Pyramid level extents, finest first (pyramid streams only).
-  std::vector<Dim3> level_dims;
+  /// Full pyramid level table (extents, compressed bytes, value range, LOD
+  /// error bound), finest first — what `mrcc info` prints so adaptive/LOD
+  /// decisions are inspectable without decoding anything.
+  struct LevelMeta {
+    Dim3 dims;
+    std::uint64_t bytes = 0;
+    float vmin = 0.0f;
+    float vmax = 0.0f;
+    float approx_err = 0.0f;
+  };
+  std::vector<LevelMeta> level_meta;  ///< pyramid streams only, finest first
 };
 
 /// Identifies any mrcomp stream by its header. Throws CodecError on foreign

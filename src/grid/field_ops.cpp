@@ -148,6 +148,31 @@ double prolong_error_slab(const FieldF& coarse, const FieldF& fine, index_t z0,
   return err;
 }
 
+FieldF gradient_magnitude(const FieldF& f) {
+  MRC_REQUIRE(!f.empty(), "gradient_magnitude of empty field");
+  const Dim3 d = f.dims();
+  FieldF g(d);
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x) {
+        auto diff = [&](index_t lo_x, index_t lo_y, index_t lo_z, index_t hi_x,
+                        index_t hi_y, index_t hi_z, index_t span) {
+          return span == 0 ? 0.0
+                           : (static_cast<double>(f.at(hi_x, hi_y, hi_z)) -
+                              static_cast<double>(f.at(lo_x, lo_y, lo_z))) /
+                                 static_cast<double>(span);
+        };
+        const index_t xm = std::max<index_t>(x - 1, 0), xp = std::min(x + 1, d.nx - 1);
+        const index_t ym = std::max<index_t>(y - 1, 0), yp = std::min(y + 1, d.ny - 1);
+        const index_t zm = std::max<index_t>(z - 1, 0), zp = std::min(z + 1, d.nz - 1);
+        const double gx = diff(xm, y, z, xp, y, z, xp - xm);
+        const double gy = diff(x, ym, z, x, yp, z, yp - ym);
+        const double gz = diff(x, y, zm, x, y, zp, zp - zm);
+        g.at(x, y, z) = static_cast<float>(std::sqrt(gx * gx + gy * gy + gz * gz));
+      }
+  return g;
+}
+
 FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent) {
   MRC_REQUIRE(origin.x >= 0 && origin.y >= 0 && origin.z >= 0 &&
                   origin.x + extent.nx <= f.dims().nx &&

@@ -31,6 +31,11 @@ namespace mrc {
 [[nodiscard]] double prolong_error_slab(const FieldF& coarse, const FieldF& fine,
                                         index_t z0, index_t z1);
 
+/// Pointwise gradient magnitude |∇f| via central differences (one-sided at
+/// domain boundaries, unit grid spacing). The adaptive container's default
+/// importance signal: high-gradient bricks are where downsampling hurts.
+[[nodiscard]] FieldF gradient_magnitude(const FieldF& f);
+
 /// Copies the box [origin, origin+extent) out of `f`.
 [[nodiscard]] FieldF extract_region(const FieldF& f, Coord3 origin, Dim3 extent);
 

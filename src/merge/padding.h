@@ -19,6 +19,13 @@ enum class PadKind : std::uint8_t { constant = 0, linear = 1, quadratic = 2 };
 /// Drops the last x/y layer (inverse of pad_xy's shape change).
 [[nodiscard]] FieldF strip_pad_xy(const FieldF& padded);
 
+/// Appends one extrapolated layer along every axis whose extent is odd, so a
+/// following restrict_half averages only full 2x2x2 boxes — the 3-axis
+/// generalization of pad_xy used by the adaptive container's per-brick
+/// restriction chain (the clipped-box average at an odd edge is exactly the
+/// boundary artifact the paper's padding improvement removes).
+[[nodiscard]] FieldF pad_to_even(const FieldF& f, PadKind kind);
+
 /// Size overhead factor of padding, (u+1)^2 / u^2 (paper §III-A).
 [[nodiscard]] double padding_overhead(index_t u);
 

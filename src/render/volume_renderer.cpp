@@ -79,6 +79,10 @@ Image volume_render(serve::Dataset& ds, int level, const TransferFunction& tf) {
   return volume_render(f, tf);
 }
 
+Image volume_render(serve::Dataset& ds, const TransferFunction& tf) {
+  return volume_render(ds, /*level=*/0, tf);
+}
+
 Image overlay_probability(const Image& base, const FieldD& prob, double threshold) {
   Image out = base;
   const Dim3 pd = prob.dims();

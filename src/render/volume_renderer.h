@@ -55,6 +55,12 @@ struct TransferFunction {
 [[nodiscard]] Image volume_render(serve::Dataset& ds, int level,
                                   const TransferFunction& tf);
 
+/// Renders a Dataset's finest addressable level (level 0). For an adaptive
+/// (MRCA) dataset that is the seam-free mixed-resolution reconstruction —
+/// identical pixels to volume_render(adaptive::decompress(...), tf) — with
+/// each brick decoded once through the cache across repeated renders.
+[[nodiscard]] Image volume_render(serve::Dataset& ds, const TransferFunction& tf);
+
 /// Fig. 14c: blends red into pixels whose column contains a cell with
 /// crossing probability >= threshold (probability field from
 /// uq::crossing_probability; extents = field extents - 1).

@@ -5,6 +5,8 @@
 // the top-x% of b^3 blocks (ranked by value range) at full resolution and
 // storing the rest 2x coarser.
 
+#include <span>
+
 #include "grid/multires.h"
 
 namespace mrc::roi {
@@ -14,6 +16,19 @@ namespace mrc::roi {
 /// n > 2).
 [[nodiscard]] MultiResField extract_adaptive(const FieldF& uniform, index_t block_size,
                                              double roi_fraction);
+
+/// The paper's top-x% ranking rule generalized to any per-block score: the
+/// smallest score still kept when the best `fraction` of blocks are kept.
+/// fraction <= 0 keeps nothing (+inf), fraction >= 1 keeps everything
+/// (-inf). Ties at the threshold are kept, so the kept set may slightly
+/// exceed `fraction`.
+[[nodiscard]] double keep_fraction_threshold(std::span<const double> scores,
+                                             double fraction);
+
+/// The value with (about) the top `fraction` of `values` at or above it —
+/// the halo-preservation bench's density-threshold convention, shared here
+/// so the facade's auto halo cut cannot drift from it.
+[[nodiscard]] float top_value_quantile(std::span<const float> values, double fraction);
 
 /// Fig. 4 diagnostic: fraction of "interesting" cells (value above
 /// `threshold`, e.g. over-density halos) that the ROI keeps at full

@@ -42,8 +42,11 @@ struct Dataset::Impl {
   // -- immutable after construction -----------------------------------------
   Bytes stream;
   Config cfg;
-  pyramid::Index pidx;
-  std::vector<tiled::Index> lidx;          ///< per-level tile index
+  Dataset::Kind kind = Dataset::Kind::pyramid;
+  pyramid::Index pidx;                     ///< pyramid datasets only
+  std::vector<tiled::Index> lidx;          ///< per-level tile index (pyramid)
+  adaptive::Index aidx;                    ///< adaptive datasets only
+  double adaptive_worst_err = 0.0;         ///< max per-brick approx_err (adaptive)
   std::unique_ptr<Compressor> codec;       ///< stateless; shared by all lanes
 
   // -- sharded LRU brick cache ----------------------------------------------
@@ -85,14 +88,26 @@ struct Dataset::Impl {
   Impl(Bytes s, const Config& c)
       : stream(std::move(s)),
         cfg(c),
-        pidx(pyramid::read_index(stream)),
         shards(static_cast<std::size_t>(std::clamp(c.shards, 1, 64))),
         pool(c.threads) {
     MRC_REQUIRE(cfg.cache_bytes >= 1, "serve: cache byte budget must be >= 1");
-    lidx.reserve(pidx.levels.size());
-    for (std::size_t l = 0; l < pidx.levels.size(); ++l)
-      lidx.push_back(tiled::read_index(pidx.level_stream(stream, l)));
-    codec = registry().make_for_magic(pidx.codec_magic);
+    const StreamHeader h = peek_header(stream);
+    if (h.codec_magic == adaptive::kAdaptiveMagic) {
+      kind = Dataset::Kind::adaptive;
+      aidx = adaptive::read_index(stream);
+      codec = registry().make_for_magic(aidx.codec_magic);
+      adaptive_worst_err = aidx.eb;
+      for (const adaptive::BrickEntry& e : aidx.bricks)
+        adaptive_worst_err =
+            std::max(adaptive_worst_err, static_cast<double>(e.approx_err));
+    } else {
+      kind = Dataset::Kind::pyramid;
+      pidx = pyramid::read_index(stream);
+      lidx.reserve(pidx.levels.size());
+      for (std::size_t l = 0; l < pidx.levels.size(); ++l)
+        lidx.push_back(tiled::read_index(pidx.level_stream(stream, l)));
+      codec = registry().make_for_magic(pidx.codec_magic);
+    }
     shard_budget = std::max<std::size_t>(1, cfg.cache_bytes / shards.size());
   }
 
@@ -144,7 +159,32 @@ struct Dataset::Impl {
     }
   }
 
+  /// Brick grid the prefetch ring walks (per level for pyramids, the single
+  /// fine-lattice grid for adaptive streams).
+  [[nodiscard]] const Dim3& grid_of(int level) const {
+    return kind == Dataset::Kind::adaptive
+               ? aidx.grid
+               : lidx[static_cast<std::size_t>(level)].grid;
+  }
+
+  /// Cache key of one brick. For adaptive streams the key carries the
+  /// brick's own stored level, so a re-encoded stream with different level
+  /// assignments never aliases stale cache entries of the same tile id.
+  [[nodiscard]] std::uint64_t key_of(int level, index_t tile) const {
+    if (kind == Dataset::Kind::adaptive)
+      return brick_key(aidx.bricks[static_cast<std::size_t>(tile)].level, tile);
+    return brick_key(level, tile);
+  }
+
   std::shared_ptr<const FieldF> decode(int level, index_t tile) {
+    if (kind == Dataset::Kind::adaptive) {
+      const auto t = static_cast<std::size_t>(tile);
+      // The cache holds the fine-resolution rendition — decoded samples for
+      // level-0 bricks, the trilinear prolongation for coarse ones — which
+      // is what every assembly consumes.
+      return std::make_shared<const FieldF>(adaptive::reconstruct_brick(
+          aidx, t, adaptive::decode_brick(aidx, *codec, stream, t)));
+    }
     return std::make_shared<const FieldF>(
         tiled::decode_tile(lidx[static_cast<std::size_t>(level)], *codec,
                            pidx.level_stream(stream, static_cast<std::size_t>(level)),
@@ -161,25 +201,25 @@ struct Dataset::Impl {
 
   /// Queues async decodes for the bricks ringing `hit`'s bounding tile box.
   void prefetch_ring(int level, const std::vector<index_t>& hit) {
-    const tiled::Index& ti = lidx[static_cast<std::size_t>(level)];
-    Coord3 lo{ti.grid.nx, ti.grid.ny, ti.grid.nz};
+    const Dim3& grid = grid_of(level);
+    Coord3 lo{grid.nx, grid.ny, grid.nz};
     Coord3 hi{0, 0, 0};
     for (const index_t t : hit) {
-      const Coord3 c = tiled::tile_coord(ti.grid, t);
+      const Coord3 c = tiled::tile_coord(grid, t);
       lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
       hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
     }
     for (index_t z = std::max<index_t>(0, lo.z - 1);
-         z <= std::min(ti.grid.nz - 1, hi.z + 1); ++z)
+         z <= std::min(grid.nz - 1, hi.z + 1); ++z)
       for (index_t y = std::max<index_t>(0, lo.y - 1);
-           y <= std::min(ti.grid.ny - 1, hi.y + 1); ++y)
+           y <= std::min(grid.ny - 1, hi.y + 1); ++y)
         for (index_t x = std::max<index_t>(0, lo.x - 1);
-             x <= std::min(ti.grid.nx - 1, hi.x + 1); ++x) {
+             x <= std::min(grid.nx - 1, hi.x + 1); ++x) {
           if (x >= lo.x && x <= hi.x && y >= lo.y && y <= hi.y && z >= lo.z &&
               z <= hi.z)
             continue;  // inside the footprint: already decoded by the read
-          const index_t t = x + ti.grid.nx * (y + ti.grid.ny * z);
-          const std::uint64_t key = brick_key(level, t);
+          const index_t t = x + grid.nx * (y + grid.ny * z);
+          const std::uint64_t key = key_of(level, t);
           if (contains(key)) continue;
           auto promise =
               std::make_shared<std::promise<std::shared_ptr<const FieldF>>>();
@@ -218,25 +258,50 @@ Dataset::~Dataset() = default;
 Dataset::Dataset(Dataset&&) noexcept = default;
 Dataset& Dataset::operator=(Dataset&&) noexcept = default;
 
-const pyramid::Index& Dataset::index() const { return impl_->pidx; }
-int Dataset::levels() const { return static_cast<int>(impl_->pidx.levels.size()); }
-double Dataset::eb() const { return impl_->pidx.eb; }
+Dataset::Kind Dataset::kind() const { return impl_->kind; }
+
+const pyramid::Index& Dataset::index() const {
+  MRC_REQUIRE(impl_->kind == Kind::pyramid, "serve: not a pyramid dataset");
+  return impl_->pidx;
+}
+
+const adaptive::Index& Dataset::adaptive_index() const {
+  MRC_REQUIRE(impl_->kind == Kind::adaptive, "serve: not an adaptive dataset");
+  return impl_->aidx;
+}
+
+int Dataset::levels() const {
+  return impl_->kind == Kind::adaptive
+             ? 1
+             : static_cast<int>(impl_->pidx.levels.size());
+}
+
+double Dataset::eb() const {
+  return impl_->kind == Kind::adaptive ? impl_->aidx.eb : impl_->pidx.eb;
+}
 
 Dim3 Dataset::dims(int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  if (impl_->kind == Kind::adaptive) return impl_->aidx.dims;
   return impl_->pidx.levels[static_cast<std::size_t>(level)].dims;
 }
 
 double Dataset::level_error(int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  if (impl_->kind == Kind::adaptive) return impl_->adaptive_worst_err;
   return impl_->pidx.levels[static_cast<std::size_t>(level)].approx_err;
 }
 
 FieldF Dataset::read_region(int level, const tiled::Box& region) {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
   Impl& im = *impl_;
-  const tiled::Index& ti = im.lidx[static_cast<std::size_t>(level)];
-  const std::vector<index_t> hit = tiled::tiles_in_region(ti, region);
+  const bool is_adaptive = im.kind == Kind::adaptive;
+  // For adaptive streams the hit set already includes the low-side
+  // contributors a seam-free blend needs, not just the owners.
+  const std::vector<index_t> hit =
+      is_adaptive
+          ? adaptive::bricks_for_region(im.aidx, region)
+          : tiled::tiles_in_region(im.lidx[static_cast<std::size_t>(level)], region);
 
   // Pass 1: serve what the cache holds; adopt bricks a prefetch task is
   // already decoding (no second decode of the same brick); collect the rest.
@@ -244,7 +309,7 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
   std::vector<std::pair<std::size_t, Impl::BrickFuture>> pending;
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < hit.size(); ++i) {
-    const std::uint64_t key = brick_key(level, hit[i]);
+    const std::uint64_t key = im.key_of(level, hit[i]);
     bricks[i] = im.get(key);
     if (bricks[i] != nullptr) continue;
     if (auto fut = im.inflight(key))
@@ -261,7 +326,7 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
   im.pool.parallel_for(static_cast<index_t>(missing.size()), [&](index_t i) {
     const std::size_t slot = missing[static_cast<std::size_t>(i)];
     auto brick = im.decode(level, hit[slot]);
-    im.put(brick_key(level, hit[slot]), brick);
+    im.put(im.key_of(level, hit[slot]), brick);
     bricks[slot] = std::move(brick);
   });
   for (auto& [slot, fut] : pending) {
@@ -269,7 +334,7 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
     if (bricks[slot] == nullptr) {
       // The prefetch task bailed (brick appeared in cache first, or its
       // decode failed and the error should surface here, synchronously).
-      const std::uint64_t key = brick_key(level, hit[slot]);
+      const std::uint64_t key = im.key_of(level, hit[slot]);
       bricks[slot] = im.get(key);
       if (bricks[slot] == nullptr) {
         bricks[slot] = im.decode(level, hit[slot]);
@@ -278,24 +343,36 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
     }
   }
 
-  // Pass 3: assemble core ∩ region from every brick — the same ownership
-  // rule as tiled::read_region, hence bit-identical output.
   FieldF out(region.extent());
-  for (std::size_t i = 0; i < hit.size(); ++i) {
-    const auto t = static_cast<std::size_t>(hit[i]);
-    const tiled::TileEntry& e = ti.tiles[t];
-    const FieldF& b = *bricks[i];
-    const Dim3 core = ti.core_extent(t);
-    const index_t x0 = std::max(e.origin.x, region.lo.x);
-    const index_t x1 = std::min(e.origin.x + core.nx, region.hi.x);
-    const index_t y0 = std::max(e.origin.y, region.lo.y);
-    const index_t y1 = std::min(e.origin.y + core.ny, region.hi.y);
-    const index_t z0 = std::max(e.origin.z, region.lo.z);
-    const index_t z1 = std::min(e.origin.z + core.nz, region.hi.z);
-    for (index_t z = z0; z < z1; ++z)
-      for (index_t y = y0; y < y1; ++y)
-        std::copy_n(&b.at(x0 - e.origin.x, y - e.origin.y, z - e.origin.z), x1 - x0,
-                    &out.at(x0 - region.lo.x, y - region.lo.y, z - region.lo.z));
+  if (is_adaptive) {
+    // Pass 3 (adaptive): the container's blend rule over the cached
+    // fine-resolution renditions — bit-identical to adaptive::read_region.
+    std::unordered_map<index_t, std::size_t> slot;
+    slot.reserve(hit.size());
+    for (std::size_t i = 0; i < hit.size(); ++i) slot.emplace(hit[i], i);
+    adaptive::detail::assemble_region(
+        im.aidx, region,
+        [&](index_t t) -> const FieldF& { return *bricks[slot.at(t)]; }, out);
+  } else {
+    // Pass 3 (pyramid): assemble core ∩ region from every brick — the same
+    // ownership rule as tiled::read_region, hence bit-identical output.
+    const tiled::Index& ti = im.lidx[static_cast<std::size_t>(level)];
+    for (std::size_t i = 0; i < hit.size(); ++i) {
+      const auto t = static_cast<std::size_t>(hit[i]);
+      const tiled::TileEntry& e = ti.tiles[t];
+      const FieldF& b = *bricks[i];
+      const Dim3 core = ti.core_extent(t);
+      const index_t x0 = std::max(e.origin.x, region.lo.x);
+      const index_t x1 = std::min(e.origin.x + core.nx, region.hi.x);
+      const index_t y0 = std::max(e.origin.y, region.lo.y);
+      const index_t y1 = std::min(e.origin.y + core.ny, region.hi.y);
+      const index_t z0 = std::max(e.origin.z, region.lo.z);
+      const index_t z1 = std::min(e.origin.z + core.nz, region.hi.z);
+      for (index_t z = z0; z < z1; ++z)
+        for (index_t y = y0; y < y1; ++y)
+          std::copy_n(&b.at(x0 - e.origin.x, y - e.origin.y, z - e.origin.z), x1 - x0,
+                      &out.at(x0 - region.lo.x, y - region.lo.y, z - region.lo.z));
+    }
   }
 
   // Single-lane pools would run "async" prefetch inline and make every read
@@ -306,7 +383,8 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
 
 tiled::Box Dataset::box_at_level(const tiled::Box& fine_box, int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
-  const Dim3 fd = impl_->pidx.dims;
+  const Dim3 fd =
+      impl_->kind == Kind::adaptive ? impl_->aidx.dims : impl_->pidx.dims;
   const Dim3 ext = fine_box.extent();
   MRC_REQUIRE(fine_box.lo.x >= 0 && fine_box.lo.y >= 0 && fine_box.lo.z >= 0 &&
                   ext.nx > 0 && ext.ny > 0 && ext.nz > 0 && fine_box.hi.x <= fd.nx &&

@@ -1,10 +1,12 @@
 #pragma once
 
-// Cached Dataset serving layer over the LOD pyramid container: open a
-// pyramid once, then answer region queries with a working set bounded by a
-// byte budget instead of the request size. The pieces:
+// Cached Dataset serving layer over the multi-resolution containers: open a
+// LOD pyramid (MRCP) or an adaptive stream (MRCA) once, then answer region
+// queries with a working set bounded by a byte budget instead of the request
+// size. The pieces:
 //
-//   * a sharded, thread-safe LRU brick cache (keyed by level + brick id,
+//   * a sharded, thread-safe LRU brick cache (keyed by level + brick id —
+//     for adaptive streams the key carries each brick's *own* level —
 //     byte-budgeted, hit/miss/eviction counters) so repeated viewport
 //     queries decode each brick once;
 //   * async prefetch of the bricks ringing a query's footprint on the exec
@@ -14,13 +16,16 @@
 //     so callers ask for a window and a budget, not a level.
 //
 // Dataset is safe to hammer from any number of threads: every read is
-// bit-identical to pyramid::read_region on the same (level, box), whatever
-// the cache/prefetch state, and counters stay consistent (hits + misses ==
-// brick lookups).
+// bit-identical to pyramid::read_region / adaptive::read_region on the same
+// (level, box), whatever the cache/prefetch state, and counters stay
+// consistent (hits + misses == brick lookups). Adaptive streams expose one
+// addressable level (0, the seam-free blended finest grid); what varies is
+// the stored resolution underneath, which is the container's business.
 
 #include <cstdint>
 #include <memory>
 
+#include "adaptive/adaptive.h"
 #include "common/bytes.h"
 #include "pyramid/pyramid.h"
 
@@ -49,9 +54,11 @@ struct CacheStats {
 
 class Dataset {
  public:
-  /// Opens a pyramid stream (taking ownership of the bytes) and parses +
-  /// validates every level's tile index once. Throws CodecError on anything
-  /// that is not a well-formed pyramid stream.
+  enum class Kind : std::uint8_t { pyramid, adaptive };
+
+  /// Opens a pyramid (MRCP) or adaptive (MRCA) stream — dispatched on the
+  /// container header — taking ownership of the bytes and parsing +
+  /// validating the full index once. Throws CodecError on anything else.
   explicit Dataset(Bytes stream, const Config& cfg = {});
   ~Dataset();
   Dataset(Dataset&&) noexcept;
@@ -59,15 +66,25 @@ class Dataset {
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
 
+  [[nodiscard]] Kind kind() const;
+  /// The pyramid index (pyramid datasets only; throws ContractError else).
   [[nodiscard]] const pyramid::Index& index() const;
+  /// The adaptive brick index (adaptive datasets only).
+  [[nodiscard]] const adaptive::Index& adaptive_index() const;
+  /// Addressable level count: the pyramid's level table, or 1 for adaptive
+  /// streams (level 0 = the blended finest grid).
   [[nodiscard]] int levels() const;
   [[nodiscard]] Dim3 dims(int level) const;  ///< extents of one level
   [[nodiscard]] double eb() const;
-  /// LOD error bound of a level (pyramid::LevelEntry::approx_err).
+  /// LOD error bound of a level: pyramid::LevelEntry::approx_err, or the
+  /// worst per-brick approx_err of an adaptive stream (its level 0 already
+  /// mixes resolutions).
   [[nodiscard]] double level_error(int level) const;
 
   /// Reads `region` (in level-`level` coordinates) through the brick cache —
-  /// bit-identical to pyramid::read_region(stream, level, region).
+  /// bit-identical to pyramid::read_region(stream, level, region), or to
+  /// adaptive::read_region(stream, region) for adaptive datasets (which
+  /// serve only level 0, in finest-grid coordinates).
   [[nodiscard]] FieldF read_region(int level, const tiled::Box& region);
 
   /// A finest-grid box mapped onto level `level` (floor/ceil to cover the

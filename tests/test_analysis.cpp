@@ -93,6 +93,69 @@ TEST(HaloFinder, CompressionAtSmallEbPreservesCatalog) {
   EXPECT_LT(cmp.mean_mass_rel_err, 0.01);
 }
 
+TEST(HaloFinder, DeterministicOnSimdataFixtures) {
+  // Same seed -> byte-identical field -> identical catalog, twice over.
+  const FieldF a = sim::nyx_density({64, 64, 64}, 11);
+  const FieldF b = sim::nyx_density({64, 64, 64}, 11);
+  ASSERT_EQ(a, b);
+  const auto ca = find_halos(a, static_cast<float>(5e9), 4);
+  const auto cb = find_halos(b, static_cast<float>(5e9), 4);
+  ASSERT_EQ(ca.count(), cb.count());
+  EXPECT_EQ(ca.cells_above_threshold, cb.cells_above_threshold);
+  for (std::size_t i = 0; i < ca.count(); ++i) {
+    EXPECT_EQ(ca.halos[i].peak, cb.halos[i].peak);
+    EXPECT_EQ(ca.halos[i].cells, cb.halos[i].cells);
+    EXPECT_DOUBLE_EQ(ca.halos[i].total_mass, cb.halos[i].total_mass);
+  }
+}
+
+TEST(HaloFinder, ComponentTouchingTheDomainBoundaryIsCounted) {
+  FieldF f({16, 16, 16}, 0.0f);
+  // A slab hugging the x = 0 face, wrapping nothing: 4x16x16 cells.
+  for (index_t z = 0; z < 16; ++z)
+    for (index_t y = 0; y < 16; ++y)
+      for (index_t x = 0; x < 4; ++x) f.at(x, y, z) = 10.0f;
+  const auto cat = find_halos(f, 5.0f, 8);
+  ASSERT_EQ(cat.count(), 1u);
+  EXPECT_EQ(cat.halos[0].cells, 4 * 16 * 16);
+  EXPECT_EQ(cat.cells_above_threshold, 4 * 16 * 16);
+}
+
+TEST(HaloFinder, MaskMatchesKeptComponents) {
+  const FieldF f = blob_field({48, 48, 48}, 4);
+  const auto cat = find_halos(f, 20.0f, 4);
+  const MaskField mask = halo_mask(f, 20.0f, 4);
+  index_t marked = 0;
+  for (index_t i = 0; i < mask.size(); ++i) marked += mask[i] != 0 ? 1 : 0;
+  index_t kept_cells = 0;
+  for (const auto& h : cat.halos) kept_cells += h.cells;
+  EXPECT_EQ(marked, kept_cells);
+  // Every marked cell is above threshold; every peak is marked.
+  for (index_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) {
+      EXPECT_GE(f[i], 20.0f);
+    }
+  }
+  for (const auto& h : cat.halos) EXPECT_EQ(mask.at(h.peak.x, h.peak.y, h.peak.z), 1);
+}
+
+TEST(HaloFinder, MaskDropsSubMinCellsNoise) {
+  FieldF f({16, 16, 16}, 0.0f);
+  f.at(3, 3, 3) = 100.0f;  // single hot voxel, below min_cells
+  const MaskField mask = halo_mask(f, 10.0f, 2);
+  for (index_t i = 0; i < mask.size(); ++i) EXPECT_EQ(mask[i], 0);
+  const MaskField kept = halo_mask(f, 10.0f, 1);
+  EXPECT_EQ(kept.at(3, 3, 3), 1);
+}
+
+TEST(HaloFinder, EmptyAndConstantFieldsYieldEmptyMask) {
+  const MaskField m1 = halo_mask(FieldF({8, 8, 8}, 0.0f), 1.0f);
+  for (index_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1[i], 0);
+  // A constant field above threshold is one domain-sized halo.
+  const MaskField m2 = halo_mask(FieldF({8, 8, 8}, 5.0f), 1.0f);
+  for (index_t i = 0; i < m2.size(); ++i) EXPECT_EQ(m2[i], 1);
+}
+
 TEST(HaloFinder, AggressiveCompressionDegradesCatalog) {
   const FieldF f = sim::nyx_density({64, 64, 64}, 3);
   const float threshold = static_cast<float>(5e9);

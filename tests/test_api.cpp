@@ -375,6 +375,27 @@ TEST(ContainerHeader, OverflowingExtentsRejected) {
   EXPECT_THROW((void)peek_header(evil), CodecError);
 }
 
+TEST(ApiFacade, PyramidInfoCarriesTheFullLevelTable) {
+  // mrcc info's satellite: value ranges and LOD error bounds per level must
+  // be available from the O(levels) header peek, matching the level table.
+  const FieldF f = test::smooth_field({40, 40, 40});
+  const auto opt = api::Options::parse("tile=16,levels=3,eb_mode=abs,eb=0.01");
+  const Bytes stream = api::build_pyramid(f, opt);
+  const auto meta = api::info(stream);
+  const auto idx = pyramid::read_geometry(stream);
+  ASSERT_EQ(meta.level_meta.size(), idx.levels.size());
+  for (std::size_t l = 0; l < idx.levels.size(); ++l) {
+    EXPECT_EQ(meta.level_meta[l].dims, idx.levels[l].dims);
+    EXPECT_EQ(meta.level_meta[l].bytes, idx.levels[l].length);
+    EXPECT_EQ(meta.level_meta[l].vmin, idx.levels[l].vmin);
+    EXPECT_EQ(meta.level_meta[l].vmax, idx.levels[l].vmax);
+    EXPECT_EQ(meta.level_meta[l].approx_err, idx.levels[l].approx_err);
+    EXPECT_GE(meta.level_meta[l].approx_err, 0.01f);
+  }
+  // Tiled/adaptive streams carry no level table.
+  EXPECT_TRUE(api::info(api::compress_tiled(f, opt)).level_meta.empty());
+}
+
 TEST(ApiOptions, TuningReachesCodecFactory) {
   // A lorenzo built with block_size=4 must differ in stream layout from the
   // default 6^3 — proves Options knobs actually reach the factory.

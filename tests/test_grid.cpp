@@ -45,6 +45,29 @@ TEST(FieldOps, ProlongTrilinearPreservesLinearRamp) {
   EXPECT_NEAR(fine.at(3, 4, 4), 1.25f, 1e-5);
 }
 
+TEST(FieldOps, GradientMagnitudeExactOnRamps) {
+  // |∇(2x + 3y + 6z)| = sqrt(4 + 9 + 36) = 7 everywhere, boundaries
+  // included (one-sided differences are exact on linear data too).
+  FieldF f({8, 8, 8});
+  for (index_t z = 0; z < 8; ++z)
+    for (index_t y = 0; y < 8; ++y)
+      for (index_t x = 0; x < 8; ++x)
+        f.at(x, y, z) = static_cast<float>(2 * x + 3 * y + 6 * z);
+  const FieldF g = gradient_magnitude(f);
+  ASSERT_EQ(g.dims(), f.dims());
+  for (index_t i = 0; i < g.size(); ++i) EXPECT_NEAR(g[i], 7.0f, 1e-5);
+}
+
+TEST(FieldOps, GradientMagnitudeFlatAndDegenerate) {
+  const FieldF flat({6, 5, 4}, 3.0f);
+  const FieldF g = gradient_magnitude(flat);
+  for (index_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], 0.0f);
+  // A single-sample axis has no differences along it — and must not fault.
+  const FieldF line = gradient_magnitude(FieldF({16, 1, 1}, 2.0f));
+  for (index_t i = 0; i < line.size(); ++i) EXPECT_FLOAT_EQ(line[i], 0.0f);
+  EXPECT_THROW((void)gradient_magnitude(FieldF{}), ContractError);
+}
+
 TEST(FieldOps, ExtractInsertRoundTrip) {
   FieldF f = smooth_field({12, 12, 12});
   const FieldF r = extract_region(f, {2, 3, 4}, {5, 4, 3});

@@ -208,6 +208,34 @@ TEST(Padding, OverheadFormula) {
   EXPECT_NEAR(padding_overhead(16), 1.12890625, 1e-12);
 }
 
+TEST(Padding, PadToEvenOnlyTouchesOddAxes) {
+  const FieldF even = smooth_field({8, 8, 8});
+  EXPECT_EQ(pad_to_even(even, PadKind::linear), even);
+
+  FieldF f({5, 4, 3});
+  for (index_t z = 0; z < 3; ++z)
+    for (index_t y = 0; y < 4; ++y)
+      for (index_t x = 0; x < 5; ++x)
+        f.at(x, y, z) = static_cast<float>(2 * x + 3 * y + 5 * z);
+  const FieldF p = pad_to_even(f, PadKind::linear);
+  EXPECT_EQ(p.dims(), Dim3(6, 4, 4));
+  // Original samples survive untouched; linear pad is exact on ramps,
+  // including the x/z corner layer (padded x feeds the z extrapolation).
+  for (index_t z = 0; z < 3; ++z)
+    for (index_t y = 0; y < 4; ++y)
+      for (index_t x = 0; x < 5; ++x) EXPECT_FLOAT_EQ(p.at(x, y, z), f.at(x, y, z));
+  EXPECT_FLOAT_EQ(p.at(5, 2, 1), 2 * 5 + 3 * 2 + 5 * 1);
+  EXPECT_FLOAT_EQ(p.at(3, 1, 3), 2 * 3 + 3 * 1 + 5 * 3);
+  EXPECT_FLOAT_EQ(p.at(5, 3, 3), 2 * 5 + 3 * 3 + 5 * 3);
+}
+
+TEST(Padding, PadToEvenDegenerateExtents) {
+  FieldF f({1, 1, 1}, 7.0f);
+  const FieldF p = pad_to_even(f, PadKind::linear);
+  EXPECT_EQ(p.dims(), Dim3(2, 2, 2));
+  for (index_t i = 0; i < p.size(); ++i) EXPECT_FLOAT_EQ(p[i], 7.0f);
+}
+
 // ---------------------------------------------------------------------------
 // ROI extraction (paper Fig. 4).
 // ---------------------------------------------------------------------------

@@ -243,8 +243,8 @@ TEST(Pyramid, FacadeBuildInfoAndDecompress) {
   EXPECT_EQ(meta.dims, f.dims());
   EXPECT_EQ(meta.brick, 16);
   ASSERT_EQ(meta.levels, 3u);
-  ASSERT_EQ(meta.level_dims.size(), 3u);
-  EXPECT_EQ(meta.level_dims[1], (Dim3{20, 20, 20}));
+  ASSERT_EQ(meta.level_meta.size(), 3u);
+  EXPECT_EQ(meta.level_meta[1].dims, (Dim3{20, 20, 20}));
 
   // api::decompress serves the finest level.
   const FieldF back = api::decompress(stream);

@@ -1,0 +1,128 @@
+// Dedicated suite for roi/roi_extract: determinism on simdata fixtures,
+// hierarchy structure, captured_fraction boundary cases, and the
+// keep_fraction_threshold ranking rule the adaptive container builds on.
+// (The seed module previously only had drive-by coverage in test_merge.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "roi/roi_extract.h"
+#include "simdata/generators.h"
+#include "test_util.h"
+
+namespace mrc::roi {
+namespace {
+
+TEST(RoiExtract, DeterministicOnSimdataFixtures) {
+  const FieldF f = sim::nyx_density({64, 64, 64}, 5);
+  const auto a = extract_adaptive(f, 16, 0.25);
+  const auto b = extract_adaptive(f, 16, 0.25);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t l = 0; l < a.levels.size(); ++l) {
+    EXPECT_EQ(a.levels[l].data, b.levels[l].data) << "level " << l;
+    EXPECT_EQ(a.levels[l].mask, b.levels[l].mask) << "level " << l;
+  }
+}
+
+TEST(RoiExtract, TwoLevelStructureAndFraction) {
+  const FieldF f = sim::nyx_density({64, 64, 64}, 5);
+  const auto mr = extract_adaptive(f, 16, 0.25);
+  ASSERT_EQ(mr.levels.size(), 2u);
+  EXPECT_EQ(mr.levels[0].data.dims(), f.dims());
+  // The fine level keeps ~25% of the cells (block-quantized).
+  index_t fine_cells = 0;
+  for (index_t i = 0; i < mr.levels[0].mask.size(); ++i)
+    fine_cells += mr.levels[0].mask[i] ? 1 : 0;
+  const double fraction =
+      static_cast<double>(fine_cells) / static_cast<double>(f.size());
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(RoiExtract, HighDensityCellsLandOnTheFineLevel) {
+  const FieldF f = sim::nyx_density({64, 64, 64}, 5);
+  const auto mr = extract_adaptive(f, 16, 0.25);
+  // The paper's Fig. 4 claim: a range-ranked ROI captures the over-density
+  // cells far better than the kept fraction alone would suggest.
+  const auto sorted_cut = [&] {
+    std::vector<float> v(f.data(), f.data() + f.size());
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 500),
+                     v.end(), std::greater<>());
+    return v[v.size() / 500];
+  }();
+  const double captured = captured_fraction(mr, f, sorted_cut);
+  EXPECT_GT(captured, 0.5);
+  // ... and enriches them well beyond the kept-cell share (~25%).
+  EXPECT_GT(captured, 2.0 * 0.25);
+}
+
+TEST(RoiExtract, CapturedFractionBoundaryCases) {
+  const FieldF f = test::smooth_field({32, 32, 32});
+  const auto mr = extract_adaptive(f, 8, 0.5);
+  // Threshold above the maximum: nothing is interesting -> convention 1.0.
+  const auto [lo, hi] = f.min_max();
+  EXPECT_DOUBLE_EQ(captured_fraction(mr, f, hi + 1.0f), 1.0);
+  // Threshold below the minimum: every cell counts; the captured share is
+  // the fine-level share.
+  const double all = captured_fraction(mr, f, lo - 1.0f);
+  EXPECT_GT(all, 0.0);
+  EXPECT_LT(all, 1.0);
+  // Full-fraction ROI keeps everything at full resolution.
+  const auto full = extract_adaptive(f, 8, 1.0);
+  EXPECT_DOUBLE_EQ(captured_fraction(full, f, lo - 1.0f), 1.0);
+}
+
+TEST(RoiExtract, RejectsDegenerateArguments) {
+  const FieldF f = test::smooth_field({32, 32, 32});
+  EXPECT_THROW((void)extract_adaptive(f, 4, 0.5), ContractError);   // b must be > 4
+  EXPECT_THROW((void)extract_adaptive(f, 8, 0.0), ContractError);
+  EXPECT_THROW((void)extract_adaptive(f, 8, 1.5), ContractError);
+  const auto mr = extract_adaptive(f, 8, 0.5);
+  const FieldF wrong({16, 16, 16}, 0.0f);
+  EXPECT_THROW((void)captured_fraction(mr, wrong, 0.0f), ContractError);
+}
+
+TEST(KeepFractionThreshold, RanksAndClamps) {
+  const std::vector<double> scores{5.0, 1.0, 3.0, 2.0, 4.0};
+  // Keep top 40% of 5 -> 2 blocks -> threshold is the 2nd best score.
+  EXPECT_DOUBLE_EQ(keep_fraction_threshold(scores, 0.4), 4.0);
+  // Tiny positive fractions still keep the best block.
+  EXPECT_DOUBLE_EQ(keep_fraction_threshold(scores, 1e-9), 5.0);
+  EXPECT_EQ(keep_fraction_threshold(scores, 0.0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(keep_fraction_threshold(scores, 1.0),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(keep_fraction_threshold(std::vector<double>{}, 0.5),
+            std::numeric_limits<double>::infinity());
+  EXPECT_THROW((void)keep_fraction_threshold(
+                   scores, std::numeric_limits<double>::quiet_NaN()),
+               ContractError);
+}
+
+TEST(TopValueQuantile, MatchesTheHaloThresholdConvention) {
+  std::vector<float> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<float>(i);  // 0..999
+  // Top 0.2% of 1000 values = the best 2 -> threshold 998.
+  EXPECT_FLOAT_EQ(roi::top_value_quantile(values, 0.002), 998.0f);
+  EXPECT_FLOAT_EQ(roi::top_value_quantile(values, 1.0), 0.0f);
+  // Tiny fractions clamp to keeping at least the single best value.
+  EXPECT_FLOAT_EQ(roi::top_value_quantile(values, 0.0), 999.0f);
+  EXPECT_THROW((void)roi::top_value_quantile({}, 0.5), ContractError);
+  EXPECT_THROW((void)roi::top_value_quantile(values, 1.5), ContractError);
+}
+
+TEST(KeepFractionThreshold, TiesAtTheCutAreKept) {
+  const std::vector<double> scores{2.0, 2.0, 2.0, 1.0};
+  // Keeping "one" block at score 2 keeps all three tied blocks.
+  const double thr = keep_fraction_threshold(scores, 0.25);
+  int kept = 0;
+  for (const double s : scores) kept += s >= thr ? 1 : 0;
+  EXPECT_EQ(kept, 3);
+}
+
+}  // namespace
+}  // namespace mrc::roi

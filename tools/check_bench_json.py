@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files: every file must parse as a JSON object with
+a "bench" name and a non-empty "results" list of objects, and every row of
+one file must carry the same keys (a malformed row usually means a broken
+fprintf). ci.sh runs this after the bench smoke step so malformed bench
+output fails the pipeline instead of silently rotting.
+
+Usage: check_bench_json.py <file.json> [...]
+"""
+
+import json
+import sys
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError("top level must be a JSON object")
+    for key in ("bench", "results"):
+        if key not in doc:
+            raise ValueError(f"missing required key '{key}'")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        raise ValueError("'bench' must be a non-empty string")
+    rows = doc["results"]
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("'results' must be a non-empty list")
+    keys = None
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            raise ValueError(f"results[{i}] must be a non-empty object")
+        if keys is None:
+            keys = set(row)
+        elif set(row) != keys:
+            raise ValueError(
+                f"results[{i}] keys {sorted(set(row))} differ from "
+                f"results[0] keys {sorted(keys)}"
+            )
+    return len(rows)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py <file.json> [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            rows = check(path)
+            print(f"{path}: OK ({rows} result rows)")
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

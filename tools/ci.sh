@@ -5,8 +5,11 @@
 # thread-pool / tiled-index code is leak- and overflow-checked on every
 # verify, and finally run the concurrency-heavy suites (exec pool, tiled,
 # pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
-# under ThreadSanitizer (third preset, <build-dir>-tsan). Set MRC_SKIP_ASAN=1
-# / MRC_SKIP_TSAN=1 to skip the sanitizer passes.
+# under ThreadSanitizer (third preset, <build-dir>-tsan), and finally a bench
+# smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3),
+# with every BENCH_*.json it and earlier runs produced validated by
+# tools/check_bench_json.py — malformed bench output fails the pipeline. Set
+# MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_BENCH=1 to skip those passes.
 # Usage: tools/ci.sh [build-dir]   (default: build; sanitizer presets use
 # <build-dir>-asan and <build-dir>-tsan)
 set -euo pipefail
@@ -51,7 +54,17 @@ if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_DIR" -j"$(nproc)" --target mrc_tests > /dev/null
   # Only the concurrency-bearing suites: the serial codec/metric suites add
   # nothing under TSan but multiply its ~10x slowdown.
-  "$TSAN_DIR"/mrc_tests --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*'
+  "$TSAN_DIR"/mrc_tests --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Adaptive*'
+fi
+
+if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then
+  echo
+  echo "== bench smoke (tiny grid) + BENCH_*.json validation =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_adaptive_ratio > /dev/null
+  (cd "$BUILD_DIR/bench" && MRC_SCALE=13 ./bench_adaptive_ratio > /dev/null)
+  # Validate the freshly produced JSON plus every committed/earlier one.
+  find . "$BUILD_DIR/bench" -maxdepth 1 -name 'BENCH_*.json' -print0 |
+      xargs -0 python3 tools/check_bench_json.py
 fi
 
 echo

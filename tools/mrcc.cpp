@@ -4,13 +4,15 @@
 //   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
-//   mrcc decompress <in> <out.f32> [threads=N]   (threads applies to tiled streams)
-//   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
+//   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [importance] [rel_eb] [key=value ...]
+//   mrcc decompress <in> <out.f32> [threads=N]   (threads applies to brick containers)
+//   mrcc snapshot   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
 //   mrcc restore    <in.snapshot> <out.f32>
 //   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] [key=value ...]
 //   mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1>
 //                   [--budget=<samples> | --eb_budget=<err> | --level=<l>]
 //                   [--out=<file.raw>] [key=value ...]
+//   mrcc metrics    <orig.raw> <recon.raw>
 //   mrcc info       <in> [--tiles]
 //   mrcc codecs
 //
@@ -19,9 +21,14 @@
 // "--" is accepted, so `--tile=32 --threads=8` works too), e.g.
 //   mrcc compress in.f32 64 64 64 out.mrc codec=zfpx eb=1e-3
 //   mrcc pyramid  in.f32 256 256 256 out.mrcp --tile=64 --levels=0 --threads=8
+//   mrcc adaptive in.f32 256 256 256 out.mrca importance=halo --coarse_level=2
+//   mrcc adaptive in.f32 256 256 256 out.mrca importance=roi --roi=0:0:0:64:64:64
 //   mrcc lod      out.mrcp 0 0 0 256 256 256 --budget=100000 --out=view.raw
-// "adaptive" runs the full paper workflow (ROI extraction + SZ3MR) into a
-// self-describing snapshot; "restore" reconstructs a uniform grid from it.
+// "adaptive" writes the adaptive multi-resolution container (MRCA): every
+// brick at its own level, chosen by the importance source (halo | gradient
+// | roi | file), and prints the resulting level histogram with per-level
+// byte shares. "snapshot" runs the paper's snapshot workflow (ROI
+// extraction + SZ3MR); "restore" reconstructs a uniform grid from it.
 // "tiled" writes the brick-tiled container; "pyramid" writes the LOD
 // pyramid (the field at resolutions 1, 1/2, 1/4, ...). "region" reads a
 // half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of a tiled stream,
@@ -32,11 +39,14 @@
 // .raw file (io::write_raw: extents header + f32 payload). "decompress"
 // accepts any mrcomp stream — codec choice is read from the stream header;
 // snapshots are restored, tiled streams reassembled, pyramids decoded at
-// full resolution. "info" reports kind, codec, dims, and error bound from
-// the header alone, without decompressing — plus tile geometry (and the
-// per-tile index with --tiles) for tiled streams and the level table for
-// pyramids. Bad arguments (unknown keys, malformed numbers, missing
-// operands) always exit nonzero with a message on stderr.
+// full resolution, adaptive streams reconstructed seam-free. "metrics"
+// prints PSNR / RMSE / max error / SSIM between two .raw fields (the
+// dormant metrics/ modules wired to the CLI). "info" reports kind, codec,
+// dims, and error bound from the header alone, without decompressing —
+// plus tile geometry (and the per-tile/per-brick index with --tiles) for
+// the brick containers and the level table (extents, bytes, value range,
+// LOD error) for pyramids. Bad arguments (unknown keys, malformed numbers,
+// missing operands) always exit nonzero with a message on stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +55,8 @@
 
 #include "api/mrc_api.h"
 #include "io/raw_io.h"
+#include "metrics/psnr.h"
+#include "metrics/ssim.h"
 
 using namespace mrc;
 
@@ -123,7 +135,23 @@ const char* kind_str(api::StreamInfo::Kind k) {
     case api::StreamInfo::Kind::level: return "level";
     case api::StreamInfo::Kind::tiled: return "tiled";
     case api::StreamInfo::Kind::pyramid: return "pyramid";
+    case api::StreamInfo::Kind::adaptive: return "adaptive";
     default: return "snapshot";
+  }
+}
+
+/// The adaptive encode's payoff at a glance: bricks and bytes per level.
+void print_level_shares(const adaptive::Index& idx, std::size_t stream_bytes) {
+  const auto hist = adaptive::level_histogram(idx);
+  const auto bytes = adaptive::level_bytes(idx);
+  std::printf("%7s %8s %8s %12s %8s\n", "level", "scale", "bricks", "bytes", "share");
+  for (std::size_t l = 0; l < hist.size(); ++l) {
+    if (hist[l] == 0) continue;
+    std::printf("%7zu %7lldx %8zu %12llu %7.1f%%\n", l,
+                static_cast<long long>(index_t{1} << l), hist[l],
+                static_cast<unsigned long long>(bytes[l]),
+                100.0 * static_cast<double>(bytes[l]) /
+                    static_cast<double>(stream_bytes));
   }
 }
 
@@ -134,10 +162,15 @@ int usage() {
       "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
-      "  mrcc decompress <in> <out.f32> [threads=N (tiled streams)]\n"
-      "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] "
+      "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [importance] [rel_eb] "
+      "[key=value ...]\n"
+      "                  (importance: halo|gradient|roi|file; roi=x0:y0:z0:x1:y1:z1, "
+      "coarse_level=N)\n"
+      "  mrcc decompress <in> <out.f32> [threads=N (brick containers)]\n"
+      "  mrcc snapshot   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] "
       "[key=value ...]\n"
       "  mrcc restore    <in.snapshot> <out.f32>\n"
+      "  mrcc metrics    <orig.raw> <recon.raw>\n"
       "  mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] "
       "[key=value ...]\n"
       "  mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1> [--budget=<samples> | "
@@ -289,6 +322,8 @@ int main(int argc, char** argv) {
       f = tiled::decompress(stream, opt.threads);
     else if (meta.kind == api::StreamInfo::Kind::pyramid)
       f = pyramid::decompress_level(stream, /*level=*/0, opt.threads);
+    else if (meta.kind == api::StreamInfo::Kind::adaptive)
+      f = adaptive::decompress(stream, opt.threads);
     else
       f = api::decompress(stream);
     write_raw_floats(f, argv[3]);
@@ -301,12 +336,52 @@ int main(int argc, char** argv) {
                     parse_ll(argv[5], "nz")};
     const FieldF f = io::read_raw_f32(argv[2], dims);
     api::Options opt;
+    apply_args(opt, tail_args(argv + 7, argv + argc), "importance", "eb");
+    const auto stream = api::compress_adaptive_roi(f, opt);
+    io::write_bytes(stream, argv[6]);
+    const auto idx = adaptive::read_index(stream);
+    std::printf("adaptive(%s, %s): %lld values, %s bricks of %lld^3 -> %zu bytes "
+                "(CR %.1f)\n",
+                opt.importance.c_str(), idx.codec.c_str(),
+                static_cast<long long>(f.size()), idx.grid.str().c_str(),
+                static_cast<long long>(idx.brick), stream.size(),
+                compression_ratio(f.size(), stream.size()));
+    print_level_shares(idx, stream.size());
+    std::printf("options: %s\n", opt.to_string().c_str());
+    return 0;
+  }
+  if (cmd == "snapshot" && argc >= 7) {
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
+    api::Options opt;
     apply_args(opt, tail_args(argv + 7, argv + argc), "roi_fraction", "eb");
     const auto snapshot = api::compress_adaptive(f, opt);
     io::write_bytes(snapshot, argv[6]);
     std::printf("adaptive snapshot: %zu bytes (CR %.1f vs uniform)\n", snapshot.size(),
                 compression_ratio(f.size(), snapshot.size()));
     std::printf("options: %s\n", opt.to_string().c_str());
+    return 0;
+  }
+  if (cmd == "metrics") {
+    // Strict by design: exactly two self-describing .raw operands.
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: mrcc metrics <orig.raw> <recon.raw>\n");
+      return 2;
+    }
+    const FieldF orig = io::read_raw(argv[2]);
+    const FieldF recon = io::read_raw(argv[3]);
+    if (orig.dims() != recon.dims())
+      throw ContractError("metrics: extents differ (" + orig.dims().str() + " vs " +
+                          recon.dims().str() + ")");
+    const auto st = metrics::error_stats(orig, recon);
+    std::printf("dims %s, value range %.6g\n", orig.dims().str().c_str(),
+                st.value_range);
+    std::printf("psnr        %10.3f dB\n", st.psnr);
+    std::printf("rmse        %10.6g\n", st.rmse);
+    std::printf("max_abs_err %10.6g\n", st.max_abs_err);
+    std::printf("ssim        %10.6f\n", metrics::ssim(orig, recon));
+    std::printf("ssim_slice  %10.6f\n", metrics::ssim_central_slice(orig, recon));
     return 0;
   }
   if (cmd == "restore" && argc == 4) {
@@ -328,14 +403,43 @@ int main(int argc, char** argv) {
       std::printf(", %zu bricks (%s grid of %lld^3 +%lld overlap)", meta.tiles,
                   meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
                   static_cast<long long>(meta.overlap));
-    if (meta.kind == api::StreamInfo::Kind::pyramid) {
-      std::printf(", %zu levels (brick %lld^3):", meta.levels,
+    if (meta.kind == api::StreamInfo::Kind::adaptive)
+      std::printf(", %zu bricks (%s grid of %lld^3, levels 0..%zu)", meta.tiles,
+                  meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
+                  meta.levels - 1);
+    if (meta.kind == api::StreamInfo::Kind::pyramid)
+      std::printf(", %zu levels (brick %lld^3)", meta.levels,
                   static_cast<long long>(meta.brick));
-      for (std::size_t l = 0; l < meta.level_dims.size(); ++l)
-        std::printf(" %s%s", meta.level_dims[l].str().c_str(),
-                    l + 1 < meta.level_dims.size() ? " ->" : "");
-    }
     std::printf("\n");
+    if (meta.kind == api::StreamInfo::Kind::pyramid) {
+      // The full level table — value ranges and LOD error bounds make
+      // choose_level / adaptive decisions inspectable from the CLI.
+      std::printf("%6s %14s %12s %12s %12s %10s\n", "level", "dims", "bytes", "min",
+                  "max", "lod_err");
+      for (std::size_t l = 0; l < meta.level_meta.size(); ++l) {
+        const auto& e = meta.level_meta[l];
+        std::printf("%6zu %14s %12llu %12.5g %12.5g %10.4g\n", l, e.dims.str().c_str(),
+                    static_cast<unsigned long long>(e.bytes), e.vmin, e.vmax,
+                    e.approx_err);
+      }
+    }
+    if (meta.kind == api::StreamInfo::Kind::adaptive) {
+      const auto idx = adaptive::read_index(stream);
+      print_level_shares(idx, meta.stream_bytes);
+      if (argc == 4) {
+        std::printf("%6s %5s %22s %14s %10s %12s %12s %10s\n", "brick", "level",
+                    "origin", "stored", "bytes", "min", "max", "lod_err");
+        for (std::size_t t = 0; t < idx.bricks.size(); ++t) {
+          const auto& e = idx.bricks[t];
+          std::printf("%6zu %5d %8lld,%5lld,%5lld %14s %10llu %12.5g %12.5g %10.4g\n",
+                      t, e.level, static_cast<long long>(e.origin.x),
+                      static_cast<long long>(e.origin.y),
+                      static_cast<long long>(e.origin.z), e.stored.str().c_str(),
+                      static_cast<unsigned long long>(e.length), e.vmin, e.vmax,
+                      e.approx_err);
+        }
+      }
+    }
     if (argc == 4 && meta.kind == api::StreamInfo::Kind::tiled) {
       const auto idx = tiled::read_index(stream);
       std::printf("%6s %22s %14s %10s %12s %12s\n", "tile", "origin", "stored", "bytes",
