@@ -1,0 +1,233 @@
+// bench_codec_hotpath — single-thread throughput of the entropy hot path:
+// raw bitstream writes/reads, canonical-Huffman encode/decode, and the full
+// quant-code codec, each measured against a faithful reimplementation of the
+// pre-optimization bit-at-a-time coder (kept here as the baseline). The
+// baseline produces byte-identical streams — asserted on every run — so the
+// speedup columns compare two coders of the *same frozen format*.
+//
+// Results land in BENCH_codec_hotpath.json
+// (stage, baseline_mb_s, optimized_mb_s, speedup); ci.sh runs this in its
+// bench-smoke step, and the >= 3x canonical-Huffman decode target is gated
+// with MRC_REQUIRE.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "lossless/bitstream.h"
+#include "lossless/huffman.h"
+#include "lossless/quant_codec.h"
+#include "ref_bitcoder.h"
+
+using namespace mrc;
+using namespace mrc::lossless;
+
+namespace {
+
+struct Row {
+  std::string stage;
+  double baseline_mb_s = 0.0;
+  double optimized_mb_s = 0.0;
+  [[nodiscard]] double speedup() const {
+    return baseline_mb_s > 0.0 ? optimized_mb_s / baseline_mb_s : 0.0;
+  }
+};
+
+/// Best-of-3 wall time of fn().
+template <typename F>
+double best_seconds(F&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+double mb(std::size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+int main() {
+  bench::print_title("entropy hot path: word-at-a-time vs bit-at-a-time",
+                     "perf baseline (no paper figure)", "quant-code-like symbols");
+
+  // Quant-code-shaped symbol stream: dominant zero bin, near-zero residuals,
+  // rare outliers — the distribution every container feeds this codec.
+  const std::uint32_t radius = 512;
+  const std::uint32_t alphabet = 2 * radius + 1;
+  Rng rng(9);
+  std::vector<std::uint32_t> syms;
+  // 4M symbols at the default 50% scale; MRC_SCALE shrinks/grows per-axis,
+  // so apply its cube to the symbol count (min 2^16 to keep timings sane).
+  const double axis_scale = scale_percent() / 100.0;
+  const auto n_syms = static_cast<std::size_t>(
+      std::max(65536.0, (8.0 * (1 << 20)) * axis_scale * axis_scale * axis_scale));
+  syms.reserve(n_syms);
+  while (syms.size() < n_syms) {
+    const double u = rng.uniform();
+    if (u < 0.55)
+      syms.push_back(radius);
+    else if (u < 0.97)
+      syms.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(41)) - 20);
+    else
+      syms.push_back(0);
+  }
+  const std::size_t payload_bytes = syms.size() * sizeof(std::uint32_t);
+  std::printf("symbols: %zu (%.1f MB as u32)\n", syms.size(), mb(payload_bytes));
+
+  std::vector<Row> rows;
+
+  {  // raw bitstream: 13-bit writes / reads (an odd width defeats byte luck)
+    Row r{.stage = "bitstream_write13"};
+    const double t_ref = best_seconds([&] {
+      ref::BitWriter bw;
+      for (auto s : syms) bw.write_bits(s, 13);
+      MRC_REQUIRE(!bw.bytes().empty(), "ref writer produced nothing");
+    });
+    BitWriter bw;
+    const double t_new = best_seconds([&] {
+      bw = BitWriter();
+      for (auto s : syms) bw.write_bits(s, 13);
+    });
+    {
+      ref::BitWriter rw;
+      for (auto s : syms) rw.write_bits(s, 13);
+      MRC_REQUIRE(rw.bytes() == bw.bytes(), "bitstream writer diverged from baseline");
+    }
+    r.baseline_mb_s = mb(payload_bytes) / t_ref;
+    r.optimized_mb_s = mb(payload_bytes) / t_new;
+    rows.push_back(r);
+
+    const Bytes stream = bw.take();
+    Row rd{.stage = "bitstream_read13"};
+    std::uint64_t sink_ref = 0, sink_new = 0;
+    const double rt_ref = best_seconds([&] {
+      ref::BitReader br(stream);
+      sink_ref = 0;
+      for (std::size_t i = 0; i < syms.size(); ++i) sink_ref += br.read_bits(13);
+    });
+    const double rt_new = best_seconds([&] {
+      BitReader br(stream);
+      sink_new = 0;
+      for (std::size_t i = 0; i < syms.size(); ++i) sink_new += br.read_bits(13);
+    });
+    MRC_REQUIRE(sink_ref == sink_new, "bitstream reader diverged from baseline");
+    rd.baseline_mb_s = mb(payload_bytes) / rt_ref;
+    rd.optimized_mb_s = mb(payload_bytes) / rt_new;
+    rows.push_back(rd);
+  }
+
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (auto s : syms) ++freqs[s];
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  const auto rcb = ref::Codebook::from(cb);
+
+  Bytes huff_stream;
+  {  // canonical Huffman, symbol loop only (no header)
+    Row r{.stage = "huffman_encode"};
+    const double t_ref = best_seconds([&] {
+      ref::BitWriter bw;
+      for (auto s : syms) rcb.encode(bw, s);
+      MRC_REQUIRE(!bw.bytes().empty(), "ref encoder produced nothing");
+    });
+    BitWriter bw;
+    const double t_new = best_seconds([&] {
+      bw = BitWriter();
+      for (auto s : syms) cb.encode(bw, s);
+    });
+    {
+      ref::BitWriter rw;
+      for (auto s : syms) rcb.encode(rw, s);
+      MRC_REQUIRE(rw.bytes() == bw.bytes(), "huffman encoder diverged from baseline");
+    }
+    r.baseline_mb_s = mb(payload_bytes) / t_ref;
+    r.optimized_mb_s = mb(payload_bytes) / t_new;
+    rows.push_back(r);
+    huff_stream = bw.take();
+  }
+
+  double huffman_decode_speedup = 0.0;
+  {  // canonical Huffman decode — the acceptance-gated stage
+    Row r{.stage = "huffman_decode"};
+    std::vector<std::uint32_t> out(syms.size());
+    const double t_ref = best_seconds([&] {
+      ref::BitReader br(huff_stream);
+      for (auto& o : out) o = rcb.decode(br);
+    });
+    MRC_REQUIRE(out == syms, "baseline huffman decode mismatch");
+    std::fill(out.begin(), out.end(), 0u);
+    const double t_new = best_seconds([&] {
+      BitReader br(huff_stream);
+      for (auto& o : out) o = cb.decode(br);
+    });
+    MRC_REQUIRE(out == syms, "optimized huffman decode mismatch");
+    r.baseline_mb_s = mb(payload_bytes) / t_ref;
+    r.optimized_mb_s = mb(payload_bytes) / t_new;
+    huffman_decode_speedup = r.speedup();
+    rows.push_back(r);
+  }
+
+  {  // full quant codec: tokenization + codebook + stream
+    Row re{.stage = "quant_encode"};
+    const double te_ref =
+        best_seconds([&] { (void)ref::encode_quant(syms, radius); });
+    Bytes enc;
+    const double te_new =
+        best_seconds([&] { enc = encode_quant_codes(syms, radius); });
+    MRC_REQUIRE(ref::encode_quant(syms, radius) == enc,
+                "quant encoder diverged from baseline");
+    re.baseline_mb_s = mb(payload_bytes) / te_ref;
+    re.optimized_mb_s = mb(payload_bytes) / te_new;
+    rows.push_back(re);
+
+    Row rd{.stage = "quant_decode"};
+    const double td_ref = best_seconds([&] { (void)ref::decode_quant(enc, radius); });
+    MRC_REQUIRE(ref::decode_quant(enc, radius) == syms,
+                "baseline quant decode mismatch");
+    std::vector<std::uint32_t> out;
+    const double td_new = best_seconds(
+        [&] { decode_quant_codes_into(enc, radius, out, syms.size()); });
+    MRC_REQUIRE(out == syms, "optimized quant decode mismatch");
+    rd.baseline_mb_s = mb(payload_bytes) / td_ref;
+    rd.optimized_mb_s = mb(payload_bytes) / td_new;
+    rows.push_back(rd);
+  }
+
+  std::printf("\n%20s %16s %16s %9s\n", "stage", "baseline MB/s", "optimized MB/s",
+              "speedup");
+  for (const auto& r : rows)
+    std::printf("%20s %16.1f %16.1f %8.2fx\n", r.stage.c_str(), r.baseline_mb_s,
+                r.optimized_mb_s, r.speedup());
+
+  FILE* json = std::fopen("BENCH_codec_hotpath.json", "w");
+  MRC_REQUIRE(json != nullptr, "cannot write BENCH_codec_hotpath.json");
+  std::fprintf(json, "{\n  \"bench\": \"codec_hotpath\",\n");
+  std::fprintf(json, "  \"symbols\": %zu,\n  \"radius\": %u,\n  \"results\": [\n",
+               syms.size(), radius);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"stage\": \"%s\", \"baseline_mb_s\": %.1f, "
+                 "\"optimized_mb_s\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.stage.c_str(), r.baseline_mb_s, r.optimized_mb_s, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_codec_hotpath.json (%zu rows)\n", rows.size());
+
+  // >= 3x is the acceptance target; MRC_HOTPATH_MIN_SPEEDUP overrides it
+  // (0 disables) for throttled or oversubscribed machines.
+  double min_speedup = 3.0;
+  if (const char* env = std::getenv("MRC_HOTPATH_MIN_SPEEDUP")) min_speedup = std::atof(env);
+  MRC_REQUIRE(huffman_decode_speedup >= min_speedup,
+              "huffman decode speedup below the acceptance target");
+  return 0;
+}

@@ -24,7 +24,8 @@ using namespace mrc;
 namespace {
 
 struct Row {
-  int threads = 0;
+  int threads = 0;       // requested Config::threads value
+  int pool_threads = 0;  // actual exec-pool lane count that value resolves to
   index_t brick = 0;
   double compress_s = 0.0;
   double decompress_s = 0.0;
@@ -76,6 +77,7 @@ int main() {
 
       Row row;
       row.threads = t;
+      row.pool_threads = t == 0 ? exec::hardware_threads() : t;
       row.brick = brick;
 
       WallTimer timer;
@@ -135,10 +137,11 @@ int main() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(json,
-                 "    {\"threads\": %d, \"brick\": %lld, \"compress_mb_s\": %.1f, "
+                 "    {\"threads\": %d, \"pool_threads\": %d, \"brick\": %lld, "
+                 "\"compress_mb_s\": %.1f, "
                  "\"decompress_mb_s\": %.1f, \"region_mb_s\": %.1f, \"ratio\": %.2f, "
                  "\"region_tiles\": %zu, \"total_tiles\": %zu}%s\n",
-                 r.threads, static_cast<long long>(r.brick),
+                 r.threads, r.pool_threads, static_cast<long long>(r.brick),
                  mb_per_s(f.size(), r.compress_s), mb_per_s(f.size(), r.decompress_s),
                  mb_per_s(roi.extent().size(), r.region_s), r.ratio, r.region_tiles,
                  r.total_tiles, i + 1 < rows.size() ? "," : "");

@@ -1,0 +1,268 @@
+#pragma once
+
+// The pre-optimization bit-at-a-time entropy coder, preserved verbatim as an
+// executable specification of the frozen stream format. Two consumers keep
+// it honest from opposite directions: tests/test_lossless.cpp fuzzes the
+// word-at-a-time fast path against it, and bench/bench_codec_hotpath.cpp
+// measures the fast path's speedup over it while asserting both emit
+// byte-identical streams. One definition here so the two checks can never
+// drift onto different baselines.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lossless/bitstream.h"
+#include "lossless/huffman.h"
+
+namespace ref {
+
+using mrc::Bytes;
+using mrc::CodecError;
+using mrc::lossless::HuffmanCodebook;
+
+// ---- The pre-optimization coder, bit for bit -------------------------------
+
+class BitWriter {
+ public:
+  void write_bit(std::uint32_t bit) {
+    if (nbits_ == 0) out_.push_back(std::byte{0});
+    if (bit & 1u)
+      out_.back() = static_cast<std::byte>(static_cast<std::uint8_t>(out_.back()) |
+                                           (1u << nbits_));
+    nbits_ = (nbits_ + 1) & 7;
+  }
+  void write_bits(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) write_bit(static_cast<std::uint32_t>((v >> i) & 1u));
+  }
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+
+ private:
+  Bytes out_;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> in) : in_(in) {}
+  [[nodiscard]] std::uint32_t read_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= in_.size()) throw CodecError("bit stream truncated");
+    const auto b = static_cast<std::uint8_t>(in_[byte]);
+    const std::uint32_t bit = (b >> (pos_ & 7)) & 1u;
+    ++pos_;
+    return bit;
+  }
+  [[nodiscard]] std::uint64_t read_bits(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(read_bit()) << i;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t bit_position() const { return pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::uint64_t pos_ = 0;
+};
+
+void gamma_encode(BitWriter& bw, std::uint64_t v) {
+  int n = 0;
+  while ((v >> (n + 1)) != 0) ++n;  // inputs here are far below 2^63
+  for (int i = 0; i < n; ++i) bw.write_bit(0);
+  bw.write_bit(1);
+  bw.write_bits(v & ((std::uint64_t{1} << n) - 1), n);
+}
+
+std::uint64_t gamma_decode(BitReader& br) {
+  int n = 0;
+  while (br.read_bit() == 0) {
+    ++n;
+    if (n > 63) throw CodecError("gamma code too long");
+  }
+  return (std::uint64_t{1} << n) | br.read_bits(n);
+}
+
+/// Canonical codebook state rebuilt from a code-length table — the same
+/// construction HuffmanCodebook::build_canonical() runs, driving the old
+/// symbol-at-a-time encode/decode loops.
+struct Codebook {
+  std::vector<std::uint8_t> lengths;
+  std::vector<std::uint64_t> codes;
+  std::vector<std::uint64_t> first_code;
+  std::vector<std::uint32_t> first_index;
+  std::vector<std::uint32_t> sorted_symbols;
+  int max_length = 0;
+
+  static Codebook from_lengths(std::vector<std::uint8_t> lens) {
+    Codebook r;
+    r.lengths = std::move(lens);
+    for (std::uint32_t s = 0; s < r.lengths.size(); ++s)
+      if (r.lengths[s] > 0) r.sorted_symbols.push_back(s);
+    std::stable_sort(r.sorted_symbols.begin(), r.sorted_symbols.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return r.lengths[a] != r.lengths[b] ? r.lengths[a] < r.lengths[b]
+                                                           : a < b;
+                     });
+    for (auto s : r.sorted_symbols)
+      r.max_length = std::max<int>(r.max_length, r.lengths[s]);
+    r.codes.assign(r.lengths.size(), 0);
+    r.first_code.assign(static_cast<std::size_t>(r.max_length) + 2, 0);
+    r.first_index.assign(static_cast<std::size_t>(r.max_length) + 2, 0);
+    std::vector<bool> seen(static_cast<std::size_t>(r.max_length) + 2, false);
+    std::uint64_t code = 0;
+    int prev_len = 0;
+    for (std::uint32_t i = 0; i < r.sorted_symbols.size(); ++i) {
+      const auto sym = r.sorted_symbols[i];
+      const int len = r.lengths[sym];
+      code <<= (len - prev_len);
+      if (!seen[static_cast<std::size_t>(len)]) {
+        r.first_code[static_cast<std::size_t>(len)] = code;
+        r.first_index[static_cast<std::size_t>(len)] = i;
+        seen[static_cast<std::size_t>(len)] = true;
+      }
+      r.codes[sym] = code;
+      ++code;
+      prev_len = len;
+    }
+    std::uint32_t next_index = static_cast<std::uint32_t>(r.sorted_symbols.size());
+    for (int len = r.max_length; len >= 1; --len) {
+      if (!seen[static_cast<std::size_t>(len)]) {
+        r.first_index[static_cast<std::size_t>(len)] = next_index;
+        r.first_code[static_cast<std::size_t>(len)] = ~std::uint64_t{0} >> (64 - len);
+      } else {
+        next_index = r.first_index[static_cast<std::size_t>(len)];
+      }
+    }
+    r.first_index[static_cast<std::size_t>(r.max_length) + 1] =
+        static_cast<std::uint32_t>(r.sorted_symbols.size());
+    return r;
+  }
+
+  static Codebook from(const HuffmanCodebook& cb) {
+    std::vector<std::uint8_t> lens(cb.alphabet_size());
+    for (std::uint32_t s = 0; s < lens.size(); ++s)
+      lens[s] = static_cast<std::uint8_t>(cb.code_length(s));
+    return from_lengths(std::move(lens));
+  }
+
+  void serialize(BitWriter& bw) const {
+    bw.write_bits(lengths.size(), 24);
+    bw.write_bits(sorted_symbols.size(), 24);
+    std::uint32_t prev = 0;
+    for (std::uint32_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] == 0) continue;
+      gamma_encode(bw, static_cast<std::uint64_t>(s) - prev + 1);
+      bw.write_bits(lengths[s], 6);
+      prev = s;
+    }
+  }
+
+  static Codebook deserialize(BitReader& br) {
+    const auto alphabet = static_cast<std::size_t>(br.read_bits(24));
+    const auto n_used = static_cast<std::size_t>(br.read_bits(24));
+    std::vector<std::uint8_t> lens(alphabet, 0);
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < n_used; ++i) {
+      const auto delta = gamma_decode(br);
+      const std::uint64_t sym = prev + delta - 1;
+      if (sym >= alphabet) throw CodecError("huffman symbol out of range");
+      const auto len = static_cast<std::uint8_t>(br.read_bits(6));
+      lens[static_cast<std::size_t>(sym)] = len;
+      prev = static_cast<std::uint32_t>(sym);
+    }
+    return from_lengths(std::move(lens));
+  }
+
+  void encode(BitWriter& bw, std::uint32_t symbol) const {
+    const int len = lengths[symbol];
+    const std::uint64_t code = codes[symbol];
+    for (int i = len - 1; i >= 0; --i)
+      bw.write_bit(static_cast<std::uint32_t>((code >> i) & 1u));
+  }
+
+  [[nodiscard]] std::uint32_t decode(BitReader& br) const {
+    std::uint64_t code = 0;
+    for (int len = 1; len <= max_length; ++len) {
+      code = (code << 1) | br.read_bit();
+      const auto l = static_cast<std::size_t>(len);
+      const std::uint32_t count = first_index[l + 1] - first_index[l];
+      if (count > 0 && code >= first_code[l] && code < first_code[l] + count)
+        return sorted_symbols[first_index[l] +
+                              static_cast<std::uint32_t>(code - first_code[l])];
+    }
+    throw CodecError("invalid huffman code");
+  }
+};
+
+/// The pre-optimization encode_quant_codes: materialized token vector, then
+/// bit-at-a-time emission.
+Bytes encode_quant(std::span<const std::uint32_t> codes, std::uint32_t radius) {
+  struct Token {
+    std::uint32_t symbol;
+    std::uint64_t extra;
+    int extra_bits;
+  };
+  const std::uint32_t zero = radius;
+  const std::uint32_t run_base = 2 * radius + 1;
+  std::vector<Token> tokens;
+  tokens.reserve(codes.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < codes.size()) {
+    if (codes[i] == zero) {
+      std::size_t j = i;
+      while (j < codes.size() && codes[j] == zero) ++j;
+      const std::uint64_t run = j - i;
+      if (run >= 6) {
+        int b = 0;
+        while ((run >> (b + 1)) != 0) ++b;
+        tokens.push_back({run_base + static_cast<std::uint32_t>(b),
+                          run - (std::uint64_t{1} << b), b});
+      } else {
+        for (std::uint64_t k = 0; k < run; ++k) tokens.push_back({zero, 0, 0});
+      }
+      i = j;
+    } else {
+      tokens.push_back({codes[i], 0, 0});
+      ++i;
+    }
+  }
+  std::vector<std::uint64_t> freqs(run_base + 48, 0);
+  for (const auto& t : tokens) ++freqs[t.symbol];
+  const auto cb = Codebook::from(HuffmanCodebook::from_frequencies(freqs));
+  BitWriter bw;
+  bw.write_bits(codes.size(), 48);
+  cb.serialize(bw);
+  for (const auto& t : tokens) {
+    cb.encode(bw, t.symbol);
+    if (t.extra_bits > 0) bw.write_bits(t.extra, t.extra_bits);
+  }
+  return bw.bytes();
+}
+
+/// The pre-optimization decode_quant_codes: bit-at-a-time canonical decode,
+/// growing the output vector as it goes.
+std::vector<std::uint32_t> decode_quant(std::span<const std::byte> in,
+                                        std::uint32_t radius) {
+  const std::uint32_t zero = radius;
+  const std::uint32_t run_base = 2 * radius + 1;
+  BitReader br(in);
+  const auto n = static_cast<std::size_t>(br.read_bits(48));
+  const auto cb = Codebook::deserialize(br);
+  std::vector<std::uint32_t> codes;
+  codes.reserve(n);
+  while (codes.size() < n) {
+    const auto sym = cb.decode(br);
+    if (sym < run_base) {
+      codes.push_back(sym);
+    } else {
+      const int b = static_cast<int>(sym - run_base);
+      const std::uint64_t run = (std::uint64_t{1} << b) + br.read_bits(b);
+      if (codes.size() + run > n) throw CodecError("quant codec: run overflow");
+      codes.insert(codes.end(), static_cast<std::size_t>(run), zero);
+    }
+  }
+  return codes;
+}
+
+}  // namespace ref

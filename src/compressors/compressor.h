@@ -73,6 +73,35 @@ struct StreamHeader {
 
 namespace detail {
 
+/// Caps how much per-lane (thread_local) codec scratch survives a call.
+/// Brick-sized buffers — the container hot path this scratch exists for —
+/// stay well under the cap and are reused across tasks; a monolithic
+/// full-field call releases its field-sized buffer instead of pinning it in
+/// the thread_local for the rest of the thread's life.
+inline constexpr std::size_t kScratchKeepBytes = std::size_t{32} << 20;
+
+template <typename V>
+inline void trim_scratch(V& v) {
+  if (v.capacity() * sizeof(typename V::value_type) > kScratchKeepBytes) {
+    V{}.swap(v);
+  }
+}
+
+/// Trims a scratch vector on every scope exit — including the CodecError
+/// paths, so a failed decode of a huge corrupt stream cannot pin a
+/// field-sized buffer in the thread_local either.
+template <typename V>
+class ScratchGuard {
+ public:
+  explicit ScratchGuard(V& v) : v_(v) {}
+  ~ScratchGuard() { trim_scratch(v_); }
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+ private:
+  V& v_;
+};
+
 inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
 // v5 adds the adaptive multi-resolution container (adaptive/adaptive.h);
 // v4 added the LOD pyramid (pyramid/pyramid.h); v3 the tiled container

@@ -182,8 +182,15 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
   const auto radius = cfg_.quant_radius;
 
   FieldF recon(d);
-  std::vector<std::uint32_t> codes(static_cast<std::size_t>(d.size()));
-  std::vector<float> outliers;
+  // Per-lane scratch: tiled/pyramid/adaptive containers run one compress per
+  // brick on an exec-pool lane, so these buffers are reused across bricks
+  // instead of reallocated for each one.
+  thread_local std::vector<std::uint32_t> codes;
+  thread_local std::vector<float> outliers;
+  const detail::ScratchGuard gc(codes);
+  const detail::ScratchGuard go(outliers);
+  codes.resize(static_cast<std::size_t>(d.size()));
+  outliers.clear();
   std::size_t emitted = 0;
 
   const float* orig = f.data();
@@ -237,12 +244,18 @@ FieldF InterpCompressor::decompress(std::span<const std::byte> stream) const {
   cfg.beta = r.get<double>();
   cfg.quant_radius = static_cast<std::uint32_t>(r.get_varint());
 
-  const auto codes = lossless::decode_quant_codes(r.get_blob(), cfg.quant_radius);
-  if (static_cast<index_t>(codes.size()) != h.dims.size())
-    throw CodecError("interp: code count mismatch");
+  // Per-lane scratch (see compress); decode_quant_codes_into validates the
+  // stream's count against the header dims before sizing the buffer, then
+  // writes straight into it.
+  thread_local std::vector<std::uint32_t> codes;
+  thread_local std::vector<float> outliers;
+  const detail::ScratchGuard gc(codes);
+  const detail::ScratchGuard go(outliers);
+  lossless::decode_quant_codes_into(r.get_blob(), cfg.quant_radius, codes,
+                                    static_cast<std::uint64_t>(h.dims.size()));
   const auto outlier_raw = lossless::lzss_decompress(r.get_blob());
   if (outlier_raw.size() % sizeof(float) != 0) throw CodecError("interp: bad outlier blob");
-  std::vector<float> outliers(outlier_raw.size() / sizeof(float));
+  outliers.resize(outlier_raw.size() / sizeof(float));
   std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
 
   FieldF recon(h.dims);

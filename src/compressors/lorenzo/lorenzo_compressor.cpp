@@ -131,8 +131,15 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
     lossless::BitWriter flag_bits;
     Bytes coeff_bytes;
     ByteWriter coeff_writer(coeff_bytes);
-    std::vector<std::uint32_t> codes;
-    std::vector<float> outliers;
+    // Per-lane scratch, reused when several chunks land on one pool lane.
+    thread_local std::vector<std::uint32_t> codes;
+    thread_local std::vector<float> outliers;
+    const detail::ScratchGuard gc(codes);
+    const detail::ScratchGuard go(outliers);
+    codes.clear();
+    codes.reserve(static_cast<std::size_t>(
+        (std::min(bz1 * bs, d.nz) - zmin) * d.nx * d.ny));
+    outliers.clear();
     std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
 
     for (index_t bz = bz0; bz < bz1; ++bz)
@@ -248,9 +255,18 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
     lossless::BitReader flag_bits(ci_in.flags);
     const auto coeff_raw = lossless::lzss_decompress(ci_in.coeffs);
     ByteReader coeff_reader(coeff_raw);
-    const auto codes = lossless::decode_quant_codes(ci_in.codes, radius);
+    // Per-lane scratch; the chunk's cell count is a closed-form function of
+    // its z-slab, and decode_quant_codes_into validates the stream's count
+    // against it before sizing the buffer.
+    thread_local std::vector<std::uint32_t> codes;
+    thread_local std::vector<float> outliers;
+    const detail::ScratchGuard gc(codes);
+    const detail::ScratchGuard go(outliers);
+    lossless::decode_quant_codes_into(
+        ci_in.codes, radius, codes,
+        static_cast<std::uint64_t>((std::min(bz1 * bs, d.nz) - zmin) * d.nx * d.ny));
     const auto outlier_raw = lossless::lzss_decompress(ci_in.outliers);
-    std::vector<float> outliers(outlier_raw.size() / sizeof(float));
+    outliers.resize(outlier_raw.size() / sizeof(float));
     std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
 
     std::size_t code_pos = 0, outlier_pos = 0;

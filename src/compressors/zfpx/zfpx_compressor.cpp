@@ -231,6 +231,9 @@ Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
     const index_t bz0 = nb.nz * c / n_chunks;
     const index_t bz1 = nb.nz * (c + 1) / n_chunks;
     lossless::BitWriter bw;
+    // Typical accuracy-mode blocks land well under 32 bytes; one up-front
+    // reservation replaces the first few doublings of the chunk stream.
+    bw.reserve_bytes(static_cast<std::size_t>((bz1 - bz0) * nb.ny * nb.nx) * 16);
     float block[64];
     for (index_t bz = bz0; bz < bz1; ++bz)
       for (index_t by = 0; by < nb.ny; ++by)

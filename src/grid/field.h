@@ -69,6 +69,13 @@ class Field3D {
 
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Moves the storage out (the field becomes empty). Lets hot paths lend a
+  /// reusable buffer to a Field3D and take it back without reallocating.
+  [[nodiscard]] std::vector<T> release() {
+    dims_ = {};
+    return std::move(data_);
+  }
+
   bool operator==(const Field3D&) const = default;
 
  private:

@@ -1,19 +1,19 @@
 #include "lossless/huffman.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 namespace mrc::lossless {
 
-namespace {
+namespace detail {
 
-// Elias-gamma coding for small positive integers (symbol deltas in the
-// codebook header).
 void gamma_encode(BitWriter& bw, std::uint64_t v) {
   MRC_REQUIRE(v >= 1, "gamma code requires v >= 1");
-  int n = 0;
-  while ((v >> (n + 1)) != 0) ++n;
-  for (int i = 0; i < n; ++i) bw.write_bit(0);
+  // n = floor(log2(v)) via bit_width — the naive `v >> (n + 1)` scan hits a
+  // 64-bit shift (UB) for v >= 2^63.
+  const int n = std::bit_width(v) - 1;
+  bw.write_bits(0, n);
   bw.write_bit(1);
   bw.write_bits(v & ((std::uint64_t{1} << n) - 1), n);
 }
@@ -25,6 +25,20 @@ std::uint64_t gamma_decode(BitReader& br) {
     if (n > 63) throw CodecError("gamma code too long");
   }
   return (std::uint64_t{1} << n) | br.read_bits(n);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::gamma_decode;
+using detail::gamma_encode;
+
+/// Reverses the low `n` bits of `v` (MSB-first code -> LSB-first emission).
+std::uint64_t bit_reverse(std::uint64_t v, int n) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < n; ++i) r |= ((v >> i) & 1u) << (n - 1 - i);
+  return r;
 }
 
 // Computes code lengths with the two-queue Huffman construction.
@@ -125,6 +139,7 @@ void HuffmanCodebook::build_canonical() {
   for (auto s : sorted_symbols_) max_length_ = std::max<int>(max_length_, lengths_[s]);
 
   codes_.assign(lengths_.size(), 0);
+  enc_bits_.assign(lengths_.size(), 0);
   first_code_.assign(static_cast<std::size_t>(max_length_) + 2, 0);
   first_index_.assign(static_cast<std::size_t>(max_length_) + 2, 0);
 
@@ -141,6 +156,7 @@ void HuffmanCodebook::build_canonical() {
       seen[static_cast<std::size_t>(len)] = true;
     }
     codes_[sym] = code;
+    enc_bits_[sym] = bit_reverse(code, len);
     ++code;
     prev_len = len;
   }
@@ -157,6 +173,46 @@ void HuffmanCodebook::build_canonical() {
   }
   first_index_[static_cast<std::size_t>(max_length_) + 1] =
       static_cast<std::uint32_t>(sorted_symbols_.size());
+
+  // Direct decode table over the first table_bits_ stream bits. A code of
+  // length L <= table_bits_ owns every entry whose low L bits are its
+  // bit-reversed pattern; the 2^(table_bits_ - L) fill patterns enumerate the
+  // bits of whatever follows it in the stream.
+  table_bits_ = std::min(kDecodeTableBits, max_length_);
+  if (sorted_symbols_.empty()) {
+    // Keep one always-miss entry so decode() needs no emptiness branch.
+    table_.assign(1, 0);
+    table_mask_ = 0;
+    return;
+  }
+  table_.assign(std::size_t{1} << table_bits_, 0);
+  table_mask_ = table_.size() - 1;
+  for (auto sym : sorted_symbols_) {
+    const int len = lengths_[sym];
+    if (len > table_bits_) continue;
+    const std::uint64_t base = enc_bits_[sym];
+    const std::uint32_t entry = (sym << 6) | static_cast<std::uint32_t>(len);
+    for (std::uint64_t fill = base; fill < table_.size();
+         fill += std::uint64_t{1} << len)
+      table_[static_cast<std::size_t>(fill)] = entry;
+  }
+}
+
+std::uint32_t HuffmanCodebook::decode_long(BitReader& br, std::uint64_t window) const {
+  // Codes longer than the table (or an invalid stream): canonical scan over
+  // lengths, rebuilding the MSB-first code from the LSB-first window.
+  std::uint64_t code = 0;
+  for (int len = 1; len <= max_length_; ++len) {
+    code = (code << 1) | ((window >> (len - 1)) & 1u);
+    if (len <= table_bits_) continue;  // table already proved no match here
+    const auto l = static_cast<std::size_t>(len);
+    const std::uint32_t count = first_index_[l + 1] - first_index_[l];
+    if (count > 0 && code >= first_code_[l] && code < first_code_[l] + count) {
+      br.consume(len);
+      return sorted_symbols_[first_index_[l] + static_cast<std::uint32_t>(code - first_code_[l])];
+    }
+  }
+  throw CodecError("invalid huffman code");
 }
 
 void HuffmanCodebook::serialize(BitWriter& bw) const {
@@ -193,26 +249,6 @@ HuffmanCodebook HuffmanCodebook::deserialize(BitReader& br) {
   return cb;
 }
 
-void HuffmanCodebook::encode(BitWriter& bw, std::uint32_t symbol) const {
-  MRC_REQUIRE(symbol < lengths_.size() && lengths_[symbol] > 0, "symbol has no code");
-  const int len = lengths_[symbol];
-  const std::uint64_t code = codes_[symbol];
-  for (int i = len - 1; i >= 0; --i) bw.write_bit(static_cast<std::uint32_t>((code >> i) & 1u));
-}
-
-std::uint32_t HuffmanCodebook::decode(BitReader& br) const {
-  std::uint64_t code = 0;
-  for (int len = 1; len <= max_length_; ++len) {
-    code = (code << 1) | br.read_bit();
-    const auto l = static_cast<std::size_t>(len);
-    const std::uint32_t count = first_index_[l + 1] - first_index_[l];
-    if (count > 0 && code >= first_code_[l] && code < first_code_[l] + count) {
-      return sorted_symbols_[first_index_[l] + static_cast<std::uint32_t>(code - first_code_[l])];
-    }
-  }
-  throw CodecError("invalid huffman code");
-}
-
 Bytes huffman_encode(std::span<const std::uint32_t> symbols, std::uint32_t alphabet_size) {
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
   for (auto s : symbols) {
@@ -233,7 +269,9 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> in) {
   if (n > (std::size_t{1} << 40)) throw CodecError("huffman: implausible count");
   auto cb = HuffmanCodebook::deserialize(br);
   std::vector<std::uint32_t> out;
-  out.reserve(n);
+  // A symbol costs at least one bit, so a hostile count field can never
+  // justify reserving more than the payload could hold.
+  out.reserve(std::min<std::size_t>(n, static_cast<std::size_t>(br.bits_remaining())));
   for (std::size_t i = 0; i < n; ++i) out.push_back(cb.decode(br));
   return out;
 }

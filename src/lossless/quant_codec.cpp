@@ -1,5 +1,8 @@
 #include "lossless/quant_codec.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "lossless/huffman.h"
 
 namespace mrc::lossless {
@@ -9,24 +12,20 @@ namespace {
 constexpr std::size_t kMinRun = 6;    // shorter zero runs are cheaper as literals
 constexpr int kRunBuckets = 48;       // bucket b covers runs in [2^b, 2^{b+1})
 
-struct Token {
-  std::uint32_t symbol;
-  std::uint64_t extra;
-  int extra_bits;
-};
-
 int bucket_of(std::uint64_t run) {
-  int b = 0;
-  while ((run >> (b + 1)) != 0) ++b;
-  return b;
+  // floor(log2(run)); bit_width avoids the `run >> (b + 1)` scan whose shift
+  // count can reach the word size (UB) on huge inputs.
+  return std::bit_width(run) - 1;
 }
 
-std::vector<Token> tokenize(std::span<const std::uint32_t> codes, std::uint32_t radius) {
+/// Runs the fixed tokenization over `codes`, calling
+/// emit(symbol, extra, extra_bits) per token. Both encoder passes (count,
+/// emit) share this scan, so no intermediate token vector is materialized.
+template <typename Emit>
+void for_each_token(std::span<const std::uint32_t> codes, std::uint32_t radius,
+                    Emit&& emit) {
   const std::uint32_t zero = radius;
   const std::uint32_t run_base = 2 * radius + 1;
-  std::vector<Token> tokens;
-  tokens.reserve(codes.size() / 4 + 16);
-
   std::size_t i = 0;
   while (i < codes.size()) {
     if (codes[i] == zero) {
@@ -35,66 +34,118 @@ std::vector<Token> tokenize(std::span<const std::uint32_t> codes, std::uint32_t 
       const std::uint64_t run = j - i;
       if (run >= kMinRun) {
         const int b = bucket_of(run);
-        tokens.push_back({run_base + static_cast<std::uint32_t>(b),
-                          run - (std::uint64_t{1} << b), b});
+        emit(run_base + static_cast<std::uint32_t>(b), run - (std::uint64_t{1} << b), b);
       } else {
-        for (std::uint64_t k = 0; k < run; ++k) tokens.push_back({zero, 0, 0});
+        for (std::uint64_t k = 0; k < run; ++k) emit(zero, 0, 0);
       }
       i = j;
     } else {
       MRC_REQUIRE(codes[i] <= 2 * radius, "quant code outside alphabet");
-      tokens.push_back({codes[i], 0, 0});
+      emit(codes[i], 0, 0);
       ++i;
     }
   }
-  return tokens;
 }
 
 }  // namespace
 
 Bytes encode_quant_codes(std::span<const std::uint32_t> codes, std::uint32_t radius) {
-  const auto tokens = tokenize(codes, radius);
   const std::uint32_t alphabet = 2 * radius + 1 + kRunBuckets;
 
+  // Pass 1: token frequencies (plus the raw extra-bit budget for sizing).
   std::vector<std::uint64_t> freqs(alphabet, 0);
-  for (const auto& t : tokens) ++freqs[t.symbol];
+  std::uint64_t extra_bits_total = 0;
+  for_each_token(codes, radius,
+                 [&](std::uint32_t sym, std::uint64_t /*extra*/, int extra_bits) {
+                   ++freqs[sym];
+                   extra_bits_total += static_cast<std::uint64_t>(extra_bits);
+                 });
   const auto cb = HuffmanCodebook::from_frequencies(freqs);
 
+  std::uint64_t code_bits_total = 0;
+  for (std::uint32_t s = 0; s < alphabet; ++s)
+    code_bits_total += freqs[s] * static_cast<std::uint64_t>(cb.code_length(s));
+
+  // Pass 2: emit straight into the stream.
   BitWriter bw;
+  bw.reserve_bytes(static_cast<std::size_t>(
+      (code_bits_total + extra_bits_total) / 8 + 4 * alphabet / 8 + 64));
   bw.write_bits(codes.size(), 48);
   cb.serialize(bw);
-  for (const auto& t : tokens) {
-    cb.encode(bw, t.symbol);
-    if (t.extra_bits > 0) bw.write_bits(t.extra, t.extra_bits);
-  }
+  for_each_token(codes, radius,
+                 [&](std::uint32_t sym, std::uint64_t extra, int extra_bits) {
+                   cb.encode(bw, sym);
+                   if (extra_bits > 0) bw.write_bits(extra, extra_bits);
+                 });
   return bw.take();
 }
 
+namespace {
+
+/// Shared decode loop; Sink provides literal(sym) and run(count, zero).
+template <typename Sink>
+void decode_stream(BitReader& br, const HuffmanCodebook& cb, std::uint32_t radius,
+                   std::size_t n, Sink&& sink) {
+  const std::uint32_t run_base = 2 * radius + 1;
+  std::size_t produced = 0;
+  while (produced < n) {
+    const auto sym = cb.decode(br);
+    if (sym < run_base) {
+      sink.literal(sym);
+      ++produced;
+    } else {
+      const int b = static_cast<int>(sym - run_base);
+      if (b >= kRunBuckets) throw CodecError("quant codec: bad run bucket");
+      const std::uint64_t run = (std::uint64_t{1} << b) + br.read_bits(b);
+      if (run > n - produced) throw CodecError("quant codec: run overflow");
+      sink.run(static_cast<std::size_t>(run));
+      produced += static_cast<std::size_t>(run);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> decode_quant_codes(std::span<const std::byte> in,
                                               std::uint32_t radius) {
-  const std::uint32_t zero = radius;
-  const std::uint32_t run_base = 2 * radius + 1;
-
   BitReader br(in);
   const auto n = static_cast<std::size_t>(br.read_bits(48));
   if (n > (std::size_t{1} << 40)) throw CodecError("quant codec: implausible count");
   const auto cb = HuffmanCodebook::deserialize(br);
 
   std::vector<std::uint32_t> codes;
-  codes.reserve(n);
-  while (codes.size() < n) {
-    const auto sym = cb.decode(br);
-    if (sym < run_base) {
-      codes.push_back(sym);
-    } else {
-      const int b = static_cast<int>(sym - run_base);
-      if (b >= kRunBuckets) throw CodecError("quant codec: bad run bucket");
-      const std::uint64_t run = (std::uint64_t{1} << b) + br.read_bits(b);
-      if (codes.size() + run > n) throw CodecError("quant codec: run overflow");
-      codes.insert(codes.end(), static_cast<std::size_t>(run), zero);
-    }
-  }
+  // A symbol costs >= 1 bit, so clamp the reserve by the payload actually
+  // held: a hostile 48-bit count must not size an allocation.
+  codes.reserve(std::min<std::size_t>(n, static_cast<std::size_t>(br.bits_remaining())));
+  struct VecSink {
+    std::vector<std::uint32_t>& out;
+    std::uint32_t zero;
+    void literal(std::uint32_t sym) { out.push_back(sym); }
+    void run(std::size_t count) { out.insert(out.end(), count, zero); }
+  } sink{codes, radius};
+  decode_stream(br, cb, radius, n, sink);
   return codes;
+}
+
+void decode_quant_codes_into(std::span<const std::byte> in, std::uint32_t radius,
+                             std::vector<std::uint32_t>& out,
+                             std::uint64_t expected_count) {
+  BitReader br(in);
+  const auto n = static_cast<std::size_t>(br.read_bits(48));
+  if (n != expected_count) throw CodecError("quant codec: count mismatch");
+  const auto cb = HuffmanCodebook::deserialize(br);
+  out.resize(n);
+
+  struct SpanSink {
+    std::uint32_t* dst;
+    std::uint32_t zero;
+    void literal(std::uint32_t sym) { *dst++ = sym; }
+    void run(std::size_t count) {
+      std::fill_n(dst, count, zero);
+      dst += count;
+    }
+  } sink{out.data(), radius};
+  decode_stream(br, cb, radius, n, sink);
 }
 
 }  // namespace mrc::lossless

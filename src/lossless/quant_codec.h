@@ -26,8 +26,25 @@ namespace mrc::lossless {
 [[nodiscard]] Bytes encode_quant_codes(std::span<const std::uint32_t> codes,
                                        std::uint32_t radius);
 
-/// Decodes a stream produced by encode_quant_codes.
+/// Decodes a stream produced by encode_quant_codes. Convenience/test API:
+/// the output grows to whatever the stream encodes, and run-length tokens
+/// legitimately expand a few bytes into millions of zero bins (that is the
+/// sub-bit regime working as designed — bounded only by the 2^40 count cap).
+/// Production decode paths that know the expected geometry must use
+/// decode_quant_codes_into, which rejects any count the caller did not ask
+/// for before sizing anything.
 [[nodiscard]] std::vector<std::uint32_t> decode_quant_codes(std::span<const std::byte> in,
                                                             std::uint32_t radius);
+
+/// Decodes into a caller-provided reusable buffer (the allocation-free hot
+/// path: callers that know the expected symbol count — e.g. the grid size —
+/// pass it, and `out` is resized to exactly that). The stream's recorded
+/// count is checked against `expected_count` *before* `out` is sized
+/// (validate-before-allocate: a corrupt stream whose count disagrees with
+/// the caller's geometry throws without any sizing). Throws CodecError on
+/// mismatch.
+void decode_quant_codes_into(std::span<const std::byte> in, std::uint32_t radius,
+                             std::vector<std::uint32_t>& out,
+                             std::uint64_t expected_count);
 
 }  // namespace mrc::lossless

@@ -95,7 +95,12 @@ Bytes compress(const FieldF& f, double abs_eb, const Config& cfg) {
     const Coord3 o{tc.x * cfg.brick, tc.y * cfg.brick, tc.z * cfg.brick};
     const Dim3 s = stored_extent(d, o, cfg.brick, kOverlap);
 
-    FieldF b(s);
+    // Per-lane brick buffer: lent to a FieldF for the codec call and taken
+    // back afterwards, so gathering N bricks costs one allocation per lane
+    // instead of one per brick.
+    thread_local std::vector<float> brick_scratch;
+    brick_scratch.resize(static_cast<std::size_t>(s.size()));
+    FieldF b(s, std::move(brick_scratch));
     for (index_t z = 0; z < s.nz; ++z)
       for (index_t y = 0; y < s.ny; ++y)
         std::copy_n(&f.at(o.x, o.y + y, o.z + z), s.nx, &b.at(0, y, z));
@@ -107,6 +112,7 @@ Bytes compress(const FieldF& f, double abs_eb, const Config& cfg) {
     e.vmin = lo;
     e.vmax = hi;
     streams[static_cast<std::size_t>(t)] = codec->compress(b, abs_eb);
+    brick_scratch = b.release();
   });
 
   std::uint64_t payload_bytes = 0;

@@ -1,0 +1,137 @@
+// Frozen-bytes golden tests: the entropy coders and the three codecs must
+// produce byte-identical streams forever. The expected sizes and FNV-1a
+// hashes below were captured from the pre-word-at-a-time (bit-at-a-time)
+// coder on fixed seeds; any byte-level drift in BitWriter/BitReader,
+// HuffmanCodebook, the quant codec, or a codec's stream layout fails here
+// before it can silently orphan every existing MRC1/MRCT/MRCP/MRCA stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "compressors/interp/interp_compressor.h"
+#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/zfpx/zfpx_compressor.h"
+#include "lossless/bitstream.h"
+#include "lossless/huffman.h"
+#include "lossless/quant_codec.h"
+
+namespace mrc {
+namespace {
+
+using lossless::BitReader;
+using lossless::BitWriter;
+using lossless::HuffmanCodebook;
+
+std::uint64_t fnv1a(const Bytes& b) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (auto c : b) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TEST(FrozenFormat, BitstreamMixedWidths) {
+  Rng rng(3);
+  BitWriter bw;
+  for (int i = 0; i < 500; ++i) {
+    const int n = static_cast<int>(rng.uniform_index(65));
+    bw.write_bits(rng.next_u64(), n);
+  }
+  const Bytes b = bw.take();
+  EXPECT_EQ(b.size(), 2011u);
+  EXPECT_EQ(fnv1a(b), 0xfc9c416cd350dc79ull);
+}
+
+TEST(FrozenFormat, HuffmanOneShot) {
+  Rng rng(42);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 4096; ++i) {
+    const double u = rng.uniform();
+    syms.push_back(u < 0.6 ? 0
+                   : u < 0.8 ? 1 + static_cast<std::uint32_t>(rng.uniform_index(7))
+                             : static_cast<std::uint32_t>(rng.uniform_index(300)));
+  }
+  const Bytes b = lossless::huffman_encode(syms, 300);
+  EXPECT_EQ(b.size(), 2109u);
+  EXPECT_EQ(fnv1a(b), 0x1de72b1cad13ba7eull);
+  EXPECT_EQ(lossless::huffman_decode(b), syms);
+}
+
+TEST(FrozenFormat, QuantCodec) {
+  Rng rng(7);
+  const std::uint32_t radius = 512;
+  std::vector<std::uint32_t> codes;
+  while (codes.size() < 8192) {
+    const double u = rng.uniform();
+    if (u < 0.5) {
+      const auto run = 1 + rng.uniform_index(40);
+      for (std::uint64_t k = 0; k < run; ++k) codes.push_back(radius);
+    } else if (u < 0.97) {
+      codes.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(41)) - 20);
+    } else {
+      codes.push_back(0);
+    }
+  }
+  codes.resize(8192);
+  const Bytes b = lossless::encode_quant_codes(codes, radius);
+  EXPECT_EQ(b.size(), 619u);
+  EXPECT_EQ(fnv1a(b), 0xd71d8be9269cded7ull);
+  EXPECT_EQ(lossless::decode_quant_codes(b, radius), codes);
+}
+
+TEST(FrozenFormat, CodebookSerializationBytes) {
+  std::vector<std::uint64_t> freqs(1000, 0);
+  freqs[3] = 500;
+  freqs[17] = 100;
+  freqs[999] = 1;
+  freqs[500] = 40;
+  freqs[501] = 39;
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  BitWriter bw;
+  cb.serialize(bw);
+  for (std::uint32_t s : {3u, 999u, 17u, 500u, 501u, 3u, 3u}) cb.encode(bw, s);
+  const Bytes b = bw.take();
+  const Bytes expect{std::byte{0xe8}, std::byte{0x03}, std::byte{0x00}, std::byte{0x05},
+                     std::byte{0x00}, std::byte{0x00}, std::byte{0x24}, std::byte{0xc0},
+                     std::byte{0x0b}, std::byte{0x00}, std::byte{0xc9}, std::byte{0x07},
+                     std::byte{0x11}, std::byte{0x00}, std::byte{0xe7}, std::byte{0x09},
+                     std::byte{0xdf}, std::byte{0x0e}};
+  EXPECT_EQ(b, expect);
+}
+
+/// Deterministic field shared by the codec-level goldens.
+FieldF golden_field() {
+  const Dim3 d{20, 17, 13};
+  FieldF f(d);
+  Rng rng(11);
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        f.at(x, y, z) = static_cast<float>(std::sin(0.3 * x) * std::cos(0.2 * y) +
+                                           0.05 * z + 0.01 * rng.uniform());
+  return f;
+}
+
+TEST(FrozenFormat, InterpContainer) {
+  const auto s = InterpCompressor().compress(golden_field(), 1e-3);
+  EXPECT_EQ(s.size(), 2428u);
+  EXPECT_EQ(fnv1a(s), 0x29d1af4a5628a7d8ull);
+}
+
+TEST(FrozenFormat, LorenzoContainer) {
+  const auto s = LorenzoCompressor().compress(golden_field(), 1e-3);
+  EXPECT_EQ(s.size(), 2583u);
+  EXPECT_EQ(fnv1a(s), 0xe11adbaebe932651ull);
+}
+
+TEST(FrozenFormat, ZfpxContainer) {
+  const auto s = ZfpxCompressor().compress(golden_field(), 1e-3);
+  EXPECT_EQ(s.size(), 6693u);
+  EXPECT_EQ(fnv1a(s), 0x9229e793dc06c6ecull);
+}
+
+}  // namespace
+}  // namespace mrc

@@ -5,6 +5,7 @@
 #include "lossless/huffman.h"
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
+#include "ref_bitcoder.h"
 
 namespace mrc::lossless {
 namespace {
@@ -43,6 +44,117 @@ TEST(BitStream, TruncationThrows) {
   BitReader br(bw.bytes());
   (void)br.read_bits(8);  // rest of the final byte is readable
   EXPECT_THROW((void)br.read_bit(), CodecError);
+}
+
+TEST(BitStream, FuzzRandomWidthsAgainstReference) {
+  // Fuzzed against the shared bit-at-a-time reference coder
+  // (bench/ref_bitcoder.h) — the executable spec of the frozen format.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<std::pair<std::uint64_t, int>> ops;
+    BitWriter bw;
+    ref::BitWriter rw;
+    for (int i = 0; i < 3000; ++i) {
+      const int n = static_cast<int>(rng.uniform_index(65));  // 0..64
+      const std::uint64_t v = rng.next_u64();
+      ops.emplace_back(v, n);
+      bw.write_bits(v, n);
+      rw.write_bits(v, n);
+    }
+    ASSERT_EQ(bw.bytes(), rw.bytes()) << "seed " << seed;
+
+    BitReader br(rw.bytes());
+    ref::BitReader rr(rw.bytes());
+    Rng mix(seed * 77);
+    for (const auto& [v, n] : ops) {
+      const std::uint64_t expect = n >= 64 ? v : (v & ((std::uint64_t{1} << n) - 1));
+      // Randomly exercise both read paths against the reference.
+      if (mix.uniform() < 0.5) {
+        ASSERT_EQ(br.read_bits(n), expect);
+      } else {
+        std::uint64_t got = 0;
+        for (int i = 0; i < n; ++i)
+          got |= static_cast<std::uint64_t>(br.read_bit()) << i;
+        ASSERT_EQ(got, expect);
+      }
+      ASSERT_EQ(rr.read_bits(n), expect);
+      ASSERT_EQ(br.bit_position(), rr.bit_position());
+    }
+  }
+}
+
+TEST(BitStream, UnalignedTailRoundTrip) {
+  for (int tail = 1; tail <= 7; ++tail) {
+    BitWriter bw;
+    bw.write_bits(0x5a5a5a5a5aull, 39);
+    bw.write_bits(0x3, tail);
+    BitReader br(bw.bytes());
+    EXPECT_EQ(br.read_bits(39), 0x5a5a5a5a5aull);
+    EXPECT_EQ(br.read_bits(tail), 0x3u & ((1u << tail) - 1));
+  }
+}
+
+TEST(BitStream, WriteBitsMasksHighGarbage) {
+  BitWriter a, b;
+  a.write_bits(~std::uint64_t{0}, 5);  // only the low 5 bits may land
+  b.write_bits(0x1f, 5);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(a.bit_count(), 5u);
+}
+
+TEST(BitStream, InterleavedBytesAndWrites) {
+  // bytes() pads to a byte boundary; continuing to write must behave as if
+  // the padding never happened (the historical writer allowed this).
+  BitWriter bw;
+  bw.write_bits(0b101, 3);
+  const Bytes snap = bw.bytes();
+  ASSERT_EQ(snap.size(), 1u);
+  bw.write_bits(0b11011, 5);
+  bw.write_bits(0xab, 8);
+  BitReader br(bw.bytes());
+  EXPECT_EQ(br.read_bits(3), 0b101u);
+  EXPECT_EQ(br.read_bits(5), 0b11011u);
+  EXPECT_EQ(br.read_bits(8), 0xabu);
+}
+
+TEST(BitStream, PeekZeroPadsPastEnd) {
+  BitWriter bw;
+  bw.write_bits(0xff, 8);
+  bw.write_bits(0x1, 2);
+  BitReader br(bw.bytes());
+  (void)br.read_bits(8);
+  // 8 real bits remain in the stream (2 written + 6 padding zeros).
+  EXPECT_EQ(br.peek() & 0xff, 0x01u);
+  EXPECT_EQ(br.peek() >> 8, 0u);  // zero-padded beyond the final byte
+  br.consume(8);
+  EXPECT_EQ(br.bits_remaining(), 0u);
+  EXPECT_THROW(br.consume(1), CodecError);
+}
+
+TEST(BitStream, ReadBitsAcrossManyWords) {
+  Rng rng(17);
+  std::vector<std::uint64_t> vals;
+  BitWriter bw;
+  for (int i = 0; i < 100; ++i) {
+    vals.push_back(rng.next_u64());
+    bw.write_bits(vals.back(), 64);
+  }
+  BitReader br(bw.bytes());
+  for (const auto v : vals) EXPECT_EQ(br.read_bits(64), v);
+  EXPECT_THROW((void)br.read_bits(1), CodecError);
+}
+
+TEST(Gamma, SixtyThreeBitBoundary) {
+  // v >= 2^63 used to hit `v >> 64` (UB) in the encoder's length scan.
+  const std::uint64_t top = std::uint64_t{1} << 63;
+  for (const std::uint64_t v :
+       {std::uint64_t{1}, std::uint64_t{2}, top - 1, top, top + 1,
+        ~std::uint64_t{0}}) {
+    BitWriter bw;
+    detail::gamma_encode(bw, v);
+    BitReader br(bw.bytes());
+    EXPECT_EQ(detail::gamma_decode(br), v) << "v=" << v;
+  }
 }
 
 TEST(Huffman, RoundTripSkewed) {
@@ -205,6 +317,125 @@ TEST(QuantCodec, EmptyInput) {
 TEST(QuantCodec, CodeAboveAlphabetThrows) {
   std::vector<std::uint32_t> codes{99};
   EXPECT_THROW(encode_quant_codes(codes, 8), ContractError);
+}
+
+TEST(QuantCodec, DecodeIntoMatchesVectorDecode) {
+  Rng rng(21);
+  const std::uint32_t radius = 512;
+  std::vector<std::uint32_t> codes;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.6)
+      codes.push_back(radius);
+    else
+      codes.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(31)) - 15);
+  }
+  const auto enc = encode_quant_codes(codes, radius);
+  std::vector<std::uint32_t> out;
+  decode_quant_codes_into(enc, radius, out, codes.size());
+  EXPECT_EQ(out, codes);
+  EXPECT_EQ(decode_quant_codes(enc, radius), codes);
+}
+
+TEST(QuantCodec, DecodeIntoWrongSizeThrows) {
+  const std::uint32_t radius = 8;
+  std::vector<std::uint32_t> codes(100, radius);
+  const auto enc = encode_quant_codes(codes, radius);
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(decode_quant_codes_into(enc, radius, out, 99), CodecError);
+  EXPECT_THROW(decode_quant_codes_into(enc, radius, out, 101), CodecError);
+  EXPECT_TRUE(out.empty());  // count rejected before any sizing
+}
+
+// Fabricates a stream whose 48-bit count field claims `claimed` symbols but
+// whose payload holds just a handful: the decoder must throw (truncated),
+// not size an allocation from the hostile claim.
+Bytes hostile_count_stream(std::uint64_t claimed, bool quant_layout,
+                           std::uint32_t radius = 8) {
+  std::vector<std::uint64_t> freqs(quant_layout ? 2 * radius + 1 + 48 : 4, 0);
+  freqs[0] = 3;
+  freqs[1] = 1;
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  BitWriter bw;
+  bw.write_bits(claimed, 48);
+  cb.serialize(bw);
+  for (int i = 0; i < 4; ++i) cb.encode(bw, 0);
+  return bw.take();
+}
+
+TEST(Huffman, HostileCountThrowsWithoutHugeAllocation) {
+  // 2^39 claimed symbols (passes the 2^40 plausibility cap) against a
+  // payload of a few bytes: must throw quickly on truncation. reserve() is
+  // clamped by bits_remaining, so the claim cannot size the allocation.
+  const auto enc = hostile_count_stream(std::uint64_t{1} << 39, false);
+  EXPECT_THROW((void)huffman_decode(enc), CodecError);
+  EXPECT_THROW((void)huffman_decode(Bytes(enc.begin(), enc.begin() + 7)), CodecError);
+}
+
+TEST(QuantCodec, HostileCountThrowsWithoutHugeAllocation) {
+  const auto enc = hostile_count_stream(std::uint64_t{1} << 39, true);
+  EXPECT_THROW((void)decode_quant_codes(enc, 8), CodecError);
+  // The exact-count path rejects the claim before any buffer is sized.
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(decode_quant_codes_into(enc, 8, out, 16), CodecError);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QuantCodec, TruncatedPayloadThrows) {
+  const std::uint32_t radius = 16;
+  Rng rng(5);
+  std::vector<std::uint32_t> codes;
+  for (int i = 0; i < 5000; ++i)
+    codes.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(9)) - 4);
+  const auto enc = encode_quant_codes(codes, radius);
+  for (const std::size_t keep : {enc.size() / 2, enc.size() - 1}) {
+    const Bytes cut(enc.begin(), enc.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)decode_quant_codes(cut, radius), CodecError);
+  }
+}
+
+TEST(Huffman, LongCodesBeyondDecodeTable) {
+  // Fibonacci-ish frequencies force a deeply skewed tree whose longest codes
+  // exceed kDecodeTableBits, exercising the table-miss chain path.
+  std::vector<std::uint64_t> freqs(40, 0);
+  std::uint64_t a = 1, b = 1;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    freqs[s] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto cb = HuffmanCodebook::from_frequencies(freqs);
+  int max_len = 0;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s)
+    max_len = std::max(max_len, cb.code_length(s));
+  ASSERT_GT(max_len, HuffmanCodebook::kDecodeTableBits);
+
+  Rng rng(33);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 5000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.uniform_index(freqs.size())));
+  BitWriter bw;
+  cb.serialize(bw);
+  for (auto s : syms) cb.encode(bw, s);
+  BitReader br(bw.bytes());
+  const auto cb2 = HuffmanCodebook::deserialize(br);
+  for (auto s : syms) ASSERT_EQ(cb2.decode(br), s);
+}
+
+TEST(Huffman, FuzzSkewedAlphabetsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 101);
+    const auto alphabet = static_cast<std::uint32_t>(2 + rng.uniform_index(500));
+    std::vector<std::uint32_t> syms;
+    const auto n = 1000 + rng.uniform_index(4000);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Square the uniform draw to skew mass toward low symbols.
+      const double u = rng.uniform();
+      syms.push_back(static_cast<std::uint32_t>(u * u * alphabet));
+    }
+    ASSERT_EQ(huffman_decode(huffman_encode(syms, alphabet)), syms) << "seed " << seed;
+  }
 }
 
 }  // namespace

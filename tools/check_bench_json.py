@@ -2,14 +2,33 @@
 """Validates BENCH_*.json files: every file must parse as a JSON object with
 a "bench" name and a non-empty "results" list of objects, and every row of
 one file must carry the same keys (a malformed row usually means a broken
-fprintf). ci.sh runs this after the bench smoke step so malformed bench
-output fails the pipeline instead of silently rotting.
+fprintf). Benches listed in ROW_SCHEMAS additionally have their row keys
+checked against the expected schema, so a renamed or dropped column fails
+the pipeline instead of silently rotting dashboards. ci.sh runs this after
+the bench smoke step.
 
 Usage: check_bench_json.py <file.json> [...]
 """
 
 import json
 import sys
+
+# Required row keys per bench name. Rows may not omit any of these; extra
+# keys are reported as errors too, so schema drift is always loud.
+ROW_SCHEMAS = {
+    "codec_hotpath": {"stage", "baseline_mb_s", "optimized_mb_s", "speedup"},
+    "tiled_scaling": {
+        "threads",
+        "pool_threads",
+        "brick",
+        "compress_mb_s",
+        "decompress_mb_s",
+        "region_mb_s",
+        "ratio",
+        "region_tiles",
+        "total_tiles",
+    },
+}
 
 
 def check(path):
@@ -36,6 +55,12 @@ def check(path):
                 f"results[{i}] keys {sorted(set(row))} differ from "
                 f"results[0] keys {sorted(keys)}"
             )
+    schema = ROW_SCHEMAS.get(doc["bench"])
+    if schema is not None and keys != schema:
+        raise ValueError(
+            f"bench '{doc['bench']}' row keys {sorted(keys)} do not match "
+            f"the expected schema {sorted(schema)}"
+        )
     return len(rows)
 
 

@@ -6,9 +6,11 @@
 # verify, and finally run the concurrency-heavy suites (exec pool, tiled,
 # pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
 # under ThreadSanitizer (third preset, <build-dir>-tsan), and finally a bench
-# smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3),
-# with every BENCH_*.json it and earlier runs produced validated by
-# tools/check_bench_json.py — malformed bench output fails the pipeline. Set
+# smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
+# bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
+# bit-at-a-time baseline), with every BENCH_*.json they and earlier runs
+# produced validated by tools/check_bench_json.py — malformed bench output
+# fails the pipeline. Set
 # MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_BENCH=1 to skip those passes.
 # Usage: tools/ci.sh [build-dir]   (default: build; sanitizer presets use
 # <build-dir>-asan and <build-dir>-tsan)
@@ -60,8 +62,13 @@ fi
 if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then
   echo
   echo "== bench smoke (tiny grid) + BENCH_*.json validation =="
-  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_adaptive_ratio > /dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_adaptive_ratio \
+      bench_codec_hotpath > /dev/null
   (cd "$BUILD_DIR/bench" && MRC_SCALE=13 ./bench_adaptive_ratio > /dev/null)
+  # The entropy hot path: gates >= 3x single-thread Huffman decode over the
+  # bit-at-a-time baseline and cross-checks byte-identical streams. Default
+  # scale (1M symbols) keeps the timing stable enough for the gate.
+  (cd "$BUILD_DIR/bench" && ./bench_codec_hotpath > /dev/null)
   # Validate the freshly produced JSON plus every committed/earlier one.
   find . "$BUILD_DIR/bench" -maxdepth 1 -name 'BENCH_*.json' -print0 |
       xargs -0 python3 tools/check_bench_json.py
