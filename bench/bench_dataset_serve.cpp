@@ -38,6 +38,7 @@ struct Row {
   serve::CacheStats stats;  ///< after the warm pass
   std::size_t reads = 0;
   std::uint64_t samples = 0;
+  int pool_threads = 0;  ///< resolved exec-pool lanes (threads=0 -> hardware)
 
   [[nodiscard]] double speedup() const { return warm_s > 0.0 ? cold_s / warm_s : 0.0; }
 };
@@ -124,6 +125,7 @@ int main() {
       row.pattern = pattern;
       row.cache_mb = mb;
       row.reads = windows.size();
+      row.pool_threads = opt.threads == 0 ? exec::hardware_threads() : opt.threads;
 
       WallTimer timer;
       row.samples = run_pass(ds, windows);
@@ -158,10 +160,12 @@ int main() {
     std::fprintf(
         json,
         "    {\"pattern\": \"%s\", \"cache_mb\": %.2f, \"reads\": %zu, "
+        "\"pool_threads\": %d, "
         "\"cold_s\": %.4f, \"warm_s\": %.4f, \"warm_speedup\": %.2f, "
         "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
         "\"evictions\": %llu, \"prefetched\": %llu}%s\n",
-        r.pattern.c_str(), r.cache_mb, r.reads, r.cold_s, r.warm_s, r.speedup(),
+        r.pattern.c_str(), r.cache_mb, r.reads, r.pool_threads, r.cold_s, r.warm_s,
+        r.speedup(),
         r.stats.hit_ratio(), static_cast<unsigned long long>(r.stats.hits),
         static_cast<unsigned long long>(r.stats.misses),
         static_cast<unsigned long long>(r.stats.evictions),

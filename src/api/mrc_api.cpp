@@ -9,6 +9,7 @@
 #include "exec/thread_pool.h"
 #include "io/raw_io.h"
 #include "roi/roi_extract.h"
+#include "serve/server.h"
 
 namespace mrc::api {
 
@@ -300,6 +301,15 @@ serve::Config Options::serve_config() const {
   // budget must fail here, not hit a float->size_t cast (UB when negative).
   MRC_REQUIRE(cache_mb > 0.0, "options: cache_mb must be > 0");
   serve::Config c;
+  c.cache_bytes = static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+  c.threads = threads;
+  c.prefetch = prefetch;
+  return c;
+}
+
+serve::ServerConfig Options::server_config() const {
+  MRC_REQUIRE(cache_mb > 0.0, "options: cache_mb must be > 0");
+  serve::ServerConfig c;
   c.cache_bytes = static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
   c.threads = threads;
   c.prefetch = prefetch;

@@ -47,7 +47,7 @@
 #include "compressors/registry.h"
 #include "core/workflow.h"
 #include "pyramid/pyramid.h"
-#include "serve/dataset.h"
+#include "serve/server.h"
 #include "tiled/tiled.h"
 
 namespace mrc::api {
@@ -149,6 +149,10 @@ struct Options {
   /// The Dataset serving configuration (cache_mb, threads, prefetch).
   [[nodiscard]] serve::Config serve_config() const;
 
+  /// The multi-tenant serve::Server configuration — same knobs, but
+  /// cache_mb budgets ONE cache shared by every dataset the server opens.
+  [[nodiscard]] serve::ServerConfig server_config() const;
+
   /// Resolves the error bound against a concrete field.
   [[nodiscard]] double absolute_eb(const FieldF& f) const;
 };
@@ -201,11 +205,14 @@ struct Options {
 /// seam-free across level boundaries.
 [[nodiscard]] Bytes compress_adaptive_roi(const FieldF& f, const Options& opt = {});
 
-/// Opens a pyramid (MRCP) or adaptive (MRCA) stream — taking ownership of
-/// the bytes — as a cached serving Dataset: region reads through a
-/// `opt.cache_mb` LRU brick cache with async prefetch, plus choose_level
-/// adaptive LOD (pyramids; adaptive streams serve level 0, the seam-free
-/// mixed-resolution reconstruction).
+/// Opens a tiled (MRCT), pyramid (MRCP) or adaptive (MRCA) stream — taking
+/// ownership of the bytes — as a cached serving Dataset: region reads
+/// through a `opt.cache_mb` LRU brick cache with async prefetch, plus
+/// choose_level adaptive LOD (pyramids; tiled and adaptive streams serve
+/// level 0 — for adaptive that is the seam-free mixed-resolution
+/// reconstruction). To serve many streams from one process behind one
+/// shared cache, construct a serve::Server (Options::server_config())
+/// instead and Server::open each stream.
 [[nodiscard]] serve::Dataset open_dataset(Bytes stream, const Options& opt = {});
 
 /// What a stream is, from its container header alone (no decompression).

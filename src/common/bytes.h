@@ -23,8 +23,11 @@ class ByteWriter {
   template <typename T>
   void put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const std::byte*>(&v);
-    out_.insert(out_.end(), p, p + sizeof(T));
+    // resize + memcpy rather than insert(end, p, p + sizeof(T)): GCC 12's
+    // -Wstringop-overflow misjudges the insert reallocation path at -O3.
+    const std::size_t n = out_.size();
+    out_.resize(n + sizeof(T));
+    std::memcpy(out_.data() + n, &v, sizeof(T));
   }
 
   void put_bytes(std::span<const std::byte> b) { out_.insert(out_.end(), b.begin(), b.end()); }

@@ -29,16 +29,21 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::post(std::function<void()> fn) {
+void ThreadPool::post(std::function<void()> fn, Priority p) {
   if (workers_.empty()) {  // single-lane pool: run inline, no queue traffic
     fn();
     return;
   }
   {
     const std::lock_guard lock(mu_);
-    queue_.push_back(std::move(fn));
+    (p == Priority::high ? queue_ : low_queue_).push_back(std::move(fn));
   }
   cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued() const {
+  const std::lock_guard lock(mu_);
+  return queue_.size() + low_queue_.size();
 }
 
 void ThreadPool::worker_loop() {
@@ -46,10 +51,12 @@ void ThreadPool::worker_loop() {
     std::function<void()> fn;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      fn = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock,
+               [this] { return stop_ || !queue_.empty() || !low_queue_.empty(); });
+      if (queue_.empty() && low_queue_.empty()) return;  // stop_ and drained
+      auto& q = queue_.empty() ? low_queue_ : queue_;
+      fn = std::move(q.front());
+      q.pop_front();
     }
     fn();
   }

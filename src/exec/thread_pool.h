@@ -6,6 +6,12 @@
 //   * submit(fn)          — run a task asynchronously, get a std::future
 //   * parallel_for(n, fn) — dynamic (work-stealing-counter) loop over [0, n)
 //
+// Tasks carry a two-level priority: Priority::high (the default — interactive
+// work, parallel_for lanes) always runs before Priority::low (advisory work
+// like serve-layer prefetch). Workers drain the high queue first, so a burst
+// of queued prefetch decodes never delays a demand region read behind it —
+// this is the backpressure lever the serve::Server admission tier sits on.
+//
 // A pool of size N owns N-1 worker threads; the calling thread is the N-th
 // lane, so ThreadPool(1) spawns nothing and runs everything inline — serial
 // call sites pay zero overhead. Construction with threads=0 sizes the pool
@@ -36,6 +42,10 @@ namespace mrc::exec {
 /// report 0 on exotic platforms).
 [[nodiscard]] int hardware_threads();
 
+/// Scheduling class of a pool task. High tasks preempt (queue ahead of) low
+/// ones; within a class the queue is FIFO.
+enum class Priority : std::uint8_t { high, low };
+
 class ThreadPool {
  public:
   /// A pool with `threads` execution lanes (calling thread included);
@@ -52,12 +62,23 @@ class ThreadPool {
   /// returns the future of its result.
   template <typename F>
   [[nodiscard]] auto submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    return submit(Priority::high, std::move(fn));
+  }
+
+  /// submit with an explicit scheduling class; low-priority tasks wait for
+  /// every queued high-priority task.
+  template <typename F>
+  [[nodiscard]] auto submit(Priority p, F fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> fut = task->get_future();
-    post([task] { (*task)(); });
+    post([task] { (*task)(); }, p);
     return fut;
   }
+
+  /// Tasks queued but not yet picked up by a worker (both classes) — the
+  /// serve::Server stats surface reports this as scheduler backlog.
+  [[nodiscard]] std::size_t queued() const;
 
   /// Runs body(i) for i in [0, n) across all lanes, grabbing `grain`-sized
   /// chunks off a shared counter (dynamic load balancing for uneven work
@@ -67,12 +88,13 @@ class ThreadPool {
                     index_t grain = 1);
 
  private:
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn, Priority p = Priority::high);
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;      ///< Priority::high, FIFO
+  std::deque<std::function<void()>> low_queue_;  ///< Priority::low, FIFO
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,353 @@
+#include "serve/brick_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mrc::serve {
+
+namespace {
+
+/// splitmix64 finalizer over the combined key — spreads consecutive tile ids
+/// (and datasets) across shards.
+std::size_t key_hash(CacheKey key) {
+  std::uint64_t k =
+      key.brick + 0x9e3779b97f4a7c15ull * (1 + static_cast<std::uint64_t>(key.dataset));
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(k ^ (k >> 31));
+}
+
+struct KeyHash {
+  std::size_t operator()(CacheKey k) const { return key_hash(k); }
+};
+
+/// Cap on prefetch decodes queued/running at once — the backlog a demand
+/// read can find in front of it is bounded to a handful of bricks (and the
+/// low-priority queue keeps even that backlog behind demand work).
+inline constexpr std::size_t kMaxPrefetchInFlight = 64;
+
+/// Decoded footprint of a brick entry.
+std::size_t brick_bytes(const FieldF& f) {
+  return sizeof(FieldF) + sizeof(float) * static_cast<std::size_t>(f.size());
+}
+
+}  // namespace
+
+struct BrickCache::Impl {
+  /// Per-dataset counter block of one shard; only touched under the shard
+  /// lock, so {lookups, hits, misses} always reconcile in any snapshot.
+  struct Counters {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t prefetched = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t entries = 0;
+  };
+
+  struct Entry {
+    CacheKey key;
+    BrickPtr brick;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
+    std::size_t bytes = 0;
+    std::vector<Counters> by_ds;  ///< indexed by dataset id, grown on demand
+
+    Counters& counters(std::uint32_t ds) {
+      if (ds >= by_ds.size()) by_ds.resize(static_cast<std::size_t>(ds) + 1);
+      return by_ds[ds];
+    }
+  };
+
+  /// One decode in flight (demand or prefetch). `claimed` flips exactly once
+  /// — set by whichever thread will actually run the decode — under fl_mu,
+  /// so a waiter only ever blocks on work that is running on some thread.
+  struct InFlight {
+    std::promise<BrickPtr> promise;
+    std::shared_future<BrickPtr> future;
+    bool claimed = false;                 ///< guarded by fl_mu
+    std::function<BrickPtr()> decode;     ///< queued prefetch job; cleared on claim
+    InFlight() : future(promise.get_future().share()) {}
+  };
+
+  std::vector<Shard> shards;
+  std::size_t budget = 0;
+  std::size_t shard_budget = 0;
+  std::atomic<std::uint32_t> next_dataset{0};
+
+  std::mutex fl_mu;
+  std::condition_variable fl_cv;
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, KeyHash> inflight;
+  std::size_t prefetch_queued = 0;  ///< unclaimed prefetch entries, guarded by fl_mu
+
+  Impl(std::size_t budget_bytes, int nshards)
+      : shards(static_cast<std::size_t>(std::clamp(nshards, 1, 64))),
+        budget(budget_bytes) {
+    MRC_REQUIRE(budget_bytes >= 1, "serve: cache byte budget must be >= 1");
+    shard_budget = std::max<std::size_t>(1, budget / shards.size());
+  }
+
+  Shard& shard_of(CacheKey key) { return shards[key_hash(key) % shards.size()]; }
+  const Shard& shard_of(CacheKey key) const {
+    return shards[key_hash(key) % shards.size()];
+  }
+
+  /// Cache probe; refreshes LRU position and counts {lookups, hits} on a
+  /// hit. Counts nothing on a miss — the caller classifies the lookup once
+  /// its outcome (coalesced wait vs own decode) is known.
+  BrickPtr probe(CacheKey key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return nullptr;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    Counters& c = s.counters(key.dataset);
+    ++c.lookups;
+    ++c.hits;
+    return it->second->brick;
+  }
+
+  /// Counts one demand lookup whose outcome was decided off-shard (adopted
+  /// in-flight decode = hit, own decode = miss).
+  void count(CacheKey key, bool hit) {
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    Counters& c = s.counters(key.dataset);
+    ++c.lookups;
+    ++(hit ? c.hits : c.misses);
+  }
+
+  /// Inserts a decoded brick, evicting LRU tails (any dataset) until the
+  /// shard is back under budget. Even the newest entry is evictable — the
+  /// caller already holds the brick via shared_ptr, so a budget smaller
+  /// than one brick degrades to a decode-through cache and the global
+  /// budget stays a hard ceiling in every snapshot.
+  void insert(CacheKey key, const BrickPtr& brick, bool from_prefetch) {
+    const std::size_t bytes = brick_bytes(*brick);
+    Shard& s = shard_of(key);
+    const std::lock_guard lock(s.mu);
+    if (from_prefetch) ++s.counters(key.dataset).prefetched;
+    if (s.map.find(key) != s.map.end()) return;  // a concurrent decode won
+    s.lru.push_front(Entry{key, brick, bytes});
+    s.map.emplace(key, s.lru.begin());
+    s.bytes += bytes;
+    Counters& c = s.counters(key.dataset);
+    c.bytes += bytes;
+    ++c.entries;
+    while (s.bytes > shard_budget && !s.lru.empty()) {
+      const Entry& victim = s.lru.back();
+      Counters& vc = s.counters(victim.key.dataset);
+      vc.bytes -= victim.bytes;
+      --vc.entries;
+      ++vc.evictions;
+      s.bytes -= victim.bytes;
+      s.map.erase(victim.key);
+      s.lru.pop_back();
+    }
+  }
+
+  /// Publishes the decode result (null = "look it up yourself"), retires the
+  /// in-flight entry, and wakes waiters.
+  void finish(CacheKey key, const std::shared_ptr<InFlight>& fl, BrickPtr brick) {
+    fl->promise.set_value(std::move(brick));
+    {
+      const std::lock_guard lock(fl_mu);
+      inflight.erase(key);
+    }
+    fl_cv.notify_all();
+  }
+};
+
+BrickCache::BrickCache(std::size_t budget_bytes, int shards)
+    : impl_(std::make_unique<Impl>(budget_bytes, shards)) {}
+BrickCache::~BrickCache() = default;
+
+std::uint32_t BrickCache::register_dataset() {
+  return impl_->next_dataset.fetch_add(1, std::memory_order_relaxed);
+}
+
+BrickPtr BrickCache::fetch(CacheKey key, const std::function<BrickPtr()>& decode) {
+  Impl& im = *impl_;
+  if (BrickPtr b = im.probe(key)) return b;
+  for (;;) {
+    std::shared_ptr<Impl::InFlight> fl;
+    bool owner = false;
+    {
+      const std::lock_guard lock(im.fl_mu);
+      const auto it = im.inflight.find(key);
+      if (it == im.inflight.end()) {
+        fl = std::make_shared<Impl::InFlight>();
+        fl->claimed = true;  // we will run the decode
+        im.inflight.emplace(key, fl);
+        owner = true;
+      } else {
+        fl = it->second;
+        if (!fl->claimed) {
+          // A queued prefetch nobody started: steal it. Its task will find
+          // the job gone; we decode inline and the prefetch never runs.
+          fl->claimed = true;
+          fl->decode = nullptr;
+          --im.prefetch_queued;
+          owner = true;
+        }
+      }
+    }
+    if (!owner) {
+      BrickPtr b = fl->future.get();  // decoder is actively running: finite wait
+      if (b != nullptr) {
+        im.count(key, /*hit=*/true);  // adopted in-flight decode, no new work
+        return b;
+      }
+      // The decoder bailed (declined prefetch, or its decode failed and the
+      // error should surface on whoever needs the brick) — try again; the
+      // retry either finds the brick cached or becomes the owner and any
+      // decode error propagates here, synchronously.
+      if (BrickPtr c = im.probe(key)) return c;
+      continue;
+    }
+    BrickPtr b;
+    try {
+      b = decode();
+    } catch (...) {
+      im.count(key, /*hit=*/false);
+      im.finish(key, fl, nullptr);
+      throw;
+    }
+    im.count(key, /*hit=*/false);
+    if (b != nullptr) im.insert(key, b, /*from_prefetch=*/false);
+    im.finish(key, fl, b);
+    MRC_REQUIRE(b != nullptr, "serve: brick decode returned no data");
+    return b;
+  }
+}
+
+void BrickCache::prefetch(CacheKey key, exec::ThreadPool& pool,
+                          std::function<BrickPtr()> decode) {
+  Impl& im = *impl_;
+  if (contains(key)) return;
+  std::shared_ptr<Impl::InFlight> fl;
+  {
+    const std::lock_guard lock(im.fl_mu);
+    if (im.prefetch_queued >= kMaxPrefetchInFlight) return;  // backlog cap
+    if (im.inflight.find(key) != im.inflight.end()) return;  // already coming
+    fl = std::make_shared<Impl::InFlight>();
+    fl->decode = std::move(decode);
+    im.inflight.emplace(key, fl);
+    ++im.prefetch_queued;
+  }
+  // The task holds only the entry and the cache — never the dataset — so a
+  // dataset can shut down by waiting for its entries, not for the queue.
+  (void)pool.submit(exec::Priority::low, [&im, key, fl] {
+    std::function<BrickPtr()> job;
+    {
+      const std::lock_guard lock(im.fl_mu);
+      if (!fl->claimed) {
+        fl->claimed = true;
+        job = std::move(fl->decode);
+        fl->decode = nullptr;
+        --im.prefetch_queued;
+      }
+    }
+    if (!job) return;  // a demand fetch stole the decode and will finish()
+    BrickPtr b;
+    try {
+      b = job();
+    } catch (...) {
+      // Prefetch is advisory: the failure resurfaces on the demand path of
+      // whoever actually needs the brick.
+    }
+    if (b != nullptr) im.insert(key, b, /*from_prefetch=*/true);
+    im.finish(key, fl, std::move(b));
+  });
+}
+
+bool BrickCache::contains(CacheKey key) const {
+  const Impl::Shard& s = impl_->shard_of(key);
+  const std::lock_guard lock(s.mu);
+  return s.map.find(key) != s.map.end();
+}
+
+CacheStats BrickCache::stats() const {
+  CacheStats out;
+  for (const Impl::Shard& s : impl_->shards) {
+    const std::lock_guard lock(s.mu);
+    for (const Impl::Counters& c : s.by_ds) {
+      out.lookups += c.lookups;
+      out.hits += c.hits;
+      out.misses += c.misses;
+      out.evictions += c.evictions;
+      out.prefetched += c.prefetched;
+      out.bytes += static_cast<std::size_t>(c.bytes);
+      out.entries += static_cast<std::size_t>(c.entries);
+    }
+  }
+  return out;
+}
+
+CacheStats BrickCache::stats(std::uint32_t dataset) const {
+  CacheStats out;
+  for (const Impl::Shard& s : impl_->shards) {
+    const std::lock_guard lock(s.mu);
+    if (dataset >= s.by_ds.size()) continue;
+    const Impl::Counters& c = s.by_ds[dataset];
+    out.lookups += c.lookups;
+    out.hits += c.hits;
+    out.misses += c.misses;
+    out.evictions += c.evictions;
+    out.prefetched += c.prefetched;
+    out.bytes += static_cast<std::size_t>(c.bytes);
+    out.entries += static_cast<std::size_t>(c.entries);
+  }
+  return out;
+}
+
+void BrickCache::drop(std::uint32_t dataset) {
+  for (Impl::Shard& s : impl_->shards) {
+    const std::lock_guard lock(s.mu);
+    for (auto it = s.lru.begin(); it != s.lru.end();) {
+      if (it->key.dataset != dataset) {
+        ++it;
+        continue;
+      }
+      Impl::Counters& c = s.counters(dataset);
+      c.bytes -= it->bytes;
+      --c.entries;
+      s.bytes -= it->bytes;
+      s.map.erase(it->key);
+      it = s.lru.erase(it);
+    }
+  }
+}
+
+void BrickCache::wait_idle(std::uint32_t dataset) {
+  Impl& im = *impl_;
+  std::unique_lock lock(im.fl_mu);
+  im.fl_cv.wait(lock, [&] {
+    for (const auto& [key, fl] : im.inflight)
+      if (key.dataset == dataset) return false;
+    return true;
+  });
+}
+
+void BrickCache::wait_idle() {
+  Impl& im = *impl_;
+  std::unique_lock lock(im.fl_mu);
+  im.fl_cv.wait(lock, [&] { return im.inflight.empty(); });
+}
+
+std::size_t BrickCache::budget_bytes() const { return impl_->budget; }
+
+}  // namespace mrc::serve

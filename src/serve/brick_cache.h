@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared decoded-brick store of the serve layer: one byte-budgeted,
+// shard-locked LRU that any number of Datasets — and the multi-tenant
+// serve::Server above them — hammer concurrently. Three properties the
+// single-Dataset cache it replaces did not have:
+//
+//   * Global budget across datasets. Keys carry a dataset id, and eviction
+//     walks each shard's LRU tail regardless of owner, so a hot dataset's
+//     bricks push a cold one's out instead of every dataset hoarding a
+//     private allotment. Totals never exceed the configured budget, in any
+//     snapshot: even a just-inserted brick is evicted if it busts its
+//     shard's slice (the fetching caller holds it via shared_ptr, so a
+//     budget smaller than one brick degrades to a decode-through cache).
+//
+//   * Request coalescing. Every decode — demand or prefetch — registers in
+//     one in-flight table. A brick someone else is decoding right now is
+//     awaited, never decoded a second time; a brick a *queued* prefetch task
+//     has not started yet is claimed and decoded inline by the first demand
+//     request that wants it (demand preempts prefetch — the queued task then
+//     finds its job gone and does nothing). Exactly one decode runs per
+//     (dataset, brick) however many threads collide, and a waiter never
+//     blocks on work that is not actively running on some thread.
+//
+//   * Consistent counters. Lookup/hit/miss/eviction/byte counters live per
+//     shard, per dataset, and are only mutated under the shard lock, so any
+//     stats() snapshot — even one taken mid-flight from another thread —
+//     satisfies `hits + misses == lookups` exactly, per dataset and in
+//     aggregate.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/require.h"
+#include "exec/thread_pool.h"
+#include "grid/field.h"
+
+namespace mrc::serve {
+
+/// Decoded bricks are shared immutably between the cache and readers, so an
+/// eviction never invalidates data a read is still assembling from.
+using BrickPtr = std::shared_ptr<const FieldF>;
+
+/// Key of one decoded brick in a (possibly multi-dataset) cache.
+struct CacheKey {
+  std::uint32_t dataset = 0;  ///< BrickCache::register_dataset() id
+  std::uint64_t brick = 0;    ///< level/tile key, the owning Dataset's scheme
+  constexpr bool operator==(const CacheKey&) const = default;
+};
+
+/// Counter snapshot. Taken per shard under the shard lock, so the invariant
+/// `hits + misses == lookups` holds exactly in any snapshot, concurrent
+/// load included (prefetch decodes are counted separately and are not
+/// lookups).
+struct CacheStats {
+  std::uint64_t lookups = 0;     ///< demand brick lookups (hits + misses)
+  std::uint64_t hits = 0;        ///< served from cache or an in-flight decode
+  std::uint64_t misses = 0;      ///< lookups that ran a decode
+  std::uint64_t evictions = 0;   ///< bricks dropped to stay under budget
+  std::uint64_t prefetched = 0;  ///< bricks decoded by the prefetch path
+  std::size_t bytes = 0;         ///< decoded bytes currently cached
+  std::size_t entries = 0;       ///< bricks currently cached
+
+  [[nodiscard]] double hit_ratio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class BrickCache {
+ public:
+  /// A cache with a global byte budget, lock-striped over `shards` (clamped
+  /// to [1, 64]). The budget is split evenly per shard; a good key hash
+  /// spreads every dataset across all shards, so the split is invisible.
+  explicit BrickCache(std::size_t budget_bytes, int shards = 8);
+  ~BrickCache();
+  BrickCache(const BrickCache&) = delete;
+  BrickCache& operator=(const BrickCache&) = delete;
+
+  /// Allocates the next dataset id for keys and per-dataset counters.
+  [[nodiscard]] std::uint32_t register_dataset();
+
+  /// Demand path: returns the brick from cache, from a decode another
+  /// thread is running right now (awaited, counted a hit), or by running
+  /// `decode` (counted a miss; a queued-but-unstarted prefetch of the same
+  /// key is claimed so the prefetch task never duplicates the work). Decode
+  /// errors propagate to every requester synchronously.
+  [[nodiscard]] BrickPtr fetch(CacheKey key, const std::function<BrickPtr()>& decode);
+
+  /// Advisory warming: queues `decode` on `pool` at Priority::low unless the
+  /// brick is resident, already in flight, or the prefetch backlog is full.
+  /// The closure may return nullptr to decline (e.g. during shutdown).
+  /// Failures are swallowed — they resurface on whoever fetches the brick.
+  void prefetch(CacheKey key, exec::ThreadPool& pool, std::function<BrickPtr()> decode);
+
+  /// Resident check; no counters, no LRU refresh.
+  [[nodiscard]] bool contains(CacheKey key) const;
+
+  [[nodiscard]] CacheStats stats() const;                     ///< all datasets
+  [[nodiscard]] CacheStats stats(std::uint32_t dataset) const;
+
+  /// Evicts every resident brick of `dataset` (counters keep accumulating).
+  void drop(std::uint32_t dataset);
+
+  /// Blocks until no decode of `dataset` is queued or running. Dataset
+  /// teardown uses this: queued prefetch closures reference the dataset.
+  void wait_idle(std::uint32_t dataset);
+  void wait_idle();  ///< same, across all datasets
+
+  [[nodiscard]] std::size_t budget_bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrc::serve

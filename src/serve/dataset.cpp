@@ -2,39 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <future>
-#include <list>
-#include <mutex>
-#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
-
-#include "exec/thread_pool.h"
 
 namespace mrc::serve {
 
 namespace {
 
-/// Cache key: level in the high bits, tile id in the low 48 (the container
-/// caps total samples at 2^40, so tile counts never reach 2^48).
+/// Brick key within one dataset: level in the high bits, tile id in the low
+/// 48 (the container caps total samples at 2^40, so tile counts never reach
+/// 2^48).
 std::uint64_t brick_key(int level, index_t tile) {
   return (static_cast<std::uint64_t>(level) << 48) |
          static_cast<std::uint64_t>(tile);
 }
-
-/// splitmix64 finalizer — spreads consecutive tile ids across shards.
-std::size_t key_hash(std::uint64_t k) {
-  k += 0x9e3779b97f4a7c15ull;
-  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
-  k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
-  return static_cast<std::size_t>(k ^ (k >> 31));
-}
-
-/// Cap on prefetch decodes in flight at once (per read and globally) — the
-/// pool queue is FIFO, so synchronous lane tasks of later reads wait behind
-/// queued prefetches; the cap bounds that backlog to a handful of bricks.
-inline constexpr std::size_t kMaxPrefetchInFlight = 64;
 
 }  // namespace
 
@@ -43,54 +25,41 @@ struct Dataset::Impl {
   Bytes stream;
   Config cfg;
   Dataset::Kind kind = Dataset::Kind::pyramid;
-  pyramid::Index pidx;                     ///< pyramid datasets only
-  std::vector<tiled::Index> lidx;          ///< per-level tile index (pyramid)
-  adaptive::Index aidx;                    ///< adaptive datasets only
-  double adaptive_worst_err = 0.0;         ///< max per-brick approx_err (adaptive)
-  std::unique_ptr<Compressor> codec;       ///< stateless; shared by all lanes
+  pyramid::Index pidx;             ///< pyramid datasets only
+  std::vector<tiled::Index> lidx;  ///< per-level tile index (pyramid); one
+                                   ///< entry for tiled datasets
+  adaptive::Index aidx;            ///< adaptive datasets only
+  double adaptive_worst_err = 0.0; ///< max per-brick approx_err (adaptive)
+  std::unique_ptr<Compressor> codec;  ///< stateless; shared by all lanes
 
-  // -- sharded LRU brick cache ----------------------------------------------
-  struct Entry {
-    std::uint64_t key = 0;
-    std::shared_ptr<const FieldF> brick;
-    std::size_t bytes = 0;
-  };
-  struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
-    std::size_t bytes = 0;
-  };
-  std::vector<Shard> shards;
-  std::size_t shard_budget = 0;
-
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> evictions{0};
-  std::atomic<std::uint64_t> prefetched{0};
-
-  // -- prefetch bookkeeping -------------------------------------------------
-  using BrickFuture = std::shared_future<std::shared_ptr<const FieldF>>;
-  std::mutex pf_mu;
-  std::condition_variable pf_cv;
-  /// Queued/running prefetch decodes. Synchronous reads that miss the cache
-  /// consult this first and adopt the in-flight result instead of decoding
-  /// the same brick a second time.
-  std::unordered_map<std::uint64_t, BrickFuture> pf_inflight;
-  /// Set in ~Impl: queued prefetch tasks still run during pool teardown
-  /// (the pool drains its queue), but they skip the pointless decode.
+  // -- shared serving resources ---------------------------------------------
+  // The cache is declared before the pool: when this Impl owns both (the
+  // standalone ctor), the pool is destroyed first, so queued prefetch tasks
+  // drain while the cache they reference is still alive.
+  std::shared_ptr<BrickCache> cache;
+  std::shared_ptr<exec::ThreadPool> pool;
+  std::uint32_t ds_id = 0;
+  /// Set in ~Impl: prefetch closures queued in the cache still run during
+  /// the teardown drain, but they skip the pointless decode.
   std::atomic<bool> shutting_down{false};
 
-  // Declared last: destroyed first, so queued prefetch tasks drain while the
-  // cache and indexes above are still alive.
-  exec::ThreadPool pool;
+  Impl(Bytes s, const Config& c, std::shared_ptr<BrickCache> sh_cache,
+       std::shared_ptr<exec::ThreadPool> sh_pool)
+      : stream(std::move(s)), cfg(c) {
+    if (sh_cache == nullptr) {
+      MRC_REQUIRE(sh_pool == nullptr,
+                  "serve: shared cache and pool come as a pair");
+      MRC_REQUIRE(cfg.cache_bytes >= 1, "serve: cache byte budget must be >= 1");
+      cache = std::make_shared<BrickCache>(cfg.cache_bytes, cfg.shards);
+      pool = std::make_shared<exec::ThreadPool>(cfg.threads);
+    } else {
+      MRC_REQUIRE(sh_pool != nullptr,
+                  "serve: shared cache and pool come as a pair");
+      cache = std::move(sh_cache);
+      pool = std::move(sh_pool);
+    }
+    ds_id = cache->register_dataset();
 
-  Impl(Bytes s, const Config& c)
-      : stream(std::move(s)),
-        cfg(c),
-        shards(static_cast<std::size_t>(std::clamp(c.shards, 1, 64))),
-        pool(c.threads) {
-    MRC_REQUIRE(cfg.cache_bytes >= 1, "serve: cache byte budget must be >= 1");
     const StreamHeader h = peek_header(stream);
     if (h.codec_magic == adaptive::kAdaptiveMagic) {
       kind = Dataset::Kind::adaptive;
@@ -100,6 +69,10 @@ struct Dataset::Impl {
       for (const adaptive::BrickEntry& e : aidx.bricks)
         adaptive_worst_err =
             std::max(adaptive_worst_err, static_cast<double>(e.approx_err));
+    } else if (h.codec_magic == tiled::kTiledMagic) {
+      kind = Dataset::Kind::tiled;
+      lidx.push_back(tiled::read_index(stream));
+      codec = registry().make_for_magic(lidx[0].codec_magic);
     } else {
       kind = Dataset::Kind::pyramid;
       pidx = pyramid::read_index(stream);
@@ -108,59 +81,20 @@ struct Dataset::Impl {
         lidx.push_back(tiled::read_index(pidx.level_stream(stream, l)));
       codec = registry().make_for_magic(pidx.codec_magic);
     }
-    shard_budget = std::max<std::size_t>(1, cfg.cache_bytes / shards.size());
   }
 
   ~Impl() {
-    // The pool destructor (first in destruction order) drains queued
-    // prefetch tasks; the flag turns the drained decodes into no-ops so
+    // Prefetch closures queued in the cache reference this Impl; block until
+    // every decode of this dataset has been claimed or drained before any
+    // member dies. The flag turns the drained decodes into no-ops, so
     // teardown is bounded by in-flight work, not the whole backlog.
     shutting_down.store(true, std::memory_order_relaxed);
-  }
-
-  Shard& shard_of(std::uint64_t key) { return shards[key_hash(key) % shards.size()]; }
-
-  /// Cache lookup; refreshes LRU position. Does not touch the counters —
-  /// the caller decides whether a probe is a served lookup or a prefetch
-  /// dedup check.
-  std::shared_ptr<const FieldF> get(std::uint64_t key) {
-    Shard& s = shard_of(key);
-    const std::lock_guard lock(s.mu);
-    const auto it = s.map.find(key);
-    if (it == s.map.end()) return nullptr;
-    s.lru.splice(s.lru.begin(), s.lru, it->second);
-    return it->second->brick;
-  }
-
-  bool contains(std::uint64_t key) {
-    Shard& s = shard_of(key);
-    const std::lock_guard lock(s.mu);
-    return s.map.find(key) != s.map.end();
-  }
-
-  /// Inserts a decoded brick, evicting LRU entries to stay under the shard
-  /// budget. The newest entry is never evicted, so a budget smaller than one
-  /// brick degrades to "cache of one per shard" instead of thrashing empty.
-  void put(std::uint64_t key, std::shared_ptr<const FieldF> brick) {
-    const std::size_t bytes =
-        sizeof(FieldF) + sizeof(float) * static_cast<std::size_t>(brick->size());
-    Shard& s = shard_of(key);
-    const std::lock_guard lock(s.mu);
-    if (s.map.find(key) != s.map.end()) return;  // a concurrent decode won
-    s.lru.push_front(Entry{key, std::move(brick), bytes});
-    s.map.emplace(key, s.lru.begin());
-    s.bytes += bytes;
-    while (s.bytes > shard_budget && s.lru.size() > 1) {
-      const Entry& victim = s.lru.back();
-      s.bytes -= victim.bytes;
-      s.map.erase(victim.key);
-      s.lru.pop_back();
-      evictions.fetch_add(1, std::memory_order_relaxed);
-    }
+    cache->wait_idle(ds_id);
+    cache->drop(ds_id);  // a shared cache hands the budget back immediately
   }
 
   /// Brick grid the prefetch ring walks (per level for pyramids, the single
-  /// fine-lattice grid for adaptive streams).
+  /// tile grid for tiled and adaptive streams).
   [[nodiscard]] const Dim3& grid_of(int level) const {
     return kind == Dataset::Kind::adaptive
                ? aidx.grid
@@ -170,13 +104,14 @@ struct Dataset::Impl {
   /// Cache key of one brick. For adaptive streams the key carries the
   /// brick's own stored level, so a re-encoded stream with different level
   /// assignments never aliases stale cache entries of the same tile id.
-  [[nodiscard]] std::uint64_t key_of(int level, index_t tile) const {
+  [[nodiscard]] CacheKey key_of(int level, index_t tile) const {
     if (kind == Dataset::Kind::adaptive)
-      return brick_key(aidx.bricks[static_cast<std::size_t>(tile)].level, tile);
-    return brick_key(level, tile);
+      return {ds_id,
+              brick_key(aidx.bricks[static_cast<std::size_t>(tile)].level, tile)};
+    return {ds_id, brick_key(level, tile)};
   }
 
-  std::shared_ptr<const FieldF> decode(int level, index_t tile) {
+  BrickPtr decode(int level, index_t tile) {
     if (kind == Dataset::Kind::adaptive) {
       const auto t = static_cast<std::size_t>(tile);
       // The cache holds the fine-resolution rendition — decoded samples for
@@ -185,21 +120,18 @@ struct Dataset::Impl {
       return std::make_shared<const FieldF>(adaptive::reconstruct_brick(
           aidx, t, adaptive::decode_brick(aidx, *codec, stream, t)));
     }
+    const tiled::Index& ti = lidx[static_cast<std::size_t>(level)];
+    const std::span<const std::byte> level_bytes =
+        kind == Dataset::Kind::tiled
+            ? std::span<const std::byte>(stream)
+            : pidx.level_stream(stream, static_cast<std::size_t>(level));
     return std::make_shared<const FieldF>(
-        tiled::decode_tile(lidx[static_cast<std::size_t>(level)], *codec,
-                           pidx.level_stream(stream, static_cast<std::size_t>(level)),
-                           static_cast<std::size_t>(tile)));
+        tiled::decode_tile(ti, *codec, level_bytes, static_cast<std::size_t>(tile)));
   }
 
-  /// The in-flight future for `key`, if a prefetch decode is queued/running.
-  std::optional<BrickFuture> inflight(std::uint64_t key) {
-    const std::lock_guard lock(pf_mu);
-    const auto it = pf_inflight.find(key);
-    if (it == pf_inflight.end()) return std::nullopt;
-    return it->second;
-  }
-
-  /// Queues async decodes for the bricks ringing `hit`'s bounding tile box.
+  /// Queues async decodes for the bricks ringing `hit`'s bounding tile box
+  /// at Priority::low (the cache dedups against resident bricks, in-flight
+  /// decodes and its own backlog cap).
   void prefetch_ring(int level, const std::vector<index_t>& hit) {
     const Dim3& grid = grid_of(level);
     Coord3 lo{grid.nx, grid.ny, grid.nz};
@@ -219,46 +151,34 @@ struct Dataset::Impl {
               z <= hi.z)
             continue;  // inside the footprint: already decoded by the read
           const index_t t = x + grid.nx * (y + grid.ny * z);
-          const std::uint64_t key = key_of(level, t);
-          if (contains(key)) continue;
-          auto promise =
-              std::make_shared<std::promise<std::shared_ptr<const FieldF>>>();
-          {
-            const std::lock_guard lock(pf_mu);
-            if (pf_inflight.size() >= kMaxPrefetchInFlight) return;  // backlog cap
-            if (!pf_inflight.emplace(key, promise->get_future().share()).second)
-              continue;  // already queued
-          }
-          (void)pool.submit([this, level, t, key, promise] {
-            std::shared_ptr<const FieldF> brick;
-            try {
-              if (!shutting_down.load(std::memory_order_relaxed) && !contains(key)) {
-                brick = decode(level, t);
-                put(key, brick);
-                prefetched.fetch_add(1, std::memory_order_relaxed);
-              }
-            } catch (...) {
-              // Prefetch is advisory: a decode failure here resurfaces on
-              // the synchronous path of whoever actually needs the brick.
-            }
-            promise->set_value(std::move(brick));  // null = "look it up yourself"
-            {
-              const std::lock_guard lock(pf_mu);
-              pf_inflight.erase(key);
-            }
-            pf_cv.notify_all();
+          cache->prefetch(key_of(level, t), *pool, [this, level, t]() -> BrickPtr {
+            // null = "decline": whoever needs the brick decodes it itself.
+            if (shutting_down.load(std::memory_order_relaxed)) return nullptr;
+            return decode(level, t);
           });
         }
   }
 };
 
 Dataset::Dataset(Bytes stream, const Config& cfg)
-    : impl_(std::make_unique<Impl>(std::move(stream), cfg)) {}
+    : impl_(std::make_unique<Impl>(std::move(stream), cfg, nullptr, nullptr)) {}
+Dataset::Dataset(Bytes stream, const Config& cfg, std::shared_ptr<BrickCache> cache,
+                 std::shared_ptr<exec::ThreadPool> pool) {
+  MRC_REQUIRE(cache != nullptr && pool != nullptr,
+              "serve: shared Dataset needs a cache and a pool");
+  impl_ = std::make_unique<Impl>(std::move(stream), cfg, std::move(cache),
+                                 std::move(pool));
+}
 Dataset::~Dataset() = default;
 Dataset::Dataset(Dataset&&) noexcept = default;
 Dataset& Dataset::operator=(Dataset&&) noexcept = default;
 
 Dataset::Kind Dataset::kind() const { return impl_->kind; }
+
+const tiled::Index& Dataset::tiled_index() const {
+  MRC_REQUIRE(impl_->kind == Kind::tiled, "serve: not a tiled dataset");
+  return impl_->lidx[0];
+}
 
 const pyramid::Index& Dataset::index() const {
   MRC_REQUIRE(impl_->kind == Kind::pyramid, "serve: not a pyramid dataset");
@@ -271,24 +191,37 @@ const adaptive::Index& Dataset::adaptive_index() const {
 }
 
 int Dataset::levels() const {
-  return impl_->kind == Kind::adaptive
-             ? 1
-             : static_cast<int>(impl_->pidx.levels.size());
+  return impl_->kind == Kind::pyramid
+             ? static_cast<int>(impl_->pidx.levels.size())
+             : 1;
 }
 
 double Dataset::eb() const {
-  return impl_->kind == Kind::adaptive ? impl_->aidx.eb : impl_->pidx.eb;
+  switch (impl_->kind) {
+    case Kind::adaptive: return impl_->aidx.eb;
+    case Kind::tiled: return impl_->lidx[0].eb;
+    case Kind::pyramid: break;
+  }
+  return impl_->pidx.eb;
 }
 
 Dim3 Dataset::dims(int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
-  if (impl_->kind == Kind::adaptive) return impl_->aidx.dims;
+  switch (impl_->kind) {
+    case Kind::adaptive: return impl_->aidx.dims;
+    case Kind::tiled: return impl_->lidx[0].dims;
+    case Kind::pyramid: break;
+  }
   return impl_->pidx.levels[static_cast<std::size_t>(level)].dims;
 }
 
 double Dataset::level_error(int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
-  if (impl_->kind == Kind::adaptive) return impl_->adaptive_worst_err;
+  switch (impl_->kind) {
+    case Kind::adaptive: return impl_->adaptive_worst_err;
+    case Kind::tiled: return impl_->lidx[0].eb;  // no LOD: codec bound only
+    case Kind::pyramid: break;
+  }
   return impl_->pidx.levels[static_cast<std::size_t>(level)].approx_err;
 }
 
@@ -303,49 +236,21 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
           ? adaptive::bricks_for_region(im.aidx, region)
           : tiled::tiles_in_region(im.lidx[static_cast<std::size_t>(level)], region);
 
-  // Pass 1: serve what the cache holds; adopt bricks a prefetch task is
-  // already decoding (no second decode of the same brick); collect the rest.
-  std::vector<std::shared_ptr<const FieldF>> bricks(hit.size());
-  std::vector<std::pair<std::size_t, Impl::BrickFuture>> pending;
-  std::vector<std::size_t> missing;
-  for (std::size_t i = 0; i < hit.size(); ++i) {
-    const std::uint64_t key = im.key_of(level, hit[i]);
-    bricks[i] = im.get(key);
-    if (bricks[i] != nullptr) continue;
-    if (auto fut = im.inflight(key))
-      pending.emplace_back(i, std::move(*fut));
-    else
-      missing.push_back(i);
-  }
-  // An adopted in-flight decode is a hit: this read triggers no new decode.
-  im.hits.fetch_add(hit.size() - missing.size(), std::memory_order_relaxed);
-  im.misses.fetch_add(missing.size(), std::memory_order_relaxed);
-
-  // Pass 2: decode the misses in parallel, holding each brick locally so the
-  // result stays exact even if the cache immediately evicts it.
-  im.pool.parallel_for(static_cast<index_t>(missing.size()), [&](index_t i) {
-    const std::size_t slot = missing[static_cast<std::size_t>(i)];
-    auto brick = im.decode(level, hit[slot]);
-    im.put(im.key_of(level, hit[slot]), brick);
-    bricks[slot] = std::move(brick);
+  // Fetch every brick through the shared cache: resident bricks are hits,
+  // in-flight decodes (another reader's, or a queued prefetch this read
+  // claims) are coalesced, the rest decode here — one decode per brick
+  // however many threads collide. Each brick is held locally so the result
+  // stays exact even if the cache immediately evicts it.
+  std::vector<BrickPtr> bricks(hit.size());
+  im.pool->parallel_for(static_cast<index_t>(hit.size()), [&](index_t i) {
+    const auto slot = static_cast<std::size_t>(i);
+    bricks[slot] = im.cache->fetch(im.key_of(level, hit[slot]),
+                                   [&] { return im.decode(level, hit[slot]); });
   });
-  for (auto& [slot, fut] : pending) {
-    bricks[slot] = fut.get();
-    if (bricks[slot] == nullptr) {
-      // The prefetch task bailed (brick appeared in cache first, or its
-      // decode failed and the error should surface here, synchronously).
-      const std::uint64_t key = im.key_of(level, hit[slot]);
-      bricks[slot] = im.get(key);
-      if (bricks[slot] == nullptr) {
-        bricks[slot] = im.decode(level, hit[slot]);
-        im.put(key, bricks[slot]);
-      }
-    }
-  }
 
   FieldF out(region.extent());
   if (is_adaptive) {
-    // Pass 3 (adaptive): the container's blend rule over the cached
+    // Assemble with the container's blend rule over the cached
     // fine-resolution renditions — bit-identical to adaptive::read_region.
     std::unordered_map<index_t, std::size_t> slot;
     slot.reserve(hit.size());
@@ -354,8 +259,9 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
         im.aidx, region,
         [&](index_t t) -> const FieldF& { return *bricks[slot.at(t)]; }, out);
   } else {
-    // Pass 3 (pyramid): assemble core ∩ region from every brick — the same
-    // ownership rule as tiled::read_region, hence bit-identical output.
+    // Assemble core ∩ region from every brick — the same ownership rule as
+    // tiled::read_region, hence bit-identical output (tiled and pyramid
+    // levels share the tile-index layout).
     const tiled::Index& ti = im.lidx[static_cast<std::size_t>(level)];
     for (std::size_t i = 0; i < hit.size(); ++i) {
       const auto t = static_cast<std::size_t>(hit[i]);
@@ -377,14 +283,13 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
 
   // Single-lane pools would run "async" prefetch inline and make every read
   // pay for its neighbors — only warm ahead when there are real workers.
-  if (im.cfg.prefetch && im.pool.size() > 1) im.prefetch_ring(level, hit);
+  if (im.cfg.prefetch && im.pool->size() > 1) im.prefetch_ring(level, hit);
   return out;
 }
 
 tiled::Box Dataset::box_at_level(const tiled::Box& fine_box, int level) const {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
-  const Dim3 fd =
-      impl_->kind == Kind::adaptive ? impl_->aidx.dims : impl_->pidx.dims;
+  const Dim3 fd = dims(0);
   const Dim3 ext = fine_box.extent();
   MRC_REQUIRE(fine_box.lo.x >= 0 && fine_box.lo.y >= 0 && fine_box.lo.z >= 0 &&
                   ext.nx > 0 && ext.ny > 0 && ext.nz > 0 && fine_box.hi.x <= fd.nx &&
@@ -412,34 +317,10 @@ int Dataset::choose_level(double eb_budget) const {
   return 0;
 }
 
-CacheStats Dataset::stats() const {
-  const Impl& im = *impl_;
-  CacheStats s;
-  s.hits = im.hits.load(std::memory_order_relaxed);
-  s.misses = im.misses.load(std::memory_order_relaxed);
-  s.evictions = im.evictions.load(std::memory_order_relaxed);
-  s.prefetched = im.prefetched.load(std::memory_order_relaxed);
-  for (const Impl::Shard& sh : im.shards) {
-    const std::lock_guard lock(sh.mu);
-    s.bytes += sh.bytes;
-    s.entries += sh.lru.size();
-  }
-  return s;
-}
+CacheStats Dataset::stats() const { return impl_->cache->stats(impl_->ds_id); }
 
-void Dataset::wait_idle() {
-  Impl& im = *impl_;
-  std::unique_lock lock(im.pf_mu);
-  im.pf_cv.wait(lock, [&im] { return im.pf_inflight.empty(); });
-}
+void Dataset::wait_idle() { impl_->cache->wait_idle(impl_->ds_id); }
 
-void Dataset::drop_cache() {
-  for (Impl::Shard& sh : impl_->shards) {
-    const std::lock_guard lock(sh.mu);
-    sh.lru.clear();
-    sh.map.clear();
-    sh.bytes = 0;
-  }
-}
+void Dataset::drop_cache() { impl_->cache->drop(impl_->ds_id); }
 
 }  // namespace mrc::serve

@@ -1,26 +1,35 @@
 #pragma once
 
 // Cached Dataset serving layer over the multi-resolution containers: open a
-// LOD pyramid (MRCP) or an adaptive stream (MRCA) once, then answer region
-// queries with a working set bounded by a byte budget instead of the request
-// size. The pieces:
+// tiled stream (MRCT), a LOD pyramid (MRCP) or an adaptive stream (MRCA)
+// once, then answer region queries with a working set bounded by a byte
+// budget instead of the request size. The pieces:
 //
-//   * a sharded, thread-safe LRU brick cache (keyed by level + brick id —
-//     for adaptive streams the key carries each brick's *own* level —
-//     byte-budgeted, hit/miss/eviction counters) so repeated viewport
-//     queries decode each brick once;
-//   * async prefetch of the bricks ringing a query's footprint on the exec
-//     pool, so a panning viewport finds its next bricks already decoded;
+//   * a shared, sharded, byte-budgeted brick cache (serve::BrickCache) so
+//     repeated viewport queries decode each brick once. A standalone Dataset
+//     owns a private cache and exec pool sized by its Config; Datasets
+//     opened by a multi-tenant serve::Server instead share one global cache
+//     and one pool, so a hot dataset's bricks can evict a cold one's;
+//   * request coalescing: every decode — demand or prefetch — registers in
+//     the cache's in-flight table, so identical concurrent requests for one
+//     brick run exactly one decode, and a demand read claims (preempts) a
+//     queued-but-unstarted prefetch of the same brick instead of waiting
+//     behind it;
+//   * async prefetch of the bricks ringing a query's footprint, queued at
+//     exec::Priority::low so warming never delays a demand read;
 //   * adaptive LOD selection — choose_level maps a viewport box plus a
 //     sample budget (or an error budget) to the cheapest sufficient level,
 //     so callers ask for a window and a budget, not a level.
 //
 // Dataset is safe to hammer from any number of threads: every read is
-// bit-identical to pyramid::read_region / adaptive::read_region on the same
-// (level, box), whatever the cache/prefetch state, and counters stay
-// consistent (hits + misses == brick lookups). Adaptive streams expose one
-// addressable level (0, the seam-free blended finest grid); what varies is
-// the stored resolution underneath, which is the container's business.
+// bit-identical to tiled/pyramid/adaptive read_region on the same
+// (level, box), whatever the cache/prefetch state. stats() returns an
+// atomically consistent snapshot: `hits + misses == lookups` holds exactly
+// in any snapshot, concurrent load included (counters are mutated only
+// under the cache's shard locks — see brick_cache.h). Adaptive and tiled
+// streams expose one addressable level (0); for adaptive that is the
+// seam-free blended finest grid, and what varies is the stored resolution
+// underneath, which is the container's business.
 
 #include <cstdint>
 #include <memory>
@@ -28,6 +37,7 @@
 #include "adaptive/adaptive.h"
 #include "common/bytes.h"
 #include "pyramid/pyramid.h"
+#include "serve/brick_cache.h"
 
 namespace mrc::serve {
 
@@ -38,28 +48,24 @@ struct Config {
   int shards = 8;    ///< cache shard count (lock striping)
 };
 
-struct CacheStats {
-  std::uint64_t hits = 0;        ///< brick lookups served from cache
-  std::uint64_t misses = 0;      ///< brick lookups that had to decode
-  std::uint64_t evictions = 0;   ///< bricks dropped to stay under budget
-  std::uint64_t prefetched = 0;  ///< bricks decoded by the prefetch path
-  std::size_t bytes = 0;         ///< decoded bytes currently cached
-  std::size_t entries = 0;       ///< bricks currently cached
-
-  [[nodiscard]] double hit_ratio() const {
-    const auto total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-  }
-};
-
 class Dataset {
  public:
-  enum class Kind : std::uint8_t { pyramid, adaptive };
+  enum class Kind : std::uint8_t { tiled, pyramid, adaptive };
 
-  /// Opens a pyramid (MRCP) or adaptive (MRCA) stream — dispatched on the
-  /// container header — taking ownership of the bytes and parsing +
-  /// validating the full index once. Throws CodecError on anything else.
+  /// Opens a tiled (MRCT), pyramid (MRCP) or adaptive (MRCA) stream —
+  /// dispatched on the container header — taking ownership of the bytes and
+  /// parsing + validating the full index once. Builds a private cache
+  /// (cfg.cache_bytes, cfg.shards) and exec pool (cfg.threads). Throws
+  /// CodecError on any other stream.
   explicit Dataset(Bytes stream, const Config& cfg = {});
+
+  /// Same, but serving through a shared cache and pool (the multi-tenant
+  /// serve::Server path). cfg.cache_bytes/threads/shards are ignored — the
+  /// shared resources already exist — and cfg.prefetch still gates the
+  /// prefetch ring. Both pointers must be non-null.
+  Dataset(Bytes stream, const Config& cfg, std::shared_ptr<BrickCache> cache,
+          std::shared_ptr<exec::ThreadPool> pool);
+
   ~Dataset();
   Dataset(Dataset&&) noexcept;
   Dataset& operator=(Dataset&&) noexcept;
@@ -67,23 +73,25 @@ class Dataset {
   Dataset& operator=(const Dataset&) = delete;
 
   [[nodiscard]] Kind kind() const;
+  /// The tile index of a tiled dataset (throws ContractError otherwise).
+  [[nodiscard]] const tiled::Index& tiled_index() const;
   /// The pyramid index (pyramid datasets only; throws ContractError else).
   [[nodiscard]] const pyramid::Index& index() const;
   /// The adaptive brick index (adaptive datasets only).
   [[nodiscard]] const adaptive::Index& adaptive_index() const;
-  /// Addressable level count: the pyramid's level table, or 1 for adaptive
-  /// streams (level 0 = the blended finest grid).
+  /// Addressable level count: the pyramid's level table, or 1 for tiled and
+  /// adaptive streams (adaptive level 0 = the blended finest grid).
   [[nodiscard]] int levels() const;
   [[nodiscard]] Dim3 dims(int level) const;  ///< extents of one level
   [[nodiscard]] double eb() const;
-  /// LOD error bound of a level: pyramid::LevelEntry::approx_err, or the
-  /// worst per-brick approx_err of an adaptive stream (its level 0 already
-  /// mixes resolutions).
+  /// LOD error bound of a level: pyramid::LevelEntry::approx_err, the worst
+  /// per-brick approx_err of an adaptive stream (its level 0 already mixes
+  /// resolutions), or the codec error bound for tiled streams (no LOD).
   [[nodiscard]] double level_error(int level) const;
 
   /// Reads `region` (in level-`level` coordinates) through the brick cache —
-  /// bit-identical to pyramid::read_region(stream, level, region), or to
-  /// adaptive::read_region(stream, region) for adaptive datasets (which
+  /// bit-identical to tiled/pyramid::read_region(stream, level, region), or
+  /// to adaptive::read_region(stream, region) for adaptive datasets (which
   /// serve only level 0, in finest-grid coordinates).
   [[nodiscard]] FieldF read_region(int level, const tiled::Box& region);
 
@@ -101,13 +109,18 @@ class Dataset {
   /// `eb_budget`; level 0 if none does.
   [[nodiscard]] int choose_level(double eb_budget) const;
 
+  /// This dataset's slice of the cache counters. The snapshot is internally
+  /// consistent: `hits + misses == lookups` holds exactly — under concurrent
+  /// reads, mid-prefetch, always — because counters only change under the
+  /// cache's shard locks. With a shared cache, bytes/entries/evictions
+  /// reflect this dataset's residency inside the *global* budget.
   [[nodiscard]] CacheStats stats() const;
 
-  /// Blocks until all outstanding prefetch tasks have drained (benches and
-  /// tests use this to make cache contents deterministic).
+  /// Blocks until no decode of this dataset is queued or running (benches
+  /// and tests use this to make cache contents deterministic).
   void wait_idle();
 
-  /// Empties the brick cache (counters keep accumulating).
+  /// Evicts this dataset's bricks (counters keep accumulating).
   void drop_cache();
 
  private:

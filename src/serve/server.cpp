@@ -1,0 +1,239 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "serve/latency.h"
+#include "serve/wire.h"
+
+namespace mrc::serve {
+
+struct Server::Impl {
+  ServerConfig cfg;
+
+  // The cache is declared before the pool and the pool before the dataset
+  // registry: destruction runs datasets (each drains its decodes) -> pool
+  // (joins workers) -> cache, so no queued task ever outlives what it
+  // references.
+  std::shared_ptr<BrickCache> cache;
+  std::shared_ptr<exec::ThreadPool> pool;
+
+  struct Served {
+    std::string name;
+    std::shared_ptr<Dataset> ds;
+  };
+  mutable std::shared_mutex mu;           ///< guards the registry only
+  std::map<std::uint32_t, Served> datasets;
+  std::uint32_t next_id = 1;
+
+  std::atomic<std::uint64_t> active{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> rejected{0};
+  LatencyHistogram latency;
+
+  explicit Impl(const ServerConfig& c) : cfg(c) {
+    MRC_REQUIRE(cfg.cache_bytes >= 1, "serve: cache byte budget must be >= 1");
+    MRC_REQUIRE(cfg.max_active >= 1, "serve: admission cap must be >= 1");
+    cache = std::make_shared<BrickCache>(cfg.cache_bytes, cfg.shards);
+    pool = std::make_shared<exec::ThreadPool>(cfg.threads);
+  }
+
+  /// Handle lookup: a shared_ptr snapshot, so reads keep serving a dataset
+  /// that is concurrently close()d and the registry lock is never held
+  /// across a decode.
+  [[nodiscard]] std::shared_ptr<Dataset> find(std::uint32_t id) const {
+    const std::shared_lock lock(mu);
+    const auto it = datasets.find(id);
+    if (it == datasets.end())
+      throw ServerError(ServerError::Code::unknown_dataset,
+                        "serve: unknown dataset id " + std::to_string(id));
+    return it->second.ds;
+  }
+
+  /// Admission gate: at most cfg.max_active reads in flight; excess load is
+  /// shed immediately (Code::overloaded) instead of queueing without bound.
+  struct Admission {
+    Impl& im;
+    explicit Admission(Impl& im_) : im(im_) {
+      if (im.active.fetch_add(1, std::memory_order_acq_rel) >=
+          im.cfg.max_active) {
+        im.active.fetch_sub(1, std::memory_order_acq_rel);
+        im.rejected.fetch_add(1, std::memory_order_relaxed);
+        throw ServerError(ServerError::Code::overloaded,
+                          "serve: overloaded, retry later (admission cap " +
+                              std::to_string(im.cfg.max_active) + ")");
+      }
+      im.requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Admission() { im.active.fetch_sub(1, std::memory_order_acq_rel); }
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+  };
+
+  /// Server-wide gauges around a cache-counter snapshot of any scope.
+  [[nodiscard]] ServerStats gauges(CacheStats c) const {
+    ServerStats s;
+    s.cache = c;
+    {
+      const std::shared_lock lock(mu);
+      s.datasets = static_cast<std::uint32_t>(datasets.size());
+    }
+    s.queue_depth = pool->queued();
+    s.active = active.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.p50_us = latency.quantile_us(0.50);
+    s.p99_us = latency.quantile_us(0.99);
+    return s;
+  }
+};
+
+Server::Server(const ServerConfig& cfg) : impl_(std::make_unique<Impl>(cfg)) {}
+Server::~Server() = default;
+Server::Server(Server&&) noexcept = default;
+Server& Server::operator=(Server&&) noexcept = default;
+
+std::uint32_t Server::open(Bytes stream, std::string name) {
+  Impl& im = *impl_;
+  Config dcfg;  // budget/threads/shards live in the shared resources
+  dcfg.prefetch = im.cfg.prefetch;
+  auto ds = std::make_shared<Dataset>(std::move(stream), dcfg, im.cache, im.pool);
+  const std::unique_lock lock(im.mu);
+  const std::uint32_t id = im.next_id++;
+  im.datasets.emplace(id, Impl::Served{std::move(name), std::move(ds)});
+  return id;
+}
+
+void Server::close(std::uint32_t id) {
+  Impl& im = *impl_;
+  std::shared_ptr<Dataset> ds;  // destroyed outside the lock: teardown drains
+  {
+    const std::unique_lock lock(im.mu);
+    const auto it = im.datasets.find(id);
+    if (it == im.datasets.end())
+      throw ServerError(ServerError::Code::unknown_dataset,
+                        "serve: unknown dataset id " + std::to_string(id));
+    ds = std::move(it->second.ds);
+    im.datasets.erase(it);
+  }
+  ds->drop_cache();  // hand the budget back now, not at the last reference
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Server::list() const {
+  const Impl& im = *impl_;
+  const std::shared_lock lock(im.mu);
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  out.reserve(im.datasets.size());
+  for (const auto& [id, served] : im.datasets) out.emplace_back(id, served.name);
+  return out;
+}
+
+int Server::levels(std::uint32_t id) const { return impl_->find(id)->levels(); }
+
+Dim3 Server::dims(std::uint32_t id, int level) const {
+  return impl_->find(id)->dims(level);
+}
+
+double Server::eb(std::uint32_t id) const { return impl_->find(id)->eb(); }
+
+FieldF Server::read_region(std::uint32_t id, int level, const tiled::Box& region) {
+  Impl& im = *impl_;
+  const std::shared_ptr<Dataset> ds = im.find(id);
+  const Impl::Admission gate(im);
+  const auto t0 = std::chrono::steady_clock::now();
+  FieldF out = ds->read_region(level, region);
+  im.latency.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return out;
+}
+
+int Server::choose_level(std::uint32_t id, const tiled::Box& fine_box,
+                         index_t sample_budget) const {
+  return impl_->find(id)->choose_level(fine_box, sample_budget);
+}
+
+ServerStats Server::stats() const { return impl_->gauges(impl_->cache->stats()); }
+
+ServerStats Server::stats(std::uint32_t id) const {
+  return impl_->gauges(impl_->find(id)->stats());
+}
+
+void Server::wait_idle() { impl_->cache->wait_idle(); }
+
+Bytes Server::handle_frame(std::span<const std::byte> frame) {
+  const auto done = [](ByteReader& r) {
+    if (!r.exhausted()) throw CodecError("wire: request has trailing bytes");
+  };
+  try {
+    const wire::Frame f = wire::parse_frame(frame);
+    ByteReader r(f.body);
+    switch (f.type) {
+      case wire::Type::open: {
+        const std::span<const std::byte> name_b = r.get_blob();
+        const std::span<const std::byte> stream_b = r.get_blob();
+        done(r);
+        std::string name(reinterpret_cast<const char*>(name_b.data()),
+                         name_b.size());
+        const std::uint32_t id =
+            open(Bytes(stream_b.begin(), stream_b.end()), std::move(name));
+        Bytes body;
+        ByteWriter w(body);
+        w.put<std::uint32_t>(id);
+        w.put<std::int32_t>(levels(id));
+        const Dim3 d = dims(id, 0);
+        w.put<std::int64_t>(d.nx);
+        w.put<std::int64_t>(d.ny);
+        w.put<std::int64_t>(d.nz);
+        w.put<double>(eb(id));
+        return wire::make_frame(wire::Type::open_ok, body);
+      }
+      case wire::Type::region: {
+        const auto id = r.get<std::uint32_t>();
+        const auto level = r.get<std::int32_t>();
+        const tiled::Box box = wire::get_box(r);
+        done(r);
+        return wire::encode_region_ok(read_region(id, level, box));
+      }
+      case wire::Type::lod: {
+        const auto id = r.get<std::uint32_t>();
+        const tiled::Box box = wire::get_box(r);
+        const auto budget = r.get<std::uint64_t>();
+        done(r);
+        Bytes body;
+        ByteWriter w(body);
+        w.put<std::int32_t>(
+            choose_level(id, box, static_cast<index_t>(budget)));
+        return wire::make_frame(wire::Type::lod_ok, body);
+      }
+      case wire::Type::stats: {
+        const auto id = r.get<std::uint32_t>();
+        done(r);
+        return wire::encode_stats_ok(id == wire::kAllDatasets ? stats()
+                                                              : stats(id));
+      }
+      case wire::Type::close: {
+        const auto id = r.get<std::uint32_t>();
+        done(r);
+        close(id);
+        return wire::make_frame(wire::Type::close_ok);
+      }
+      default:
+        throw ServerError(ServerError::Code::bad_request,
+                          "wire: unknown frame type");
+    }
+  } catch (const ServerError& e) {
+    return wire::make_error(e.code(), e.what());
+  } catch (const std::exception& e) {
+    // Contract violations, malformed frames, decode failures: the client
+    // asked for something the server cannot do — a bad request either way.
+    return wire::make_error(ServerError::Code::bad_request, e.what());
+  }
+}
+
+}  // namespace mrc::serve

@@ -1,0 +1,232 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace mrc::serve::wire {
+
+namespace {
+
+void require_wire(bool cond, const std::string& msg) {
+  if (!cond) throw CodecError("wire: " + msg);
+}
+
+/// Frame header: u32 length + u8 type.
+inline constexpr std::size_t kHeaderBytes = 5;
+
+}  // namespace
+
+Frame parse_frame(std::span<const std::byte> buf) {
+  require_wire(buf.size() >= kHeaderBytes, "frame shorter than its header");
+  ByteReader r(buf);
+  const auto len = r.get<std::uint32_t>();
+  require_wire(len >= 1, "zero-length frame");
+  require_wire(len <= kMaxFrameBytes, "frame length exceeds the 1 GiB cap");
+  // Exact match — a length larger than the buffer is a truncation (or a
+  // hostile claim we refuse before touching the body), smaller means
+  // trailing garbage.
+  require_wire(static_cast<std::size_t>(len) == buf.size() - 4,
+               "frame length does not match the buffer");
+  const auto t = r.get<std::uint8_t>();
+  return Frame{static_cast<Type>(t), buf.subspan(kHeaderBytes)};
+}
+
+Bytes make_frame(Type t, std::span<const std::byte> body) {
+  require_wire(body.size() + 1 <= kMaxFrameBytes, "frame body exceeds the cap");
+  const auto len = static_cast<std::uint32_t>(body.size() + 1);
+  Bytes out(kHeaderBytes + body.size());
+  std::memcpy(out.data(), &len, sizeof(len));
+  out[4] = static_cast<std::byte>(t);
+  if (!body.empty()) std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
+  return out;
+}
+
+Bytes make_error(ServerError::Code code, std::string_view what) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(code));
+  w.put_blob(std::as_bytes(std::span(what.data(), what.size())));
+  return make_frame(Type::error, body);
+}
+
+void put_box(ByteWriter& w, const tiled::Box& box) {
+  w.put<std::int64_t>(box.lo.x);
+  w.put<std::int64_t>(box.lo.y);
+  w.put<std::int64_t>(box.lo.z);
+  w.put<std::int64_t>(box.hi.x);
+  w.put<std::int64_t>(box.hi.y);
+  w.put<std::int64_t>(box.hi.z);
+}
+
+tiled::Box get_box(ByteReader& r) {
+  std::int64_t v[6];
+  for (auto& x : v) x = r.get<std::int64_t>();
+  for (int a = 0; a < 3; ++a) {
+    require_wire(v[a] >= 0 && v[a + 3] > v[a], "region box is empty or negative");
+    // Checked on the raw i64s, so a hostile 2^48-sample claim dies here —
+    // long before any extent arithmetic or allocation sees it.
+    require_wire(v[a + 3] - v[a] <= static_cast<std::int64_t>(kMaxExtent),
+                 "region extent exceeds the per-axis cap");
+  }
+  return tiled::Box{{v[0], v[1], v[2]}, {v[3], v[4], v[5]}};
+}
+
+Bytes encode_region_ok(const FieldF& f) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::int64_t>(f.dims().nx);
+  w.put<std::int64_t>(f.dims().ny);
+  w.put<std::int64_t>(f.dims().nz);
+  w.put_bytes(std::as_bytes(f.span()));
+  return make_frame(Type::region_ok, body);
+}
+
+FieldF decode_region_ok(std::span<const std::byte> body) {
+  ByteReader r(body);
+  const auto nx = r.get<std::int64_t>();
+  const auto ny = r.get<std::int64_t>();
+  const auto nz = r.get<std::int64_t>();
+  std::uint64_t product = 1;
+  for (const std::int64_t n : {nx, ny, nz}) {
+    require_wire(n >= 1 && n <= static_cast<std::int64_t>(kMaxExtent),
+                 "region extent out of range");
+    product *= static_cast<std::uint64_t>(n);  // <= 2^60: cannot overflow
+  }
+  // The sample payload must match the claimed extents byte-for-byte BEFORE
+  // the field buffer is allocated from them.
+  require_wire(r.remaining() == product * sizeof(float),
+               "region payload does not match its extents");
+  const std::span<const std::byte> raw =
+      r.get_bytes(static_cast<std::size_t>(product) * sizeof(float));
+  std::vector<float> data(static_cast<std::size_t>(product));
+  std::memcpy(data.data(), raw.data(), raw.size());
+  return FieldF{Dim3{nx, ny, nz}, std::move(data)};
+}
+
+Bytes encode_stats_ok(const ServerStats& s) {
+  // Fixed layout (7 u64 cache counters, u32 dataset count, 6 u64 server
+  // gauges) built into a pre-sized buffer: the growing-ByteWriter path trips
+  // GCC 12's -Wstringop-overflow false positive at -O3 here.
+  Bytes body(13 * sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  std::byte* p = body.data();
+  const auto put64 = [&p](std::uint64_t v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put64(s.cache.lookups);
+  put64(s.cache.hits);
+  put64(s.cache.misses);
+  put64(s.cache.evictions);
+  put64(s.cache.prefetched);
+  put64(s.cache.bytes);
+  put64(s.cache.entries);
+  const std::uint32_t datasets = s.datasets;
+  std::memcpy(p, &datasets, sizeof(datasets));
+  p += sizeof(datasets);
+  put64(s.queue_depth);
+  put64(s.active);
+  put64(s.requests);
+  put64(s.rejected);
+  put64(s.p50_us);
+  put64(s.p99_us);
+  return make_frame(Type::stats_ok, body);
+}
+
+ServerStats decode_stats_ok(std::span<const std::byte> body) {
+  ByteReader r(body);
+  ServerStats s;
+  s.cache.lookups = r.get<std::uint64_t>();
+  s.cache.hits = r.get<std::uint64_t>();
+  s.cache.misses = r.get<std::uint64_t>();
+  s.cache.evictions = r.get<std::uint64_t>();
+  s.cache.prefetched = r.get<std::uint64_t>();
+  s.cache.bytes = static_cast<std::size_t>(r.get<std::uint64_t>());
+  s.cache.entries = static_cast<std::size_t>(r.get<std::uint64_t>());
+  s.datasets = r.get<std::uint32_t>();
+  s.queue_depth = r.get<std::uint64_t>();
+  s.active = r.get<std::uint64_t>();
+  s.requests = r.get<std::uint64_t>();
+  s.rejected = r.get<std::uint64_t>();
+  s.p50_us = r.get<std::uint64_t>();
+  s.p99_us = r.get<std::uint64_t>();
+  require_wire(r.exhausted(), "stats reply has trailing bytes");
+  return s;
+}
+
+// -- Client -----------------------------------------------------------------
+
+Bytes Client::call(Type t, std::span<const std::byte> body, Type expect) {
+  const Bytes request = make_frame(t, body);
+  Bytes reply = send_(request);
+  const Frame f = parse_frame(reply);
+  if (f.type == Type::error) {
+    ByteReader r(f.body);
+    const auto code = r.get<std::uint8_t>();
+    const std::span<const std::byte> msg = r.get_blob();
+    require_wire(r.exhausted(), "error reply has trailing bytes");
+    throw ServerError(static_cast<ServerError::Code>(code),
+                      std::string(reinterpret_cast<const char*>(msg.data()),
+                                  msg.size()));
+  }
+  require_wire(f.type == expect, "unexpected reply type");
+  return reply;
+}
+
+OpenInfo Client::open(std::span<const std::byte> stream, std::string_view name) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put_blob(std::as_bytes(std::span(name.data(), name.size())));
+  w.put_blob(stream);
+  const Bytes reply = call(Type::open, body, Type::open_ok);
+  ByteReader r{std::span<const std::byte>(reply).subspan(5)};
+  OpenInfo info;
+  info.id = r.get<std::uint32_t>();
+  info.levels = r.get<std::int32_t>();
+  info.dims.nx = r.get<std::int64_t>();
+  info.dims.ny = r.get<std::int64_t>();
+  info.dims.nz = r.get<std::int64_t>();
+  info.eb = r.get<double>();
+  require_wire(r.exhausted(), "open reply has trailing bytes");
+  return info;
+}
+
+FieldF Client::region(std::uint32_t id, int level, const tiled::Box& box) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint32_t>(id);
+  w.put<std::int32_t>(level);
+  put_box(w, box);
+  const Bytes reply = call(Type::region, body, Type::region_ok);
+  return decode_region_ok(std::span(reply).subspan(5));
+}
+
+int Client::choose_level(std::uint32_t id, const tiled::Box& fine_box,
+                         std::uint64_t sample_budget) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint32_t>(id);
+  put_box(w, fine_box);
+  w.put<std::uint64_t>(sample_budget);
+  const Bytes reply = call(Type::lod, body, Type::lod_ok);
+  ByteReader r{std::span<const std::byte>(reply).subspan(5)};
+  const auto level = r.get<std::int32_t>();
+  require_wire(r.exhausted(), "lod reply has trailing bytes");
+  return level;
+}
+
+ServerStats Client::stats(std::uint32_t id) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint32_t>(id);
+  const Bytes reply = call(Type::stats, body, Type::stats_ok);
+  return decode_stats_ok(std::span(reply).subspan(5));
+}
+
+void Client::close(std::uint32_t id) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint32_t>(id);
+  const Bytes reply = call(Type::close, body, Type::close_ok);
+  require_wire(reply.size() == 5, "close reply has trailing bytes");
+}
+
+}  // namespace mrc::serve::wire

@@ -1,0 +1,126 @@
+#pragma once
+
+// Length-prefixed wire protocol of the serve::Server — the frame codec and a
+// thin typed Client, both transport-agnostic: anything that can move a byte
+// buffer and return the reply buffer (an in-process loopback in the tests
+// and benches, a socket in a real deployment) can carry it.
+//
+// Frame layout (all integers little-endian, fixed width unless noted):
+//
+//   u32  length     — bytes that follow (type byte + body), in
+//                     [1, kMaxFrameBytes], and must equal exactly what the
+//                     buffer holds: no trailing garbage, no truncation
+//   u8   type       — wire::Type
+//   ...  body       — per-type payload (see wire.cpp encode/decode pairs)
+//
+// Validation before allocation, always: every count and extent in a frame is
+// checked against the bytes actually present (and against hard caps — e.g.
+// per-axis region extents <= 2^20) *before* any buffer is sized from it, so
+// a hostile 48-bit length claim costs nothing. Malformed frames throw
+// CodecError from the decode helpers; Server::handle_frame converts that to
+// an error frame, and Client converts error frames into ServerError (the
+// server-side code survives the round trip).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "serve/server.h"
+
+namespace mrc::serve::wire {
+
+/// Hard cap on `length` — a frame can never demand more than 1 GiB.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Per-axis cap on region extents in a frame (2^20 samples per axis; the
+/// containers cap total samples at 2^40, so nothing real comes close).
+inline constexpr std::uint64_t kMaxExtent = 1ull << 20;
+
+/// Dataset-id wildcard: a stats request for the whole server.
+inline constexpr std::uint32_t kAllDatasets = 0xffff'ffffu;
+
+/// Frame types. Requests in the low range, replies with the high bit set;
+/// `error` is the one reply any request may earn.
+enum class Type : std::uint8_t {
+  open = 0x01,    ///< name blob + stream blob
+  region = 0x02,  ///< u32 id, i32 level, box (6 x i64)
+  lod = 0x03,     ///< u32 id, box (6 x i64), u64 sample budget
+  stats = 0x04,   ///< u32 id (kAllDatasets = server-wide)
+  close = 0x05,   ///< u32 id
+
+  open_ok = 0x81,    ///< u32 id, i32 levels, dims (3 x i64), f64 eb
+  region_ok = 0x82,  ///< extents (3 x i64), then extents-product f32 samples
+  lod_ok = 0x83,     ///< i32 level
+  stats_ok = 0x84,   ///< ServerStats fields (see wire.cpp)
+  close_ok = 0x85,   ///< empty
+  error = 0xee,      ///< u8 ServerError::Code, message blob
+};
+
+/// A parsed frame; `body` aliases the input buffer.
+struct Frame {
+  Type type = Type::error;
+  std::span<const std::byte> body;
+};
+
+/// Validates and splits one complete frame: the length prefix must match the
+/// buffer exactly. Throws CodecError otherwise (before looking at the body).
+[[nodiscard]] Frame parse_frame(std::span<const std::byte> buf);
+
+/// Wraps a body in the length + type framing.
+[[nodiscard]] Bytes make_frame(Type t, std::span<const std::byte> body = {});
+
+/// An error reply frame carrying a ServerError code + message.
+[[nodiscard]] Bytes make_error(ServerError::Code code, std::string_view what);
+
+/// What open_ok reports about a freshly opened dataset.
+struct OpenInfo {
+  std::uint32_t id = 0;
+  int levels = 0;
+  Dim3 dims;  ///< finest-level extents
+  double eb = 0.0;
+};
+
+/// One request/reply exchange: ships a frame, returns the reply frame bytes.
+using Transport = std::function<Bytes(std::span<const std::byte>)>;
+
+/// Typed client over any Transport. Methods mirror the Server API; an error
+/// frame in reply is rethrown as ServerError with the original code, and a
+/// malformed reply throws CodecError.
+class Client {
+ public:
+  explicit Client(Transport send) : send_(std::move(send)) {
+    MRC_REQUIRE(send_ != nullptr, "wire: client needs a transport");
+  }
+
+  OpenInfo open(std::span<const std::byte> stream, std::string_view name = {});
+  [[nodiscard]] FieldF region(std::uint32_t id, int level, const tiled::Box& box);
+  [[nodiscard]] int choose_level(std::uint32_t id, const tiled::Box& fine_box,
+                                 std::uint64_t sample_budget);
+  [[nodiscard]] ServerStats stats(std::uint32_t id = kAllDatasets);
+  void close(std::uint32_t id);
+
+ private:
+  /// Ships `body` under `t`, validates the reply frame, rethrows error
+  /// frames as ServerError, and requires the reply type to be `expect`.
+  /// Returns the whole reply buffer (body = bytes past the 5-byte header).
+  Bytes call(Type t, std::span<const std::byte> body, Type expect);
+
+  Transport send_;
+};
+
+// -- codec helpers shared by Server::handle_frame and Client ----------------
+// (exposed for the fuzz tests; application code uses Server/Client)
+
+void put_box(ByteWriter& w, const tiled::Box& box);
+[[nodiscard]] tiled::Box get_box(ByteReader& r);  ///< validates 0 <= lo < hi, extent <= kMaxExtent
+
+[[nodiscard]] Bytes encode_region_ok(const FieldF& f);
+[[nodiscard]] FieldF decode_region_ok(std::span<const std::byte> body);
+
+[[nodiscard]] Bytes encode_stats_ok(const ServerStats& s);
+[[nodiscard]] ServerStats decode_stats_ok(std::span<const std::byte> body);
+
+}  // namespace mrc::serve::wire

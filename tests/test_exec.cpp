@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -94,6 +96,52 @@ TEST(ThreadPool, ParallelForRunsConcurrently) {
   });
   EXPECT_GE(ids.size(), 1u);
   EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ThreadPool, HighPriorityPreemptsQueuedLowAndQueuedCounts) {
+  // One worker (pool of 2 lanes), blocked by a gate task; while it is busy,
+  // queue a low task, then a high one. The worker must drain the high queue
+  // first — this is the serve-layer guarantee that a prefetch backlog never
+  // delays a demand read — and queued() must see the backlog.
+  exec::ThreadPool pool(2);
+  std::promise<void> started;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.submit([&started, open] {
+    started.set_value();
+    open.wait();
+  });
+  started.get_future().wait();  // the worker is now inside the gate task
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto low = pool.submit(exec::Priority::low, [&] {
+    const std::lock_guard lock(mu);
+    order.push_back(0);
+  });
+  auto high = pool.submit(exec::Priority::high, [&] {
+    const std::lock_guard lock(mu);
+    order.push_back(1);
+  });
+  EXPECT_EQ(pool.queued(), 2u);  // both still behind the gate
+
+  gate.set_value();
+  blocker.get();
+  high.get();
+  low.get();
+  EXPECT_EQ(pool.queued(), 0u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // high ran first despite being queued second
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsBothPrioritiesInline) {
+  exec::ThreadPool pool(1);
+  int ran = 0;
+  pool.submit(exec::Priority::low, [&] { ran += 1; }).get();
+  pool.submit(exec::Priority::high, [&] { ran += 2; }).get();
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(pool.queued(), 0u);
 }
 
 TEST(ThreadPool, NestedPoolsDoNotDeadlock) {

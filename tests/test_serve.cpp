@@ -59,9 +59,23 @@ TEST(Serve, OpensPyramidAndReportsGeometry) {
   EXPECT_THROW((void)ds.read_region(0, Box{{0, 0, 0}, {99, 1, 1}}), ContractError);
 }
 
-TEST(Serve, RejectsNonPyramidStreams) {
+TEST(Serve, OpensTiledStreamsAsSingleLevelDatasets) {
   const FieldF f = test::smooth_field({16, 16, 16});
-  EXPECT_THROW((void)serve::Dataset(api::compress_tiled(f), no_prefetch()), CodecError);
+  const Bytes stream = api::compress_tiled(f);
+  serve::Dataset ds(stream, no_prefetch());
+  EXPECT_EQ(ds.kind(), serve::Dataset::Kind::tiled);
+  EXPECT_EQ(ds.levels(), 1);
+  EXPECT_EQ(ds.dims(0), (Dim3{16, 16, 16}));
+  EXPECT_GT(ds.eb(), 0.0);
+  EXPECT_DOUBLE_EQ(ds.level_error(0), ds.eb());  // no LOD: codec bound only
+  const Box box{{3, 0, 5}, {16, 9, 12}};
+  EXPECT_EQ(ds.read_region(0, box), tiled::read_region(stream, box).data);
+  EXPECT_EQ(ds.read_region(0, box), tiled::read_region(stream, box).data);
+  EXPECT_GT(ds.stats().hits, 0u);  // the second read came from cache
+}
+
+TEST(Serve, RejectsNonContainerStreams) {
+  const FieldF f = test::smooth_field({16, 16, 16});
   EXPECT_THROW((void)serve::Dataset(api::compress(f), no_prefetch()), CodecError);
   EXPECT_THROW((void)serve::Dataset(Bytes(8, std::byte{0}), no_prefetch()), CodecError);
 }
@@ -208,6 +222,20 @@ TEST(Serve, ConcurrentReadersStayExactAndCountersConsistent) {
   constexpr int kReadsPerThread = 25;
   std::atomic<std::uint64_t> expected_lookups{0};
   std::atomic<int> mismatches{0};
+
+  // Hammer stats() from a sampler thread while the readers run: every
+  // snapshot — taken mid-decode, mid-eviction, whenever — must satisfy the
+  // documented invariant hits + misses == lookups exactly (counters only
+  // move under the cache's shard locks; see serve/brick_cache.h).
+  std::atomic<bool> sampling{true};
+  std::atomic<int> inconsistent_snapshots{0};
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      const auto snap = ds.stats();
+      if (snap.hits + snap.misses != snap.lookups) inconsistent_snapshots.fetch_add(1);
+    }
+  });
+
   std::vector<std::thread> workers;
   workers.reserve(kThreads);
   for (int w = 0; w < kThreads; ++w) {
@@ -235,9 +263,13 @@ TEST(Serve, ConcurrentReadersStayExactAndCountersConsistent) {
     });
   }
   for (auto& t : workers) t.join();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
 
   EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(inconsistent_snapshots.load(), 0);
   const auto st = ds.stats();
+  EXPECT_EQ(st.lookups, expected_lookups.load());
   EXPECT_EQ(st.hits + st.misses, expected_lookups.load());
   EXPECT_GT(st.hits, 0u);
   (void)ld;

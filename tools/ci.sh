@@ -8,7 +8,9 @@
 # under ThreadSanitizer (third preset, <build-dir>-tsan), and finally a bench
 # smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
 # bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
-# bit-at-a-time baseline), with every BENCH_*.json they and earlier runs
+# bit-at-a-time baseline) and bench_server_load (multi-tenant Server under
+# concurrent wire clients; gates viewport-walk out-hitting random and
+# monotone latency quantiles), with every BENCH_*.json they and earlier runs
 # produced validated by tools/check_bench_json.py — malformed bench output
 # fails the pipeline. Set
 # MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_BENCH=1 to skip those passes.
@@ -49,22 +51,26 @@ fi
 
 if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
   echo
-  echo "== ThreadSanitizer pass (exec / tiled / pyramid / serve) =="
+  echo "== ThreadSanitizer pass (exec / tiled / pyramid / serve / server / wire) =="
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DMRC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       > /dev/null
   cmake --build "$TSAN_DIR" -j"$(nproc)" --target mrc_tests > /dev/null
   # Only the concurrency-bearing suites: the serial codec/metric suites add
   # nothing under TSan but multiply its ~10x slowdown.
-  "$TSAN_DIR"/mrc_tests --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Adaptive*'
+  "$TSAN_DIR"/mrc_tests \
+      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Server*:Wire*:Adaptive*'
 fi
 
 if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then
   echo
   echo "== bench smoke (tiny grid) + BENCH_*.json validation =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_adaptive_ratio \
-      bench_codec_hotpath > /dev/null
+      bench_codec_hotpath bench_server_load > /dev/null
   (cd "$BUILD_DIR/bench" && MRC_SCALE=13 ./bench_adaptive_ratio > /dev/null)
+  # Multi-tenant server smoke: 2 datasets, 2/8 wire clients on a tiny grid;
+  # gates viewport-walk hit ratio > random and p50 <= p99 per row.
+  (cd "$BUILD_DIR/bench" && MRC_SCALE=25 ./bench_server_load > /dev/null)
   # The entropy hot path: gates >= 3x single-thread Huffman decode over the
   # bit-at-a-time baseline and cross-checks byte-identical streams. Default
   # scale (1M symbols) keeps the timing stable enough for the gate.

@@ -14,6 +14,7 @@
 //                   [--out=<file.raw>] [key=value ...]
 //   mrcc metrics    <orig.raw> <recon.raw>
 //   mrcc info       <in> [--tiles]
+//   mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]
 //   mrcc codecs
 //
 // Codec names come from the codec registry (`mrcc codecs` lists them); any
@@ -35,7 +36,12 @@
 // decoding only the intersecting bricks; "lod" serves the same kind of box
 // (in finest-grid coordinates) from a pyramid through the cached Dataset
 // layer, picking the cheapest sufficient level for a sample or error budget
-// unless --level pins one. --out writes the result as a self-describing
+// unless --level pins one. "serve" opens every operand stream (MRCT / MRCP /
+// MRCA, any mix) in one multi-tenant serve::Server — one global cache_mb
+// brick cache, one exec pool — drives K simulated clients through the wire
+// protocol over the in-process loopback transport for N region reads each,
+// and prints the per-dataset hit ratios plus the server's admission and
+// latency stats. --out writes the result as a self-describing
 // .raw file (io::write_raw: extents header + f32 payload). "decompress"
 // accepts any mrcomp stream — codec choice is read from the stream header;
 // snapshots are restored, tiled streams reassembled, pyramids decoded at
@@ -48,13 +54,17 @@
 // LOD error) for pyramids. Bad arguments (unknown keys, malformed numbers,
 // missing operands) always exit nonzero with a message on stderr.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/mrc_api.h"
+#include "common/rng.h"
 #include "io/raw_io.h"
+#include "serve/wire.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
 
@@ -176,6 +186,7 @@ int usage() {
       "  mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1> [--budget=<samples> | "
       "--eb_budget=<err> | --level=<l>] [--out=<file.raw>] [key=value ...]\n"
       "  mrcc info       <in> [--tiles]\n"
+      "  mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]\n"
       "  mrcc codecs\n"
       "key=value may also be spelled --key=value (--tile=64 --threads=8).\n");
   return 2;
@@ -382,6 +393,87 @@ int main(int argc, char** argv) {
     std::printf("max_abs_err %10.6g\n", st.max_abs_err);
     std::printf("ssim        %10.6f\n", metrics::ssim(orig, recon));
     std::printf("ssim_slice  %10.6f\n", metrics::ssim_central_slice(orig, recon));
+    return 0;
+  }
+  if (cmd == "serve" && argc >= 3) {
+    auto args = tail_args(argv + 2, argv + argc);
+    std::string clients_s = "4", reads_s = "32";
+    take_flag(args, "clients", clients_s);
+    take_flag(args, "reads", reads_s);
+    // Operands without '=' are stream paths; the rest are Options knobs.
+    std::vector<std::string> paths, knobs;
+    for (const std::string& a : args)
+      (a.find('=') == std::string::npos ? paths : knobs).push_back(a);
+    if (paths.empty()) throw ContractError("serve: need at least one stream");
+    const int clients = static_cast<int>(parse_ll(clients_s.c_str(), "clients"));
+    const int reads = static_cast<int>(parse_ll(reads_s.c_str(), "reads"));
+    MRC_REQUIRE(clients >= 1 && reads >= 1, "serve: clients and reads must be >= 1");
+    api::Options opt;
+    apply_args(opt, knobs);
+
+    serve::Server srv(opt.server_config());
+    const serve::wire::Transport loopback =
+        [&srv](std::span<const std::byte> frame) { return srv.handle_frame(frame); };
+    serve::wire::Client admin(loopback);
+    std::vector<serve::wire::OpenInfo> open;
+    open.reserve(paths.size());
+    for (const std::string& p : paths) {
+      open.push_back(admin.open(io::read_bytes(p), p));
+      std::printf("opened #%u %s: %d level(s), dims %s, eb %.4g\n", open.back().id,
+                  p.c_str(), open.back().levels, open.back().dims.str().c_str(),
+                  open.back().eb);
+    }
+
+    // K simulated clients, each walking random finest-level viewports over
+    // random datasets through the wire protocol (overloads are retried).
+    std::vector<std::thread> crew;
+    crew.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      crew.emplace_back([&, c] {
+        serve::wire::Client client(loopback);
+        Rng rng(0x5eedull + static_cast<std::uint64_t>(c));
+        for (int r = 0; r < reads; ++r) {
+          const auto& ds = open[rng.uniform_index(open.size())];
+          const Dim3 d = ds.dims;
+          const index_t w = std::min<index_t>({16, d.nx, d.ny, d.nz});
+          const index_t x0 = static_cast<index_t>(rng.uniform() * double(d.nx - w));
+          const index_t y0 = static_cast<index_t>(rng.uniform() * double(d.ny - w));
+          const index_t z0 = static_cast<index_t>(rng.uniform() * double(d.nz - w));
+          for (;;) {
+            try {
+              (void)client.region(ds.id, 0,
+                                  {{x0, y0, z0}, {x0 + w, y0 + w, z0 + w}});
+              break;
+            } catch (const serve::ServerError& e) {
+              if (e.code() != serve::ServerError::Code::overloaded) throw;
+              std::this_thread::yield();
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : crew) t.join();
+    srv.wait_idle();
+
+    std::printf("%4s %-20s %10s %8s %10s %10s\n", "id", "stream", "lookups",
+                "hit%", "bricks", "bytes");
+    for (const auto& ds : open) {
+      const serve::ServerStats s = admin.stats(ds.id);
+      std::printf("%4u %-20s %10llu %7.1f%% %10zu %10zu\n", ds.id,
+                  paths[static_cast<std::size_t>(&ds - open.data())].c_str(),
+                  static_cast<unsigned long long>(s.cache.lookups),
+                  100.0 * s.cache.hit_ratio(), s.cache.entries, s.cache.bytes);
+    }
+    const serve::ServerStats s = admin.stats();
+    std::printf("server: %llu requests (%llu shed), hit ratio %.1f%%, "
+                "%zu/%zu cache bytes, queue %llu, p50 %llu us, p99 %llu us\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.rejected),
+                100.0 * s.cache.hit_ratio(), s.cache.bytes,
+                static_cast<std::size_t>(opt.server_config().cache_bytes),
+                static_cast<unsigned long long>(s.queue_depth),
+                static_cast<unsigned long long>(s.p50_us),
+                static_cast<unsigned long long>(s.p99_us));
     return 0;
   }
   if (cmd == "restore" && argc == 4) {
