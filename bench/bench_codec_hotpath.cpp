@@ -18,7 +18,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "common/timer.h"
+#include "obs/obs.h"
 #include "lossless/bitstream.h"
 #include "lossless/huffman.h"
 #include "lossless/quant_codec.h"
@@ -43,7 +43,7 @@ template <typename F>
 double best_seconds(F&& fn) {
   double best = 1e300;
   for (int rep = 0; rep < 3; ++rep) {
-    WallTimer t;
+    obs::ScopedTimer t("bench.rep");
     fn();
     best = std::min(best, t.seconds());
   }

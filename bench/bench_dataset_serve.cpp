@@ -22,7 +22,7 @@
 #include "api/mrc_api.h"
 #include "bench_util.h"
 #include "common/rng.h"
-#include "common/timer.h"
+#include "obs/obs.h"
 #include "exec/thread_pool.h"
 #include "serve/dataset.h"
 
@@ -127,11 +127,11 @@ int main() {
       row.reads = windows.size();
       row.pool_threads = opt.threads == 0 ? exec::hardware_threads() : opt.threads;
 
-      WallTimer timer;
+      obs::ScopedTimer timer("bench.cold_pass");
       row.samples = run_pass(ds, windows);
       row.cold_s = timer.seconds();
 
-      timer.restart();
+      timer.restart("bench.warm_pass");
       const std::uint64_t warm_samples = run_pass(ds, windows);
       row.warm_s = timer.seconds();
       MRC_REQUIRE(warm_samples == row.samples, "warm pass served different samples");

@@ -1,0 +1,106 @@
+// bench_obs_overhead — what the mrc::obs observability layer costs on the
+// tiled hot path. Three modes of the same single-thread compress/decompress
+// round trip:
+//   off              — library built with -DMRC_OBS=OFF (spans compiled out);
+//                      this build emits that one row, a normal build the other
+//                      two, and ci.sh runs both binaries and joins the rows.
+//   runtime_disabled — obs compiled in, runtime switch off (the default): every
+//                      span site costs one relaxed load and branch.
+//   enabled          — spans recorded into the per-thread trace rings.
+// ci.sh gates runtime_disabled vs off at a small regression budget; rows land
+// in BENCH_obs_overhead.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/obs.h"
+#include "tiled/tiled.h"
+
+using namespace mrc;
+
+namespace {
+
+struct Row {
+  const char* mode;
+  double compress_mb_s = 0.0;
+  double decompress_mb_s = 0.0;
+};
+
+double mb_per_s(index_t values, double seconds) {
+  const double mb = static_cast<double>(values) * sizeof(float) / (1024.0 * 1024.0);
+  return seconds > 0.0 ? mb / seconds : 0.0;
+}
+
+Row measure(const char* mode, const FieldF& f, double abs_eb, int reps) {
+  tiled::Config cfg;
+  cfg.codec = "interp";
+  cfg.brick = 64;
+  cfg.threads = 1;  // single lane: measures per-span cost, not pool scheduling
+  double best_c = 1e300, best_d = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    obs::ScopedTimer timer("bench.obs_compress");
+    const Bytes stream = tiled::compress(f, abs_eb, cfg);
+    const double cs = timer.restart("bench.obs_decompress");
+    const FieldF back = tiled::decompress(stream, 1);
+    const double ds = timer.seconds();
+    MRC_REQUIRE(back.dims() == f.dims(), "tiled round trip changed extents");
+    best_c = std::min(best_c, cs);
+    best_d = std::min(best_d, ds);
+  }
+  return {mode, mb_per_s(f.size(), best_c), mb_per_s(f.size(), best_d)};
+}
+
+}  // namespace
+
+int main() {
+  const Dim3 dims = scaled({256, 256, 256});
+  bench::print_title("obs overhead: tiled hot path",
+                     "observability subsystem (no paper figure)",
+                     "Nyx-like density");
+  const FieldF f = sim::nyx_density(dims, /*seed=*/7);
+  const double abs_eb = 1e-3 * f.value_range();
+  const int reps = 5;  // best-of: the gate compares two binaries, so the
+                       // per-mode numbers must be repeatable to ~1%
+
+  std::vector<Row> rows;
+#ifdef MRC_OBS_DISABLED
+  rows.push_back(measure("off", f, abs_eb, reps));
+#else
+  obs::set_enabled(false);
+  rows.push_back(measure("runtime_disabled", f, abs_eb, reps));
+  obs::reset_trace();
+  obs::set_enabled(true);
+  rows.push_back(measure("enabled", f, abs_eb, reps));
+  obs::set_enabled(false);
+  const auto ts = obs::trace_stats();
+  std::printf("enabled pass recorded %llu spans (%llu dropped by ring wrap)\n",
+              static_cast<unsigned long long>(ts.recorded),
+              static_cast<unsigned long long>(ts.dropped));
+#endif
+
+  std::printf("%18s %14s %14s\n", "mode", "compress MB/s", "decomp MB/s");
+  for (const Row& r : rows)
+    std::printf("%18s %14.1f %14.1f\n", r.mode, r.compress_mb_s, r.decompress_mb_s);
+
+  FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
+  MRC_REQUIRE(json != nullptr, "cannot write BENCH_obs_overhead.json");
+  std::fprintf(json, "{\n  \"bench\": \"obs_overhead\",\n  \"dims\": \"%s\",\n",
+               dims.str().c_str());
+  std::fprintf(json, "  \"codec\": \"interp\",\n  \"rel_eb\": 1e-3,\n  \"reps\": %d,\n",
+               reps);
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"compress_mb_s\": %.1f, "
+                 "\"decompress_mb_s\": %.1f}%s\n",
+                 r.mode, r.compress_mb_s, r.decompress_mb_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_obs_overhead.json (%zu rows)\n", rows.size());
+  return 0;
+}

@@ -14,7 +14,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/timer.h"
+#include "obs/obs.h"
 #include "compressors/registry.h"
 #include "io/raw_io.h"
 #include "postproc/bezier.h"
@@ -35,27 +35,27 @@ StageTimes run_pipeline(const FieldF& f, const Compressor& comp, double eb,
   const std::string out_path = tmpdir + "/mrc_t9_out.bin";
   io::write_raw(f, in_path);  // not timed: the original workflow starts by reading
 
-  WallTimer w;
+  obs::ScopedTimer w("bench.io_read");
   const FieldF loaded = io::read_raw(in_path);
   t.io += w.seconds();
 
-  w.restart();
+  w.restart("bench.compress_roundtrip");
   const auto stream = comp.compress(loaded, eb);
   const FieldF dec = comp.decompress(stream);
   t.comp = w.seconds();
 
-  w.restart();
+  w.restart("bench.sample_tune");
   const auto plan = postproc::default_sampling(f.dims(), pp_block);
   const auto samples = postproc::draw_sample_blocks(loaded, plan.block_edge, plan.count, 42);
   const auto tuned = postproc::tune_intensity(samples, comp, eb, pp_block, candidates);
   t.sample = w.seconds();
 
-  w.restart();
+  w.restart("bench.postprocess");
   const FieldF post = postproc::bezier_postprocess(
       dec, {pp_block, eb, tuned.ax, tuned.ay, tuned.az});
   t.process = w.seconds();
 
-  w.restart();
+  w.restart("bench.io_write");
   io::write_raw(post, out_path);
   t.io += w.seconds();
 

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/timer.h"
+#include "obs/obs.h"
 #include "exec/thread_pool.h"
 #include "tiled/tiled.h"
 
@@ -80,17 +80,17 @@ int main() {
       row.pool_threads = t == 0 ? exec::hardware_threads() : t;
       row.brick = brick;
 
-      WallTimer timer;
+      obs::ScopedTimer timer("bench.tiled_compress");
       const Bytes stream = tiled::compress(f, abs_eb, cfg);
       row.compress_s = timer.seconds();
       row.ratio = compression_ratio(f.size(), stream.size());
 
-      timer.restart();
+      timer.restart("bench.tiled_decompress");
       const FieldF back = tiled::decompress(stream, t);
       row.decompress_s = timer.seconds();
       MRC_REQUIRE(back.dims() == dims, "tiled round trip changed extents");
 
-      timer.restart();
+      timer.restart("bench.tiled_read_region");
       const auto rr = tiled::read_region(stream, roi, t);
       row.region_s = timer.seconds();
       row.region_tiles = rr.tiles_decoded;

@@ -15,10 +15,17 @@
 #include "core/sz3mr.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
+#include "obs/obs.h"
 #include "postproc/sampler.h"
 #include "simdata/generators.h"
 
 namespace mrc::bench {
+
+// The one timing helper benches use: obs::ScopedTimer sections both return
+// wall seconds and (when obs is enabled, e.g. under mrcc --trace=) land as
+// spans in the same Perfetto timeline as the production codec/container/
+// pool spans they bracket.
+using ScopedTimer = obs::ScopedTimer;
 
 inline void print_title(const char* experiment, const char* paper_ref,
                         const char* workload) {

@@ -8,6 +8,7 @@
 #include "analysis/halo_finder.h"
 #include "exec/thread_pool.h"
 #include "grid/field_ops.h"
+#include "obs/obs.h"
 #include "roi/roi_extract.h"
 
 namespace mrc::adaptive {
@@ -214,6 +215,10 @@ Bytes compress(const FieldF& f, double abs_eb, const LevelMap& levels,
 
   exec::ThreadPool pool(cfg.threads);
   pool.parallel_for(n_bricks, [&](index_t t) {
+    static obs::Counter& bricks =
+        obs::Registry::global().counter("mrc.adaptive.bricks_compressed");
+    bricks.add(1);
+    OBS_SPAN("adaptive.brick_compress");
     const Coord3 tc = tiled::tile_coord(grid, t);
     const Coord3 o{tc.x * cfg.brick, tc.y * cfg.brick, tc.z * cfg.brick};
     const int level = static_cast<int>(levels.level[static_cast<std::size_t>(t)]);
@@ -370,6 +375,10 @@ Index read_index(std::span<const std::byte> stream) {
 FieldF decode_brick(const Index& idx, const Compressor& codec,
                     std::span<const std::byte> stream, std::size_t t) {
   MRC_REQUIRE(t < idx.bricks.size(), "decode_brick: brick id out of range");
+  static obs::Counter& bricks =
+      obs::Registry::global().counter("mrc.adaptive.bricks_decoded");
+  bricks.add(1);
+  OBS_SPAN("adaptive.brick_decode");
   const BrickEntry& e = idx.bricks[t];
   const auto payload = stream.subspan(idx.payload_offset,
                                       static_cast<std::size_t>(idx.payload_bytes));

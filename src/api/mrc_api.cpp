@@ -8,6 +8,7 @@
 
 #include "exec/thread_pool.h"
 #include "io/raw_io.h"
+#include "obs/obs.h"
 #include "roi/roi_extract.h"
 #include "serve/server.h"
 
@@ -324,11 +325,13 @@ double Options::absolute_eb(const FieldF& f) const {
 }
 
 Bytes compress(const FieldF& f, const Options& opt) {
+  OBS_SPAN("api.compress");
   const auto codec = registry().make(opt.codec, opt.tuning());
   return codec->compress(f, opt.absolute_eb(f));
 }
 
 FieldF decompress(std::span<const std::byte> stream) {
+  OBS_SPAN("api.decompress");
   const StreamHeader h = peek_header(stream);
   if (h.codec_magic == workflow::kSnapshotMagic) return restore(stream);
   if (h.codec_magic == tiled::kTiledMagic)

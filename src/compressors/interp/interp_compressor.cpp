@@ -6,6 +6,7 @@
 
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
+#include "obs/obs.h"
 
 namespace mrc {
 
@@ -164,6 +165,67 @@ double level_eb(double eb, int level, const InterpConfig& cfg) {
   return eb / factor;
 }
 
+// The two traverse passes live in their own non-inlined functions, free of
+// any obs:: code, so the OBS_SPANs at their call sites cannot perturb the
+// hot loop's codegen (see the placement rule next to OBS_SPAN in obs/obs.h).
+
+MRC_OBS_NOINLINE std::size_t predict_quant_pass(const FieldF& f, double abs_eb,
+                                                const InterpConfig& cfg,
+                                                FieldF& recon,
+                                                std::vector<std::uint32_t>& codes,
+                                                std::vector<float>& outliers) {
+  const auto radius = cfg.quant_radius;
+  const float* orig = f.data();
+  std::size_t emitted = 0;
+  traverse(f.dims(), recon, cfg.cubic,
+           [&](index_t idx, double pred, int level, bool /*extrap*/) {
+             const double eb = level_eb(abs_eb, level, cfg);
+             const float x = orig[idx];
+             const double diff = static_cast<double>(x) - pred;
+             std::uint32_t code = 0;
+             if (std::abs(diff) < 2.0 * eb * radius) {
+               const auto q = std::llround(diff / (2.0 * eb));
+               if (std::llabs(q) < radius) {
+                 const auto cand =
+                     static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+                 if (std::abs(static_cast<double>(cand) - static_cast<double>(x)) <= eb) {
+                   code = static_cast<std::uint32_t>(q + radius);
+                   recon.data()[idx] = cand;
+                 }
+               }
+             }
+             if (code == 0) {
+               outliers.push_back(x);
+               recon.data()[idx] = x;
+             }
+             codes[emitted++] = code;
+           });
+  return emitted;
+}
+
+MRC_OBS_NOINLINE void predict_recon_pass(const Dim3& dims, double stream_eb,
+                                         const InterpConfig& cfg, FieldF& recon,
+                                         const std::vector<std::uint32_t>& codes,
+                                         const std::vector<float>& outliers) {
+  std::size_t ci = 0;
+  std::size_t oi = 0;
+  const auto radius = cfg.quant_radius;
+  traverse(dims, recon, cfg.cubic,
+           [&](index_t idx, double pred, int level, bool /*extrap*/) {
+             const double eb = level_eb(stream_eb, level, cfg);
+             const std::uint32_t code = codes[ci++];
+             if (code == 0) {
+               if (oi >= outliers.size()) throw CodecError("interp: outlier underrun");
+               recon.data()[idx] = outliers[oi++];
+             } else {
+               const auto q = static_cast<std::int64_t>(code) - radius;
+               recon.data()[idx] =
+                   static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+             }
+           });
+  if (oi != outliers.size()) throw CodecError("interp: outlier overrun");
+}
+
 }  // namespace
 
 InterpCompressor::InterpCompressor(InterpConfig cfg) : cfg_(cfg) {
@@ -193,29 +255,17 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
   outliers.clear();
   std::size_t emitted = 0;
 
-  const float* orig = f.data();
-  traverse(d, recon, cfg_.cubic,
-           [&](index_t idx, double pred, int level, bool /*extrap*/) {
-             const double eb = level_eb(abs_eb, level, cfg_);
-             const float x = orig[idx];
-             const double diff = static_cast<double>(x) - pred;
-             std::uint32_t code = 0;
-             if (std::abs(diff) < 2.0 * eb * radius) {
-               const auto q = std::llround(diff / (2.0 * eb));
-               if (std::llabs(q) < radius) {
-                 const auto cand = static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
-                 if (std::abs(static_cast<double>(cand) - static_cast<double>(x)) <= eb) {
-                   code = static_cast<std::uint32_t>(q + radius);
-                   recon.data()[idx] = cand;
-                 }
-               }
-             }
-             if (code == 0) {
-               outliers.push_back(x);
-               recon.data()[idx] = x;
-             }
-             codes[emitted++] = code;
-           });
+  static obs::Counter& ns_pq =
+      obs::Registry::global().counter("mrc.codec.predict_quant_ns");
+  static obs::Counter& ns_ent =
+      obs::Registry::global().counter("mrc.codec.entropy_ns");
+  static obs::Counter& ns_ll =
+      obs::Registry::global().counter("mrc.codec.lossless_ns");
+
+  {
+    OBS_SPAN("interp.predict_quant", &ns_pq);
+    emitted = predict_quant_pass(f, abs_eb, cfg_, recon, codes, outliers);
+  }
   MRC_REQUIRE(emitted == codes.size(), "traversal did not cover the grid");
 
   Bytes out;
@@ -227,9 +277,15 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
   w.put(cfg_.beta);
   w.put_varint(radius);
 
-  w.put_blob(lossless::encode_quant_codes(codes, radius));
-  const auto outlier_bytes = std::as_bytes(std::span<const float>(outliers));
-  w.put_blob(lossless::lzss_compress(outlier_bytes));
+  {
+    OBS_SPAN("interp.entropy", &ns_ent);
+    w.put_blob(lossless::encode_quant_codes(codes, radius));
+  }
+  {
+    OBS_SPAN("interp.lossless", &ns_ll);
+    const auto outlier_bytes = std::as_bytes(std::span<const float>(outliers));
+    w.put_blob(lossless::lzss_compress(outlier_bytes));
+  }
   return out;
 }
 
@@ -251,31 +307,29 @@ FieldF InterpCompressor::decompress(std::span<const std::byte> stream) const {
   thread_local std::vector<float> outliers;
   const detail::ScratchGuard gc(codes);
   const detail::ScratchGuard go(outliers);
-  lossless::decode_quant_codes_into(r.get_blob(), cfg.quant_radius, codes,
-                                    static_cast<std::uint64_t>(h.dims.size()));
-  const auto outlier_raw = lossless::lzss_decompress(r.get_blob());
-  if (outlier_raw.size() % sizeof(float) != 0) throw CodecError("interp: bad outlier blob");
-  outliers.resize(outlier_raw.size() / sizeof(float));
-  std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+  static obs::Counter& ns_ent =
+      obs::Registry::global().counter("mrc.codec.entropy_ns");
+  static obs::Counter& ns_ll =
+      obs::Registry::global().counter("mrc.codec.lossless_ns");
+  static obs::Counter& ns_pq =
+      obs::Registry::global().counter("mrc.codec.predict_quant_ns");
+  {
+    OBS_SPAN("interp.entropy", &ns_ent);
+    lossless::decode_quant_codes_into(r.get_blob(), cfg.quant_radius, codes,
+                                      static_cast<std::uint64_t>(h.dims.size()));
+  }
+  {
+    OBS_SPAN("interp.lossless", &ns_ll);
+    const auto outlier_raw = lossless::lzss_decompress(r.get_blob());
+    if (outlier_raw.size() % sizeof(float) != 0)
+      throw CodecError("interp: bad outlier blob");
+    outliers.resize(outlier_raw.size() / sizeof(float));
+    std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+  }
 
   FieldF recon(h.dims);
-  std::size_t ci = 0;
-  std::size_t oi = 0;
-  const auto radius = cfg.quant_radius;
-  traverse(h.dims, recon, cfg.cubic,
-           [&](index_t idx, double pred, int level, bool /*extrap*/) {
-             const double eb = level_eb(h.eb, level, cfg);
-             const std::uint32_t code = codes[ci++];
-             if (code == 0) {
-               if (oi >= outliers.size()) throw CodecError("interp: outlier underrun");
-               recon.data()[idx] = outliers[oi++];
-             } else {
-               const auto q = static_cast<std::int64_t>(code) - radius;
-               recon.data()[idx] =
-                   static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
-             }
-           });
-  if (oi != outliers.size()) throw CodecError("interp: outlier overrun");
+  OBS_SPAN("interp.predict_recon", &ns_pq);
+  predict_recon_pass(h.dims, h.eb, cfg, recon, codes, outliers);
   return recon;
 }
 

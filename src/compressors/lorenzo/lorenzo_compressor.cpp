@@ -10,6 +10,7 @@
 #include "lossless/bitstream.h"
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
+#include "obs/obs.h"
 
 namespace mrc {
 
@@ -142,63 +143,78 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
     outliers.clear();
     std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
 
-    for (index_t bz = bz0; bz < bz1; ++bz)
-      for (index_t by = 0; by < ceil_div(d.ny, bs); ++by)
-        for (index_t bx = 0; bx < ceil_div(d.nx, bs); ++bx) {
-          const index_t x0 = bx * bs, y0 = by * bs, z0 = bz * bs;
-          const index_t ex = std::min(bs, d.nx - x0);
-          const index_t ey = std::min(bs, d.ny - y0);
-          const index_t ez = std::min(bs, d.nz - z0);
+    static obs::Counter& ns_pq =
+        obs::Registry::global().counter("mrc.codec.predict_quant_ns");
+    static obs::Counter& ns_ent =
+        obs::Registry::global().counter("mrc.codec.entropy_ns");
+    static obs::Counter& ns_ll =
+        obs::Registry::global().counter("mrc.codec.lossless_ns");
+    {
+      OBS_SPAN("lorenzo.predict_quant", &ns_pq);
+      for (index_t bz = bz0; bz < bz1; ++bz)
+        for (index_t by = 0; by < ceil_div(d.ny, bs); ++by)
+          for (index_t bx = 0; bx < ceil_div(d.nx, bs); ++bx) {
+            const index_t x0 = bx * bs, y0 = by * bs, z0 = bz * bs;
+            const index_t ex = std::min(bs, d.nx - x0);
+            const index_t ey = std::min(bs, d.ny - y0);
+            const index_t ez = std::min(bs, d.nz - z0);
 
-          // Predictor selection on original data.
-          bool use_reg = false;
-          Plane plane;
-          if (cfg_.use_regression && ex * ey * ez >= 8) {
-            plane = fit_plane(orig, d, x0, y0, z0, ex, ey, ez);
-            double err_reg = 0, err_lor = 0;
+            // Predictor selection on original data.
+            bool use_reg = false;
+            Plane plane;
+            if (cfg_.use_regression && ex * ey * ez >= 8) {
+              plane = fit_plane(orig, d, x0, y0, z0, ex, ey, ez);
+              double err_reg = 0, err_lor = 0;
+              const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
+              for (index_t k = 0; k < ez; ++k)
+                for (index_t j = 0; j < ey; ++j)
+                  for (index_t i = 0; i < ex; ++i) {
+                    const double v = orig[d.index(x0 + i, y0 + j, z0 + k)];
+                    const double pr =
+                        plane.m + plane.gx * (i - ci) + plane.gy * (j - cj) + plane.gz * (k - ck);
+                    err_reg += std::abs(v - pr);
+                    err_lor += std::abs(
+                        v - lorenzo_pred_orig(orig, d, x0 + i, y0 + j, z0 + k, zmin));
+                  }
+              use_reg = err_reg < err_lor;
+            }
+            flag_bits.write_bit(use_reg ? 1u : 0u);
+
+            Plane qplane;
+            if (use_reg) {
+              const auto q = cq.quantize(plane);
+              for (int t = 0; t < 4; ++t) {
+                coeff_writer.put_varint(zigzag(q[t] - prev_q[t]));
+              }
+              prev_q = q;
+              qplane = cq.dequantize(q);
+            }
+
             const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
             for (index_t k = 0; k < ez; ++k)
               for (index_t j = 0; j < ey; ++j)
                 for (index_t i = 0; i < ex; ++i) {
-                  const double v = orig[d.index(x0 + i, y0 + j, z0 + k)];
-                  const double pr =
-                      plane.m + plane.gx * (i - ci) + plane.gy * (j - cj) + plane.gz * (k - ck);
-                  err_reg += std::abs(v - pr);
-                  err_lor += std::abs(
-                      v - lorenzo_pred_orig(orig, d, x0 + i, y0 + j, z0 + k, zmin));
+                  const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
+                  const double pred =
+                      use_reg ? qplane.m + qplane.gx * (i - ci) + qplane.gy * (j - cj) +
+                                    qplane.gz * (k - ck)
+                              : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
+                  codes.push_back(quant.encode(orig[idx], pred, recon.data()[idx], outliers));
                 }
-            use_reg = err_reg < err_lor;
-          }
-          flag_bits.write_bit(use_reg ? 1u : 0u);
-
-          Plane qplane;
-          if (use_reg) {
-            const auto q = cq.quantize(plane);
-            for (int t = 0; t < 4; ++t) {
-              coeff_writer.put_varint(zigzag(q[t] - prev_q[t]));
-            }
-            prev_q = q;
-            qplane = cq.dequantize(q);
           }
 
-          const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
-          for (index_t k = 0; k < ez; ++k)
-            for (index_t j = 0; j < ey; ++j)
-              for (index_t i = 0; i < ex; ++i) {
-                const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
-                const double pred =
-                    use_reg ? qplane.m + qplane.gx * (i - ci) + qplane.gy * (j - cj) +
-                                  qplane.gz * (k - ck)
-                            : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
-                codes.push_back(quant.encode(orig[idx], pred, recon.data()[idx], outliers));
-              }
-        }
-
+    }
     auto& cs = chunks[static_cast<std::size_t>(c)];
     cs.flags = flag_bits.take();
-    cs.coeffs = lossless::lzss_compress(coeff_bytes);
-    cs.codes = lossless::encode_quant_codes(codes, cfg_.quant_radius);
-    cs.outliers = lossless::lzss_compress(std::as_bytes(std::span<const float>(outliers)));
+    {
+      OBS_SPAN("lorenzo.lossless", &ns_ll);
+      cs.coeffs = lossless::lzss_compress(coeff_bytes);
+      cs.outliers = lossless::lzss_compress(std::as_bytes(std::span<const float>(outliers)));
+    }
+    {
+      OBS_SPAN("lorenzo.entropy", &ns_ent);
+      cs.codes = lossless::encode_quant_codes(codes, cfg_.quant_radius);
+    }
   });
 
   Bytes out;
@@ -252,8 +268,18 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
     const index_t zmin = bz0 * bs;
     const auto& ci_in = chunk_in[static_cast<std::size_t>(c)];
 
+    static obs::Counter& ns_pq =
+        obs::Registry::global().counter("mrc.codec.predict_quant_ns");
+    static obs::Counter& ns_ent =
+        obs::Registry::global().counter("mrc.codec.entropy_ns");
+    static obs::Counter& ns_ll =
+        obs::Registry::global().counter("mrc.codec.lossless_ns");
+
     lossless::BitReader flag_bits(ci_in.flags);
-    const auto coeff_raw = lossless::lzss_decompress(ci_in.coeffs);
+    const auto coeff_raw = [&] {
+      OBS_SPAN("lorenzo.lossless", &ns_ll);
+      return lossless::lzss_decompress(ci_in.coeffs);
+    }();
     ByteReader coeff_reader(coeff_raw);
     // Per-lane scratch; the chunk's cell count is a closed-form function of
     // its z-slab, and decode_quant_codes_into validates the stream's count
@@ -262,16 +288,25 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
     thread_local std::vector<float> outliers;
     const detail::ScratchGuard gc(codes);
     const detail::ScratchGuard go(outliers);
-    lossless::decode_quant_codes_into(
-        ci_in.codes, radius, codes,
-        static_cast<std::uint64_t>((std::min(bz1 * bs, d.nz) - zmin) * d.nx * d.ny));
-    const auto outlier_raw = lossless::lzss_decompress(ci_in.outliers);
-    outliers.resize(outlier_raw.size() / sizeof(float));
-    std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+    {
+      OBS_SPAN("lorenzo.entropy", &ns_ent);
+      lossless::decode_quant_codes_into(
+          ci_in.codes, radius, codes,
+          static_cast<std::uint64_t>((std::min(bz1 * bs, d.nz) - zmin) * d.nx * d.ny));
+    }
+    {
+      OBS_SPAN("lorenzo.lossless", &ns_ll);
+      const auto outlier_raw = lossless::lzss_decompress(ci_in.outliers);
+      outliers.resize(outlier_raw.size() / sizeof(float));
+      std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+    }
 
     std::size_t code_pos = 0, outlier_pos = 0;
     std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
 
+    // Closes at the end of the try block — the block loop is its last
+    // statement, so the span covers exactly the reconstruction sweep.
+    obs::Span span_recon("lorenzo.predict_recon", &ns_pq);
     for (index_t bz = bz0; bz < bz1; ++bz)
       for (index_t by = 0; by < ceil_div(d.ny, bs); ++by)
         for (index_t bx = 0; bx < ceil_div(d.nx, bs); ++bx) {

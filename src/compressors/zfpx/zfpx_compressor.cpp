@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "lossless/bitstream.h"
+#include "obs/obs.h"
 
 namespace mrc {
 
@@ -228,6 +229,11 @@ Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
 
   exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
   pool.parallel_for(n_chunks, [&](index_t c) {
+    // zfpx fuses transform + bit-plane coding per block, so one span covers
+    // the chunk's whole encode; the duration feeds the entropy-stage total.
+    static obs::Counter& ns_ent =
+        obs::Registry::global().counter("mrc.codec.entropy_ns");
+    OBS_SPAN("zfpx.encode_blocks", &ns_ent);
     const index_t bz0 = nb.nz * c / n_chunks;
     const index_t bz1 = nb.nz * (c + 1) / n_chunks;
     lossless::BitWriter bw;
@@ -269,6 +275,9 @@ FieldF ZfpxCompressor::decompress(std::span<const std::byte> stream) const {
   exec::ThreadPool pool(std::min(n_chunks, exec::hardware_threads()));
   pool.parallel_for(n_chunks, [&](index_t c) {
    try {
+    static obs::Counter& ns_ent =
+        obs::Registry::global().counter("mrc.codec.entropy_ns");
+    OBS_SPAN("zfpx.decode_blocks", &ns_ent);
     const index_t bz0 = nb.nz * c / n_chunks;
     const index_t bz1 = nb.nz * (c + 1) / n_chunks;
     lossless::BitReader br(chunk_in[static_cast<std::size_t>(c)]);

@@ -2,7 +2,7 @@
 
 #include <fstream>
 
-#include "common/timer.h"
+#include "obs/obs.h"
 #include "exec/thread_pool.h"
 #include "io/raw_io.h"
 
@@ -41,7 +41,7 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
   OutputTiming t;
 
   // Phase 1: pre-process — collect data into compression buffers.
-  WallTimer timer;
+  obs::ScopedTimer timer("workflow.preprocess");
   std::vector<sz3mr::PreparedLevel> prepared;
   prepared.reserve(mr.levels.size());
   for (const auto& level : mr.levels) {
@@ -54,7 +54,7 @@ OutputTiming write_snapshot(const MultiResField& mr, double abs_eb,
   // one lane, each level is encoded and written before the next is touched
   // (peak memory = one compressed level); with more, levels encode
   // concurrently and buffer until the ordered write.
-  timer.restart();
+  timer.restart("workflow.compress_write");
   // Open (and so validate) the output path before any encoding work.
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   MRC_REQUIRE(f.good(), "cannot open snapshot file: " + path);

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/require.h"
+#include "obs/obs.h"
 
 namespace mrc::exec {
 
@@ -30,15 +31,41 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> fn, Priority p) {
+  static obs::Counter& tasks = obs::Registry::global().counter("mrc.exec.tasks");
+  tasks.add(1);
   if (workers_.empty()) {  // single-lane pool: run inline, no queue traffic
+    OBS_SPAN("exec.task");
     fn();
     return;
+  }
+  if (obs::enabled()) {
+    // Wrap at enqueue time so the task's wait (enqueue -> first instruction)
+    // and run (span) are both visible; wait is the scheduler-backlog signal
+    // the queue-depth gauges only sample.
+    fn = [inner = std::move(fn), enq = obs::now_ns()] {
+      static obs::Counter& wait =
+          obs::Registry::global().counter("mrc.exec.wait_ns");
+      static obs::Counter& run =
+          obs::Registry::global().counter("mrc.exec.run_ns");
+      wait.add(obs::now_ns() - enq);
+      OBS_SPAN("exec.task", &run);
+      inner();
+    };
   }
   {
     const std::lock_guard lock(mu_);
     (p == Priority::high ? queue_ : low_queue_).push_back(std::move(fn));
+    if (obs::enabled()) update_queue_gauges();
   }
   cv_.notify_one();
+}
+
+/// Caller holds mu_.
+void ThreadPool::update_queue_gauges() const {
+  static obs::Gauge& high = obs::Registry::global().gauge("mrc.exec.queue_high");
+  static obs::Gauge& low = obs::Registry::global().gauge("mrc.exec.queue_low");
+  high.set(static_cast<std::int64_t>(queue_.size()));
+  low.set(static_cast<std::int64_t>(low_queue_.size()));
 }
 
 std::size_t ThreadPool::queued() const {
@@ -57,6 +84,7 @@ void ThreadPool::worker_loop() {
       auto& q = queue_.empty() ? low_queue_ : queue_;
       fn = std::move(q.front());
       q.pop_front();
+      if (obs::enabled()) update_queue_gauges();
     }
     fn();
   }
@@ -68,6 +96,9 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& bod
   if (n <= 0) return;
   const int lanes = static_cast<int>(std::min<index_t>(size(), ceil_div(n, grain)));
   if (lanes <= 1) {
+    // Still a pool lane conceptually (the calling thread), so serial
+    // parallel_for runs stay visible in the trace timeline.
+    OBS_SPAN("exec.lane");
     for (index_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -80,6 +111,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& bod
   } sh;
 
   auto lane = [&sh, n, grain, &body] {
+    OBS_SPAN("exec.lane");
     try {
       for (;;) {
         if (sh.failed.load(std::memory_order_relaxed)) return;

@@ -90,6 +90,7 @@ class ThreadPool {
  private:
   void post(std::function<void()> fn, Priority p = Priority::high);
   void worker_loop();
+  void update_queue_gauges() const;  ///< obs queue-depth gauges; holds mu_
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

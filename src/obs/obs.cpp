@@ -1,0 +1,156 @@
+#include "obs/obs.h"
+
+#include <chrono>
+
+namespace mrc::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if constexpr (kCompiledIn)
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  // A process-local epoch keeps span timestamps small enough that the
+  // microsecond doubles in the trace JSON stay exact.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache handle references in
+  // function-local statics, and spans can still close during static
+  // destruction — the registry must outlive everything.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+namespace {
+
+template <typename T>
+T& get_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& map,
+                 std::string_view name) {
+  for (auto& [n, p] : map)
+    if (n == name) return *p;
+  map.emplace_back(std::string(name), std::make_unique<T>());
+  return *map.back().second;
+}
+
+/// Prometheus metric names take [a-zA-Z0-9_:]; our dotted names map '.' (and
+/// anything else exotic) to '_'.
+std::string promname(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return get_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return get_or_create(hists_, name);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard lock(mu_);
+  for (const auto& [n, p] : counters_)
+    if (n == name) return p->value();
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  const std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [n, p] : counters_) out.emplace_back(n, p->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::gauges() const {
+  const std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [n, p] : gauges_) out.emplace_back(n, p->value());
+  return out;
+}
+
+std::vector<HistogramView> Registry::histograms() const {
+  const std::lock_guard lock(mu_);
+  std::vector<HistogramView> out;
+  out.reserve(hists_.size());
+  for (const auto& [n, p] : hists_) {
+    HistogramView v;
+    v.name = n;
+    v.count = p->count();
+    v.sum = p->sum();
+    v.p50 = p->quantile(0.50);
+    v.p99 = p->quantile(0.99);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string Registry::render_text() const {
+  const std::lock_guard lock(mu_);
+  std::string out;
+  out.reserve(1024);
+  const auto line = [&out](const std::string& name, std::uint64_t v) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  for (const auto& [n, p] : counters_) {
+    const std::string pn = promname(n);
+    out += "# TYPE " + pn + " counter\n";
+    line(pn, p->value());
+  }
+  for (const auto& [n, p] : gauges_) {
+    const std::string pn = promname(n);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn;
+    out += ' ';
+    out += std::to_string(p->value());
+    out += '\n';
+  }
+  for (const auto& [n, p] : hists_) {
+    const std::string pn = promname(n);
+    out += "# TYPE " + pn + " summary\n";
+    out += pn + "{quantile=\"0.5\"} " + std::to_string(p->quantile(0.50)) + "\n";
+    out += pn + "{quantile=\"0.99\"} " + std::to_string(p->quantile(0.99)) + "\n";
+    line(pn + "_sum", p->sum());
+    line(pn + "_count", p->count());
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mu_);
+  for (auto& [n, p] : counters_) p->reset();
+  for (auto& [n, p] : gauges_) p->reset();
+  for (auto& [n, p] : hists_) p->reset();
+}
+
+std::string render_text() { return Registry::global().render_text(); }
+
+}  // namespace mrc::obs

@@ -1,0 +1,147 @@
+#include "obs/obs.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "common/require.h"
+
+namespace mrc::obs {
+
+namespace {
+
+/// One thread's span ring. The mutex is uncontended on the hot path (only
+/// the owning thread pushes); it exists so the exporter can snapshot a live
+/// buffer — including one whose thread is mid-push — TSan-clean.
+struct Ring {
+  std::mutex mu;
+  std::vector<TraceEvent> ev;   ///< grows to kTraceCapacity, then wraps
+  std::uint64_t pushed = 0;     ///< lifetime pushes; dropped = pushed - held
+  std::uint32_t tid = 0;        ///< stable small id for the trace JSON
+};
+
+struct Rings {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> all;  ///< kept alive past thread exit
+  std::uint32_t next_tid = 1;
+};
+
+Rings& rings() {
+  static Rings* g = new Rings();  // leaked: spans may close during shutdown
+  return *g;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> mine = [] {
+    auto r = std::make_shared<Ring>();
+    r->ev.reserve(kTraceCapacity);
+    Rings& g = rings();
+    const std::lock_guard lock(g.mu);
+    r->tid = g.next_tid++;
+    g.all.push_back(r);
+    return r;
+  }();
+  return *mine;
+}
+
+/// Span names are string literals from our own call sites, but escape
+/// defensively so the exporter can never emit invalid JSON.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t dur_ns) {
+  Ring& r = local_ring();
+  const std::lock_guard lock(r.mu);
+  if (r.ev.size() < kTraceCapacity) {
+    r.ev.push_back(TraceEvent{name, t0_ns, dur_ns});
+  } else {
+    // The ring filled in push order, so pushed % capacity keeps overwriting
+    // round-robin: the newest kTraceCapacity events always survive.
+    r.ev[static_cast<std::size_t>(r.pushed % kTraceCapacity)] =
+        TraceEvent{name, t0_ns, dur_ns};
+  }
+  ++r.pushed;
+}
+
+}  // namespace detail
+
+TraceStats trace_stats() {
+  TraceStats s;
+  Rings& g = rings();
+  const std::lock_guard glock(g.mu);
+  for (const auto& r : g.all) {
+    const std::lock_guard lock(r->mu);
+    s.recorded += r->ev.size();
+    s.dropped += r->pushed - r->ev.size();
+  }
+  return s;
+}
+
+void reset_trace() {
+  Rings& g = rings();
+  const std::lock_guard glock(g.mu);
+  for (const auto& r : g.all) {
+    const std::lock_guard lock(r->mu);
+    r->ev.clear();
+    r->pushed = 0;
+  }
+}
+
+std::string trace_json() {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  Rings& g = rings();
+  const std::lock_guard glock(g.mu);
+  for (const auto& r : g.all) {
+    std::vector<TraceEvent> snap;
+    std::uint32_t tid = 0;
+    {
+      const std::lock_guard lock(r->mu);
+      snap = r->ev;
+      tid = r->tid;
+    }
+    char buf[96];
+    for (const TraceEvent& e : snap) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      append_escaped(out, e.name);
+      // Complete events, ts/dur in (fractional) microseconds per the Trace
+      // Event Format; pid is fixed (single process), tid is the ring's id.
+      std::snprintf(buf, sizeof buf,
+                    "\",\"cat\":\"mrc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%u}",
+                    static_cast<double>(e.t0_ns) * 1e-3,
+                    static_cast<double>(e.dur_ns) * 1e-3, tid);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_trace_json(const std::string& path) {
+  const std::string json = trace_json();
+  FILE* f = std::fopen(path.c_str(), "w");
+  MRC_REQUIRE(f != nullptr, "obs: cannot open trace output file " + path);
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  MRC_REQUIRE(n == json.size(), "obs: short write to trace file " + path);
+}
+
+}  // namespace mrc::obs

@@ -5,6 +5,7 @@
 
 #include "exec/thread_pool.h"
 #include "grid/field_ops.h"
+#include "obs/obs.h"
 
 namespace mrc::pyramid {
 
@@ -91,6 +92,7 @@ Bytes build(const FieldF& f, double abs_eb, const Config& cfg) {
     // measured against the pre-compression data; the codec adds at most eb.
     e.approx_err = static_cast<float>(
         l == 0 ? abs_eb : prolong_error(level, f, pool) + abs_eb);
+    OBS_SPAN("pyramid.level_compress");
     streams[static_cast<std::size_t>(l)] = tiled::compress(level, abs_eb, tc);
   }
 
@@ -206,6 +208,7 @@ FieldF decompress_level(std::span<const std::byte> stream, int level, int thread
   const Index idx = read_index(stream);
   MRC_REQUIRE(level >= 0 && level < static_cast<int>(idx.levels.size()),
               "pyramid: level out of range");
+  OBS_SPAN("pyramid.level_decode");
   return tiled::decompress(idx.level_stream(stream, static_cast<std::size_t>(level)),
                            threads);
 }

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mrc::serve {
 
 namespace {
@@ -37,6 +39,28 @@ inline constexpr std::size_t kMaxPrefetchInFlight = 64;
 std::size_t brick_bytes(const FieldF& f) {
   return sizeof(FieldF) + sizeof(float) * static_cast<std::size_t>(f.size());
 }
+
+/// Process-wide mirrors of the per-shard counter blocks, bumped at the same
+/// under-lock sites, so the obs registry (and the wire `metrics` frame)
+/// reconciles exactly with any all-datasets CacheStats snapshot taken in a
+/// quiescent moment. Always on: these are single relaxed fetch_adds next to
+/// plain increments already made under the shard lock.
+struct CacheMetrics {
+  obs::Counter& lookups = obs::Registry::global().counter("mrc.cache.lookups");
+  obs::Counter& hits = obs::Registry::global().counter("mrc.cache.hits");
+  obs::Counter& misses = obs::Registry::global().counter("mrc.cache.misses");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("mrc.cache.evictions");
+  obs::Counter& prefetched =
+      obs::Registry::global().counter("mrc.cache.prefetched");
+  obs::Counter& coalesced =
+      obs::Registry::global().counter("mrc.cache.coalesced");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -117,6 +141,9 @@ struct BrickCache::Impl {
     Counters& c = s.counters(key.dataset);
     ++c.lookups;
     ++c.hits;
+    CacheMetrics& m = CacheMetrics::get();
+    m.lookups.add(1);
+    m.hits.add(1);
     return it->second->brick;
   }
 
@@ -128,6 +155,11 @@ struct BrickCache::Impl {
     Counters& c = s.counters(key.dataset);
     ++c.lookups;
     ++(hit ? c.hits : c.misses);
+    CacheMetrics& m = CacheMetrics::get();
+    m.lookups.add(1);
+    (hit ? m.hits : m.misses).add(1);
+    // A hit decided off-shard is precisely an adopted in-flight decode.
+    if (hit) m.coalesced.add(1);
   }
 
   /// Inserts a decoded brick, evicting LRU tails (any dataset) until the
@@ -139,7 +171,10 @@ struct BrickCache::Impl {
     const std::size_t bytes = brick_bytes(*brick);
     Shard& s = shard_of(key);
     const std::lock_guard lock(s.mu);
-    if (from_prefetch) ++s.counters(key.dataset).prefetched;
+    if (from_prefetch) {
+      ++s.counters(key.dataset).prefetched;
+      CacheMetrics::get().prefetched.add(1);
+    }
     if (s.map.find(key) != s.map.end()) return;  // a concurrent decode won
     s.lru.push_front(Entry{key, brick, bytes});
     s.map.emplace(key, s.lru.begin());
@@ -153,6 +188,7 @@ struct BrickCache::Impl {
       vc.bytes -= victim.bytes;
       --vc.entries;
       ++vc.evictions;
+      CacheMetrics::get().evictions.add(1);
       s.bytes -= victim.bytes;
       s.map.erase(victim.key);
       s.lru.pop_back();

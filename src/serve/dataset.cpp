@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mrc::serve {
 
 namespace {
@@ -227,6 +229,7 @@ double Dataset::level_error(int level) const {
 
 FieldF Dataset::read_region(int level, const tiled::Box& region) {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  OBS_SPAN("serve.dataset_read");
   Impl& im = *impl_;
   const bool is_adaptive = im.kind == Kind::adaptive;
   // For adaptive streams the hit set already includes the low-side

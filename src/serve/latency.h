@@ -1,70 +1,14 @@
 #pragma once
 
-// Streaming latency histogram for the serve::Server stats surface: fixed
-// power-of-two microsecond buckets with relaxed atomic counters, so every
-// request records in O(1) with no lock and no allocation, and quantiles are
-// answered from a snapshot of the bucket counts. Quantile values are bucket
-// lower bounds, so they are monotone in q (p50 <= p99 always) and accurate
-// to within the 2x bucket width — plenty for load shedding and dashboards.
+// The serve tier's latency histogram is the general obs::Histogram now
+// (power-of-two buckets, relaxed atomic counters, quantiles from a bucket
+// snapshot — see obs/obs.h); this alias keeps the historical serve-layer
+// spelling for the Server implementation and its tests.
 
-#include <array>
-#include <atomic>
-#include <bit>
-#include <cstdint>
+#include "obs/obs.h"
 
 namespace mrc::serve {
 
-class LatencyHistogram {
- public:
-  /// Bucket 0 holds sub-microsecond samples; bucket i >= 1 holds
-  /// [2^(i-1), 2^i) microseconds. 2^46 us ~ 2.2 years caps the range.
-  static constexpr int kBuckets = 48;
-
-  void record(std::uint64_t us) {
-    counts_[static_cast<std::size_t>(bucket(us))].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] std::uint64_t count() const {
-    std::uint64_t n = 0;
-    for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
-    return n;
-  }
-
-  /// The q-quantile (q in [0, 1]) as the lower bound of the bucket holding
-  /// that rank; 0 when no samples have been recorded.
-  [[nodiscard]] std::uint64_t quantile_us(double q) const {
-    std::array<std::uint64_t, kBuckets> snap{};
-    std::uint64_t total = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      snap[static_cast<std::size_t>(i)] =
-          counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-      total += snap[static_cast<std::size_t>(i)];
-    }
-    if (total == 0) return 0;
-    const double want = q * static_cast<double>(total);
-    std::uint64_t rank = want <= 1.0 ? 1 : static_cast<std::uint64_t>(want);
-    if (rank > total) rank = total;
-    std::uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      seen += snap[static_cast<std::size_t>(i)];
-      if (seen >= rank) return lower_bound_us(i);
-    }
-    return lower_bound_us(kBuckets - 1);
-  }
-
- private:
-  static int bucket(std::uint64_t us) {
-    if (us == 0) return 0;
-    const int b = 64 - std::countl_zero(us);  // 1 -> 1, 2..3 -> 2, ...
-    return b >= kBuckets ? kBuckets - 1 : b;
-  }
-
-  static std::uint64_t lower_bound_us(int bucket) {
-    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
-  }
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-};
+using LatencyHistogram = obs::Histogram;
 
 }  // namespace mrc::serve

@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "obs/obs.h"
 #include "serve/latency.h"
 #include "serve/wire.h"
 
@@ -59,15 +60,24 @@ struct Server::Impl {
   struct Admission {
     Impl& im;
     explicit Admission(Impl& im_) : im(im_) {
+      // The registry mirrors (mrc.serve.requests / .rejected) tick at the
+      // same sites as the per-server atomics, so the wire `metrics` frame
+      // reconciles exactly with ServerStats in a single-server process.
+      static obs::Counter& g_requests =
+          obs::Registry::global().counter("mrc.serve.requests");
+      static obs::Counter& g_rejected =
+          obs::Registry::global().counter("mrc.serve.rejected");
       if (im.active.fetch_add(1, std::memory_order_acq_rel) >=
           im.cfg.max_active) {
         im.active.fetch_sub(1, std::memory_order_acq_rel);
         im.rejected.fetch_add(1, std::memory_order_relaxed);
+        g_rejected.add(1);
         throw ServerError(ServerError::Code::overloaded,
                           "serve: overloaded, retry later (admission cap " +
                               std::to_string(im.cfg.max_active) + ")");
       }
       im.requests.fetch_add(1, std::memory_order_relaxed);
+      g_requests.add(1);
     }
     ~Admission() { im.active.fetch_sub(1, std::memory_order_acq_rel); }
     Admission(const Admission&) = delete;
@@ -144,12 +154,19 @@ FieldF Server::read_region(std::uint32_t id, int level, const tiled::Box& region
   Impl& im = *impl_;
   const std::shared_ptr<Dataset> ds = im.find(id);
   const Impl::Admission gate(im);
+  OBS_SPAN("serve.read_region");
   const auto t0 = std::chrono::steady_clock::now();
   FieldF out = ds->read_region(level, region);
-  im.latency.record(static_cast<std::uint64_t>(
+  const auto us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
-          .count()));
+          .count());
+  im.latency.record(us);
+  if (obs::enabled()) {
+    static obs::Histogram& h =
+        obs::Registry::global().histogram("mrc.serve.read_us");
+    h.record(us);
+  }
   return out;
 }
 
@@ -169,6 +186,17 @@ void Server::wait_idle() { impl_->cache->wait_idle(); }
 Bytes Server::handle_frame(std::span<const std::byte> frame) {
   const auto done = [](ByteReader& r) {
     if (!r.exhausted()) throw CodecError("wire: request has trailing bytes");
+  };
+  // Per-frame-type latency histograms (mrc.serve.frame_us.<type>), recorded
+  // around the full dispatch — parse to reply bytes — when obs is enabled.
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  const auto reply = [&](const char* type_name, Bytes r) {
+    if (timed)
+      obs::Registry::global()
+          .histogram(std::string("mrc.serve.frame_us.") + type_name)
+          .record((obs::now_ns() - t0) / 1000);
+    return r;
   };
   try {
     const wire::Frame f = wire::parse_frame(frame);
@@ -191,14 +219,14 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
         w.put<std::int64_t>(d.ny);
         w.put<std::int64_t>(d.nz);
         w.put<double>(eb(id));
-        return wire::make_frame(wire::Type::open_ok, body);
+        return reply("open", wire::make_frame(wire::Type::open_ok, body));
       }
       case wire::Type::region: {
         const auto id = r.get<std::uint32_t>();
         const auto level = r.get<std::int32_t>();
         const tiled::Box box = wire::get_box(r);
         done(r);
-        return wire::encode_region_ok(read_region(id, level, box));
+        return reply("region", wire::encode_region_ok(read_region(id, level, box)));
       }
       case wire::Type::lod: {
         const auto id = r.get<std::uint32_t>();
@@ -209,30 +237,41 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
         ByteWriter w(body);
         w.put<std::int32_t>(
             choose_level(id, box, static_cast<index_t>(budget)));
-        return wire::make_frame(wire::Type::lod_ok, body);
+        return reply("lod", wire::make_frame(wire::Type::lod_ok, body));
       }
       case wire::Type::stats: {
         const auto id = r.get<std::uint32_t>();
         done(r);
-        return wire::encode_stats_ok(id == wire::kAllDatasets ? stats()
-                                                              : stats(id));
+        return reply("stats",
+                     wire::encode_stats_ok(id == wire::kAllDatasets ? stats()
+                                                                    : stats(id)));
+      }
+      case wire::Type::metrics: {
+        // Malformed metrics frames (trailing bytes) die in done() — before
+        // the exposition text is built or any reply buffer is allocated.
+        done(r);
+        const std::string text = obs::render_text();
+        Bytes body;
+        ByteWriter w(body);
+        w.put_blob(std::as_bytes(std::span(text.data(), text.size())));
+        return reply("metrics", wire::make_frame(wire::Type::metrics_ok, body));
       }
       case wire::Type::close: {
         const auto id = r.get<std::uint32_t>();
         done(r);
         close(id);
-        return wire::make_frame(wire::Type::close_ok);
+        return reply("close", wire::make_frame(wire::Type::close_ok));
       }
       default:
         throw ServerError(ServerError::Code::bad_request,
                           "wire: unknown frame type");
     }
   } catch (const ServerError& e) {
-    return wire::make_error(e.code(), e.what());
+    return reply("error", wire::make_error(e.code(), e.what()));
   } catch (const std::exception& e) {
     // Contract violations, malformed frames, decode failures: the client
     // asked for something the server cannot do — a bad request either way.
-    return wire::make_error(ServerError::Code::bad_request, e.what());
+    return reply("error", wire::make_error(ServerError::Code::bad_request, e.what()));
   }
 }
 

@@ -221,6 +221,14 @@ ServerStats Client::stats(std::uint32_t id) {
   return decode_stats_ok(std::span(reply).subspan(5));
 }
 
+std::string Client::metrics() {
+  const Bytes reply = call(Type::metrics, {}, Type::metrics_ok);
+  ByteReader r{std::span<const std::byte>(reply).subspan(5)};
+  const std::span<const std::byte> text = r.get_blob();
+  require_wire(r.exhausted(), "metrics reply has trailing bytes");
+  return std::string(reinterpret_cast<const char*>(text.data()), text.size());
+}
+
 void Client::close(std::uint32_t id) {
   Bytes body;
   ByteWriter w(body);

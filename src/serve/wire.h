@@ -48,14 +48,16 @@ enum class Type : std::uint8_t {
   open = 0x01,    ///< name blob + stream blob
   region = 0x02,  ///< u32 id, i32 level, box (6 x i64)
   lod = 0x03,     ///< u32 id, box (6 x i64), u64 sample budget
-  stats = 0x04,   ///< u32 id (kAllDatasets = server-wide)
-  close = 0x05,   ///< u32 id
+  stats = 0x04,    ///< u32 id (kAllDatasets = server-wide)
+  close = 0x05,    ///< u32 id
+  metrics = 0x06,  ///< empty — the process-wide obs registry exposition
 
   open_ok = 0x81,    ///< u32 id, i32 levels, dims (3 x i64), f64 eb
   region_ok = 0x82,  ///< extents (3 x i64), then extents-product f32 samples
   lod_ok = 0x83,     ///< i32 level
   stats_ok = 0x84,   ///< ServerStats fields (see wire.cpp)
   close_ok = 0x85,   ///< empty
+  metrics_ok = 0x86, ///< Prometheus-style text blob (obs::render_text)
   error = 0xee,      ///< u8 ServerError::Code, message blob
 };
 
@@ -100,6 +102,8 @@ class Client {
   [[nodiscard]] int choose_level(std::uint32_t id, const tiled::Box& fine_box,
                                  std::uint64_t sample_budget);
   [[nodiscard]] ServerStats stats(std::uint32_t id = kAllDatasets);
+  /// The server process's obs registry as Prometheus-style text.
+  [[nodiscard]] std::string metrics();
   void close(std::uint32_t id);
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace mrc::tiled {
 
@@ -35,6 +36,10 @@ inline constexpr std::size_t kMinTileRecord = 16;
 FieldF decode_tile(const Index& idx, const Compressor& codec,
                    std::span<const std::byte> stream, std::size_t t) {
   MRC_REQUIRE(t < idx.tiles.size(), "decode_tile: tile id out of range");
+  static obs::Counter& bricks =
+      obs::Registry::global().counter("mrc.tiled.bricks_decoded");
+  bricks.add(1);
+  OBS_SPAN("tiled.brick_decode");
   const TileEntry& e = idx.tiles[t];
   const auto payload = stream.subspan(idx.payload_offset,
                                       static_cast<std::size_t>(idx.payload_bytes));
@@ -91,6 +96,10 @@ Bytes compress(const FieldF& f, double abs_eb, const Config& cfg) {
 
   exec::ThreadPool pool(cfg.threads);
   pool.parallel_for(n_tiles, [&](index_t t) {
+    static obs::Counter& bricks =
+        obs::Registry::global().counter("mrc.tiled.bricks_compressed");
+    bricks.add(1);
+    OBS_SPAN("tiled.brick_compress");
     const Coord3 tc = tile_coord(grid, t);
     const Coord3 o{tc.x * cfg.brick, tc.y * cfg.brick, tc.z * cfg.brick};
     const Dim3 s = stored_extent(d, o, cfg.brick, kOverlap);

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates a chrome://tracing / Perfetto JSON written by mrc::obs
+(`mrcc --trace=out.json` or obs::write_trace_json).
+
+Checks that the file parses, that traceEvents is a non-empty list of
+complete-duration ("ph": "X") events carrying the fields Perfetto needs
+(name, ts, dur, pid, tid), and — the part that catches real regressions —
+that the trace contains spans from every instrumented layer: a codec stage,
+a container brick, and an exec-pool task. A trace that loads but is missing
+a layer means someone broke that layer's OBS_SPAN sites. ci.sh runs this on
+a traced `mrcc tiled` smoke run.
+
+Usage: check_trace_json.py <trace.json> [...]
+"""
+
+import json
+import sys
+
+# One span name prefix per instrumented layer; a valid trace of a tiled
+# round trip must contain at least one span from each group.
+LAYERS = {
+    "codec": ("interp.", "lorenzo.", "zfpx."),
+    "container": ("tiled.", "pyramid.", "adaptive."),
+    "pool": ("exec.",),
+}
+
+REQUIRED_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] must be an object")
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                raise ValueError(f"traceEvents[{i}] missing '{field}'")
+        if ev["ph"] != "X":
+            raise ValueError(f"traceEvents[{i}] ph={ev['ph']!r}, expected 'X'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            raise ValueError(f"traceEvents[{i}] name must be a non-empty string")
+        for field in ("ts", "dur"):
+            if not isinstance(ev[field], (int, float)) or ev[field] < 0:
+                raise ValueError(f"traceEvents[{i}] {field} must be >= 0")
+        names.add(ev["name"])
+    missing = [
+        layer
+        for layer, prefixes in LAYERS.items()
+        if not any(n.startswith(p) for n in names for p in prefixes)
+    ]
+    if missing:
+        raise ValueError(
+            f"no spans from layer(s) {missing}; span names seen: {sorted(names)}"
+        )
+    return len(events), sorted(names)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace_json.py <trace.json> [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            count, names = check(path)
+            print(f"{path}: OK ({count} spans, {len(names)} distinct names)")
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

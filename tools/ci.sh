@@ -5,7 +5,12 @@
 # thread-pool / tiled-index code is leak- and overflow-checked on every
 # verify, and finally run the concurrency-heavy suites (exec pool, tiled,
 # pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
-# under ThreadSanitizer (third preset, <build-dir>-tsan), and finally a bench
+# under ThreadSanitizer (third preset, <build-dir>-tsan), then an
+# observability smoke (traced `mrcc tiled` validated by
+# tools/check_trace_json.py, `mrcc stats` counter reconciliation, and the
+# bench_obs_overhead gate: obs runtime-disabled vs a -DMRC_OBS=OFF build in
+# <build-dir>-obsoff must stay within MRC_OBS_GATE_PCT, default 3%), and
+# finally a bench
 # smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
 # bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
 # bit-at-a-time baseline) and bench_server_load (multi-tenant Server under
@@ -13,7 +18,8 @@
 # monotone latency quantiles), with every BENCH_*.json they and earlier runs
 # produced validated by tools/check_bench_json.py — malformed bench output
 # fails the pipeline. Set
-# MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_BENCH=1 to skip those passes.
+# MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_OBS=1 / MRC_SKIP_BENCH=1 to
+# skip those passes.
 # Usage: tools/ci.sh [build-dir]   (default: build; sanitizer presets use
 # <build-dir>-asan and <build-dir>-tsan)
 set -euo pipefail
@@ -59,7 +65,84 @@ if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
   # Only the concurrency-bearing suites: the serial codec/metric suites add
   # nothing under TSan but multiply its ~10x slowdown.
   "$TSAN_DIR"/mrc_tests \
-      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Server*:Wire*:Adaptive*'
+      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Server*:Wire*:Adaptive*:Obs*'
+fi
+
+if [ "${MRC_SKIP_OBS:-0}" != "1" ]; then
+  echo
+  echo "== observability smoke: traced mrcc run + runtime-disabled overhead gate =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target mrcc bench_obs_overhead > /dev/null
+  OBS_TMP="$(mktemp -d)"
+  trap 'rm -rf "$OBS_TMP"' EXIT
+  python3 - "$OBS_TMP/small.f32" <<'PY'
+import struct, sys
+n = 48
+vals = [((i * 2654435761) % 100003) / 100003.0 for i in range(n * n * n)]
+open(sys.argv[1], "wb").write(struct.pack("<%df" % len(vals), *vals))
+PY
+  # Traced tiled round trip through the CLI: the trace must be Perfetto-valid
+  # and contain codec, container, and pool spans (tools/check_trace_json.py).
+  "$BUILD_DIR"/mrcc tiled "$OBS_TMP/small.f32" 48 48 48 "$OBS_TMP/small.mrct" \
+      --trace="$OBS_TMP/trace.json" --threads=2 > /dev/null
+  python3 tools/check_trace_json.py "$OBS_TMP/trace.json"
+  # Wire metrics frame + counter reconciliation (exits nonzero on mismatch).
+  "$BUILD_DIR"/mrcc stats "$OBS_TMP/small.mrct" --reads=8 --threads=2 > /dev/null
+  echo "mrcc stats: registry/server reconciliation OK"
+
+  # Overhead gate: obs compiled in but runtime-disabled must be within
+  # MRC_OBS_GATE_PCT (default 3) percent of a -DMRC_OBS=OFF build. Two
+  # defenses against measuring the machine instead of the code: alternate 3
+  # runs of each binary and compare the fastest observation per mode (the
+  # top envelope is stable where single runs are not), and gate on the
+  # geometric mean of the compress+decompress throughput ratios — comparing
+  # two different binaries carries a few percent of code-layout luck that
+  # hits individual loops in opposite directions, while a real always-on
+  # regression drags both metrics the same way.
+  OBSOFF_DIR="${BUILD_DIR}-obsoff"
+  cmake -B "$OBSOFF_DIR" -S . -DMRC_OBS=OFF > /dev/null
+  cmake --build "$OBSOFF_DIR" -j"$(nproc)" --target bench_obs_overhead > /dev/null
+  : > "$OBS_TMP/gate_rows.jsonl"
+  for rep in 1 2 3; do
+    for dir in "$OBSOFF_DIR" "$BUILD_DIR"; do
+      (cd "$dir/bench" && MRC_SCALE=75 ./bench_obs_overhead > /dev/null)
+      cat "$dir/bench/BENCH_obs_overhead.json" >> "$OBS_TMP/gate_rows.jsonl"
+      printf '\n' >> "$OBS_TMP/gate_rows.jsonl"
+    done
+  done
+  python3 tools/check_bench_json.py "$BUILD_DIR/bench/BENCH_obs_overhead.json" \
+      "$OBSOFF_DIR/bench/BENCH_obs_overhead.json"
+  python3 - "$OBS_TMP/gate_rows.jsonl" "${MRC_OBS_GATE_PCT:-3}" <<'PY'
+import json, sys
+
+best = {}  # mode -> metric -> fastest MB/s seen across all runs
+decoder = json.JSONDecoder()
+text = open(sys.argv[1]).read()
+pos = 0
+while True:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    if pos >= len(text):
+        break
+    doc, pos = decoder.raw_decode(text, pos)
+    for row in doc["results"]:
+        slot = best.setdefault(row["mode"], {})
+        for key in ("compress_mb_s", "decompress_mb_s"):
+            slot[key] = max(slot.get(key, 0.0), row[key])
+
+pct = float(sys.argv[2])
+ratio = 1.0
+for key in ("compress_mb_s", "decompress_mb_s"):
+    base, dis = best["off"][key], best["runtime_disabled"][key]
+    drop = 100.0 * (base - dis) / base if base > 0 else 0.0
+    print(f"obs gate {key}: off {base:.1f} MB/s, runtime_disabled {dis:.1f} MB/s "
+          f"({drop:+.1f}%)")
+    ratio *= dis / base if base > 0 else 1.0
+overall = 100.0 * (1.0 - ratio ** 0.5)
+print(f"obs gate overall (geomean of ratios): {overall:+.1f}%")
+if overall > pct:
+    sys.exit(f"obs overhead gate: runtime-disabled regressed more than {pct}% overall")
+print(f"obs overhead gate: OK (within the {pct}% budget)")
+PY
 fi
 
 if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then

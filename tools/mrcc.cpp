@@ -15,7 +15,12 @@
 //   mrcc metrics    <orig.raw> <recon.raw>
 //   mrcc info       <in> [--tiles]
 //   mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]
+//   mrcc stats      <stream...> [--reads=N] [key=value ...]
 //   mrcc codecs
+//
+// Any subcommand additionally accepts a global --trace=<out.json>: it turns
+// the mrc::obs runtime switch on for the whole run and writes a
+// chrome://tracing / Perfetto-loadable span trace on exit.
 //
 // Codec names come from the codec registry (`mrcc codecs` lists them); any
 // api::Options knob can be set with trailing key=value arguments (a leading
@@ -41,7 +46,11 @@
 // brick cache, one exec pool — drives K simulated clients through the wire
 // protocol over the in-process loopback transport for N region reads each,
 // and prints the per-dataset hit ratios plus the server's admission and
-// latency stats. --out writes the result as a self-describing
+// latency stats. "stats" opens streams the same way, drives --reads random
+// region reads per dataset, prints the observability registry fetched over
+// the wire metrics frame (Prometheus text), and verifies that its counters
+// reconcile exactly with the server's global and per-dataset stats slices.
+// --out writes the result as a self-describing
 // .raw file (io::write_raw: extents header + f32 payload). "decompress"
 // accepts any mrcomp stream — codec choice is read from the stream header;
 // snapshots are restored, tiled streams reassembled, pyramids decoded at
@@ -64,6 +73,7 @@
 #include "api/mrc_api.h"
 #include "common/rng.h"
 #include "io/raw_io.h"
+#include "obs/obs.h"
 #include "serve/wire.h"
 #include "metrics/psnr.h"
 #include "metrics/ssim.h"
@@ -187,15 +197,15 @@ int usage() {
       "--eb_budget=<err> | --level=<l>] [--out=<file.raw>] [key=value ...]\n"
       "  mrcc info       <in> [--tiles]\n"
       "  mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]\n"
+      "  mrcc stats      <stream...> [--reads=N] [key=value ...]\n"
       "  mrcc codecs\n"
-      "key=value may also be spelled --key=value (--tile=64 --threads=8).\n");
+      "key=value may also be spelled --key=value (--tile=64 --threads=8).\n"
+      "global: --trace=<out.json> enables observability and writes a\n"
+      "chrome://tracing / Perfetto trace of the run (any subcommand).\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
- try {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
@@ -476,6 +486,111 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.p99_us));
     return 0;
   }
+  if (cmd == "stats" && argc >= 3) {
+    // Opens streams in an in-process Server, drives a few wire reads, then
+    // fetches the observability registry over the wire (metrics frame) and
+    // reconciles its counters against the server's own stats slices.
+    auto args = tail_args(argv + 2, argv + argc);
+    std::string reads_s = "16";
+    take_flag(args, "reads", reads_s);
+    std::vector<std::string> paths, knobs;
+    for (const std::string& a : args)
+      (a.find('=') == std::string::npos ? paths : knobs).push_back(a);
+    if (paths.empty()) throw ContractError("stats: need at least one stream");
+    const int reads = static_cast<int>(parse_ll(reads_s.c_str(), "reads"));
+    MRC_REQUIRE(reads >= 0, "stats: reads must be >= 0");
+    api::Options opt;
+    apply_args(opt, knobs);
+    obs::set_enabled(true);  // so latency histograms show up in the exposition
+
+    serve::Server srv(opt.server_config());
+    const serve::wire::Transport loopback =
+        [&srv](std::span<const std::byte> frame) { return srv.handle_frame(frame); };
+    serve::wire::Client admin(loopback);
+    std::vector<serve::wire::OpenInfo> open;
+    open.reserve(paths.size());
+    for (const std::string& p : paths) open.push_back(admin.open(io::read_bytes(p), p));
+
+    Rng rng(0x5eed);
+    for (const auto& ds : open)
+      for (int r = 0; r < reads; ++r) {
+        const Dim3 d = ds.dims;
+        const index_t w = std::min<index_t>({16, d.nx, d.ny, d.nz});
+        const index_t x0 = static_cast<index_t>(rng.uniform() * double(d.nx - w));
+        const index_t y0 = static_cast<index_t>(rng.uniform() * double(d.ny - w));
+        const index_t z0 = static_cast<index_t>(rng.uniform() * double(d.nz - w));
+        for (;;) {
+          try {
+            (void)admin.region(ds.id, 0, {{x0, y0, z0}, {x0 + w, y0 + w, z0 + w}});
+            break;
+          } catch (const serve::ServerError& e) {
+            if (e.code() != serve::ServerError::Code::overloaded) throw;
+            std::this_thread::yield();
+          }
+        }
+      }
+    srv.wait_idle();
+
+    const std::string text = admin.metrics();
+    std::printf("%s", text.c_str());
+
+    // Reconciliation: the registry's event counters must agree exactly with
+    // the server's stats frames — global, and per-dataset summed over slices.
+    auto metric = [&text](const char* name) -> long long {
+      const std::string key = std::string(name) + " ";
+      std::size_t pos = text.find(key);
+      while (pos != std::string::npos && pos != 0 && text[pos - 1] != '\n')
+        pos = text.find(key, pos + 1);
+      MRC_REQUIRE(pos != std::string::npos,
+                  "stats: metric missing from exposition");
+      const std::size_t v0 = pos + key.size();
+      const std::size_t v1 = text.find('\n', v0);
+      return parse_ll(text.substr(v0, v1 - v0).c_str(), name);
+    };
+    const serve::ServerStats all = admin.stats();
+    serve::CacheStats sum;
+    for (const auto& ds : open) {
+      const serve::ServerStats s = admin.stats(ds.id);
+      sum.lookups += s.cache.lookups;
+      sum.hits += s.cache.hits;
+      sum.misses += s.cache.misses;
+      sum.evictions += s.cache.evictions;
+      sum.prefetched += s.cache.prefetched;
+    }
+    struct Row {
+      const char* name;
+      long long registry, server, slices;
+    };
+    const Row rows[] = {
+        {"mrc_cache_lookups", metric("mrc_cache_lookups"),
+         static_cast<long long>(all.cache.lookups), static_cast<long long>(sum.lookups)},
+        {"mrc_cache_hits", metric("mrc_cache_hits"),
+         static_cast<long long>(all.cache.hits), static_cast<long long>(sum.hits)},
+        {"mrc_cache_misses", metric("mrc_cache_misses"),
+         static_cast<long long>(all.cache.misses), static_cast<long long>(sum.misses)},
+        {"mrc_cache_evictions", metric("mrc_cache_evictions"),
+         static_cast<long long>(all.cache.evictions),
+         static_cast<long long>(sum.evictions)},
+        {"mrc_cache_prefetched", metric("mrc_cache_prefetched"),
+         static_cast<long long>(all.cache.prefetched),
+         static_cast<long long>(sum.prefetched)},
+        {"mrc_serve_requests", metric("mrc_serve_requests"),
+         static_cast<long long>(all.requests), static_cast<long long>(all.requests)},
+        {"mrc_serve_rejected", metric("mrc_serve_rejected"),
+         static_cast<long long>(all.rejected), static_cast<long long>(all.rejected)},
+    };
+    bool ok = true;
+    std::printf("\n%-22s %12s %12s %12s\n", "reconciliation", "registry", "server",
+                "slices");
+    for (const Row& r : rows) {
+      const bool match = r.registry == r.server && r.server == r.slices;
+      ok = ok && match;
+      std::printf("%-22s %12lld %12lld %12lld  %s\n", r.name, r.registry, r.server,
+                  r.slices, match ? "ok" : "MISMATCH");
+    }
+    MRC_REQUIRE(ok, "stats: registry counters disagree with server stats");
+    return 0;
+  }
   if (cmd == "restore" && argc == 4) {
     const FieldF f = api::restore(io::read_bytes(argv[2]));
     write_raw_floats(f, argv[3]);
@@ -547,6 +662,37 @@ int main(int argc, char** argv) {
     return 0;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+ try {
+  // --trace=<path> is global: accepted anywhere on the command line, for any
+  // subcommand. It flips the observability runtime switch on so spans are
+  // recorded, and writes a chrome://tracing / Perfetto JSON on the way out.
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i] ? argv[i] : "";
+    if (i >= 1 && a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+      MRC_REQUIRE(!trace_path.empty(), "--trace= needs an output path");
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!trace_path.empty()) mrc::obs::set_enabled(true);
+  const int rc = run(static_cast<int>(args.size()), args.data());
+  if (!trace_path.empty()) {
+    mrc::obs::write_trace_json(trace_path);
+    const auto ts = mrc::obs::trace_stats();
+    std::printf("trace: wrote %s (%llu spans, %llu dropped)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(ts.recorded),
+                static_cast<unsigned long long>(ts.dropped));
+  }
+  return rc;
  } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
