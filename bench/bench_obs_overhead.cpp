@@ -1,21 +1,28 @@
 // bench_obs_overhead — what the mrc::obs observability layer costs on the
-// tiled hot path. Three modes of the same single-thread compress/decompress
-// round trip:
+// tiled hot path and on the serve request path. Three modes of the same
+// single-thread workload:
 //   off              — library built with -DMRC_OBS=OFF (spans compiled out);
 //                      this build emits that one row, a normal build the other
 //                      two, and ci.sh runs both binaries and joins the rows.
 //   runtime_disabled — obs compiled in, runtime switch off (the default): every
 //                      span site costs one relaxed load and branch.
 //   enabled          — spans recorded into the per-thread trace rings.
-// ci.sh gates runtime_disabled vs off at a small regression budget; rows land
-// in BENCH_obs_overhead.json.
+// Each row carries the compress/decompress round trip plus serve_read_mb_s: a
+// warmed wire-loopback walk of traced region reads, so the per-request fixed
+// cost — frame codec, RequestScope, and the always-on flight recorder (which
+// runs in EVERY mode, including off) — is measured where it lives instead of
+// being invisible behind decode time. ci.sh gates runtime_disabled vs off at
+// a small regression budget; rows land in BENCH_obs_overhead.json.
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "bench_util.h"
 #include "obs/obs.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "tiled/tiled.h"
 
 using namespace mrc;
@@ -26,11 +33,55 @@ struct Row {
   const char* mode;
   double compress_mb_s = 0.0;
   double decompress_mb_s = 0.0;
+  double serve_read_mb_s = 0.0;
 };
 
 double mb_per_s(index_t values, double seconds) {
   const double mb = static_cast<double>(values) * sizeof(float) / (1024.0 * 1024.0);
   return seconds > 0.0 ? mb / seconds : 0.0;
+}
+
+/// Best-of-`reps` throughput of a fixed walk of traced region reads over a
+/// warmed in-process wire server: after the untimed warm-up walk every brick
+/// is cached, so the timed walks measure the per-request path — frame parse,
+/// trace echo, request context, flight-recorder write, copy-out — rather
+/// than decode speed.
+double measure_serve(const Bytes& stream, const Dim3& dims, int reps) {
+  serve::ServerConfig cfg;
+  cfg.threads = 1;       // request-path cost, not pool scheduling
+  cfg.prefetch = false;  // keep the walk deterministic
+  serve::Server srv(cfg);
+  const serve::wire::Transport loopback =
+      [&srv](std::span<const std::byte> frame) { return srv.handle_frame(frame); };
+  serve::wire::Client client(loopback);
+  const std::uint32_t id = client.open(stream, "bench").id;
+
+  const index_t kBox = std::min({index_t{32}, dims.nx, dims.ny, dims.nz});
+  constexpr int kReads = 64;
+  const auto walk = [&](int r) {
+    index_t bytes_out = 0;
+    for (int i = 0; i < kReads; ++i) {
+      const index_t x0 = (static_cast<index_t>(i) * kBox) % (dims.nx - kBox + 1);
+      const index_t y0 = (static_cast<index_t>(i) * 7 % 5) * ((dims.ny - kBox) / 5);
+      const index_t z0 = (static_cast<index_t>(i) * 3 % 4) * ((dims.nz - kBox) / 4);
+      client.set_trace((static_cast<std::uint64_t>(r + 1) << 32) |
+                       static_cast<std::uint64_t>(i + 1));
+      const FieldF view =
+          client.region(id, 0, {{x0, y0, z0}, {x0 + kBox, y0 + kBox, z0 + kBox}});
+      bytes_out += view.size() * static_cast<index_t>(sizeof(float));
+    }
+    return bytes_out;
+  };
+
+  (void)walk(0);  // warm the cache; timed walks are all hits
+  double best = 1e300;
+  index_t bytes_out = 0;
+  for (int r = 0; r < reps; ++r) {
+    obs::ScopedTimer timer("bench.obs_serve_read");
+    bytes_out = walk(r + 1);
+    best = std::min(best, timer.seconds());
+  }
+  return mb_per_s(bytes_out / static_cast<index_t>(sizeof(float)), best);
 }
 
 Row measure(const char* mode, const FieldF& f, double abs_eb, int reps) {
@@ -39,9 +90,10 @@ Row measure(const char* mode, const FieldF& f, double abs_eb, int reps) {
   cfg.brick = 64;
   cfg.threads = 1;  // single lane: measures per-span cost, not pool scheduling
   double best_c = 1e300, best_d = 1e300;
+  Bytes stream;
   for (int r = 0; r < reps; ++r) {
     obs::ScopedTimer timer("bench.obs_compress");
-    const Bytes stream = tiled::compress(f, abs_eb, cfg);
+    stream = tiled::compress(f, abs_eb, cfg);
     const double cs = timer.restart("bench.obs_decompress");
     const FieldF back = tiled::decompress(stream, 1);
     const double ds = timer.seconds();
@@ -49,7 +101,8 @@ Row measure(const char* mode, const FieldF& f, double abs_eb, int reps) {
     best_c = std::min(best_c, cs);
     best_d = std::min(best_d, ds);
   }
-  return {mode, mb_per_s(f.size(), best_c), mb_per_s(f.size(), best_d)};
+  return {mode, mb_per_s(f.size(), best_c), mb_per_s(f.size(), best_d),
+          measure_serve(stream, f.dims(), reps)};
 }
 
 }  // namespace
@@ -80,9 +133,11 @@ int main() {
               static_cast<unsigned long long>(ts.dropped));
 #endif
 
-  std::printf("%18s %14s %14s\n", "mode", "compress MB/s", "decomp MB/s");
+  std::printf("%18s %14s %14s %16s\n", "mode", "compress MB/s", "decomp MB/s",
+              "serve read MB/s");
   for (const Row& r : rows)
-    std::printf("%18s %14.1f %14.1f\n", r.mode, r.compress_mb_s, r.decompress_mb_s);
+    std::printf("%18s %14.1f %14.1f %16.1f\n", r.mode, r.compress_mb_s,
+                r.decompress_mb_s, r.serve_read_mb_s);
 
   FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
   MRC_REQUIRE(json != nullptr, "cannot write BENCH_obs_overhead.json");
@@ -95,8 +150,8 @@ int main() {
     const Row& r = rows[i];
     std::fprintf(json,
                  "    {\"mode\": \"%s\", \"compress_mb_s\": %.1f, "
-                 "\"decompress_mb_s\": %.1f}%s\n",
-                 r.mode, r.compress_mb_s, r.decompress_mb_s,
+                 "\"decompress_mb_s\": %.1f, \"serve_read_mb_s\": %.1f}%s\n",
+                 r.mode, r.compress_mb_s, r.decompress_mb_s, r.serve_read_mb_s,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

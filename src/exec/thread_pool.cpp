@@ -38,17 +38,35 @@ void ThreadPool::post(std::function<void()> fn, Priority p) {
     fn();
     return;
   }
-  if (obs::enabled()) {
-    // Wrap at enqueue time so the task's wait (enqueue -> first instruction)
-    // and run (span) are both visible; wait is the scheduler-backlog signal
-    // the queue-depth gauges only sample.
-    fn = [inner = std::move(fn), enq = obs::now_ns()] {
-      static obs::Counter& wait =
-          obs::Registry::global().counter("mrc.exec.wait_ns");
-      static obs::Counter& run =
-          obs::Registry::global().counter("mrc.exec.run_ns");
-      wait.add(obs::now_ns() - enq);
-      OBS_SPAN("exec.task", &run);
+  // Wrap at enqueue time so (a) the submitter's request context travels to
+  // the worker lane — that is what lets a span recorded inside a decode task
+  // carry the serving request's trace id — and (b) the task's wait
+  // (enqueue -> first instruction) and run (span) are both visible; wait is
+  // the scheduler-backlog signal the queue-depth gauges only sample. Context
+  // capture is always on (the flight recorder runs with obs disabled); a
+  // task posted outside any request by a process with obs off stays
+  // unwrapped and pays nothing.
+  const obs::RequestCtxPtr ctx = obs::current_request();
+  if (ctx != nullptr || obs::enabled()) {
+    fn = [inner = std::move(fn), ctx, enq = obs::now_ns(),
+          demand = (p == Priority::high)] {
+      const obs::RequestScope scope(ctx);
+      const std::uint64_t waited = obs::now_ns() - enq;
+      // Only demand tasks charge their queue wait to the request: a
+      // request's advisory prefetches may sit behind arbitrary low-priority
+      // backlog without making *this* request look slow.
+      if (ctx != nullptr && demand)
+        ctx->queue_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        static obs::Counter& wait =
+            obs::Registry::global().counter("mrc.exec.wait_ns");
+        static obs::Counter& run =
+            obs::Registry::global().counter("mrc.exec.run_ns");
+        wait.add(waited);
+        OBS_SPAN("exec.task", &run);
+        inner();
+        return;
+      }
       inner();
     };
   }
@@ -71,6 +89,16 @@ void ThreadPool::update_queue_gauges() const {
 std::size_t ThreadPool::queued() const {
   const std::lock_guard lock(mu_);
   return queue_.size() + low_queue_.size();
+}
+
+std::size_t ThreadPool::queued_high() const {
+  const std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::queued_low() const {
+  const std::lock_guard lock(mu_);
+  return low_queue_.size();
 }
 
 void ThreadPool::worker_loop() {

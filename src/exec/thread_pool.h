@@ -24,6 +24,15 @@
 // Exceptions thrown by tasks propagate: submit() delivers them through the
 // future, parallel_for() rethrows the first one after all lanes have
 // drained (remaining iterations may be skipped — fail fast, never deadlock).
+//
+// Request-context propagation: every posted task captures the submitter's
+// obs::RequestCtx (trace id + per-request counters) and re-installs it on
+// the executing lane — both priority classes, the inline single-lane path
+// (trivially: it runs on the submitter's thread), and parallel_for lanes.
+// Spans recorded inside a task therefore carry the trace id of the request
+// that queued it, and the flight recorder sees a demand task's queue wait
+// attributed to its request. Tasks posted outside any request context by a
+// process with obs disabled are posted unwrapped — zero added cost.
 
 #include <condition_variable>
 #include <deque>
@@ -79,6 +88,12 @@ class ThreadPool {
   /// Tasks queued but not yet picked up by a worker (both classes) — the
   /// serve::Server stats surface reports this as scheduler backlog.
   [[nodiscard]] std::size_t queued() const;
+
+  /// Per-class backlog: demand (high) vs advisory (low) tasks waiting. The
+  /// serve stats_ok frame carries both, so a client can tell "the server is
+  /// busy warming bricks" from "demand reads are queueing".
+  [[nodiscard]] std::size_t queued_high() const;
+  [[nodiscard]] std::size_t queued_low() const;
 
   /// Runs body(i) for i in [0, n) across all lanes, grabbing `grain`-sized
   /// chunks off a shared counter (dynamic load balancing for uneven work

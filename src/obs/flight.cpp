@@ -1,0 +1,167 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/require.h"
+#include "obs/obs.h"
+
+namespace mrc::obs {
+
+FlightRecorder& FlightRecorder::global() {
+  // Leaked like the registry: requests can complete during static
+  // destruction of whatever owns the server.
+  static FlightRecorder* g = new FlightRecorder();
+  return *g;
+}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  // Round-robin striping from one global sequence: with N total record()
+  // calls every stripe sees its exact share, so stats() can account for
+  // every dropped record precisely (the wraparound test depends on it).
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = stripes_[static_cast<std::size_t>(seq % kStripes)];
+  {
+    const std::lock_guard lock(s.mu);
+    if (s.ring.size() < kStripeCapacity) {
+      s.ring.push_back(rec);
+    } else {
+      s.ring[static_cast<std::size_t>(s.pushed % kStripeCapacity)] = rec;
+    }
+    ++s.pushed;
+  }
+  // Tail capture: errors always, slow requests past the threshold. The span
+  // tree only exists when obs is enabled and the request was traced — the
+  // record itself is kept either way.
+  if (rec.outcome != 0 ||
+      rec.total_us >= slow_us_.load(std::memory_order_relaxed)) {
+    std::string spans;
+    if (rec.trace != 0 && enabled()) spans = span_tree_json(rec.trace);
+    const std::lock_guard lock(slow_mu_);
+    if (slow_.size() >= kSlowLogCapacity) slow_.pop_front();
+    slow_.push_back(SlowEntry{rec, std::move(spans)});
+  }
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  Stats out;
+  for (const Stripe& s : stripes_) {
+    const std::lock_guard lock(s.mu);
+    out.recorded += s.ring.size();
+    out.dropped += s.pushed - s.ring.size();
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(kCapacity);
+  for (const Stripe& s : stripes_) {
+    const std::lock_guard lock(s.mu);
+    // Un-wrap the ring into push order: oldest surviving record first.
+    const std::size_t n = s.ring.size();
+    const std::size_t start =
+        n < kStripeCapacity ? 0 : static_cast<std::size_t>(s.pushed % kStripeCapacity);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(s.ring[(start + i) % n]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.end_ns < b.end_ns;
+            });
+  return out;
+}
+
+std::vector<FlightRecorder::SlowEntry> FlightRecorder::slow_log() const {
+  const std::lock_guard lock(slow_mu_);
+  return {slow_.begin(), slow_.end()};
+}
+
+void FlightRecorder::set_slow_threshold_us(std::uint64_t us) {
+  slow_us_.store(us, std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::slow_threshold_us() const {
+  return slow_us_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::reset() {
+  for (Stripe& s : stripes_) {
+    const std::lock_guard lock(s.mu);
+    s.ring.clear();
+    s.pushed = 0;
+  }
+  const std::lock_guard lock(slow_mu_);
+  slow_.clear();
+}
+
+namespace {
+
+void append_record_json(std::string& out, const FlightRecord& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"trace\":\"%016" PRIx64 "\",\"type\":%u,\"outcome\":%u,"
+      "\"dataset\":%u,\"level\":%d,"
+      "\"box\":[%lld,%lld,%lld,%lld,%lld,%lld],"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"queue_wait_us\":%llu,\"total_us\":%llu,\"end_us\":%.3f}",
+      r.trace, static_cast<unsigned>(r.frame_type),
+      static_cast<unsigned>(r.outcome), r.dataset, r.level,
+      static_cast<long long>(r.box_lo[0]), static_cast<long long>(r.box_lo[1]),
+      static_cast<long long>(r.box_lo[2]), static_cast<long long>(r.box_hi[0]),
+      static_cast<long long>(r.box_hi[1]), static_cast<long long>(r.box_hi[2]),
+      static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.cache_misses),
+      static_cast<unsigned long long>(r.queue_wait_us),
+      static_cast<unsigned long long>(r.total_us),
+      static_cast<double>(r.end_ns) * 1e-3);
+  out += buf;
+}
+
+}  // namespace
+
+std::string flight_json() {
+  FlightRecorder& fr = FlightRecorder::global();
+  const FlightRecorder::Stats st = fr.stats();
+  const std::vector<FlightRecord> records = fr.snapshot();
+  const std::vector<FlightRecorder::SlowEntry> slow = fr.slow_log();
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"flight\":{\"capacity\":%zu,\"recorded\":%llu,"
+                "\"dropped\":%llu,\"slow_threshold_us\":%llu,\n\"records\":[\n",
+                FlightRecorder::kCapacity,
+                static_cast<unsigned long long>(st.recorded),
+                static_cast<unsigned long long>(st.dropped),
+                static_cast<unsigned long long>(fr.slow_threshold_us()));
+  out += buf;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out += ",\n";
+    append_record_json(out, records[i]);
+  }
+  out += "\n],\n\"slow\":[\n";
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    if (i != 0) out += ",\n";
+    out += "{\"record\":";
+    append_record_json(out, slow[i].rec);
+    out += ",\"spans\":";
+    // The span tree is already JSON; an empty capture becomes null.
+    out += slow[i].spans.empty() ? "null" : slow[i].spans;
+    out += '}';
+  }
+  out += "\n]}}\n";
+  return out;
+}
+
+void write_flight_json(const std::string& path) {
+  const std::string json = flight_json();
+  FILE* f = std::fopen(path.c_str(), "w");
+  MRC_REQUIRE(f != nullptr, "obs: cannot open flight output file " + path);
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  MRC_REQUIRE(n == json.size(), "obs: short write to flight file " + path);
+}
+
+}  // namespace mrc::obs

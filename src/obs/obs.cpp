@@ -13,6 +13,25 @@ void set_enabled(bool on) {
     detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+namespace {
+// The thread's current request context. A plain thread_local shared_ptr:
+// installing/restoring a scope is two moves, reading it is one TLS load —
+// cheap enough to stay on with obs disabled (the flight recorder needs it).
+thread_local RequestCtxPtr t_request;
+}  // namespace
+
+const RequestCtxPtr& current_request() { return t_request; }
+
+std::uint64_t current_trace() {
+  return t_request == nullptr ? 0 : t_request->trace;
+}
+
+RequestScope::RequestScope(RequestCtxPtr ctx) : prev_(std::move(t_request)) {
+  t_request = std::move(ctx);
+}
+
+RequestScope::~RequestScope() { t_request = std::move(prev_); }
+
 std::uint64_t now_ns() {
   // A process-local epoch keeps span timestamps small enough that the
   // microsecond doubles in the trace JSON stay exact.
@@ -135,11 +154,28 @@ std::string Registry::render_text() const {
   }
   for (const auto& [n, p] : hists_) {
     const std::string pn = promname(n);
-    out += "# TYPE " + pn + " summary\n";
-    out += pn + "{quantile=\"0.5\"} " + std::to_string(p->quantile(0.50)) + "\n";
-    out += pn + "{quantile=\"0.99\"} " + std::to_string(p->quantile(0.99)) + "\n";
+    out += "# TYPE " + pn + " histogram\n";
+    // Real histogram exposition over the log2 buckets: cumulative
+    // `_bucket{le="..."}` lines, sparse (only buckets holding samples; a
+    // 48-bucket histogram would otherwise emit 48 lines of zeros each), and
+    // le is each bucket's inclusive upper bound — samples are integers, so
+    // "<= 2^b - 1" captures bucket b exactly. Totals come from the same
+    // snapshot as the bucket lines, so `+Inf` == `_count` always, even if
+    // samples land concurrently.
+    const auto counts = p->bucket_counts();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    std::uint64_t cum = 0;
+    for (int b = 0; b + 1 < Histogram::kBuckets; ++b) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(b)];
+      if (c == 0) continue;
+      cum += c;
+      out += pn + "_bucket{le=\"" + std::to_string(Histogram::bucket_upper(b)) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
     line(pn + "_sum", p->sum());
-    line(pn + "_count", p->count());
+    line(pn + "_count", total);
   }
   return out;
 }

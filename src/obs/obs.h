@@ -17,9 +17,14 @@
 //     fetch_adds on cache lines that are already being written under the
 //     same locks, and keeping them unconditional is what makes the wire
 //     `metrics` frame reconcile exactly with ServerStats.
-//   * enabled           — spans read the clock twice and push one 24-byte
-//     event into a per-thread ring buffer (per-buffer mutex, uncontended on
-//     the hot path, so the exporter can snapshot live buffers TSan-clean).
+//   * enabled           — spans read the clock twice and push one 40-byte
+//     event (name, times, request trace id) into a per-thread ring buffer
+//     (per-buffer mutex, uncontended on the hot path, so the exporter can
+//     snapshot live buffers TSan-clean).
+//
+// Independent of the kill switch, the serve tier's *request context*
+// (RequestCtx below) and the flight recorder (obs/flight.h) are always on:
+// they cost O(1) relaxed writes per served request, not per span.
 //
 // Registry handles have stable addresses for the life of the process, so
 // instrumentation sites cache them in function-local statics and the hot
@@ -151,6 +156,24 @@ class Histogram {
   /// serve-layer compatibility spelling (that tier records microseconds).
   [[nodiscard]] std::uint64_t quantile_us(double q) const { return quantile(q); }
 
+  /// Snapshot of the raw per-bucket counters (index = internal bucket id;
+  /// see bucket_upper for each bucket's value range). Feeds the Prometheus
+  /// cumulative `_bucket{le=...}` exposition and tests.
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> bucket_counts() const {
+    std::array<std::uint64_t, kBuckets> out{};
+    for (int i = 0; i < kBuckets; ++i)
+      out[static_cast<std::size_t>(i)] =
+          counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Largest sample value bucket `b` holds, inclusive: 0 for bucket 0,
+  /// 2^b - 1 for the log2 buckets. The last bucket is the overflow bucket —
+  /// render it as le="+Inf", not as this finite bound.
+  [[nodiscard]] static std::uint64_t bucket_upper(int b) {
+    return b <= 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -201,8 +224,10 @@ class Registry {
   [[nodiscard]] std::vector<HistogramView> histograms() const;
 
   /// Prometheus-style text exposition: names with '.' mapped to '_',
-  /// counters as `# TYPE <n> counter`, gauges as gauge, histograms as
-  /// summary (quantile 0.5 / 0.99 + _sum + _count).
+  /// counters as `# TYPE <n> counter`, gauges as gauge, histograms as real
+  /// `histogram` exposition — cumulative `_bucket{le="..."}` lines over the
+  /// log2 buckets (sparse: only buckets that hold samples, plus the +Inf
+  /// line) followed by `_sum` and `_count`.
   [[nodiscard]] std::string render_text() const;
 
   void reset();
@@ -222,13 +247,56 @@ class Registry {
 /// Convenience: Registry::global().render_text().
 [[nodiscard]] std::string render_text();
 
+// -- Request context --------------------------------------------------------
+
+/// Per-request state threaded from the serve tier through the exec pool and
+/// the brick cache: the client-generated trace id plus the per-request
+/// counters the flight recorder reports. Shared (shared_ptr) between the
+/// request thread and every pool task it spawns, so the counters are relaxed
+/// atomics. Always compiled in — the flight recorder needs it with obs
+/// disabled — and always cheap: installing a scope is two shared_ptr moves.
+struct RequestCtx {
+  std::uint64_t trace = 0;  ///< client-generated id; 0 = untraced request
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> queue_wait_ns{0};  ///< demand-lane queue wait
+};
+using RequestCtxPtr = std::shared_ptr<RequestCtx>;
+
+/// The calling thread's current request context (null outside any request).
+[[nodiscard]] const RequestCtxPtr& current_request();
+
+/// Shorthand: current_request()'s trace id, 0 when there is none.
+[[nodiscard]] std::uint64_t current_trace();
+
+/// RAII installer for a request context on this thread; restores the
+/// previous one (usually null) on destruction. The exec pool wraps every
+/// posted task in one of these so context survives both priority lanes; a
+/// null ctx clears the slot (workers start clear anyway).
+class RequestScope {
+ public:
+  explicit RequestScope(RequestCtxPtr ctx);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  RequestCtxPtr prev_;
+};
+
 // -- Tracing ----------------------------------------------------------------
 
 /// One closed span; name must be a string literal (stored by pointer).
+/// `trace` is the owning request's id (captured from the thread's current
+/// RequestCtx at record time); `ref` links a span to *another* request — the
+/// brick cache sets it when a decode is adopted across requests, recording
+/// both the owning and the adopting trace id on one event.
 struct TraceEvent {
   const char* name;
   std::uint64_t t0_ns;
   std::uint64_t dur_ns;
+  std::uint64_t trace;
+  std::uint64_t ref;
 };
 
 /// Per-thread ring capacity: newest events win once a thread wraps.
@@ -243,12 +311,30 @@ struct TraceStats {
 void reset_trace();
 
 /// chrome://tracing / Perfetto JSON ({"traceEvents": [...]}, complete "X"
-/// events, ts/dur in microseconds, one tid per instrumented thread).
+/// events, ts/dur in microseconds, one tid per instrumented thread). Spans
+/// recorded under a request context carry `"args":{"trace":"<16-hex>"}`
+/// (plus `"ref"` for cross-request adoption events), so one request's spans
+/// can be filtered out of the interleaved per-thread rings.
 [[nodiscard]] std::string trace_json();
 void write_trace_json(const std::string& path);
 
+/// Every held span whose trace id equals `trace_id` (any thread, any order).
+[[nodiscard]] std::vector<TraceEvent> spans_for(std::uint64_t trace_id);
+
+/// The stitched per-request span tree: all spans carrying `trace_id`,
+/// nested by interval containment across threads (the pool shares the
+/// process clock, so a task span sits inside the request span that posted
+/// it). Text form is an indented one-line-per-span rendering for
+/// `mrcc trace-read`; JSON form is {"trace":"<16-hex>","spans":[nodes]} with
+/// each node {"name","ts","dur","tid","children"} — the slow-log keeps this.
+[[nodiscard]] std::string span_tree_text(std::uint64_t trace_id);
+[[nodiscard]] std::string span_tree_json(std::uint64_t trace_id);
+
 namespace detail {
 void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t dur_ns);
+/// As record_span, with an explicit cross-request link (see TraceEvent::ref).
+void record_span_ref(const char* name, std::uint64_t t0_ns,
+                     std::uint64_t dur_ns, std::uint64_t ref);
 }  // namespace detail
 
 /// RAII trace scope. Construction is one enabled() branch when obs is off;

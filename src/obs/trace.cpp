@@ -1,5 +1,6 @@
 #include "obs/obs.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -64,18 +65,27 @@ void append_escaped(std::string& out, const char* s) {
 
 namespace detail {
 
-void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t dur_ns) {
+void record_span_ref(const char* name, std::uint64_t t0_ns,
+                     std::uint64_t dur_ns, std::uint64_t ref) {
+  // The owning request's trace id rides along automatically: it is read
+  // from this thread's current RequestCtx, which the exec pool re-installs
+  // inside every posted task, so spans recorded on a worker lane still
+  // carry the id of the request that queued them.
+  const TraceEvent e{name, t0_ns, dur_ns, current_trace(), ref};
   Ring& r = local_ring();
   const std::lock_guard lock(r.mu);
   if (r.ev.size() < kTraceCapacity) {
-    r.ev.push_back(TraceEvent{name, t0_ns, dur_ns});
+    r.ev.push_back(e);
   } else {
     // The ring filled in push order, so pushed % capacity keeps overwriting
     // round-robin: the newest kTraceCapacity events always survive.
-    r.ev[static_cast<std::size_t>(r.pushed % kTraceCapacity)] =
-        TraceEvent{name, t0_ns, dur_ns};
+    r.ev[static_cast<std::size_t>(r.pushed % kTraceCapacity)] = e;
   }
   ++r.pushed;
+}
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t dur_ns) {
+  record_span_ref(name, t0_ns, dur_ns, /*ref=*/0);
 }
 
 }  // namespace detail
@@ -115,7 +125,7 @@ std::string trace_json() {
       snap = r->ev;
       tid = r->tid;
     }
-    char buf[96];
+    char buf[160];
     for (const TraceEvent& e : snap) {
       if (!first) out += ",\n";
       first = false;
@@ -125,13 +135,153 @@ std::string trace_json() {
       // Event Format; pid is fixed (single process), tid is the ring's id.
       std::snprintf(buf, sizeof buf,
                     "\",\"cat\":\"mrc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                    "\"pid\":1,\"tid\":%u}",
+                    "\"pid\":1,\"tid\":%u",
                     static_cast<double>(e.t0_ns) * 1e-3,
                     static_cast<double>(e.dur_ns) * 1e-3, tid);
       out += buf;
+      // Trace ids as 16-hex-digit strings, not JSON numbers: 64-bit ids do
+      // not survive a double round trip in most JSON consumers.
+      if (e.trace != 0 || e.ref != 0) {
+        std::snprintf(buf, sizeof buf, ",\"args\":{\"trace\":\"%016" PRIx64 "\"",
+                      e.trace);
+        out += buf;
+        if (e.ref != 0) {
+          std::snprintf(buf, sizeof buf, ",\"ref\":\"%016" PRIx64 "\"", e.ref);
+          out += buf;
+        }
+        out += '}';
+      }
+      out += '}';
     }
   }
   out += "\n]}\n";
+  return out;
+}
+
+std::vector<TraceEvent> spans_for(std::uint64_t trace_id) {
+  std::vector<TraceEvent> out;
+  Rings& g = rings();
+  const std::lock_guard glock(g.mu);
+  for (const auto& r : g.all) {
+    const std::lock_guard lock(r->mu);
+    for (const TraceEvent& e : r->ev)
+      if (e.trace == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+/// A span plus its ring id and child links — the stitched tree is built over
+/// indices into one flat vector.
+struct TreeNode {
+  TraceEvent ev{};
+  std::uint32_t tid = 0;
+  std::vector<std::size_t> kids;
+};
+
+/// Collects the spans of one request (with their ring ids) and nests them by
+/// interval containment: sort by start time (ties: longest first, so a
+/// parent precedes the children it contains), then a stack of open intervals
+/// assigns each span to the innermost one enclosing it. Containment works
+/// across threads because every ring shares the process clock — a pool
+/// task's span really does sit inside the request span that posted it.
+/// Returns the flat node vector plus the root indices.
+std::pair<std::vector<TreeNode>, std::vector<std::size_t>> build_tree(
+    std::uint64_t trace_id) {
+  std::vector<TreeNode> nodes;
+  {
+    Rings& g = rings();
+    const std::lock_guard glock(g.mu);
+    for (const auto& r : g.all) {
+      const std::lock_guard lock(r->mu);
+      for (const TraceEvent& e : r->ev)
+        if (e.trace == trace_id && trace_id != 0)
+          nodes.push_back(TreeNode{e, r->tid, {}});
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(), [](const TreeNode& a, const TreeNode& b) {
+    if (a.ev.t0_ns != b.ev.t0_ns) return a.ev.t0_ns < b.ev.t0_ns;
+    return a.ev.dur_ns > b.ev.dur_ns;
+  });
+  std::vector<std::size_t> roots;
+  std::vector<std::size_t> stack;  // indices of open (enclosing) spans
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TraceEvent& e = nodes[i].ev;
+    while (!stack.empty()) {
+      const TraceEvent& top = nodes[stack.back()].ev;
+      if (top.t0_ns <= e.t0_ns && e.t0_ns + e.dur_ns <= top.t0_ns + top.dur_ns)
+        break;
+      stack.pop_back();
+    }
+    if (stack.empty())
+      roots.push_back(i);
+    else
+      nodes[stack.back()].kids.push_back(i);
+    stack.push_back(i);
+  }
+  return {std::move(nodes), std::move(roots)};
+}
+
+void render_text_node(std::string& out, const std::vector<TreeNode>& nodes,
+                      std::size_t i, int depth) {
+  const TreeNode& n = nodes[i];
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%*s%-*s %10.1f us  tid %u", depth * 2, "",
+                std::max(1, 32 - depth * 2), n.ev.name,
+                static_cast<double>(n.ev.dur_ns) * 1e-3, n.tid);
+  out += buf;
+  if (n.ev.ref != 0) {
+    std::snprintf(buf, sizeof buf, "  (ref %016" PRIx64 ")", n.ev.ref);
+    out += buf;
+  }
+  out += '\n';
+  for (const std::size_t k : n.kids) render_text_node(out, nodes, k, depth + 1);
+}
+
+void render_json_node(std::string& out, const std::vector<TreeNode>& nodes,
+                      std::size_t i) {
+  const TreeNode& n = nodes[i];
+  out += "{\"name\":\"";
+  append_escaped(out, n.ev.name);
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "\",\"ts\":%.3f,\"dur\":%.3f,\"tid\":%u",
+                static_cast<double>(n.ev.t0_ns) * 1e-3,
+                static_cast<double>(n.ev.dur_ns) * 1e-3, n.tid);
+  out += buf;
+  if (n.ev.ref != 0) {
+    std::snprintf(buf, sizeof buf, ",\"ref\":\"%016" PRIx64 "\"", n.ev.ref);
+    out += buf;
+  }
+  out += ",\"children\":[";
+  for (std::size_t k = 0; k < n.kids.size(); ++k) {
+    if (k != 0) out += ',';
+    render_json_node(out, nodes, n.kids[k]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string span_tree_text(std::uint64_t trace_id) {
+  const auto [nodes, roots] = build_tree(trace_id);
+  std::string out;
+  for (const std::size_t r : roots) render_text_node(out, nodes, r, 0);
+  return out;
+}
+
+std::string span_tree_json(std::uint64_t trace_id) {
+  const auto [nodes, roots] = build_tree(trace_id);
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"trace\":\"%016" PRIx64 "\",\"spans\":[",
+                trace_id);
+  out += buf;
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    if (r != 0) out += ',';
+    render_json_node(out, nodes, roots[r]);
+  }
+  out += "]}";
   return out;
 }
 

@@ -104,6 +104,12 @@ struct BrickCache::Impl {
     std::shared_future<BrickPtr> future;
     bool claimed = false;                 ///< guarded by fl_mu
     std::function<BrickPtr()> decode;     ///< queued prefetch job; cleared on claim
+    /// Trace id of the request that *owns* the decode right now (0 = none):
+    /// the demand fetcher, or — for a queued prefetch — the request that
+    /// issued the advisory warm. Updated under fl_mu when a demand fetch
+    /// steals a queued prefetch, so claim/adopt spans can name both sides
+    /// of a coalesced decode.
+    std::uint64_t owner_trace = 0;        ///< guarded by fl_mu
     InFlight() : future(promise.get_future().share()) {}
   };
 
@@ -144,6 +150,8 @@ struct BrickCache::Impl {
     CacheMetrics& m = CacheMetrics::get();
     m.lookups.add(1);
     m.hits.add(1);
+    if (const obs::RequestCtxPtr& ctx = obs::current_request())
+      ctx->cache_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second->brick;
   }
 
@@ -160,6 +168,9 @@ struct BrickCache::Impl {
     (hit ? m.hits : m.misses).add(1);
     // A hit decided off-shard is precisely an adopted in-flight decode.
     if (hit) m.coalesced.add(1);
+    if (const obs::RequestCtxPtr& ctx = obs::current_request())
+      (hit ? ctx->cache_hits : ctx->cache_misses)
+          .fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Inserts a decoded brick, evicting LRU tails (any dataset) until the
@@ -221,12 +232,15 @@ BrickPtr BrickCache::fetch(CacheKey key, const std::function<BrickPtr()>& decode
   for (;;) {
     std::shared_ptr<Impl::InFlight> fl;
     bool owner = false;
+    bool stole_prefetch = false;
+    std::uint64_t prev_owner = 0;  ///< owning trace id read/replaced under fl_mu
     {
       const std::lock_guard lock(im.fl_mu);
       const auto it = im.inflight.find(key);
       if (it == im.inflight.end()) {
         fl = std::make_shared<Impl::InFlight>();
         fl->claimed = true;  // we will run the decode
+        fl->owner_trace = obs::current_trace();
         im.inflight.emplace(key, fl);
         owner = true;
       } else {
@@ -237,14 +251,31 @@ BrickPtr BrickCache::fetch(CacheKey key, const std::function<BrickPtr()>& decode
           fl->claimed = true;
           fl->decode = nullptr;
           --im.prefetch_queued;
+          prev_owner = fl->owner_trace;  // the request that queued the warm
+          fl->owner_trace = obs::current_trace();
           owner = true;
+          stole_prefetch = true;
+        } else {
+          prev_owner = fl->owner_trace;  // the request running the decode
         }
       }
     }
+    if (stole_prefetch && obs::enabled()) {
+      // Instant marker in *this* request's tree, ref = the prefetch issuer:
+      // both trace ids of the hand-off are on record.
+      const std::uint64_t t = obs::now_ns();
+      obs::detail::record_span_ref("cache.claim_prefetch", t, 0, prev_owner);
+    }
     if (!owner) {
+      const std::uint64_t tw0 = obs::enabled() ? obs::now_ns() : 0;
       BrickPtr b = fl->future.get();  // decoder is actively running: finite wait
       if (b != nullptr) {
         im.count(key, /*hit=*/true);  // adopted in-flight decode, no new work
+        if (obs::enabled())
+          // The wait span refs the owning request's trace id, so a stitched
+          // tree shows whose decode this request coalesced onto.
+          obs::detail::record_span_ref("cache.adopt_decode", tw0,
+                                       obs::now_ns() - tw0, prev_owner);
         return b;
       }
       // The decoder bailed (declined prefetch, or its decode failed and the
@@ -281,6 +312,7 @@ void BrickCache::prefetch(CacheKey key, exec::ThreadPool& pool,
     if (im.inflight.find(key) != im.inflight.end()) return;  // already coming
     fl = std::make_shared<Impl::InFlight>();
     fl->decode = std::move(decode);
+    fl->owner_trace = obs::current_trace();  // the request issuing the warm
     im.inflight.emplace(key, fl);
     ++im.prefetch_queued;
   }

@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 #include "serve/latency.h"
 #include "serve/wire.h"
@@ -92,7 +93,8 @@ struct Server::Impl {
       const std::shared_lock lock(mu);
       s.datasets = static_cast<std::uint32_t>(datasets.size());
     }
-    s.queue_depth = pool->queued();
+    s.queue_high = pool->queued_high();
+    s.queue_low = pool->queued_low();
     s.active = active.load(std::memory_order_relaxed);
     s.requests = requests.load(std::memory_order_relaxed);
     s.rejected = rejected.load(std::memory_order_relaxed);
@@ -187,21 +189,56 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
   const auto done = [](ByteReader& r) {
     if (!r.exhausted()) throw CodecError("wire: request has trailing bytes");
   };
-  // Per-frame-type latency histograms (mrc.serve.frame_us.<type>), recorded
-  // around the full dispatch — parse to reply bytes — when obs is enabled.
+  // The request clock, context, and flight record start before parsing:
+  // even an unparseable frame gets a record (frame_type 0) with its true
+  // latency. The context scope makes the request's trace id and per-request
+  // counters visible to everything this thread — and, via the pool's task
+  // wrapper, every lane — touches while serving it.
+  const std::uint64_t t0 = obs::now_ns();
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  const obs::RequestScope scope(ctx);
+  wire::Request req;     // stays zeroed when parse_request throws
+  obs::FlightRecord fr;  // dataset/box/level filled per frame type below
+
+  // Per-frame-type latency histograms (mrc.serve.frame_us.<type>) and the
+  // stitched request span, recorded around the full dispatch — parse to
+  // reply bytes — when obs is enabled. The serve.request span is recorded
+  // *before* the flight record so a slow-log capture sees the whole tree.
   const bool timed = obs::enabled();
-  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
-  const auto reply = [&](const char* type_name, Bytes r) {
-    if (timed)
+  const auto reply = [&](const char* type_name, Bytes r, std::uint8_t outcome) {
+    const std::uint64_t t1 = obs::now_ns();
+    if (timed) {
       obs::Registry::global()
           .histogram(std::string("mrc.serve.frame_us.") + type_name)
-          .record((obs::now_ns() - t0) / 1000);
+          .record((t1 - t0) / 1000);
+      obs::detail::record_span("serve.request", t0, t1 - t0);
+    }
+    fr.trace = req.trace;
+    fr.frame_type = static_cast<std::uint8_t>(req.type);
+    fr.outcome = outcome;
+    fr.cache_hits = ctx->cache_hits.load(std::memory_order_relaxed);
+    fr.cache_misses = ctx->cache_misses.load(std::memory_order_relaxed);
+    fr.queue_wait_us = ctx->queue_wait_ns.load(std::memory_order_relaxed) / 1000;
+    fr.end_ns = t1;
+    fr.total_us = (t1 - t0) / 1000;
+    obs::FlightRecorder::global().record(fr);
     return r;
   };
+  const auto finish = [&](const char* type_name, Bytes r) {
+    return reply(type_name, wire::echo_trace(std::move(r), req.traced, req.trace),
+                 /*outcome=*/0);
+  };
   try {
-    const wire::Frame f = wire::parse_frame(frame);
-    ByteReader r(f.body);
-    switch (f.type) {
+    {
+      // Recorded after ctx->trace is set, so the decode span carries the id.
+      const std::uint64_t tp0 = timed ? obs::now_ns() : 0;
+      req = wire::parse_request(frame);
+      ctx->trace = req.trace;
+      if (timed)
+        obs::detail::record_span("wire.decode", tp0, obs::now_ns() - tp0);
+    }
+    ByteReader r(req.body);
+    switch (req.type) {
       case wire::Type::open: {
         const std::span<const std::byte> name_b = r.get_blob();
         const std::span<const std::byte> stream_b = r.get_blob();
@@ -210,6 +247,7 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
                          name_b.size());
         const std::uint32_t id =
             open(Bytes(stream_b.begin(), stream_b.end()), std::move(name));
+        fr.dataset = id;
         Bytes body;
         ByteWriter w(body);
         w.put<std::uint32_t>(id);
@@ -219,32 +257,46 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
         w.put<std::int64_t>(d.ny);
         w.put<std::int64_t>(d.nz);
         w.put<double>(eb(id));
-        return reply("open", wire::make_frame(wire::Type::open_ok, body));
+        return finish("open", wire::make_frame(wire::Type::open_ok, body));
       }
       case wire::Type::region: {
         const auto id = r.get<std::uint32_t>();
         const auto level = r.get<std::int32_t>();
         const tiled::Box box = wire::get_box(r);
         done(r);
-        return reply("region", wire::encode_region_ok(read_region(id, level, box)));
+        fr.dataset = id;
+        fr.level = level;
+        fr.box_lo[0] = box.lo.x, fr.box_lo[1] = box.lo.y, fr.box_lo[2] = box.lo.z;
+        fr.box_hi[0] = box.hi.x, fr.box_hi[1] = box.hi.y, fr.box_hi[2] = box.hi.z;
+        const FieldF f = read_region(id, level, box);
+        const std::uint64_t te0 = timed ? obs::now_ns() : 0;
+        Bytes out = wire::encode_region_ok(f);
+        if (timed)
+          obs::detail::record_span("wire.encode", te0, obs::now_ns() - te0);
+        return finish("region", std::move(out));
       }
       case wire::Type::lod: {
         const auto id = r.get<std::uint32_t>();
         const tiled::Box box = wire::get_box(r);
         const auto budget = r.get<std::uint64_t>();
         done(r);
+        fr.dataset = id;
+        fr.box_lo[0] = box.lo.x, fr.box_lo[1] = box.lo.y, fr.box_lo[2] = box.lo.z;
+        fr.box_hi[0] = box.hi.x, fr.box_hi[1] = box.hi.y, fr.box_hi[2] = box.hi.z;
+        const int level = choose_level(id, box, static_cast<index_t>(budget));
+        fr.level = level;
         Bytes body;
         ByteWriter w(body);
-        w.put<std::int32_t>(
-            choose_level(id, box, static_cast<index_t>(budget)));
-        return reply("lod", wire::make_frame(wire::Type::lod_ok, body));
+        w.put<std::int32_t>(level);
+        return finish("lod", wire::make_frame(wire::Type::lod_ok, body));
       }
       case wire::Type::stats: {
         const auto id = r.get<std::uint32_t>();
         done(r);
-        return reply("stats",
-                     wire::encode_stats_ok(id == wire::kAllDatasets ? stats()
-                                                                    : stats(id)));
+        fr.dataset = id;
+        return finish("stats",
+                      wire::encode_stats_ok(id == wire::kAllDatasets ? stats()
+                                                                     : stats(id)));
       }
       case wire::Type::metrics: {
         // Malformed metrics frames (trailing bytes) die in done() — before
@@ -254,24 +306,45 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
         Bytes body;
         ByteWriter w(body);
         w.put_blob(std::as_bytes(std::span(text.data(), text.size())));
-        return reply("metrics", wire::make_frame(wire::Type::metrics_ok, body));
+        return finish("metrics", wire::make_frame(wire::Type::metrics_ok, body));
+      }
+      case wire::Type::debug: {
+        done(r);
+        const std::string text = obs::flight_json();
+        Bytes body;
+        ByteWriter w(body);
+        w.put_blob(std::as_bytes(std::span(text.data(), text.size())));
+        return finish("debug", wire::make_frame(wire::Type::debug_ok, body));
       }
       case wire::Type::close: {
         const auto id = r.get<std::uint32_t>();
         done(r);
+        fr.dataset = id;
         close(id);
-        return reply("close", wire::make_frame(wire::Type::close_ok));
+        return finish("close", wire::make_frame(wire::Type::close_ok));
       }
       default:
         throw ServerError(ServerError::Code::bad_request,
                           "wire: unknown frame type");
     }
   } catch (const ServerError& e) {
-    return reply("error", wire::make_error(e.code(), e.what()));
+    // Error frames carry the failed request type and — like every reply —
+    // echo the trace id, so a pipelining client can attribute the failure.
+    return reply("error",
+                 wire::echo_trace(
+                     wire::make_error(e.code(), e.what(),
+                                      static_cast<std::uint8_t>(req.type)),
+                     req.traced, req.trace),
+                 static_cast<std::uint8_t>(e.code()));
   } catch (const std::exception& e) {
     // Contract violations, malformed frames, decode failures: the client
     // asked for something the server cannot do — a bad request either way.
-    return reply("error", wire::make_error(ServerError::Code::bad_request, e.what()));
+    return reply("error",
+                 wire::echo_trace(
+                     wire::make_error(ServerError::Code::bad_request, e.what(),
+                                      static_cast<std::uint8_t>(req.type)),
+                     req.traced, req.trace),
+                 static_cast<std::uint8_t>(ServerError::Code::bad_request));
   }
 }
 

@@ -61,6 +61,13 @@ class ServerError : public std::runtime_error {
       : std::runtime_error(what), code_(code) {}
   [[nodiscard]] Code code() const { return code_; }
 
+  /// Wire attribution, filled in by wire::Client when it decodes an error
+  /// frame: the request type byte that failed (0 = the frame never parsed)
+  /// and the echoed trace id (0 = the request was untraced). Server-side
+  /// throws leave both at 0 — the frame layer adds them on the way out.
+  std::uint8_t failed_request = 0;
+  std::uint64_t trace = 0;
+
  private:
   Code code_;
 };
@@ -71,7 +78,8 @@ class ServerError : public std::runtime_error {
 struct ServerStats {
   CacheStats cache;             ///< global, or one dataset's slice
   std::uint32_t datasets = 0;   ///< streams currently open
-  std::uint64_t queue_depth = 0;  ///< pool tasks queued (both priorities)
+  std::uint64_t queue_high = 0;  ///< demand pool tasks queued
+  std::uint64_t queue_low = 0;   ///< advisory (prefetch) pool tasks queued
   std::uint64_t active = 0;     ///< reads being served right now
   std::uint64_t requests = 0;   ///< reads admitted since construction
   std::uint64_t rejected = 0;   ///< reads shed with Code::overloaded

@@ -30,6 +30,23 @@ Frame parse_frame(std::span<const std::byte> buf) {
   return Frame{static_cast<Type>(t), buf.subspan(kHeaderBytes)};
 }
 
+Request parse_request(std::span<const std::byte> buf) {
+  const Frame f = parse_frame(buf);
+  const auto raw = static_cast<std::uint8_t>(f.type);
+  Request out;
+  out.type = static_cast<Type>(raw & ~kTracedFlag);
+  out.body = f.body;
+  if ((raw & kTracedFlag) != 0) {
+    require_wire(f.body.size() >= sizeof(std::uint64_t),
+                 "traced frame shorter than its trace id");
+    std::memcpy(&out.trace, f.body.data() + f.body.size() - sizeof(std::uint64_t),
+                sizeof(std::uint64_t));
+    out.traced = true;
+    out.body = f.body.first(f.body.size() - sizeof(std::uint64_t));
+  }
+  return out;
+}
+
 Bytes make_frame(Type t, std::span<const std::byte> body) {
   require_wire(body.size() + 1 <= kMaxFrameBytes, "frame body exceeds the cap");
   const auto len = static_cast<std::uint32_t>(body.size() + 1);
@@ -40,11 +57,31 @@ Bytes make_frame(Type t, std::span<const std::byte> body) {
   return out;
 }
 
-Bytes make_error(ServerError::Code code, std::string_view what) {
+Bytes echo_trace(Bytes frame, bool traced, std::uint64_t trace) {
+  if (!traced) return frame;
+  require_wire(frame.size() >= kHeaderBytes, "cannot trace-stamp a non-frame");
+  std::uint32_t len = 0;
+  std::memcpy(&len, frame.data(), sizeof(len));
+  len += sizeof(std::uint64_t);
+  require_wire(len <= kMaxFrameBytes, "traced frame exceeds the cap");
+  std::memcpy(frame.data(), &len, sizeof(len));
+  frame[4] = static_cast<std::byte>(static_cast<std::uint8_t>(frame[4]) |
+                                    kTracedFlag);
+  const std::size_t n = frame.size();
+  frame.resize(n + sizeof(std::uint64_t));
+  std::memcpy(frame.data() + n, &trace, sizeof(trace));
+  return frame;
+}
+
+Bytes make_error(ServerError::Code code, std::string_view what,
+                 std::uint8_t failed_type) {
   Bytes body;
   ByteWriter w(body);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(code));
   w.put_blob(std::as_bytes(std::span(what.data(), what.size())));
+  // Which request type earned this error — correlation a pipelining client
+  // needs when replies arrive out of band (0 = the frame never parsed).
+  w.put<std::uint8_t>(failed_type);
   return make_frame(Type::error, body);
 }
 
@@ -103,10 +140,11 @@ FieldF decode_region_ok(std::span<const std::byte> body) {
 }
 
 Bytes encode_stats_ok(const ServerStats& s) {
-  // Fixed layout (7 u64 cache counters, u32 dataset count, 6 u64 server
-  // gauges) built into a pre-sized buffer: the growing-ByteWriter path trips
-  // GCC 12's -Wstringop-overflow false positive at -O3 here.
-  Bytes body(13 * sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  // Fixed layout (7 u64 cache counters, u32 dataset count, 7 u64 server
+  // gauges — queue depth split per priority class) built into a pre-sized
+  // buffer: the growing-ByteWriter path trips GCC 12's -Wstringop-overflow
+  // false positive at -O3 here.
+  Bytes body(14 * sizeof(std::uint64_t) + sizeof(std::uint32_t));
   std::byte* p = body.data();
   const auto put64 = [&p](std::uint64_t v) {
     std::memcpy(p, &v, sizeof(v));
@@ -122,7 +160,8 @@ Bytes encode_stats_ok(const ServerStats& s) {
   const std::uint32_t datasets = s.datasets;
   std::memcpy(p, &datasets, sizeof(datasets));
   p += sizeof(datasets);
-  put64(s.queue_depth);
+  put64(s.queue_high);
+  put64(s.queue_low);
   put64(s.active);
   put64(s.requests);
   put64(s.rejected);
@@ -142,7 +181,8 @@ ServerStats decode_stats_ok(std::span<const std::byte> body) {
   s.cache.bytes = static_cast<std::size_t>(r.get<std::uint64_t>());
   s.cache.entries = static_cast<std::size_t>(r.get<std::uint64_t>());
   s.datasets = r.get<std::uint32_t>();
-  s.queue_depth = r.get<std::uint64_t>();
+  s.queue_high = r.get<std::uint64_t>();
+  s.queue_low = r.get<std::uint64_t>();
   s.active = r.get<std::uint64_t>();
   s.requests = r.get<std::uint64_t>();
   s.rejected = r.get<std::uint64_t>();
@@ -155,19 +195,44 @@ ServerStats decode_stats_ok(std::span<const std::byte> body) {
 // -- Client -----------------------------------------------------------------
 
 Bytes Client::call(Type t, std::span<const std::byte> body, Type expect) {
-  const Bytes request = make_frame(t, body);
+  const bool traced = trace_ != 0;
+  const Bytes request = echo_trace(make_frame(t, body), traced, trace_);
   Bytes reply = send_(request);
   const Frame f = parse_frame(reply);
-  if (f.type == Type::error) {
-    ByteReader r(f.body);
+  const auto raw = static_cast<std::uint8_t>(f.type);
+  const bool traced_reply = (raw & kTracedFlag) != 0;
+  const Type reply_type = static_cast<Type>(raw & ~kTracedFlag);
+  std::span<const std::byte> reply_body = f.body;
+  std::uint64_t echoed = 0;
+  if (traced_reply) {
+    require_wire(reply_body.size() >= sizeof(std::uint64_t),
+                 "traced reply shorter than its trace id");
+    std::memcpy(&echoed, reply_body.data() + reply_body.size() - sizeof(echoed),
+                sizeof(echoed));
+    reply_body = reply_body.first(reply_body.size() - sizeof(echoed));
+  }
+  // The echo must round-trip exactly: a traced request earns a traced reply
+  // carrying the same id — error frames included — and an untraced request
+  // must never earn one (a stray id means the transport crossed replies).
+  require_wire(traced == traced_reply, "reply trace presence mismatch");
+  if (traced) require_wire(echoed == trace_, "reply trace id mismatch");
+  if (reply_type == Type::error) {
+    ByteReader r(reply_body);
     const auto code = r.get<std::uint8_t>();
     const std::span<const std::byte> msg = r.get_blob();
+    const auto failed = r.get<std::uint8_t>();
     require_wire(r.exhausted(), "error reply has trailing bytes");
-    throw ServerError(static_cast<ServerError::Code>(code),
-                      std::string(reinterpret_cast<const char*>(msg.data()),
-                                  msg.size()));
+    ServerError err(static_cast<ServerError::Code>(code),
+                    std::string(reinterpret_cast<const char*>(msg.data()),
+                                msg.size()));
+    err.failed_request = failed;
+    err.trace = echoed;
+    throw err;
   }
-  require_wire(f.type == expect, "unexpected reply type");
+  require_wire(reply_type == expect, "unexpected reply type");
+  // Strip the trace suffix so the per-method body decoders (which subspan
+  // past the 5-byte header and require exhaustion) see the plain layout.
+  if (traced_reply) reply.resize(reply.size() - sizeof(std::uint64_t));
   return reply;
 }
 
@@ -226,6 +291,14 @@ std::string Client::metrics() {
   ByteReader r{std::span<const std::byte>(reply).subspan(5)};
   const std::span<const std::byte> text = r.get_blob();
   require_wire(r.exhausted(), "metrics reply has trailing bytes");
+  return std::string(reinterpret_cast<const char*>(text.data()), text.size());
+}
+
+std::string Client::debug() {
+  const Bytes reply = call(Type::debug, {}, Type::debug_ok);
+  ByteReader r{std::span<const std::byte>(reply).subspan(5)};
+  const std::span<const std::byte> text = r.get_blob();
+  require_wire(r.exhausted(), "debug reply has trailing bytes");
   return std::string(reinterpret_cast<const char*>(text.data()), text.size());
 }
 

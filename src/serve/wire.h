@@ -10,8 +10,13 @@
 //   u32  length     — bytes that follow (type byte + body), in
 //                     [1, kMaxFrameBytes], and must equal exactly what the
 //                     buffer holds: no trailing garbage, no truncation
-//   u8   type       — wire::Type
+//   u8   type       — wire::Type, optionally OR'd with kTracedFlag
 //   ...  body       — per-type payload (see wire.cpp encode/decode pairs)
+//   [u64 trace]     — only when the type byte carries kTracedFlag: the
+//                     client-generated request trace id, echoed verbatim on
+//                     the reply — error frames included — so a client can
+//                     attribute any reply under pipelining and the server
+//                     can stitch the request's spans into one tree
 //
 // Validation before allocation, always: every count and extent in a frame is
 // checked against the bytes actually present (and against hard caps — e.g.
@@ -32,8 +37,22 @@
 
 namespace mrc::serve::wire {
 
+/// Protocol revision. 2 (minor bump over PR 6's 1) added: optional
+/// per-request trace ids (kTracedFlag + trailing u64, echoed on every reply
+/// including errors), the `debug` flight-recorder frame, the split
+/// queue_high/queue_low fields in stats_ok, and the failed-request-type
+/// byte in error frames. There is no on-wire handshake yet (both ends of
+/// the loopback transport come from one build); the constant documents the
+/// revision and lets a future hello frame carry it.
+inline constexpr std::uint32_t kWireVersion = 2;
+
 /// Hard cap on `length` — a frame can never demand more than 1 GiB.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Type-byte flag: the frame body ends with a trailing u64 trace id. Chosen
+/// as 0x10 because no assigned type byte uses that bit — requests are
+/// 0x01..0x0f, replies 0x81..0x8f, and `error` (0xee) has 0x10 clear.
+inline constexpr std::uint8_t kTracedFlag = 0x10;
 
 /// Per-axis cap on region extents in a frame (2^20 samples per axis; the
 /// containers cap total samples at 2^40, so nothing real comes close).
@@ -51,6 +70,7 @@ enum class Type : std::uint8_t {
   stats = 0x04,    ///< u32 id (kAllDatasets = server-wide)
   close = 0x05,    ///< u32 id
   metrics = 0x06,  ///< empty — the process-wide obs registry exposition
+  debug = 0x07,    ///< empty — flight recorder + slow-log JSON
 
   open_ok = 0x81,    ///< u32 id, i32 levels, dims (3 x i64), f64 eb
   region_ok = 0x82,  ///< extents (3 x i64), then extents-product f32 samples
@@ -58,7 +78,8 @@ enum class Type : std::uint8_t {
   stats_ok = 0x84,   ///< ServerStats fields (see wire.cpp)
   close_ok = 0x85,   ///< empty
   metrics_ok = 0x86, ///< Prometheus-style text blob (obs::render_text)
-  error = 0xee,      ///< u8 ServerError::Code, message blob
+  debug_ok = 0x87,   ///< JSON text blob (obs::flight_json)
+  error = 0xee,      ///< u8 ServerError::Code, message blob, u8 failed type
 };
 
 /// A parsed frame; `body` aliases the input buffer.
@@ -69,13 +90,38 @@ struct Frame {
 
 /// Validates and splits one complete frame: the length prefix must match the
 /// buffer exactly. Throws CodecError otherwise (before looking at the body).
+/// The type byte is returned raw — it may still carry kTracedFlag (see
+/// parse_request, which strips it).
 [[nodiscard]] Frame parse_frame(std::span<const std::byte> buf);
+
+/// A request with its optional trace id split off: `type` has kTracedFlag
+/// cleared, `body` excludes the trailing id bytes. `type` defaults to 0 —
+/// "the frame never parsed" — which is what the server's flight record and
+/// error frames report when parse_request itself throws.
+struct Request {
+  Type type = static_cast<Type>(0);
+  bool traced = false;
+  std::uint64_t trace = 0;
+  std::span<const std::byte> body;
+};
+
+/// parse_frame + trace-id extraction. Throws CodecError when the frame is
+/// malformed (including a traced frame too short to hold its id).
+[[nodiscard]] Request parse_request(std::span<const std::byte> buf);
 
 /// Wraps a body in the length + type framing.
 [[nodiscard]] Bytes make_frame(Type t, std::span<const std::byte> body = {});
 
-/// An error reply frame carrying a ServerError code + message.
-[[nodiscard]] Bytes make_error(ServerError::Code code, std::string_view what);
+/// Stamps a finished frame with a trace id: sets kTracedFlag on the type
+/// byte, appends the id, and fixes the length prefix. Identity when
+/// `traced` is false. This is how every reply — error frames included —
+/// echoes the request's id without each encode path knowing about tracing.
+[[nodiscard]] Bytes echo_trace(Bytes frame, bool traced, std::uint64_t trace);
+
+/// An error reply frame carrying a ServerError code + message + the request
+/// type byte that failed (0 when the frame never parsed).
+[[nodiscard]] Bytes make_error(ServerError::Code code, std::string_view what,
+                               std::uint8_t failed_type = 0);
 
 /// What open_ok reports about a freshly opened dataset.
 struct OpenInfo {
@@ -97,6 +143,11 @@ class Client {
     MRC_REQUIRE(send_ != nullptr, "wire: client needs a transport");
   }
 
+  /// Trace id attached to every subsequent request (echoed by the server on
+  /// the matching reply, which this client verifies). 0 turns tracing off.
+  void set_trace(std::uint64_t id) { trace_ = id; }
+  [[nodiscard]] std::uint64_t trace() const { return trace_; }
+
   OpenInfo open(std::span<const std::byte> stream, std::string_view name = {});
   [[nodiscard]] FieldF region(std::uint32_t id, int level, const tiled::Box& box);
   [[nodiscard]] int choose_level(std::uint32_t id, const tiled::Box& fine_box,
@@ -104,15 +155,21 @@ class Client {
   [[nodiscard]] ServerStats stats(std::uint32_t id = kAllDatasets);
   /// The server process's obs registry as Prometheus-style text.
   [[nodiscard]] std::string metrics();
+  /// The server process's flight recorder + slow-log as JSON.
+  [[nodiscard]] std::string debug();
   void close(std::uint32_t id);
 
  private:
-  /// Ships `body` under `t`, validates the reply frame, rethrows error
-  /// frames as ServerError, and requires the reply type to be `expect`.
-  /// Returns the whole reply buffer (body = bytes past the 5-byte header).
+  /// Ships `body` under `t` (tagged with trace_ when set), validates the
+  /// reply frame and its echoed trace id, rethrows error frames as
+  /// ServerError (with failed_request/trace attribution filled in), and
+  /// requires the reply type to be `expect`. Returns the reply buffer with
+  /// any trace suffix already stripped (body = bytes past the 5-byte
+  /// header).
   Bytes call(Type t, std::span<const std::byte> body, Type expect);
 
   Transport send_;
+  std::uint64_t trace_ = 0;
 };
 
 // -- codec helpers shared by Server::handle_frame and Client ----------------

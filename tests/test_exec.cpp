@@ -4,13 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace mrc {
 namespace {
@@ -142,6 +146,93 @@ TEST(ThreadPool, SingleLanePoolRunsBothPrioritiesInline) {
   pool.submit(exec::Priority::high, [&] { ran += 2; }).get();
   EXPECT_EQ(ran, 3);
   EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPool, RequestContextPropagatesToBothLanesAndSerialFallback) {
+  // The serve layer installs a RequestCtx on the request thread; every task
+  // it posts — demand or prefetch lane — must observe that context on the
+  // worker, and the worker's slot must come back clear afterwards.
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  ctx->trace = 0x7e57;
+  const obs::RequestScope scope(ctx);
+
+  exec::ThreadPool pool(2);
+  std::atomic<std::uint64_t> high_seen{0}, low_seen{0};
+  pool.submit(exec::Priority::high,
+              [&] { high_seen = obs::current_trace(); })
+      .get();
+  pool.submit(exec::Priority::low, [&] { low_seen = obs::current_trace(); })
+      .get();
+  EXPECT_EQ(high_seen.load(), 0x7e57u);
+  EXPECT_EQ(low_seen.load(), 0x7e57u);
+
+  // Single-lane pools run inline on the caller — the serial fallback keeps
+  // the same context trivially.
+  exec::ThreadPool serial(1);
+  std::uint64_t inline_seen = 0;
+  serial.submit([&] { inline_seen = obs::current_trace(); }).get();
+  EXPECT_EQ(inline_seen, 0x7e57u);
+
+  // A task posted with no context (and obs off) leaves the worker's slot
+  // clear even though a traced task ran on that worker just before.
+  std::atomic<std::uint64_t> after{1};
+  {
+    const obs::RequestScope clear(nullptr);
+    pool.submit([&] { after = obs::current_trace(); }).get();
+  }
+  EXPECT_EQ(after.load(), 0u);
+}
+
+TEST(ThreadPool, QueueWaitIsChargedToDemandTasksOnly) {
+  // Block the single worker behind a gate, queue one task per lane under
+  // two different request contexts, and let both sit for a few ms. Only the
+  // demand (high) task may charge its queue wait to its request — a
+  // prefetch waiting behind low-priority backlog must not make the request
+  // that issued it look slow.
+  exec::ThreadPool pool(2);
+  std::promise<void> started;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = pool.submit([&started, open] {
+    started.set_value();
+    open.wait();
+  });
+  started.get_future().wait();
+
+  const auto demand = std::make_shared<obs::RequestCtx>();
+  const auto advisory = std::make_shared<obs::RequestCtx>();
+  std::future<void> low, high;
+  {
+    const obs::RequestScope s(advisory);
+    low = pool.submit(exec::Priority::low, [] {});
+  }
+  {
+    const obs::RequestScope s(demand);
+    high = pool.submit(exec::Priority::high, [] {});
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate.set_value();
+  blocker.get();
+  high.get();
+  low.get();
+
+  EXPECT_EQ(advisory->queue_wait_ns.load(), 0u);
+  EXPECT_GE(demand->queue_wait_ns.load(), 1'000'000u);  // >= 1 of the ~5 ms
+}
+
+TEST(ThreadPool, ParallelForLanesSeeTheCallersContext) {
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  ctx->trace = 0xabc;
+  const obs::RequestScope scope(ctx);
+  exec::ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  pool.parallel_for(
+      64,
+      [&](index_t) {
+        if (obs::current_trace() != 0xabc) wrong.fetch_add(1);
+      },
+      1);
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST(ThreadPool, NestedPoolsDoNotDeadlock) {

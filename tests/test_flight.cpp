@@ -1,0 +1,274 @@
+// mrc::obs request context + flight recorder + span stitching: RequestScope
+// install/restore (nested, cleared, cross-thread), exact flight-ring
+// wraparound accounting under 8-thread contention, the slow-log's bounded
+// error/tail capture (with and without a span tree to keep), span-tree
+// stitching by interval containment across threads with cross-request ref
+// links, and the Prometheus histogram exposition (cumulative sparse
+// `_bucket{le=...}` + `_sum`/`_count`). Tests share a process under the
+// ci.sh TSan pass, so every test resets the state it touches, uses
+// test-unique names, and leaves the runtime switch off.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/obs.h"
+
+namespace mrc {
+namespace {
+
+/// Flips the runtime switch for one test and always restores "off".
+struct ScopedEnable {
+  ScopedEnable() { obs::set_enabled(true); }
+  ~ScopedEnable() { obs::set_enabled(false); }
+};
+
+// ---------------------------------------------------------------------------
+// Request context: thread-local install/restore semantics.
+// ---------------------------------------------------------------------------
+
+TEST(RequestCtx, ScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(obs::current_request(), nullptr);
+  EXPECT_EQ(obs::current_trace(), 0u);
+
+  const auto a = std::make_shared<obs::RequestCtx>();
+  a->trace = 0xaa;
+  {
+    const obs::RequestScope sa(a);
+    EXPECT_EQ(obs::current_request(), a);
+    EXPECT_EQ(obs::current_trace(), 0xaau);
+
+    const auto b = std::make_shared<obs::RequestCtx>();
+    b->trace = 0xbb;
+    {
+      const obs::RequestScope sb(b);
+      EXPECT_EQ(obs::current_trace(), 0xbbu);
+    }
+    EXPECT_EQ(obs::current_trace(), 0xaau);
+
+    {
+      const obs::RequestScope clear(nullptr);  // a null ctx clears the slot
+      EXPECT_EQ(obs::current_request(), nullptr);
+      EXPECT_EQ(obs::current_trace(), 0u);
+    }
+    EXPECT_EQ(obs::current_trace(), 0xaau);
+  }
+  EXPECT_EQ(obs::current_request(), nullptr);
+}
+
+TEST(RequestCtx, ContextIsPerThread) {
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  ctx->trace = 0xc0ffee;
+  const obs::RequestScope scope(ctx);
+  std::uint64_t seen = 1;  // sentinel: must be overwritten with 0
+  std::thread other([&seen] { seen = obs::current_trace(); });
+  other.join();
+  EXPECT_EQ(seen, 0u);  // a fresh thread starts with no context
+  EXPECT_EQ(obs::current_trace(), 0xc0ffeeu);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: exact accounting, snapshot, slow-log.
+// ---------------------------------------------------------------------------
+
+TEST(Flight, WraparoundAccountingIsExactUnderEightThreadContention) {
+  auto& fr = obs::FlightRecorder::global();
+  fr.reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread =
+      3 * obs::FlightRecorder::kCapacity / kThreads;
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+
+  std::vector<std::thread> crew;
+  crew.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    crew.emplace_back([t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::FlightRecord rec;
+        rec.trace = (static_cast<std::uint64_t>(t) << 32) | (i + 1);
+        rec.end_ns = obs::now_ns();
+        obs::FlightRecorder::global().record(rec);
+      }
+    });
+  for (auto& th : crew) th.join();
+
+  // Stripes are chosen round-robin from one global sequence and kTotal is a
+  // multiple of the stripe count, so the accounting is exact — not merely
+  // bounded — under any interleaving.
+  const auto st = fr.stats();
+  EXPECT_EQ(st.recorded, obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(st.dropped, kTotal - obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(st.recorded + st.dropped, kTotal);
+  EXPECT_EQ(fr.snapshot().size(), obs::FlightRecorder::kCapacity);
+
+  fr.reset();
+  EXPECT_EQ(fr.stats().recorded, 0u);
+  EXPECT_EQ(fr.stats().dropped, 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(Flight, SlowLogCapturesErrorsAndTailAndStaysBounded) {
+  auto& fr = obs::FlightRecorder::global();
+  fr.reset();
+  const std::uint64_t prev = fr.slow_threshold_us();
+  fr.set_slow_threshold_us(1000);
+
+  obs::FlightRecord fast;
+  fast.total_us = 10;
+  fr.record(fast);
+  EXPECT_TRUE(fr.slow_log().empty());  // fast and successful: ring only
+
+  obs::FlightRecord err;
+  err.total_us = 10;
+  err.outcome = 2;  // error replies are captured regardless of latency
+  fr.record(err);
+  {
+    const auto log = fr.slow_log();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].rec.outcome, 2);
+    EXPECT_TRUE(log[0].spans.empty());  // obs off: record lands, no tree
+  }
+
+  obs::FlightRecord slow;
+  slow.total_us = 5000;  // over threshold
+  for (std::uint64_t i = 0; i < 2 * obs::FlightRecorder::kSlowLogCapacity; ++i) {
+    slow.trace = i + 1;
+    fr.record(slow);
+  }
+  const auto log = fr.slow_log();
+  EXPECT_EQ(log.size(), obs::FlightRecorder::kSlowLogCapacity);
+  // Newest entries survive the bound.
+  EXPECT_EQ(log.back().rec.trace, 2 * obs::FlightRecorder::kSlowLogCapacity);
+
+  fr.set_slow_threshold_us(prev);
+  fr.reset();
+}
+
+TEST(Flight, SlowCaptureKeepsTheStitchedSpanTree) {
+  ScopedEnable on;
+  obs::reset_trace();
+  auto& fr = obs::FlightRecorder::global();
+  fr.reset();
+  const std::uint64_t prev = fr.slow_threshold_us();
+  fr.set_slow_threshold_us(1);
+
+  const std::uint64_t id = 0xfee1;
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  ctx->trace = id;
+  {
+    const obs::RequestScope scope(ctx);
+    obs::detail::record_span("flight.test.outer", 1000, 500);
+    obs::detail::record_span("flight.test.inner", 1100, 100);
+  }
+  obs::FlightRecord rec;
+  rec.trace = id;
+  rec.total_us = 10;  // over the 1 us threshold
+  fr.record(rec);
+
+  const auto log = fr.slow_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].spans.find("flight.test.outer"), std::string::npos);
+  EXPECT_NE(log[0].spans.find("flight.test.inner"), std::string::npos);
+
+  // flight_json stitches the same content into the one dump document.
+  const std::string doc = obs::flight_json();
+  EXPECT_NE(doc.find("\"flight\""), std::string::npos);
+  EXPECT_NE(doc.find("\"slow\""), std::string::npos);
+  EXPECT_NE(doc.find("flight.test.outer"), std::string::npos);
+
+  fr.set_slow_threshold_us(prev);
+  fr.reset();
+  obs::reset_trace();
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree stitching.
+// ---------------------------------------------------------------------------
+
+TEST(SpanTree, StitchesByIntervalContainmentAcrossThreads) {
+  ScopedEnable on;
+  obs::reset_trace();
+
+  const std::uint64_t id = 0x57ee1;
+  const auto ctx = std::make_shared<obs::RequestCtx>();
+  ctx->trace = id;
+  {
+    const obs::RequestScope scope(ctx);
+    obs::detail::record_span("tree.test.root", 1000, 1000);
+    obs::detail::record_span("tree.test.mid", 1200, 400);
+    obs::detail::record_span_ref("tree.test.leaf", 1300, 100, 0x0dd);
+    std::thread other([&ctx] {
+      // Pool-task style: same ctx installed on another thread; the shared
+      // process clock nests this span under the root by containment.
+      const obs::RequestScope task(ctx);
+      obs::detail::record_span("tree.test.task", 1500, 200);
+    });
+    other.join();
+  }
+  obs::detail::record_span("tree.test.orphan", 1000, 10);  // trace 0: excluded
+
+  const auto spans = obs::spans_for(id);
+  EXPECT_EQ(spans.size(), 4u);
+  for (const auto& e : spans) EXPECT_EQ(e.trace, id);
+
+  const std::string text = obs::span_tree_text(id);
+  EXPECT_NE(text.find("tree.test.root"), std::string::npos);
+  EXPECT_NE(text.find("\n  tree.test.mid"), std::string::npos);     // depth 1
+  EXPECT_NE(text.find("\n    tree.test.leaf"), std::string::npos);  // depth 2
+  EXPECT_NE(text.find("\n  tree.test.task"), std::string::npos);    // depth 1
+  EXPECT_NE(text.find("(ref 00000000000000dd)"), std::string::npos);
+  EXPECT_EQ(text.find("tree.test.orphan"), std::string::npos);
+
+  const std::string json = obs::span_tree_json(id);
+  EXPECT_EQ(json.rfind("{\"trace\":\"", 0), 0u);
+  EXPECT_NE(json.find("\"ref\":\"00000000000000dd\""), std::string::npos);
+  // Nesting as serialized: root's children open before mid appears, and the
+  // leaf sits inside mid's children array.
+  const std::size_t root_at = json.find("tree.test.root");
+  const std::size_t mid_at = json.find("tree.test.mid");
+  const std::size_t leaf_at = json.find("tree.test.leaf");
+  ASSERT_NE(root_at, std::string::npos);
+  ASSERT_NE(mid_at, std::string::npos);
+  ASSERT_NE(leaf_at, std::string::npos);
+  EXPECT_LT(root_at, mid_at);
+  EXPECT_LT(mid_at, leaf_at);
+
+  obs::reset_trace();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus histogram exposition.
+// ---------------------------------------------------------------------------
+
+TEST(ObsExposition, HistogramRendersCumulativeSparseBucketsSumAndCount) {
+  auto& h = obs::Registry::global().histogram("obs.test.expo_hist");
+  h.reset();  // test-unique name: safe to zero in a shared process
+  h.record(0);                        // bucket 0 -> le="0"
+  h.record(1);                        // bucket 1 -> le="1"
+  h.record(7);                        // bucket 3 -> le="7"
+  h.record(std::uint64_t{1} << 60);   // overflow -> +Inf only
+
+  const std::string text = obs::render_text();
+  EXPECT_NE(text.find("# TYPE obs_test_expo_hist histogram"), std::string::npos);
+  // Cumulative counts at each occupied bucket's inclusive upper bound.
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"7\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_expo_hist_count 4"), std::string::npos);
+  const std::uint64_t sum = 0 + 1 + 7 + (std::uint64_t{1} << 60);
+  EXPECT_NE(text.find("obs_test_expo_hist_sum " + std::to_string(sum)),
+            std::string::npos);
+  // Sparse: the empty bucket between 1 and 7 (values 2..3) emits no line.
+  EXPECT_EQ(text.find("obs_test_expo_hist_bucket{le=\"3\"}"), std::string::npos);
+  h.reset();
+}
+
+}  // namespace
+}  // namespace mrc

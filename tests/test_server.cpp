@@ -10,13 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <future>
+#include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "api/mrc_api.h"
 #include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "obs/flight.h"
+#include "obs/obs.h"
 #include "pyramid/pyramid.h"
+#include "serve/brick_cache.h"
 #include "serve/server.h"
 #include "serve/wire.h"
 #include "test_util.h"
@@ -446,7 +454,10 @@ TEST(Wire, ExhaustiveHeaderBitFlipsAlwaysEarnAReply) {
   // Flip every bit of the 5-byte header (and, for good measure, of the
   // body's first 8 bytes): the server must always produce a parseable
   // reply frame — region_ok if the mutation happened to stay valid,
-  // an error frame otherwise. It must never throw or crash.
+  // an error frame otherwise. It must never throw or crash. A flip of the
+  // type byte's kTracedFlag bit turns the frame into a (malformed) traced
+  // request, whose reply legitimately echoes the flag — strip it before
+  // classifying.
   Bytes storage;
   const std::size_t flip_bytes = std::min<std::size_t>(good.size(), 5 + 8);
   for (std::size_t byte = 0; byte < flip_bytes; ++byte) {
@@ -454,11 +465,280 @@ TEST(Wire, ExhaustiveHeaderBitFlipsAlwaysEarnAReply) {
       Bytes mutated = good;
       mutated[byte] ^= std::byte{static_cast<unsigned char>(1u << bit)};
       const wire::Frame reply = reply_of(srv, mutated, storage);
-      EXPECT_TRUE(reply.type == wire::Type::region_ok ||
-                  reply.type == wire::Type::error)
+      const auto t = static_cast<wire::Type>(
+          static_cast<std::uint8_t>(reply.type) &
+          static_cast<std::uint8_t>(~wire::kTracedFlag));
+      EXPECT_TRUE(t == wire::Type::region_ok || t == wire::Type::error)
           << "byte " << byte << " bit " << bit;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing: trace-id round trips, span stitching, flight records.
+// ---------------------------------------------------------------------------
+
+/// Flips the obs runtime switch for one test and always restores "off".
+struct ScopedObs {
+  ScopedObs() { obs::set_enabled(true); }
+  ~ScopedObs() { obs::set_enabled(false); }
+};
+
+TEST(ServerTrace, TracedRepliesEchoTheIdOnEveryFrameType) {
+  // Client::call verifies the echo (presence + value) on every reply, so a
+  // traced walk over the full frame set is the round-trip proof.
+  Server srv(quiet());
+  wire::Client client(loopback(srv));
+  client.set_trace(0x0123'4567'89ab'cdef);
+  const std::uint32_t id = client.open(tiled_stream(), "traced").id;
+  (void)client.region(id, 0, Box{{0, 0, 0}, {8, 8, 8}});
+  (void)client.choose_level(id, Box{{0, 0, 0}, {8, 8, 8}}, 1 << 20);
+  (void)client.stats(id);
+  (void)client.metrics();
+  (void)client.debug();
+  client.close(id);
+  srv.wait_idle();
+}
+
+TEST(ServerTrace, TracedRegionReadStitchesOneTraceAcrossLayers) {
+  ScopedObs on;
+  obs::reset_trace();
+  obs::FlightRecorder::global().reset();
+
+  Server srv(quiet());
+  wire::Client client(loopback(srv));
+  const std::uint32_t id = client.open(tiled_stream()).id;
+
+  const std::uint64_t trace = 0x5151;
+  client.set_trace(trace);
+  const FieldF f = client.region(id, 0, Box{{0, 0, 0}, {16, 16, 16}});
+  client.set_trace(0);
+  EXPECT_EQ(f.dims(), (Dim3{16, 16, 16}));
+  srv.wait_idle();
+
+  // The one request's spans cover the wire codec, the server dispatch, and
+  // the exec pool's decode tasks — stitched by the shared trace id.
+  const auto spans = obs::spans_for(trace);
+  ASSERT_FALSE(spans.empty());
+  bool wire_decode = false, wire_encode = false, serve_request = false,
+       exec_task = false;
+  for (const auto& e : spans) {
+    const std::string_view n(e.name);
+    wire_decode = wire_decode || n == "wire.decode";
+    wire_encode = wire_encode || n == "wire.encode";
+    serve_request = serve_request || n == "serve.request";
+    exec_task = exec_task || n.substr(0, 5) == "exec.";
+  }
+  EXPECT_TRUE(wire_decode);
+  EXPECT_TRUE(wire_encode);
+  EXPECT_TRUE(serve_request);
+  EXPECT_TRUE(exec_task);
+
+  // The stitched tree roots at the request span (earliest, widest).
+  const std::string tree = obs::span_tree_text(trace);
+  EXPECT_EQ(tree.rfind("serve.request", 0), 0u);
+
+  // And the always-on flight recorder holds the request's record.
+  bool found = false;
+  for (const auto& rec : obs::FlightRecorder::global().snapshot())
+    if (rec.trace == trace) {
+      found = true;
+      EXPECT_EQ(rec.frame_type, static_cast<std::uint8_t>(wire::Type::region));
+      EXPECT_EQ(rec.outcome, 0);
+      EXPECT_EQ(rec.dataset, id);
+      EXPECT_EQ(rec.box_hi[0], 16);
+      EXPECT_GT(rec.cache_hits + rec.cache_misses, 0u);
+    }
+  EXPECT_TRUE(found);
+
+  obs::reset_trace();
+  obs::FlightRecorder::global().reset();
+}
+
+TEST(ServerTrace, ErrorRepliesEchoTraceAndFailedRequestType) {
+  Server srv(quiet());
+  wire::Client client(loopback(srv));
+
+  client.set_trace(0x77);
+  try {
+    (void)client.region(999, 0, Box{{0, 0, 0}, {8, 8, 8}});
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ServerError::Code::unknown_dataset);
+    EXPECT_EQ(e.trace, 0x77u);
+    EXPECT_EQ(e.failed_request, static_cast<std::uint8_t>(wire::Type::region));
+  }
+
+  // Untraced client: the echoed id stays 0, attribution still works.
+  client.set_trace(0);
+  try {
+    (void)client.region(999, 0, Box{{0, 0, 0}, {8, 8, 8}});
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.trace, 0u);
+    EXPECT_EQ(e.failed_request, static_cast<std::uint8_t>(wire::Type::region));
+  }
+
+  // A frame that never parses earns failed-request type 0.
+  const Bytes junk(3, std::byte{0x5a});
+  Bytes storage;
+  const wire::Frame reply = reply_of(srv, junk, storage);
+  EXPECT_EQ(reply.type, wire::Type::error);
+  ASSERT_FALSE(reply.body.empty());
+  EXPECT_EQ(static_cast<std::uint8_t>(reply.body.back()), 0);
+}
+
+TEST(ServerTrace, DebugFrameReturnsFlightRecorderJson) {
+  obs::FlightRecorder::global().reset();
+  Server srv(quiet());
+  wire::Client client(loopback(srv));
+  const std::uint32_t id = client.open(tiled_stream()).id;
+  (void)client.region(id, 0, Box{{0, 0, 0}, {8, 8, 8}});
+  // Error replies are always slow-log captured, whatever their latency.
+  EXPECT_THROW((void)client.region(999, 0, Box{{0, 0, 0}, {8, 8, 8}}),
+               ServerError);
+  srv.wait_idle();
+
+  const std::string doc = client.debug();
+  EXPECT_EQ(doc.rfind("{\"flight\":", 0), 0u);
+  EXPECT_NE(doc.find("\"records\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"slow\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"outcome\":3"), std::string::npos);  // unknown_dataset
+  obs::FlightRecorder::global().reset();
+}
+
+TEST(ServerTrace, StatsOkCarriesSplitQueueDepths) {
+  ServerStats s;
+  s.cache.lookups = 10;
+  s.cache.hits = 7;
+  s.cache.misses = 3;
+  s.datasets = 2;
+  s.queue_high = 3;
+  s.queue_low = 5;
+  s.active = 1;
+  s.requests = 9;
+  s.rejected = 2;
+  s.p50_us = 11;
+  s.p99_us = 22;
+  const Bytes frame = wire::encode_stats_ok(s);
+  const wire::Frame f = wire::parse_frame(frame);
+  ASSERT_EQ(f.type, wire::Type::stats_ok);
+  const ServerStats d = wire::decode_stats_ok(f.body);
+  EXPECT_EQ(d.queue_high, 3u);
+  EXPECT_EQ(d.queue_low, 5u);
+  EXPECT_EQ(d.cache.hits, 7u);
+  EXPECT_EQ(d.datasets, 2u);
+  EXPECT_EQ(d.p99_us, 22u);
+}
+
+TEST(ServerTrace, CoalescedDecodeRecordsOwnerAndAdopterIds) {
+  ScopedObs on;
+  obs::reset_trace();
+  serve::BrickCache cache(64ull << 20, 4);
+  const serve::CacheKey key{cache.register_dataset(), 7};
+  const auto make_brick = [] {
+    return std::make_shared<FieldF>(test::smooth_field({4, 4, 4}));
+  };
+
+  // The owner (trace 0xa) starts a gated decode; the adopter (trace 0xb)
+  // fetches the same key while it runs and must wait on — adopt — it.
+  std::promise<void> owner_in;
+  std::promise<void> release;
+  std::shared_future<void> go = release.get_future().share();
+  std::thread owner([&] {
+    const auto ctx = std::make_shared<obs::RequestCtx>();
+    ctx->trace = 0xa;
+    const obs::RequestScope scope(ctx);
+    (void)cache.fetch(key, [&]() -> serve::BrickPtr {
+      owner_in.set_value();
+      go.wait();
+      return make_brick();
+    });
+  });
+  owner_in.get_future().wait();  // the decode is registered and running
+
+  std::promise<void> adopter_in;
+  std::thread adopter([&] {
+    const auto ctx = std::make_shared<obs::RequestCtx>();
+    ctx->trace = 0xb;
+    const obs::RequestScope scope(ctx);
+    adopter_in.set_value();  // about to fetch: the decode is still gated
+    (void)cache.fetch(key, [&]() -> serve::BrickPtr { return make_brick(); });
+  });
+  adopter_in.get_future().wait();
+  // Generous margin for the adopter to reach the in-flight wait before the
+  // owner's decode is released (the entry stays in flight until then, so
+  // the adopter coalesces as long as it arrives before release + finish).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  owner.join();
+  adopter.join();
+
+  // The adopter recorded a cache.adopt_decode span under its own trace,
+  // ref'ing the owner — both ids of the coalesced decode are on record.
+  bool adopted = false;
+  for (const auto& e : obs::spans_for(0xb))
+    if (std::string_view(e.name) == "cache.adopt_decode") {
+      adopted = true;
+      EXPECT_EQ(e.ref, 0xau);
+    }
+  EXPECT_TRUE(adopted);
+  EXPECT_TRUE(obs::spans_for(0xa).empty());  // the owner waited on nothing
+
+  obs::reset_trace();
+}
+
+TEST(ServerTrace, StolenPrefetchRecordsClaimSpanWithIssuerRef) {
+  ScopedObs on;
+  obs::reset_trace();
+  serve::BrickCache cache(64ull << 20, 4);
+  const serve::CacheKey key{cache.register_dataset(), 9};
+  const auto make_brick = [] {
+    return std::make_shared<FieldF>(test::smooth_field({4, 4, 4}));
+  };
+  std::atomic<int> prefetch_decodes{0};
+  {
+    // One worker, blocked behind a gate: the prefetch task stays queued and
+    // unclaimed until the demand fetch steals it.
+    exec::ThreadPool pool(2);
+    std::promise<void> started;
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    auto blocker = pool.submit([&started, open] {
+      started.set_value();
+      open.wait();
+    });
+    started.get_future().wait();
+
+    {
+      const auto ctx = std::make_shared<obs::RequestCtx>();
+      ctx->trace = 0x1;
+      const obs::RequestScope scope(ctx);
+      cache.prefetch(key, pool, [&]() -> serve::BrickPtr {
+        prefetch_decodes.fetch_add(1);
+        return make_brick();
+      });
+    }
+    {
+      const auto ctx = std::make_shared<obs::RequestCtx>();
+      ctx->trace = 0x2;
+      const obs::RequestScope scope(ctx);
+      (void)cache.fetch(key, [&]() -> serve::BrickPtr { return make_brick(); });
+    }
+    gate.set_value();
+    blocker.get();
+  }  // pool drains (the stolen prefetch task finds its job gone) and joins
+
+  EXPECT_EQ(prefetch_decodes.load(), 0);  // the demand fetch decoded inline
+  EXPECT_TRUE(cache.contains(key));
+  bool claimed = false;
+  for (const auto& e : obs::spans_for(0x2))
+    if (std::string_view(e.name) == "cache.claim_prefetch") {
+      claimed = true;
+      EXPECT_EQ(e.ref, 0x1u);  // ref = the request that issued the warm
+    }
+  EXPECT_TRUE(claimed);
+  obs::reset_trace();
 }
 
 }  // namespace

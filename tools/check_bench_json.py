@@ -17,7 +17,12 @@ import sys
 # keys are reported as errors too, so schema drift is always loud.
 ROW_SCHEMAS = {
     "codec_hotpath": {"stage", "baseline_mb_s", "optimized_mb_s", "speedup"},
-    "obs_overhead": {"mode", "compress_mb_s", "decompress_mb_s"},
+    "obs_overhead": {
+        "mode",
+        "compress_mb_s",
+        "decompress_mb_s",
+        "serve_read_mb_s",
+    },
     "server_load": {"clients", "trace", "p50_us", "p99_us", "hit_ratio"},
     "tiled_scaling": {
         "threads",

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validates a flight-recorder dump written by mrc::obs
+(`mrcc serve --flight=out.json`, obs::write_flight_json, or the wire
+`debug` frame body).
+
+Checks the document shape — {"flight": {capacity, recorded, dropped,
+slow_threshold_us, records, slow}} — the accounting invariants (recorded
+<= capacity; every count non-negative), and every record's schema: the
+16-hex trace id, frame type / outcome bytes, 6-element box, and the
+latency/cache counters the slow-log triages by. Slow entries must wrap a
+valid record plus either null or a stitched span tree whose "trace"
+matches the record. A dump that parses but violates any of these means
+the recorder (or its JSON writer) regressed. ci.sh runs this on the
+traced `mrcc serve --flight` smoke.
+
+Usage: check_flight_json.py <flight.json> [...]
+"""
+
+import json
+import sys
+
+RECORD_KEYS = {
+    "trace",
+    "type",
+    "outcome",
+    "dataset",
+    "level",
+    "box",
+    "cache_hits",
+    "cache_misses",
+    "queue_wait_us",
+    "total_us",
+    "end_us",
+}
+
+COUNTER_KEYS = ("cache_hits", "cache_misses", "queue_wait_us", "total_us")
+
+
+def check_record(rec, where):
+    if not isinstance(rec, dict):
+        raise ValueError(f"{where} must be an object")
+    if set(rec) != RECORD_KEYS:
+        raise ValueError(
+            f"{where} keys {sorted(rec)} do not match the record schema "
+            f"{sorted(RECORD_KEYS)}"
+        )
+    trace = rec["trace"]
+    if (
+        not isinstance(trace, str)
+        or len(trace) != 16
+        or any(c not in "0123456789abcdef" for c in trace)
+    ):
+        raise ValueError(f"{where} trace {trace!r} is not 16 lowercase hex")
+    for key in ("type", "outcome"):
+        if not isinstance(rec[key], int) or not 0 <= rec[key] <= 255:
+            raise ValueError(f"{where} {key} must be a byte (0..255)")
+    if not isinstance(rec["dataset"], int) or rec["dataset"] < 0:
+        raise ValueError(f"{where} dataset must be a non-negative integer")
+    if not isinstance(rec["level"], int):
+        raise ValueError(f"{where} level must be an integer")
+    box = rec["box"]
+    if (
+        not isinstance(box, list)
+        or len(box) != 6
+        or any(not isinstance(v, int) for v in box)
+    ):
+        raise ValueError(f"{where} box must be a list of 6 integers")
+    for key in COUNTER_KEYS:
+        if not isinstance(rec[key], int) or rec[key] < 0:
+            raise ValueError(f"{where} {key} must be a non-negative integer")
+    if not isinstance(rec["end_us"], (int, float)) or rec["end_us"] < 0:
+        raise ValueError(f"{where} end_us must be a non-negative number")
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or set(doc) != {"flight"}:
+        raise ValueError("top level must be an object with the single key 'flight'")
+    flight = doc["flight"]
+    expected = {"capacity", "recorded", "dropped", "slow_threshold_us",
+                "records", "slow"}
+    if not isinstance(flight, dict) or set(flight) != expected:
+        raise ValueError(f"'flight' must be an object with keys {sorted(expected)}")
+    for key in ("capacity", "recorded", "dropped", "slow_threshold_us"):
+        if not isinstance(flight[key], int) or flight[key] < 0:
+            raise ValueError(f"'{key}' must be a non-negative integer")
+    if flight["capacity"] < 1:
+        raise ValueError("'capacity' must be >= 1")
+    records = flight["records"]
+    if not isinstance(records, list):
+        raise ValueError("'records' must be a list")
+    if len(records) != flight["recorded"]:
+        raise ValueError(
+            f"'recorded' says {flight['recorded']} but 'records' has "
+            f"{len(records)} entries"
+        )
+    if flight["recorded"] > flight["capacity"]:
+        raise ValueError("'recorded' exceeds 'capacity'")
+    for i, rec in enumerate(records):
+        check_record(rec, f"records[{i}]")
+    slow = flight["slow"]
+    if not isinstance(slow, list):
+        raise ValueError("'slow' must be a list")
+    for i, entry in enumerate(slow):
+        where = f"slow[{i}]"
+        if not isinstance(entry, dict) or set(entry) != {"record", "spans"}:
+            raise ValueError(f"{where} must be an object with 'record' and 'spans'")
+        check_record(entry["record"], f"{where}.record")
+        spans = entry["spans"]
+        if spans is not None:
+            # A captured tree carries its own trace id — it must be the
+            # request the slow entry triaged, or the stitch is miswired.
+            if not isinstance(spans, dict) or "trace" not in spans:
+                raise ValueError(f"{where}.spans must be null or a span tree object")
+            if spans["trace"] != entry["record"]["trace"]:
+                raise ValueError(
+                    f"{where}.spans trace {spans['trace']!r} does not match "
+                    f"the record's {entry['record']['trace']!r}"
+                )
+    return len(records), len(slow)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_flight_json.py <flight.json> [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            records, slow = check(path)
+            print(f"{path}: OK ({records} flight records, {slow} slow entries)")
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,16 @@ a container brick, and an exec-pool task. A trace that loads but is missing
 a layer means someone broke that layer's OBS_SPAN sites. ci.sh runs this on
 a traced `mrcc tiled` smoke run.
 
-Usage: check_trace_json.py <trace.json> [...]
+With --serve the check switches to the request-path layer set: the trace
+must contain at least one nonzero request trace id (the 16-hex
+`args.trace` stamped by the serve layer's RequestCtx) whose spans cover
+the wire, server, and pool layers. That is the end-to-end guarantee of
+request-scoped tracing — one client-chosen id visible from frame decode
+through the thread pool — and it breaks loudly if any propagation hop
+(RequestScope install, pool capture, span stamping) regresses. ci.sh runs
+this on a traced `mrcc trace-read` smoke.
+
+Usage: check_trace_json.py [--serve] <trace.json> [...]
 """
 
 import json
@@ -24,10 +33,19 @@ LAYERS = {
     "pool": ("exec.",),
 }
 
+# Layers a single traced serve request must pass through (--serve mode):
+# frame decode/encode on the wire, the server's request span, and the
+# thread-pool tasks the read fanned out to.
+SERVE_LAYERS = {
+    "wire": ("wire.",),
+    "server": ("serve.",),
+    "pool": ("exec.",),
+}
+
 REQUIRED_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
 
 
-def check(path):
+def check(path, serve=False):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
@@ -36,6 +54,7 @@ def check(path):
     if not isinstance(events, list) or not events:
         raise ValueError("'traceEvents' must be a non-empty list")
     names = set()
+    by_trace = {}  # 16-hex trace id -> set of span names carrying it
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"traceEvents[{i}] must be an object")
@@ -50,6 +69,38 @@ def check(path):
             if not isinstance(ev[field], (int, float)) or ev[field] < 0:
                 raise ValueError(f"traceEvents[{i}] {field} must be >= 0")
         names.add(ev["name"])
+        trace = ev.get("args", {}).get("trace")
+        if trace is not None:
+            if (
+                not isinstance(trace, str)
+                or len(trace) != 16
+                or any(c not in "0123456789abcdef" for c in trace)
+            ):
+                raise ValueError(
+                    f"traceEvents[{i}] args.trace {trace!r} is not 16 lowercase hex"
+                )
+            by_trace.setdefault(trace, set()).add(ev["name"])
+
+    if serve:
+        # At least one request id must have spans in every serve layer —
+        # a single region read stitched end to end under one trace id.
+        complete = [
+            t
+            for t, t_names in by_trace.items()
+            if t != "0" * 16
+            and all(
+                any(n.startswith(p) for n in t_names for p in prefixes)
+                for prefixes in SERVE_LAYERS.values()
+            )
+        ]
+        if not complete:
+            raise ValueError(
+                f"no trace id covers all serve layers "
+                f"{sorted(SERVE_LAYERS)}; per-id span names: "
+                f"{ {t: sorted(n) for t, n in by_trace.items()} }"
+            )
+        return len(events), sorted(names), sorted(complete)
+
     missing = [
         layer
         for layer, prefixes in LAYERS.items()
@@ -59,18 +110,25 @@ def check(path):
         raise ValueError(
             f"no spans from layer(s) {missing}; span names seen: {sorted(names)}"
         )
-    return len(events), sorted(names)
+    return len(events), sorted(names), sorted(by_trace)
 
 
 def main(argv):
-    if len(argv) < 2:
-        print("usage: check_trace_json.py <trace.json> [...]", file=sys.stderr)
+    args = argv[1:]
+    serve = "--serve" in args
+    paths = [a for a in args if a != "--serve"]
+    if not paths:
+        print(
+            "usage: check_trace_json.py [--serve] <trace.json> [...]",
+            file=sys.stderr,
+        )
         return 2
     failed = False
-    for path in argv[1:]:
+    for path in paths:
         try:
-            count, names = check(path)
-            print(f"{path}: OK ({count} spans, {len(names)} distinct names)")
+            count, names, traces = check(path, serve=serve)
+            extra = f", {len(traces)} stitched request id(s)" if serve else ""
+            print(f"{path}: OK ({count} spans, {len(names)} distinct names{extra})")
         except (OSError, ValueError, json.JSONDecodeError) as err:
             print(f"{path}: FAIL: {err}", file=sys.stderr)
             failed = True

@@ -7,9 +7,13 @@
 # pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
 # under ThreadSanitizer (third preset, <build-dir>-tsan), then an
 # observability smoke (traced `mrcc tiled` validated by
-# tools/check_trace_json.py, `mrcc stats` counter reconciliation, and the
+# tools/check_trace_json.py, a traced `mrcc serve --flight` run whose trace
+# must stitch one request id across the wire/server/pool layers
+# (check_trace_json.py --serve) and whose flight-recorder dump must validate
+# (tools/check_flight_json.py), `mrcc stats` counter reconciliation, and the
 # bench_obs_overhead gate: obs runtime-disabled vs a -DMRC_OBS=OFF build in
-# <build-dir>-obsoff must stay within MRC_OBS_GATE_PCT, default 3%), and
+# <build-dir>-obsoff must stay within MRC_OBS_GATE_PCT, default 3%, on the
+# geomean of the compress/decompress/serve-read ratios), and
 # finally a bench
 # smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
 # bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
@@ -85,6 +89,15 @@ PY
   "$BUILD_DIR"/mrcc tiled "$OBS_TMP/small.f32" 48 48 48 "$OBS_TMP/small.mrct" \
       --trace="$OBS_TMP/trace.json" --threads=2 > /dev/null
   python3 tools/check_trace_json.py "$OBS_TMP/trace.json"
+  # Traced serve run: simulated wire clients, each read under its own trace
+  # id. The trace must stitch at least one request id end to end across the
+  # wire/server/pool layers (the request-tracing acceptance check), and the
+  # always-on flight recorder's dump must match its schema.
+  "$BUILD_DIR"/mrcc serve "$OBS_TMP/small.mrct" --clients=2 --reads=8 \
+      --flight="$OBS_TMP/flight.json" --trace="$OBS_TMP/serve_trace.json" \
+      --threads=2 > /dev/null
+  python3 tools/check_trace_json.py --serve "$OBS_TMP/serve_trace.json"
+  python3 tools/check_flight_json.py "$OBS_TMP/flight.json"
   # Wire metrics frame + counter reconciliation (exits nonzero on mismatch).
   "$BUILD_DIR"/mrcc stats "$OBS_TMP/small.mrct" --reads=8 --threads=2 > /dev/null
   echo "mrcc stats: registry/server reconciliation OK"
@@ -94,10 +107,13 @@ PY
   # defenses against measuring the machine instead of the code: alternate 3
   # runs of each binary and compare the fastest observation per mode (the
   # top envelope is stable where single runs are not), and gate on the
-  # geometric mean of the compress+decompress throughput ratios — comparing
-  # two different binaries carries a few percent of code-layout luck that
-  # hits individual loops in opposite directions, while a real always-on
-  # regression drags both metrics the same way.
+  # geometric mean of the compress/decompress/serve-read throughput ratios —
+  # comparing two different binaries carries a few percent of code-layout
+  # luck that hits individual loops in opposite directions, while a real
+  # always-on regression drags the metrics the same way. The serve-read
+  # column runs the flight recorder in BOTH binaries (it is always on,
+  # independent of MRC_OBS), so the gate covers the full request path the
+  # recorder sits on.
   OBSOFF_DIR="${BUILD_DIR}-obsoff"
   cmake -B "$OBSOFF_DIR" -S . -DMRC_OBS=OFF > /dev/null
   cmake --build "$OBSOFF_DIR" -j"$(nproc)" --target bench_obs_overhead > /dev/null
@@ -126,18 +142,19 @@ while True:
     doc, pos = decoder.raw_decode(text, pos)
     for row in doc["results"]:
         slot = best.setdefault(row["mode"], {})
-        for key in ("compress_mb_s", "decompress_mb_s"):
+        for key in ("compress_mb_s", "decompress_mb_s", "serve_read_mb_s"):
             slot[key] = max(slot.get(key, 0.0), row[key])
 
 pct = float(sys.argv[2])
+keys = ("compress_mb_s", "decompress_mb_s", "serve_read_mb_s")
 ratio = 1.0
-for key in ("compress_mb_s", "decompress_mb_s"):
+for key in keys:
     base, dis = best["off"][key], best["runtime_disabled"][key]
     drop = 100.0 * (base - dis) / base if base > 0 else 0.0
     print(f"obs gate {key}: off {base:.1f} MB/s, runtime_disabled {dis:.1f} MB/s "
           f"({drop:+.1f}%)")
     ratio *= dis / base if base > 0 else 1.0
-overall = 100.0 * (1.0 - ratio ** 0.5)
+overall = 100.0 * (1.0 - ratio ** (1.0 / len(keys)))
 print(f"obs gate overall (geomean of ratios): {overall:+.1f}%")
 if overall > pct:
     sys.exit(f"obs overhead gate: runtime-disabled regressed more than {pct}% overall")

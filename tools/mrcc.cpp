@@ -14,8 +14,10 @@
 //                   [--out=<file.raw>] [key=value ...]
 //   mrcc metrics    <orig.raw> <recon.raw>
 //   mrcc info       <in> [--tiles]
-//   mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]
+//   mrcc serve      <stream...> [--clients=K] [--reads=N] [--flight=<out.json>]
+//                   [--slow_us=N] [key=value ...]
 //   mrcc stats      <stream...> [--reads=N] [key=value ...]
+//   mrcc trace-read <stream> <x0> <y0> <z0> <x1> <y1> <z1> [--level=L] [key=value ...]
 //   mrcc codecs
 //
 // Any subcommand additionally accepts a global --trace=<out.json>: it turns
@@ -46,7 +48,13 @@
 // brick cache, one exec pool — drives K simulated clients through the wire
 // protocol over the in-process loopback transport for N region reads each,
 // and prints the per-dataset hit ratios plus the server's admission and
-// latency stats. "stats" opens streams the same way, drives --reads random
+// latency stats. Every simulated serve read carries a distinct wire trace
+// id; --flight=<out.json> dumps the server's always-on flight recorder and
+// slow-request log as JSON on the way out — error exits included — and
+// --slow_us=N lowers the slow-capture threshold. "trace-read" runs exactly
+// one traced region read through the same in-process wire server and prints
+// the stitched span tree of that request (wire -> server -> pool lanes).
+// "stats" opens streams the same way, drives --reads random
 // region reads per dataset, prints the observability registry fetched over
 // the wire metrics frame (Prometheus text), and verifies that its counters
 // reconcile exactly with the server's global and per-dataset stats slices.
@@ -64,8 +72,10 @@
 // missing operands) always exit nonzero with a message on stderr.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +83,7 @@
 #include "api/mrc_api.h"
 #include "common/rng.h"
 #include "io/raw_io.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
 #include "serve/wire.h"
 #include "metrics/psnr.h"
@@ -196,8 +207,11 @@ int usage() {
       "  mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1> [--budget=<samples> | "
       "--eb_budget=<err> | --level=<l>] [--out=<file.raw>] [key=value ...]\n"
       "  mrcc info       <in> [--tiles]\n"
-      "  mrcc serve      <stream...> [--clients=K] [--reads=N] [key=value ...]\n"
+      "  mrcc serve      <stream...> [--clients=K] [--reads=N] "
+      "[--flight=<out.json>] [--slow_us=N] [key=value ...]\n"
       "  mrcc stats      <stream...> [--reads=N] [key=value ...]\n"
+      "  mrcc trace-read <stream> <x0> <y0> <z0> <x1> <y1> <z1> [--level=L] "
+      "[key=value ...]\n"
       "  mrcc codecs\n"
       "key=value may also be spelled --key=value (--tile=64 --threads=8).\n"
       "global: --trace=<out.json> enables observability and writes a\n"
@@ -410,6 +424,11 @@ int run(int argc, char** argv) {
     std::string clients_s = "4", reads_s = "32";
     take_flag(args, "clients", clients_s);
     take_flag(args, "reads", reads_s);
+    std::string flight_path, slow_us_s;
+    const bool have_flight = take_flag(args, "flight", flight_path);
+    if (take_flag(args, "slow_us", slow_us_s))
+      obs::FlightRecorder::global().set_slow_threshold_us(
+          static_cast<std::uint64_t>(parse_ll(slow_us_s.c_str(), "slow_us")));
     // Operands without '=' are stream paths; the rest are Options knobs.
     std::vector<std::string> paths, knobs;
     for (const std::string& a : args)
@@ -436,27 +455,43 @@ int run(int argc, char** argv) {
 
     // K simulated clients, each walking random finest-level viewports over
     // random datasets through the wire protocol (overloads are retried).
+    // Every read ships a distinct trace id — (client+1) in the high word,
+    // read number in the low — so the flight recorder and any --trace dump
+    // attribute each request unambiguously.
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::string err_what;
     std::vector<std::thread> crew;
     crew.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       crew.emplace_back([&, c] {
         serve::wire::Client client(loopback);
         Rng rng(0x5eedull + static_cast<std::uint64_t>(c));
-        for (int r = 0; r < reads; ++r) {
+        for (int r = 0; r < reads && !failed.load(std::memory_order_relaxed);
+             ++r) {
           const auto& ds = open[rng.uniform_index(open.size())];
           const Dim3 d = ds.dims;
           const index_t w = std::min<index_t>({16, d.nx, d.ny, d.nz});
           const index_t x0 = static_cast<index_t>(rng.uniform() * double(d.nx - w));
           const index_t y0 = static_cast<index_t>(rng.uniform() * double(d.ny - w));
           const index_t z0 = static_cast<index_t>(rng.uniform() * double(d.nz - w));
+          client.set_trace(((static_cast<std::uint64_t>(c) + 1) << 32) |
+                           (static_cast<std::uint64_t>(r) + 1));
           for (;;) {
             try {
               (void)client.region(ds.id, 0,
                                   {{x0, y0, z0}, {x0 + w, y0 + w, z0 + w}});
               break;
             } catch (const serve::ServerError& e) {
-              if (e.code() != serve::ServerError::Code::overloaded) throw;
-              std::this_thread::yield();
+              if (e.code() == serve::ServerError::Code::overloaded) {
+                std::this_thread::yield();
+                continue;
+              }
+              // Unexpected error reply: stop the whole crew so the flight
+              // recorder is dumped with the failure still in its ring.
+              const std::lock_guard lock(err_mu);
+              if (!failed.exchange(true)) err_what = e.what();
+              return;
             }
           }
         }
@@ -464,6 +499,19 @@ int run(int argc, char** argv) {
     }
     for (auto& t : crew) t.join();
     srv.wait_idle();
+
+    if (have_flight) {
+      obs::write_flight_json(flight_path);
+      const auto fs = obs::FlightRecorder::global().stats();
+      std::printf("flight: wrote %s (%llu recorded, %llu dropped)\n",
+                  flight_path.c_str(),
+                  static_cast<unsigned long long>(fs.recorded),
+                  static_cast<unsigned long long>(fs.dropped));
+    }
+    if (failed.load()) {
+      std::fprintf(stderr, "serve: wire error: %s\n", err_what.c_str());
+      return 1;
+    }
 
     std::printf("%4s %-20s %10s %8s %10s %10s\n", "id", "stream", "lookups",
                 "hit%", "bricks", "bytes");
@@ -476,12 +524,14 @@ int run(int argc, char** argv) {
     }
     const serve::ServerStats s = admin.stats();
     std::printf("server: %llu requests (%llu shed), hit ratio %.1f%%, "
-                "%zu/%zu cache bytes, queue %llu, p50 %llu us, p99 %llu us\n",
+                "%zu/%zu cache bytes, queue %llu high + %llu low, "
+                "p50 %llu us, p99 %llu us\n",
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.rejected),
                 100.0 * s.cache.hit_ratio(), s.cache.bytes,
                 static_cast<std::size_t>(opt.server_config().cache_bytes),
-                static_cast<unsigned long long>(s.queue_depth),
+                static_cast<unsigned long long>(s.queue_high),
+                static_cast<unsigned long long>(s.queue_low),
                 static_cast<unsigned long long>(s.p50_us),
                 static_cast<unsigned long long>(s.p99_us));
     return 0;
@@ -589,6 +639,40 @@ int run(int argc, char** argv) {
                   r.slices, match ? "ok" : "MISMATCH");
     }
     MRC_REQUIRE(ok, "stats: registry counters disagree with server stats");
+    return 0;
+  }
+  if (cmd == "trace-read" && argc >= 9) {
+    // One traced region read through an in-process wire server, stitched
+    // tree printed: the CLI-sized demo of the request-tracing pipeline.
+    auto stream = io::read_bytes(argv[2]);
+    const tiled::Box box{
+        {parse_ll(argv[3], "x0"), parse_ll(argv[4], "y0"), parse_ll(argv[5], "z0")},
+        {parse_ll(argv[6], "x1"), parse_ll(argv[7], "y1"), parse_ll(argv[8], "z1")}};
+    auto args = tail_args(argv + 9, argv + argc);
+    std::string level_s = "0";
+    take_flag(args, "level", level_s);
+    const int level = static_cast<int>(parse_ll(level_s.c_str(), "level"));
+    api::Options opt;
+    apply_args(opt, args);
+    obs::set_enabled(true);  // spans must be on for there to be a tree
+
+    serve::Server srv(opt.server_config());
+    const serve::wire::Transport loopback =
+        [&srv](std::span<const std::byte> frame) { return srv.handle_frame(frame); };
+    serve::wire::Client client(loopback);
+    const serve::wire::OpenInfo info = client.open(stream, argv[2]);
+
+    const std::uint64_t id = 0x7472'6163'6531ull;  // any nonzero id works
+    client.set_trace(id);
+    const FieldF data = client.region(info.id, level, box);
+    client.set_trace(0);
+    srv.wait_idle();
+
+    std::printf("trace-read: %s level %d, box %s -> %lld samples, trace %016llx\n",
+                argv[2], level, box.extent().str().c_str(),
+                static_cast<long long>(data.size()),
+                static_cast<unsigned long long>(id));
+    std::printf("%s", obs::span_tree_text(id).c_str());
     return 0;
   }
   if (cmd == "restore" && argc == 4) {
