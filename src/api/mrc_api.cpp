@@ -287,6 +287,16 @@ pyramid::Config Options::pyramid_config() const {
   return c;
 }
 
+progressive::Config Options::progressive_config() const {
+  progressive::Config c;
+  c.codec = codec;
+  c.tuning = tuning();
+  c.brick = tile;
+  c.threads = threads;
+  c.levels = levels;
+  return c;
+}
+
 adaptive::Config Options::adaptive_config() const {
   adaptive::Config c;
   c.codec = codec;
@@ -344,6 +354,9 @@ FieldF decompress(std::span<const std::byte> stream) {
   if (h.codec_magic == adaptive::kAdaptiveMagic)
     // The seam-free blended finest grid of the adaptive container.
     return adaptive::decompress(stream, /*threads=*/1);
+  if (h.codec_magic == progressive::kProgressiveMagic)
+    // The uniform reconstruction of a residual pyramid is its finest level.
+    return progressive::decompress_level(stream, /*level=*/0, /*threads=*/1);
   if (h.codec_magic == sz3mr::kLevelMagic)
     // A bare level stream decodes to its level grid (zeros outside the mask).
     return sz3mr::decompress_level(stream).data;
@@ -379,6 +392,10 @@ FieldF read_region(std::span<const std::byte> stream, const tiled::Box& region,
 
 Bytes build_pyramid(const FieldF& f, const Options& opt) {
   return pyramid::build(f, opt.absolute_eb(f), opt.pyramid_config());
+}
+
+Bytes build_progressive(const FieldF& f, const Options& opt) {
+  return progressive::build(f, opt.absolute_eb(f), opt.progressive_config());
 }
 
 Bytes compress_adaptive_roi(const FieldF& f, const Options& opt) {
@@ -457,6 +474,16 @@ StreamInfo info(std::span<const std::byte> stream) {
     out.tile_grid = idx.grid;
     out.tiles = static_cast<std::size_t>(idx.grid.size());
     out.levels = static_cast<std::size_t>(idx.n_levels);
+  } else if (h.codec_magic == progressive::kProgressiveMagic) {
+    // O(levels) table peek — no nested tile index is walked here.
+    const progressive::Index idx = progressive::read_geometry(stream);
+    out.kind = StreamInfo::Kind::progressive;
+    out.codec = idx.codec;
+    out.brick = idx.brick;
+    out.levels = idx.levels.size();
+    out.level_meta.reserve(idx.levels.size());
+    for (const auto& e : idx.levels)
+      out.level_meta.push_back({e.dims, e.length, e.vmin, e.vmax, e.approx_err});
   } else if (h.codec_magic == sz3mr::kLevelMagic) {
     out.kind = StreamInfo::Kind::level;
     out.codec = "sz3mr";

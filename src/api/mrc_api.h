@@ -24,6 +24,10 @@
 //       map (Options::importance = halo|gradient|roi|file, Options::roi,
 //       Options::coarse_level), decoded seam-free; open_dataset serves MRCA
 //       streams through the same brick cache.
+//   api::build_progressive — the progressive residual container (MRCR):
+//       the coarsest level verbatim plus per-level residual streams, so a
+//       region can be answered coarse-first and refined in place
+//       (serve::wire progressive reads stream exactly those layers).
 //
 // Every stream these functions produce starts with the shared container
 // header (compressor.h), so api::info identifies any of them — single-field
@@ -46,6 +50,7 @@
 #include "adaptive/adaptive.h"
 #include "compressors/registry.h"
 #include "core/workflow.h"
+#include "progressive/progressive.h"
 #include "pyramid/pyramid.h"
 #include "serve/server.h"
 #include "tiled/tiled.h"
@@ -142,6 +147,9 @@ struct Options {
   /// The pyramid-build configuration (codec, tuning, tile, threads, levels).
   [[nodiscard]] pyramid::Config pyramid_config() const;
 
+  /// The progressive-build configuration (same knobs as the pyramid's).
+  [[nodiscard]] progressive::Config progressive_config() const;
+
   /// The adaptive-container configuration (codec, tuning, tile, threads,
   /// pad_kind).
   [[nodiscard]] adaptive::Config adaptive_config() const;
@@ -195,6 +203,16 @@ struct Options {
 /// every level a brick-tiled stream compressed in parallel with `opt.codec`.
 [[nodiscard]] Bytes build_pyramid(const FieldF& f, const Options& opt = {});
 
+/// Builds the progressive residual container (MRCR): the restrict_half
+/// chain of `f` (`opt.levels` levels; 0 = auto until the coarsest fits one
+/// brick) stored as the coarsest level verbatim plus one residual stream
+/// per finer level, each brick-tiled and compressed with `opt.codec` under
+/// the same absolute bound. Reconstruction is strictly top-down and
+/// bit-deterministic; the per-level error bound telescopes (see
+/// progressive/progressive.h). open_dataset and serve::Server serve MRCR
+/// streams, including coarse-first progressive wire reads.
+[[nodiscard]] Bytes build_progressive(const FieldF& f, const Options& opt = {});
+
 /// Builds the adaptive multi-resolution container (MRCA): bricks the
 /// importance map marks as interesting stay at full resolution (level 0,
 /// byte-identical to the tiled container), the rest drop to
@@ -205,27 +223,30 @@ struct Options {
 /// seam-free across level boundaries.
 [[nodiscard]] Bytes compress_adaptive_roi(const FieldF& f, const Options& opt = {});
 
-/// Opens a tiled (MRCT), pyramid (MRCP) or adaptive (MRCA) stream — taking
-/// ownership of the bytes — as a cached serving Dataset: region reads
-/// through a `opt.cache_mb` LRU brick cache with async prefetch, plus
-/// choose_level adaptive LOD (pyramids; tiled and adaptive streams serve
-/// level 0 — for adaptive that is the seam-free mixed-resolution
-/// reconstruction). To serve many streams from one process behind one
-/// shared cache, construct a serve::Server (Options::server_config())
-/// instead and Server::open each stream.
+/// Opens a tiled (MRCT), pyramid (MRCP), adaptive (MRCA) or progressive
+/// (MRCR) stream — taking ownership of the bytes — as a cached serving
+/// Dataset: region reads through a `opt.cache_mb` LRU brick cache with
+/// async prefetch, plus choose_level adaptive LOD (pyramids and
+/// progressive streams; tiled and adaptive streams serve level 0 — for
+/// adaptive that is the seam-free mixed-resolution reconstruction). To
+/// serve many streams from one process behind one shared cache, construct
+/// a serve::Server (Options::server_config()) instead and Server::open
+/// each stream.
 [[nodiscard]] serve::Dataset open_dataset(Bytes stream, const Options& opt = {});
 
 /// What a stream is, from its container header alone (no decompression).
 struct StreamInfo {
-  enum class Kind : std::uint8_t { field, level, snapshot, tiled, pyramid, adaptive };
+  enum class Kind : std::uint8_t {
+    field, level, snapshot, tiled, pyramid, adaptive, progressive
+  };
   Kind kind = Kind::field;
   std::string codec;  ///< registry name ("snapshot"/"sz3mr" for those kinds;
                       ///< the per-brick codec for tiled/pyramid/adaptive streams)
   unsigned version = 0;
   Dim3 dims;          ///< field extents (snapshot/pyramid: finest-grid extents)
   double eb = 0.0;    ///< absolute error bound the stream was encoded under
-  /// snapshot/pyramid level count; adaptive streams report 1 + the maximum
-  /// per-brick level (1 otherwise).
+  /// snapshot/pyramid/progressive level count; adaptive streams report 1 +
+  /// the maximum per-brick level (1 otherwise).
   std::size_t levels = 1;
   std::size_t stream_bytes = 0;
 
@@ -245,7 +266,7 @@ struct StreamInfo {
     float vmax = 0.0f;
     float approx_err = 0.0f;
   };
-  std::vector<LevelMeta> level_meta;  ///< pyramid streams only, finest first
+  std::vector<LevelMeta> level_meta;  ///< pyramid/progressive streams, finest first
 };
 
 /// Identifies any mrcomp stream by its header. Throws CodecError on foreign

@@ -103,11 +103,12 @@ class ScratchGuard {
 };
 
 inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
-// v5 adds the adaptive multi-resolution container (adaptive/adaptive.h);
+// v6 adds the progressive residual container (progressive/progressive.h);
+// v5 the adaptive multi-resolution container (adaptive/adaptive.h);
 // v4 added the LOD pyramid (pyramid/pyramid.h); v3 the tiled container
 // (tiled/tiled.h). Older streams still parse — peek_header accepts any
 // version up to the current one.
-inline constexpr std::uint8_t kContainerVersion = 5;
+inline constexpr std::uint8_t kContainerVersion = 6;
 
 /// Writes the shared container header (layout above).
 void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb);

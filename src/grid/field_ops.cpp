@@ -102,6 +102,97 @@ FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims) {
   return fine;
 }
 
+SupportBox prolong_support(Dim3 coarse_dims, Dim3 fine_dims, Coord3 fine_origin,
+                           Dim3 fine_extent) {
+  MRC_REQUIRE(fine_extent.nx >= 1 && fine_extent.ny >= 1 && fine_extent.nz >= 1,
+              "prolong_support: empty fine window");
+  MRC_REQUIRE(fine_origin.x >= 0 && fine_origin.y >= 0 && fine_origin.z >= 0 &&
+                  fine_origin.x + fine_extent.nx <= fine_dims.nx &&
+                  fine_origin.y + fine_extent.ny <= fine_dims.ny &&
+                  fine_origin.z + fine_extent.nz <= fine_dims.nz,
+              "prolong_support: fine window outside grid");
+  // g(x) is monotone in x, so the first sample's i0 and the last sample's i1
+  // bound the footprint along each axis.
+  auto axis = [](index_t cd, index_t fd, index_t lo, index_t n, index_t& out_lo,
+                 index_t& out_n) {
+    const double r = static_cast<double>(cd) / static_cast<double>(fd);
+    auto i0_of = [&](index_t x) {
+      const double g = (static_cast<double>(x) + 0.5) * r - 0.5;
+      return std::clamp(static_cast<index_t>(std::floor(g)), index_t{0}, cd - 1);
+    };
+    const index_t first = i0_of(lo);
+    const index_t last = std::clamp(i0_of(lo + n - 1) + 1, index_t{0}, cd - 1);
+    out_lo = first;
+    out_n = last + 1 - first;
+  };
+  SupportBox s;
+  axis(coarse_dims.nx, fine_dims.nx, fine_origin.x, fine_extent.nx, s.origin.x,
+       s.extent.nx);
+  axis(coarse_dims.ny, fine_dims.ny, fine_origin.y, fine_extent.ny, s.origin.y,
+       s.extent.ny);
+  axis(coarse_dims.nz, fine_dims.nz, fine_origin.z, fine_extent.nz, s.origin.z,
+       s.extent.nz);
+  return s;
+}
+
+FieldF prolong_trilinear_region(const FieldF& coarse_window, Coord3 window_origin,
+                                Dim3 coarse_dims, Dim3 fine_dims, Coord3 fine_origin,
+                                Dim3 fine_extent) {
+  const SupportBox need =
+      prolong_support(coarse_dims, fine_dims, fine_origin, fine_extent);
+  const Dim3 wd = coarse_window.dims();
+  MRC_REQUIRE(window_origin.x <= need.origin.x && window_origin.y <= need.origin.y &&
+                  window_origin.z <= need.origin.z &&
+                  window_origin.x + wd.nx >= need.origin.x + need.extent.nx &&
+                  window_origin.y + wd.ny >= need.origin.y + need.extent.ny &&
+                  window_origin.z + wd.nz >= need.origin.z + need.extent.nz,
+              "prolong_trilinear_region: coarse window does not cover the support");
+  FieldF fine(fine_extent);
+  // Exactly prolong_trilinear's cell-centered arithmetic, evaluated at global
+  // fine indices with global coarse dims — the per-sample double expressions
+  // match term for term, so the float results are bit-identical to the same
+  // window of the full prolongation.
+  const double rx =
+      static_cast<double>(coarse_dims.nx) / static_cast<double>(fine_dims.nx);
+  const double ry =
+      static_cast<double>(coarse_dims.ny) / static_cast<double>(fine_dims.ny);
+  const double rz =
+      static_cast<double>(coarse_dims.nz) / static_cast<double>(fine_dims.nz);
+  auto clampi = [](index_t v, index_t lo, index_t hi) { return std::clamp(v, lo, hi); };
+  for (index_t z = 0; z < fine_extent.nz; ++z) {
+    const double gz = (static_cast<double>(fine_origin.z + z) + 0.5) * rz - 0.5;
+    const auto z0 = clampi(static_cast<index_t>(std::floor(gz)), 0, coarse_dims.nz - 1);
+    const auto z1 = clampi(z0 + 1, 0, coarse_dims.nz - 1);
+    const double fz = std::clamp(gz - static_cast<double>(z0), 0.0, 1.0);
+    for (index_t y = 0; y < fine_extent.ny; ++y) {
+      const double gy = (static_cast<double>(fine_origin.y + y) + 0.5) * ry - 0.5;
+      const auto y0 =
+          clampi(static_cast<index_t>(std::floor(gy)), 0, coarse_dims.ny - 1);
+      const auto y1 = clampi(y0 + 1, 0, coarse_dims.ny - 1);
+      const double fy = std::clamp(gy - static_cast<double>(y0), 0.0, 1.0);
+      for (index_t x = 0; x < fine_extent.nx; ++x) {
+        const double gx = (static_cast<double>(fine_origin.x + x) + 0.5) * rx - 0.5;
+        const auto x0 =
+            clampi(static_cast<index_t>(std::floor(gx)), 0, coarse_dims.nx - 1);
+        const auto x1 = clampi(x0 + 1, 0, coarse_dims.nx - 1);
+        const double fx = std::clamp(gx - static_cast<double>(x0), 0.0, 1.0);
+        auto c = [&](index_t cx, index_t cy, index_t cz) {
+          return coarse_window.at(cx - window_origin.x, cy - window_origin.y,
+                                  cz - window_origin.z);
+        };
+        const double c00 = c(x0, y0, z0) * (1 - fx) + c(x1, y0, z0) * fx;
+        const double c10 = c(x0, y1, z0) * (1 - fx) + c(x1, y1, z0) * fx;
+        const double c01 = c(x0, y0, z1) * (1 - fx) + c(x1, y0, z1) * fx;
+        const double c11 = c(x0, y1, z1) * (1 - fx) + c(x1, y1, z1) * fx;
+        const double c0 = c00 * (1 - fy) + c10 * fy;
+        const double c1 = c01 * (1 - fy) + c11 * fy;
+        fine.at(x, y, z) = static_cast<float>(c0 * (1 - fz) + c1 * fz);
+      }
+    }
+  }
+  return fine;
+}
+
 double prolong_error_slab(const FieldF& coarse, const FieldF& fine, index_t z0,
                           index_t z1) {
   const Dim3 cd = coarse.dims();

@@ -24,6 +24,30 @@ namespace mrc {
 /// Trilinear upsampling to `fine_dims` (cell-centered alignment).
 [[nodiscard]] FieldF prolong_trilinear(const FieldF& coarse, Dim3 fine_dims);
 
+/// Coarse footprint of prolong_trilinear over the fine window
+/// [fine_origin, fine_origin + fine_extent) of a fine_dims grid: the
+/// half-open coarse index range covering both neighbors (i0 and i1) of
+/// every fine sample in the window. origin/extent are in coarse indices.
+struct SupportBox {
+  Coord3 origin;
+  Dim3 extent;
+};
+[[nodiscard]] SupportBox prolong_support(Dim3 coarse_dims, Dim3 fine_dims,
+                                         Coord3 fine_origin, Dim3 fine_extent);
+
+/// prolong_trilinear restricted to the fine window [fine_origin,
+/// fine_origin + fine_extent), reading coarse samples from `coarse_window`
+/// (a copy of the coarse box [window_origin, window_origin +
+/// coarse_window.dims()), which must cover prolong_support of the fine
+/// window). Sample arithmetic is identical to prolong_trilinear on the full
+/// grids, so the result is bit-exact with the same window of the full
+/// prolongation — the progressive container's refinement reads depend on
+/// this.
+[[nodiscard]] FieldF prolong_trilinear_region(const FieldF& coarse_window,
+                                              Coord3 window_origin, Dim3 coarse_dims,
+                                              Dim3 fine_dims, Coord3 fine_origin,
+                                              Dim3 fine_extent);
+
 /// Max |prolong_trilinear(coarse, fine.dims()) - fine| over the fine z-slab
 /// [z0, z1), without materializing the prolonged field. This is the pyramid
 /// builder's LOD-error kernel; slabs are independent, so callers parallelize

@@ -1,0 +1,364 @@
+#include "progressive/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "exec/thread_pool.h"
+#include "grid/field_ops.h"
+#include "obs/obs.h"
+
+namespace mrc::progressive {
+
+namespace {
+
+/// Smallest possible level record: 5 single-byte varints + six f32s.
+inline constexpr std::size_t kMinLevelRecord = 29;
+
+/// a + b per sample, accumulated in double and rounded once to float — the
+/// single reconstruction step recon = prolong + residual. Build, full
+/// decode, windowed reads and the wire client all go through this exact
+/// expression, which is what makes every path bit-identical.
+void add_into(FieldF& acc, const FieldF& add) {
+  MRC_REQUIRE(acc.dims() == add.dims(), "progressive: addend extents mismatch");
+  const Dim3 d = acc.dims();
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        acc.at(x, y, z) = static_cast<float>(static_cast<double>(acc.at(x, y, z)) +
+                                             static_cast<double>(add.at(x, y, z)));
+}
+
+/// data - base per sample (double accumulate, one float rounding).
+FieldF subtract(const FieldF& data, const FieldF& base) {
+  MRC_REQUIRE(data.dims() == base.dims(), "progressive: residual extents mismatch");
+  const Dim3 d = data.dims();
+  FieldF out(d);
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        out.at(x, y, z) = static_cast<float>(static_cast<double>(data.at(x, y, z)) -
+                                             static_cast<double>(base.at(x, y, z)));
+  return out;
+}
+
+float max_abs(const FieldF& f) {
+  const auto [lo, hi] = f.min_max();
+  return std::max(std::abs(lo), std::abs(hi));
+}
+
+/// Shannon entropy (bits/sample) of the field quantized into 2*eb-wide bins
+/// — the same bin width the quantizer uses, so this estimates the entropy
+/// the Huffman stage actually sees. Recorded per level for `mrcc
+/// progressive`'s table.
+float bin_entropy(const FieldF& f, double eb) {
+  std::unordered_map<long long, std::uint64_t> bins;
+  const Dim3 d = f.dims();
+  for (index_t z = 0; z < d.nz; ++z)
+    for (index_t y = 0; y < d.ny; ++y)
+      for (index_t x = 0; x < d.nx; ++x)
+        ++bins[std::llround(static_cast<double>(f.at(x, y, z)) / (2.0 * eb))];
+  const double n = static_cast<double>(d.size());
+  double h = 0.0;
+  for (const auto& [bin, count] : bins) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return static_cast<float>(h);
+}
+
+}  // namespace
+
+std::vector<tiled::Box> support_chain(const Index& idx, int level,
+                                      const tiled::Box& region) {
+  MRC_REQUIRE(level >= 0 && level < static_cast<int>(idx.levels.size()),
+              "progressive: level out of range");
+  const int top = static_cast<int>(idx.levels.size()) - 1;
+  std::vector<tiled::Box> boxes(idx.levels.size());
+  boxes[static_cast<std::size_t>(level)] = region;
+  for (int l = level; l < top; ++l) {
+    const tiled::Box& b = boxes[static_cast<std::size_t>(l)];
+    const SupportBox s =
+        prolong_support(idx.levels[static_cast<std::size_t>(l + 1)].dims,
+                        idx.levels[static_cast<std::size_t>(l)].dims, b.lo, b.extent());
+    boxes[static_cast<std::size_t>(l + 1)] = {
+        s.origin,
+        {s.origin.x + s.extent.nx, s.origin.y + s.extent.ny, s.origin.z + s.extent.nz}};
+  }
+  return boxes;
+}
+
+FieldF refine(const FieldF& coarse_window, const tiled::Box& coarse_box,
+              Dim3 coarse_dims, const FieldF& residual, const tiled::Box& fine_box,
+              Dim3 fine_dims) {
+  MRC_REQUIRE(coarse_window.dims() == coarse_box.extent() &&
+                  residual.dims() == fine_box.extent(),
+              "progressive: refine window extents mismatch");
+  FieldF prolonged = prolong_trilinear_region(coarse_window, coarse_box.lo, coarse_dims,
+                                              fine_dims, fine_box.lo,
+                                              fine_box.extent());
+  add_into(prolonged, residual);
+  return prolonged;
+}
+
+std::span<const std::byte> Index::level_stream(std::span<const std::byte> stream,
+                                               std::size_t l) const {
+  MRC_REQUIRE(l < levels.size(), "level_stream: level out of range");
+  const LevelEntry& e = levels[l];
+  return stream.subspan(payload_offset + static_cast<std::size_t>(e.offset),
+                        static_cast<std::size_t>(e.length));
+}
+
+Bytes build(const FieldF& f, double abs_eb, const Config& cfg) {
+  MRC_REQUIRE(!f.empty(), "progressive: empty field");
+  MRC_REQUIRE(abs_eb > 0.0, "progressive: error bound must be positive");
+  MRC_REQUIRE(cfg.brick >= 1, "progressive: brick edge must be >= 1");
+  MRC_REQUIRE(cfg.levels >= 0 && cfg.levels <= kMaxLevels,
+              "progressive: level count must be in [0, " + std::to_string(kMaxLevels) +
+                  "]");
+  const Dim3 d = f.dims();
+  const int n_levels = cfg.levels == 0 ? auto_levels(d, cfg.brick) : cfg.levels;
+
+  tiled::Config tc;
+  tc.codec = cfg.codec;
+  tc.tuning = cfg.tuning;
+  tc.brick = cfg.brick;
+  tc.threads = cfg.threads;
+  tiled::Config tc_resid = tc;
+  tc_resid.codec = cfg.resid_codec;
+
+  // The restrict_half chain, materialized coarse-to-fine is not needed —
+  // levels() holds l >= 1, level 0 reads straight from f.
+  std::vector<FieldF> chain(static_cast<std::size_t>(n_levels));
+  for (int l = 1; l < n_levels; ++l)
+    chain[static_cast<std::size_t>(l)] =
+        restrict_half(l == 1 ? f : chain[static_cast<std::size_t>(l - 1)]);
+  auto level_data = [&](int l) -> const FieldF& {
+    return l == 0 ? f : chain[static_cast<std::size_t>(l)];
+  };
+
+  std::vector<Bytes> streams(static_cast<std::size_t>(n_levels));
+  std::vector<LevelEntry> entries(static_cast<std::size_t>(n_levels));
+  exec::ThreadPool pool(cfg.threads);
+
+  // Top-down with the decoder in the loop: each residual is measured against
+  // the *reconstruction* the reader will actually have, so per-level decode
+  // error stays at eb instead of accumulating down the chain.
+  FieldF recon;
+  for (int l = n_levels - 1; l >= 0; --l) {
+    const FieldF& data = level_data(l);
+    LevelEntry& e = entries[static_cast<std::size_t>(l)];
+    e.dims = data.dims();
+    const auto [lo, hi] = data.min_max();
+    e.vmin = lo;
+    e.vmax = hi;
+    e.cum_err = static_cast<float>(abs_eb * (n_levels - l));
+    e.approx_err = static_cast<float>(
+        l == 0 ? static_cast<double>(e.cum_err)
+               : pyramid::prolong_error(data, f, pool) + static_cast<double>(e.cum_err));
+
+    OBS_SPAN("progressive.level_compress");
+    if (l == n_levels - 1) {
+      // Coarsest level: stored verbatim; "residual" stats describe the data.
+      e.resid_max = max_abs(data);
+      e.resid_entropy = bin_entropy(data, abs_eb);
+      streams[static_cast<std::size_t>(l)] = tiled::compress(data, abs_eb, tc);
+      recon = tiled::decompress(streams[static_cast<std::size_t>(l)], cfg.threads);
+    } else {
+      FieldF prolonged = prolong_trilinear(recon, data.dims());
+      const FieldF resid = subtract(data, prolonged);
+      e.resid_max = max_abs(resid);
+      e.resid_entropy = bin_entropy(resid, abs_eb);
+      streams[static_cast<std::size_t>(l)] = tiled::compress(resid, abs_eb, tc_resid);
+      if (l > 0) {
+        add_into(prolonged,
+                 tiled::decompress(streams[static_cast<std::size_t>(l)], cfg.threads));
+        recon = std::move(prolonged);
+      }
+    }
+  }
+
+  std::uint64_t payload_bytes = 0;
+  for (int l = 0; l < n_levels; ++l) {
+    auto& e = entries[static_cast<std::size_t>(l)];
+    e.offset = payload_bytes;
+    e.length = streams[static_cast<std::size_t>(l)].size();
+    payload_bytes += e.length;
+  }
+
+  Bytes out;
+  ByteWriter w(out);
+  detail::write_header(w, kProgressiveMagic, d, abs_eb);
+  w.put_varint(static_cast<std::uint64_t>(n_levels));
+  w.put_varint(payload_bytes);
+  for (const LevelEntry& e : entries) {
+    w.put_varint(e.offset);
+    w.put_varint(e.length);
+    w.put_varint(static_cast<std::uint64_t>(e.dims.nx));
+    w.put_varint(static_cast<std::uint64_t>(e.dims.ny));
+    w.put_varint(static_cast<std::uint64_t>(e.dims.nz));
+    w.put(e.vmin);
+    w.put(e.vmax);
+    w.put(e.resid_max);
+    w.put(e.resid_entropy);
+    w.put(e.cum_err);
+    w.put(e.approx_err);
+  }
+  for (const Bytes& s : streams) w.put_bytes(s);
+  return out;
+}
+
+Index read_geometry(std::span<const std::byte> stream) {
+  ByteReader r(stream);
+  const auto header = detail::read_header(r, kProgressiveMagic, "progressive");
+
+  Index idx;
+  idx.dims = header.dims;
+  idx.eb = header.eb;
+  const std::uint64_t n_levels = r.get_varint();
+  // A hostile stream can claim any level count; the cap plus the
+  // records-must-fit check bound every allocation before it is sized.
+  if (n_levels < 1 || n_levels > static_cast<std::uint64_t>(kMaxLevels))
+    throw CodecError("progressive: bad level count");
+  idx.payload_bytes = r.get_varint();
+  if (n_levels > r.remaining() / kMinLevelRecord)
+    throw CodecError("progressive: level count exceeds stream size");
+
+  idx.levels.resize(static_cast<std::size_t>(n_levels));
+  Dim3 expect = idx.dims;
+  std::uint64_t next_offset = 0;
+  for (std::size_t l = 0; l < idx.levels.size(); ++l) {
+    LevelEntry& e = idx.levels[l];
+    e.offset = r.get_varint();
+    e.length = r.get_varint();
+    e.dims.nx = static_cast<index_t>(r.get_varint());
+    e.dims.ny = static_cast<index_t>(r.get_varint());
+    e.dims.nz = static_cast<index_t>(r.get_varint());
+    e.vmin = r.get<float>();
+    e.vmax = r.get<float>();
+    e.resid_max = r.get<float>();
+    e.resid_entropy = r.get<float>();
+    e.cum_err = r.get<float>();
+    e.approx_err = r.get<float>();
+
+    // Levels are pinned to the halving chain and must tile the payload
+    // exactly — anything else (overlapping records, gaps, extents that are
+    // not the parent's half) means a corrupt or hostile table.
+    if (e.dims != expect)
+      throw CodecError("progressive: level " + std::to_string(l) + " extents " +
+                       e.dims.str() + " off the halving chain (want " + expect.str() +
+                       ")");
+    if (e.offset != next_offset || e.length == 0 ||
+        e.length > idx.payload_bytes - e.offset)
+      throw CodecError("progressive: level " + std::to_string(l) +
+                       " offset/length out of range");
+    next_offset = e.offset + e.length;
+    expect = blocks_for(expect, 2);
+  }
+  if (next_offset != idx.payload_bytes)
+    throw CodecError("progressive: level streams do not tile the payload");
+
+  idx.payload_offset = r.position();
+  if (r.remaining() < idx.payload_bytes)
+    throw CodecError("progressive: payload truncated");
+
+  // Level 0's tiled preamble (O(1) peek) supplies the residual codec + brick
+  // edge and cross-checks the finest extents and error bound; the coarsest
+  // level's preamble supplies the data codec (residuals and data carry
+  // different statistics and may use different codecs).
+  const tiled::Index fine = tiled::read_geometry(idx.level_stream(stream, 0));
+  if (fine.dims != idx.dims)
+    throw CodecError(
+        "progressive: level 0 stream extents disagree with the level table");
+  if (fine.eb != idx.eb)
+    throw CodecError(
+        "progressive: level 0 stream error bound disagrees with the header");
+  idx.codec = fine.codec;
+  idx.codec_magic = fine.codec_magic;
+  idx.brick = fine.brick;
+  if (idx.levels.size() == 1) {
+    idx.data_codec = fine.codec;
+    idx.data_codec_magic = fine.codec_magic;
+  } else {
+    const tiled::Index coarse =
+        tiled::read_geometry(idx.level_stream(stream, idx.levels.size() - 1));
+    if (coarse.dims != idx.levels.back().dims)
+      throw CodecError(
+          "progressive: coarsest stream extents disagree with the level table");
+    if (coarse.eb != idx.eb)
+      throw CodecError(
+          "progressive: coarsest stream error bound disagrees with the header");
+    idx.data_codec = coarse.codec;
+    idx.data_codec_magic = coarse.codec_magic;
+  }
+  return idx;
+}
+
+Index read_index(std::span<const std::byte> stream) {
+  Index idx = read_geometry(stream);
+  // Every nested stream must be a tiled stream of exactly the level table's
+  // extents, the section's codec (residual levels share one, the coarsest
+  // data level its own), same bound — a mismatch means the table points at
+  // the wrong bytes.
+  for (std::size_t l = 1; l < idx.levels.size(); ++l) {
+    const tiled::Index li = tiled::read_geometry(idx.level_stream(stream, l));
+    const std::uint32_t want =
+        l == idx.levels.size() - 1 ? idx.data_codec_magic : idx.codec_magic;
+    if (li.dims != idx.levels[l].dims)
+      throw CodecError("progressive: level " + std::to_string(l) +
+                       " stream extents disagree with the level table");
+    if (li.codec_magic != want)
+      throw CodecError("progressive: level " + std::to_string(l) + " codec mismatch");
+    if (li.eb != idx.eb)
+      throw CodecError("progressive: level " + std::to_string(l) +
+                       " error bound mismatch");
+  }
+  return idx;
+}
+
+FieldF decompress_level(std::span<const std::byte> stream, int level, int threads) {
+  const Index idx = read_index(stream);
+  MRC_REQUIRE(level >= 0 && level < static_cast<int>(idx.levels.size()),
+              "progressive: level out of range");
+  const int top = static_cast<int>(idx.levels.size()) - 1;
+  OBS_SPAN("progressive.level_decode");
+  FieldF recon =
+      tiled::decompress(idx.level_stream(stream, static_cast<std::size_t>(top)),
+                        threads);
+  for (int l = top - 1; l >= level; --l) {
+    FieldF prolonged =
+        prolong_trilinear(recon, idx.levels[static_cast<std::size_t>(l)].dims);
+    add_into(prolonged,
+             tiled::decompress(idx.level_stream(stream, static_cast<std::size_t>(l)),
+                               threads));
+    recon = std::move(prolonged);
+  }
+  return recon;
+}
+
+FieldF read_region(std::span<const std::byte> stream, int level,
+                   const tiled::Box& region, int threads) {
+  const Index idx = read_index(stream);
+  MRC_REQUIRE(level >= 0 && level < static_cast<int>(idx.levels.size()),
+              "progressive: level out of range");
+  const int top = static_cast<int>(idx.levels.size()) - 1;
+  const auto boxes = support_chain(idx, level, region);
+  OBS_SPAN("progressive.level_decode");
+  FieldF window =
+      tiled::read_region(idx.level_stream(stream, static_cast<std::size_t>(top)),
+                         boxes[static_cast<std::size_t>(top)], threads)
+          .data;
+  for (int l = top - 1; l >= level; --l) {
+    const tiled::Box& fine_box = boxes[static_cast<std::size_t>(l)];
+    const FieldF resid =
+        tiled::read_region(idx.level_stream(stream, static_cast<std::size_t>(l)),
+                           fine_box, threads)
+            .data;
+    window = refine(window, boxes[static_cast<std::size_t>(l + 1)],
+                    idx.levels[static_cast<std::size_t>(l + 1)].dims, resid, fine_box,
+                    idx.levels[static_cast<std::size_t>(l)].dims);
+  }
+  return window;
+}
+
+}  // namespace mrc::progressive

@@ -1,0 +1,157 @@
+#pragma once
+
+// Progressive residual pyramid container: the coarsest level stored
+// verbatim plus one residual stream per finer level, computed against the
+// *reconstruction* of the level below —
+//
+//   residual_L = level_L - prolong_trilinear(recon(level_{L+1}))
+//
+// so decoding level L needs only the reconstructed L+1 and the small, spiky
+// residual stream, which the quantizer+Huffman path compresses far better
+// than re-storing the level outright (the MRCP pyramid pays ~15% over a
+// flat stream for exactly that). Reconstruction is strictly top-down and
+// bit-deterministic: recon(top) = decode(top), recon(L) =
+// prolong(recon(L+1)) + decode(residual_L), every arithmetic step pinned so
+// a windowed region read reproduces the same bits as a full decode.
+//
+// Error model (telescoped): each residual stream is compressed under the
+// same absolute bound eb, and because residual_L is measured against the
+// reconstruction (not the pristine level), the per-level decode error does
+// NOT accumulate — recon(L) = level_L + delta_L with |delta_L| <= eb up to
+// float rounding. The level table still records the conservative telescoped
+// bound cum_err(L) = eb * (n_levels - L), the a-priori guarantee that holds
+// compositionally without trusting the build-time measurement.
+//
+// Stream layout (container header v6 under kProgressiveMagic):
+//   shared container header      finest-grid extents + absolute error bound
+//   varint  n_levels             >= 1, halving chain
+//   varint  payload_bytes        total size of the level payload section
+//   per level:                   varint offset, varint length,
+//                                varint nx,ny,nz (level extents),
+//                                f32 vmin, f32 vmax      (level data range)
+//                                f32 resid_max           (max |residual|)
+//                                f32 resid_entropy       (bits/sample, 2eb bins)
+//                                f32 cum_err             (telescoped bound)
+//                                f32 approx_err          (LOD error vs finest)
+//   payload                      concatenated tiled (MRCT) residual streams,
+//                                finest first; the last one is the coarsest
+//                                level's data stream. Residual levels share
+//                                one codec, the data level may use another
+//                                (each nested preamble is self-describing).
+//
+// Validation discipline matches pyramid/tiled/adaptive: level extents are
+// pinned to the halving chain, level streams must tile the payload exactly,
+// hostile level counts are rejected before any allocation is sized from
+// them, and read_index cross-checks every nested tiled preamble.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pyramid/pyramid.h"
+#include "tiled/tiled.h"
+
+namespace mrc::progressive {
+
+/// Container-header stream id of a progressive residual stream.
+inline constexpr std::uint32_t kProgressiveMagic = 0x5243'524d;  // "MRCR"
+
+/// Same hard cap as the pyramid: the halving chain machinery is shared.
+inline constexpr int kMaxLevels = pyramid::kMaxLevels;
+
+/// Level extents + auto level count follow the pyramid's halving chain.
+using pyramid::auto_levels;
+using pyramid::level_dims;
+
+struct Config {
+  std::string codec = "interp";  ///< coarsest (data) level, any registry name
+  /// Codec of the residual levels. Residuals are near-zero, spiky and
+  /// spatially decorrelated; a hierarchical interpolation predictor re-learns
+  /// exactly what the prolongation already removed and gains nothing (interp
+  /// residual streams come out within 0.3% of the plain pyramid). Lorenzo's
+  /// local predictor plus the quantizer+Huffman stage is the robust fit —
+  /// measured ~7% under the pyramid at equal eb on mini-Nyx.
+  std::string resid_codec = "lorenzo";
+  CodecTuning tuning;            ///< per-brick codec tuning
+  index_t brick = tiled::kDefaultBrick;  ///< brick edge of every level
+  int threads = 1;               ///< exec-pool lanes per level; 0 = hardware
+  /// Level count; 0 = auto: halve until the coarsest level fits one brick.
+  int levels = 0;
+};
+
+/// One record of the level table.
+struct LevelEntry {
+  std::uint64_t offset = 0;  ///< within the payload section
+  std::uint64_t length = 0;  ///< bytes of this level's tiled residual stream
+  Dim3 dims;                 ///< level extents (= ceil_div(fine, 2^level))
+  float vmin = 0.0f;         ///< value range over the level's *data* samples
+  float vmax = 0.0f;
+  float resid_max = 0.0f;      ///< max |residual| (coarsest: max |data|)
+  float resid_entropy = 0.0f;  ///< Shannon bits/sample over 2eb-wide bins
+  float cum_err = 0.0f;        ///< telescoped bound eb * (n_levels - level)
+  float approx_err = 0.0f;     ///< LOD bound: max|prolong(level)-finest|+cum_err
+};
+
+/// Parsed + validated level table of a progressive stream.
+struct Index {
+  Dim3 dims;          ///< finest-grid extents
+  double eb = 0.0;    ///< absolute codec error bound (every residual level)
+  std::string codec;  ///< per-brick codec of level 0 (all residual levels match)
+  std::uint32_t codec_magic = 0;
+  std::string data_codec;  ///< codec of the coarsest (data) level
+  std::uint32_t data_codec_magic = 0;
+  index_t brick = 0;  ///< brick edge of level 0
+  std::size_t payload_offset = 0;  ///< absolute offset of the payload section
+  std::uint64_t payload_bytes = 0;
+  std::vector<LevelEntry> levels;  ///< [0] = finest residual, back() = coarsest data
+
+  /// The sub-span of `stream` holding level `l`'s complete tiled stream.
+  [[nodiscard]] std::span<const std::byte> level_stream(
+      std::span<const std::byte> stream, std::size_t l) const;
+};
+
+/// Builds the residual pyramid: restrict_half chain from `f`, the coarsest
+/// level compressed verbatim, every finer level as a residual against the
+/// decoded reconstruction of the level below, all through tiled::compress
+/// on the exec pool. Deterministic: byte-identical for any thread count.
+[[nodiscard]] Bytes build(const FieldF& f, double abs_eb, const Config& cfg = {});
+
+/// Parses and validates header + level table in O(levels) without touching
+/// any nested stream beyond O(1) geometry peeks of level 0 (residual codec +
+/// brick) and the coarsest level (data codec). Throws CodecError on
+/// malformed input.
+[[nodiscard]] Index read_geometry(std::span<const std::byte> stream);
+
+/// read_geometry plus validation of every level's nested tiled preamble
+/// (magic, extents, codec and eb agreement with the level table).
+[[nodiscard]] Index read_index(std::span<const std::byte> stream);
+
+/// Reconstructs level `level` in full: decode the coarsest stream, then
+/// prolong + residual down to `level`. Bit-deterministic for any thread
+/// count (threads = 0 means hardware).
+[[nodiscard]] FieldF decompress_level(std::span<const std::byte> stream, int level,
+                                      int threads = 1);
+
+/// Reconstructs `region` (in level-`level` coordinates) decoding only the
+/// bricks under the region's prolongation support chain — bit-identical to
+/// the same window of decompress_level.
+[[nodiscard]] FieldF read_region(std::span<const std::byte> stream, int level,
+                                 const tiled::Box& region, int threads = 1);
+
+/// The prolongation-support chain of a region read: boxes[level] = region,
+/// boxes[l+1] = the coarse footprint prolong_trilinear needs for boxes[l]
+/// (levels below `level` are left empty). Windowed reconstruction — and the
+/// serve layer's progressive read — decodes exactly these boxes.
+[[nodiscard]] std::vector<tiled::Box> support_chain(const Index& idx, int level,
+                                                    const tiled::Box& region);
+
+/// One refinement step: prolong the coarse window onto `fine_box` and add
+/// the residual window, accumulating in double with a single float rounding
+/// per sample. Every reconstruction path — build, decompress_level,
+/// read_region, serve::Dataset and the wire client's in-place refinement —
+/// applies this exact expression, which is what makes them bit-identical.
+[[nodiscard]] FieldF refine(const FieldF& coarse_window, const tiled::Box& coarse_box,
+                            Dim3 coarse_dims, const FieldF& residual,
+                            const tiled::Box& fine_box, Dim3 fine_dims);
+
+}  // namespace mrc::progressive

@@ -14,9 +14,8 @@ namespace {
 /// Smallest possible level record: 5 single-byte varints + three f32s.
 inline constexpr std::size_t kMinLevelRecord = 17;
 
-/// Max |prolong_trilinear(coarse) - fine|, z-slabbed across the pool — the
-/// measurement is a full finest-resolution pass per level, so it gets the
-/// same parallelism as the compression itself.
+}  // namespace
+
 double prolong_error(const FieldF& coarse, const FieldF& fine, exec::ThreadPool& pool) {
   const index_t nz = fine.dims().nz;
   const index_t slabs = std::min<index_t>(nz, 4 * pool.size());
@@ -27,8 +26,6 @@ double prolong_error(const FieldF& coarse, const FieldF& fine, exec::ThreadPool&
   });
   return *std::max_element(errs.begin(), errs.end());
 }
-
-}  // namespace
 
 std::span<const std::byte> Index::level_stream(std::span<const std::byte> stream,
                                                std::size_t l) const {

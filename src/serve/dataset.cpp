@@ -28,11 +28,15 @@ struct Dataset::Impl {
   Config cfg;
   Dataset::Kind kind = Dataset::Kind::pyramid;
   pyramid::Index pidx;             ///< pyramid datasets only
-  std::vector<tiled::Index> lidx;  ///< per-level tile index (pyramid); one
-                                   ///< entry for tiled datasets
+  progressive::Index gidx;         ///< progressive datasets only
+  std::vector<tiled::Index> lidx;  ///< per-level tile index (pyramid /
+                                   ///< progressive); one entry for tiled
   adaptive::Index aidx;            ///< adaptive datasets only
   double adaptive_worst_err = 0.0; ///< max per-brick approx_err (adaptive)
   std::unique_ptr<Compressor> codec;  ///< stateless; shared by all lanes
+  /// Progressive datasets may store the coarsest (data) level under a
+  /// different codec than the residual levels; null when they share one.
+  std::unique_ptr<Compressor> data_codec;
 
   // -- shared serving resources ---------------------------------------------
   // The cache is declared before the pool: when this Impl owns both (the
@@ -75,6 +79,15 @@ struct Dataset::Impl {
       kind = Dataset::Kind::tiled;
       lidx.push_back(tiled::read_index(stream));
       codec = registry().make_for_magic(lidx[0].codec_magic);
+    } else if (h.codec_magic == progressive::kProgressiveMagic) {
+      kind = Dataset::Kind::progressive;
+      gidx = progressive::read_index(stream);
+      lidx.reserve(gidx.levels.size());
+      for (std::size_t l = 0; l < gidx.levels.size(); ++l)
+        lidx.push_back(tiled::read_index(gidx.level_stream(stream, l)));
+      codec = registry().make_for_magic(gidx.codec_magic);
+      if (gidx.data_codec_magic != gidx.codec_magic)
+        data_codec = registry().make_for_magic(gidx.data_codec_magic);
     } else {
       kind = Dataset::Kind::pyramid;
       pidx = pyramid::read_index(stream);
@@ -122,13 +135,82 @@ struct Dataset::Impl {
       return std::make_shared<const FieldF>(adaptive::reconstruct_brick(
           aidx, t, adaptive::decode_brick(aidx, *codec, stream, t)));
     }
+    // Pyramid and progressive streams nest one tiled stream per level; for
+    // progressive datasets the cached brick holds *residual* samples (data
+    // samples for the coarsest level) — the reconstruction chain sits above
+    // the cache, in progressive_layers.
     const tiled::Index& ti = lidx[static_cast<std::size_t>(level)];
     const std::span<const std::byte> level_bytes =
-        kind == Dataset::Kind::tiled
-            ? std::span<const std::byte>(stream)
+        kind == Dataset::Kind::tiled ? std::span<const std::byte>(stream)
+        : kind == Dataset::Kind::progressive
+            ? gidx.level_stream(stream, static_cast<std::size_t>(level))
             : pidx.level_stream(stream, static_cast<std::size_t>(level));
+    const bool coarsest_data = kind == Dataset::Kind::progressive &&
+                               data_codec != nullptr &&
+                               static_cast<std::size_t>(level) + 1 == lidx.size();
+    const Compressor& c = coarsest_data ? *data_codec : *codec;
     return std::make_shared<const FieldF>(
-        tiled::decode_tile(ti, *codec, level_bytes, static_cast<std::size_t>(tile)));
+        tiled::decode_tile(ti, c, level_bytes, static_cast<std::size_t>(tile)));
+  }
+
+  /// Assembles the raw stored samples of one level over `box` through the
+  /// cache — core ∩ box from every intersecting brick, the same ownership
+  /// rule as tiled::read_region. For pyramid/tiled levels that is the data;
+  /// for progressive levels below the top it is the residual window.
+  FieldF assemble_level(int level, const tiled::Box& box,
+                        std::vector<index_t>* hit_out = nullptr) {
+    const tiled::Index& ti = lidx[static_cast<std::size_t>(level)];
+    std::vector<index_t> hit = tiled::tiles_in_region(ti, box);
+    std::vector<BrickPtr> bricks(hit.size());
+    pool->parallel_for(static_cast<index_t>(hit.size()), [&](index_t i) {
+      const auto slot = static_cast<std::size_t>(i);
+      bricks[slot] = cache->fetch(key_of(level, hit[slot]),
+                                  [&] { return decode(level, hit[slot]); });
+    });
+    FieldF out(box.extent());
+    for (std::size_t i = 0; i < hit.size(); ++i) {
+      const auto t = static_cast<std::size_t>(hit[i]);
+      const tiled::TileEntry& e = ti.tiles[t];
+      const FieldF& b = *bricks[i];
+      const Dim3 core = ti.core_extent(t);
+      const index_t x0 = std::max(e.origin.x, box.lo.x);
+      const index_t x1 = std::min(e.origin.x + core.nx, box.hi.x);
+      const index_t y0 = std::max(e.origin.y, box.lo.y);
+      const index_t y1 = std::min(e.origin.y + core.ny, box.hi.y);
+      const index_t z0 = std::max(e.origin.z, box.lo.z);
+      const index_t z1 = std::min(e.origin.z + core.nz, box.hi.z);
+      for (index_t z = z0; z < z1; ++z)
+        for (index_t y = y0; y < y1; ++y)
+          std::copy_n(&b.at(x0 - e.origin.x, y - e.origin.y, z - e.origin.z), x1 - x0,
+                      &out.at(x0 - box.lo.x, y - box.lo.y, z - box.lo.z));
+    }
+    if (hit_out != nullptr) *hit_out = std::move(hit);
+    return out;
+  }
+
+  /// The layered progressive read: one cache-assembled window per level of
+  /// the support chain, coarsest first. Folding with progressive::refine
+  /// reproduces progressive::read_region bit-exactly.
+  std::vector<ProgressiveLayer> progressive_layers(int level, const tiled::Box& region) {
+    MRC_REQUIRE(kind == Dataset::Kind::progressive,
+                "serve: not a progressive dataset");
+    const auto boxes = progressive::support_chain(gidx, level, region);
+    const int top = static_cast<int>(gidx.levels.size()) - 1;
+    std::vector<ProgressiveLayer> layers;
+    layers.reserve(static_cast<std::size_t>(top - level + 1));
+    std::vector<index_t> request_hit;
+    for (int l = top; l >= level; --l) {
+      OBS_SPAN("serve.progressive_layer");
+      ProgressiveLayer layer;
+      layer.level = l;
+      layer.level_dims = gidx.levels[static_cast<std::size_t>(l)].dims;
+      layer.box = boxes[static_cast<std::size_t>(l)];
+      layer.residual = l != top;
+      layer.data = assemble_level(l, layer.box, l == level ? &request_hit : nullptr);
+      layers.push_back(std::move(layer));
+    }
+    if (cfg.prefetch && pool->size() > 1) prefetch_ring(level, request_hit);
+    return layers;
   }
 
   /// Queues async decodes for the bricks ringing `hit`'s bounding tile box
@@ -192,16 +274,24 @@ const adaptive::Index& Dataset::adaptive_index() const {
   return impl_->aidx;
 }
 
+const progressive::Index& Dataset::progressive_index() const {
+  MRC_REQUIRE(impl_->kind == Kind::progressive, "serve: not a progressive dataset");
+  return impl_->gidx;
+}
+
 int Dataset::levels() const {
-  return impl_->kind == Kind::pyramid
-             ? static_cast<int>(impl_->pidx.levels.size())
-             : 1;
+  switch (impl_->kind) {
+    case Kind::pyramid: return static_cast<int>(impl_->pidx.levels.size());
+    case Kind::progressive: return static_cast<int>(impl_->gidx.levels.size());
+    default: return 1;
+  }
 }
 
 double Dataset::eb() const {
   switch (impl_->kind) {
     case Kind::adaptive: return impl_->aidx.eb;
     case Kind::tiled: return impl_->lidx[0].eb;
+    case Kind::progressive: return impl_->gidx.eb;
     case Kind::pyramid: break;
   }
   return impl_->pidx.eb;
@@ -212,6 +302,8 @@ Dim3 Dataset::dims(int level) const {
   switch (impl_->kind) {
     case Kind::adaptive: return impl_->aidx.dims;
     case Kind::tiled: return impl_->lidx[0].dims;
+    case Kind::progressive:
+      return impl_->gidx.levels[static_cast<std::size_t>(level)].dims;
     case Kind::pyramid: break;
   }
   return impl_->pidx.levels[static_cast<std::size_t>(level)].dims;
@@ -222,6 +314,8 @@ double Dataset::level_error(int level) const {
   switch (impl_->kind) {
     case Kind::adaptive: return impl_->adaptive_worst_err;
     case Kind::tiled: return impl_->lidx[0].eb;  // no LOD: codec bound only
+    case Kind::progressive:
+      return impl_->gidx.levels[static_cast<std::size_t>(level)].approx_err;
     case Kind::pyramid: break;
   }
   return impl_->pidx.levels[static_cast<std::size_t>(level)].approx_err;
@@ -231,6 +325,21 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
   MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
   OBS_SPAN("serve.dataset_read");
   Impl& im = *impl_;
+  if (im.kind == Kind::progressive) {
+    // Fold the layered read top-down with the shared refine step — the same
+    // arithmetic as progressive::read_region, hence bit-identical.
+    auto layers = im.progressive_layers(level, region);
+    FieldF window = std::move(layers.front().data);
+    for (std::size_t i = 1; i < layers.size(); ++i) {
+      const ProgressiveLayer& fine = layers[i];
+      window = progressive::refine(
+          window, layers[i - 1].box,
+          im.gidx.levels[static_cast<std::size_t>(layers[i - 1].level)].dims,
+          fine.data, fine.box,
+          im.gidx.levels[static_cast<std::size_t>(fine.level)].dims);
+    }
+    return window;
+  }
   const bool is_adaptive = im.kind == Kind::adaptive;
   // For adaptive streams the hit set already includes the low-side
   // contributors a seam-free blend needs, not just the owners.
@@ -288,6 +397,13 @@ FieldF Dataset::read_region(int level, const tiled::Box& region) {
   // pay for its neighbors — only warm ahead when there are real workers.
   if (im.cfg.prefetch && im.pool->size() > 1) im.prefetch_ring(level, hit);
   return out;
+}
+
+std::vector<ProgressiveLayer> Dataset::read_progressive(int level,
+                                                        const tiled::Box& region) {
+  MRC_REQUIRE(level >= 0 && level < levels(), "serve: level out of range");
+  OBS_SPAN("serve.dataset_read");
+  return impl_->progressive_layers(level, region);
 }
 
 tiled::Box Dataset::box_at_level(const tiled::Box& fine_box, int level) const {

@@ -1,9 +1,10 @@
 #pragma once
 
 // Cached Dataset serving layer over the multi-resolution containers: open a
-// tiled stream (MRCT), a LOD pyramid (MRCP) or an adaptive stream (MRCA)
-// once, then answer region queries with a working set bounded by a byte
-// budget instead of the request size. The pieces:
+// tiled stream (MRCT), a LOD pyramid (MRCP), an adaptive stream (MRCA) or a
+// progressive residual stream (MRCR) once, then answer region queries with
+// a working set bounded by a byte budget instead of the request size. The
+// pieces:
 //
 //   * a shared, sharded, byte-budgeted brick cache (serve::BrickCache) so
 //     repeated viewport queries decode each brick once. A standalone Dataset
@@ -34,12 +35,28 @@
 #include <cstdint>
 #include <memory>
 
+#include <vector>
+
 #include "adaptive/adaptive.h"
 #include "common/bytes.h"
+#include "progressive/progressive.h"
 #include "pyramid/pyramid.h"
 #include "serve/brick_cache.h"
 
 namespace mrc::serve {
+
+/// One layer of a progressive read: the coarsest layer carries decoded
+/// data over its box; every finer layer carries a *residual* window the
+/// client applies in place via progressive::refine. Boxes are in each
+/// layer's own level coordinates and follow the prolongation-support chain
+/// (layer l+1's box covers the prolongation footprint of layer l's).
+struct ProgressiveLayer {
+  int level = 0;
+  Dim3 level_dims;  ///< global extents of this level (client prolongs with these)
+  tiled::Box box;
+  FieldF data;
+  bool residual = false;  ///< false only for the coarsest layer
+};
 
 struct Config {
   std::size_t cache_bytes = 256ull << 20;  ///< decoded-brick byte budget
@@ -50,13 +67,13 @@ struct Config {
 
 class Dataset {
  public:
-  enum class Kind : std::uint8_t { tiled, pyramid, adaptive };
+  enum class Kind : std::uint8_t { tiled, pyramid, adaptive, progressive };
 
-  /// Opens a tiled (MRCT), pyramid (MRCP) or adaptive (MRCA) stream —
-  /// dispatched on the container header — taking ownership of the bytes and
-  /// parsing + validating the full index once. Builds a private cache
-  /// (cfg.cache_bytes, cfg.shards) and exec pool (cfg.threads). Throws
-  /// CodecError on any other stream.
+  /// Opens a tiled (MRCT), pyramid (MRCP), adaptive (MRCA) or progressive
+  /// (MRCR) stream — dispatched on the container header — taking ownership
+  /// of the bytes and parsing + validating the full index once. Builds a
+  /// private cache (cfg.cache_bytes, cfg.shards) and exec pool
+  /// (cfg.threads). Throws CodecError on any other stream.
   explicit Dataset(Bytes stream, const Config& cfg = {});
 
   /// Same, but serving through a shared cache and pool (the multi-tenant
@@ -79,8 +96,11 @@ class Dataset {
   [[nodiscard]] const pyramid::Index& index() const;
   /// The adaptive brick index (adaptive datasets only).
   [[nodiscard]] const adaptive::Index& adaptive_index() const;
-  /// Addressable level count: the pyramid's level table, or 1 for tiled and
-  /// adaptive streams (adaptive level 0 = the blended finest grid).
+  /// The progressive level table (progressive datasets only).
+  [[nodiscard]] const progressive::Index& progressive_index() const;
+  /// Addressable level count: the pyramid's/progressive stream's level
+  /// table, or 1 for tiled and adaptive streams (adaptive level 0 = the
+  /// blended finest grid).
   [[nodiscard]] int levels() const;
   [[nodiscard]] Dim3 dims(int level) const;  ///< extents of one level
   [[nodiscard]] double eb() const;
@@ -90,10 +110,22 @@ class Dataset {
   [[nodiscard]] double level_error(int level) const;
 
   /// Reads `region` (in level-`level` coordinates) through the brick cache —
-  /// bit-identical to tiled/pyramid::read_region(stream, level, region), or
-  /// to adaptive::read_region(stream, region) for adaptive datasets (which
-  /// serve only level 0, in finest-grid coordinates).
+  /// bit-identical to tiled/pyramid/progressive::read_region(stream, level,
+  /// region), or to adaptive::read_region(stream, region) for adaptive
+  /// datasets (which serve only level 0, in finest-grid coordinates). For
+  /// progressive datasets the cache holds residual bricks keyed by their own
+  /// level and the reconstruction chain runs here, top-down.
   [[nodiscard]] FieldF read_region(int level, const tiled::Box& region);
+
+  /// The layered form of a progressive read (progressive datasets only):
+  /// the coarsest layer's decoded data over the support chain's top box,
+  /// then one residual window per finer level down to `level`, coarsest
+  /// first. Folding the layers with progressive::refine reproduces
+  /// read_region(level, region) bit-exactly — this is what the wire
+  /// protocol streams so a client can show the coarse answer immediately
+  /// and refine in place.
+  [[nodiscard]] std::vector<ProgressiveLayer> read_progressive(
+      int level, const tiled::Box& region);
 
   /// A finest-grid box mapped onto level `level` (floor/ceil to cover the
   /// same spatial extent, clipped to the level grid).

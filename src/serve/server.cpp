@@ -172,6 +172,29 @@ FieldF Server::read_region(std::uint32_t id, int level, const tiled::Box& region
   return out;
 }
 
+std::vector<ProgressiveLayer> Server::read_progressive(std::uint32_t id, int level,
+                                                       const tiled::Box& region) {
+  Impl& im = *impl_;
+  const std::shared_ptr<Dataset> ds = im.find(id);
+  // One admission slot covers the whole layer chain — a progressive read is
+  // one request, not one per level.
+  const Impl::Admission gate(im);
+  OBS_SPAN("serve.read_progressive");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ProgressiveLayer> out = ds->read_progressive(level, region);
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  im.latency.record(us);
+  if (obs::enabled()) {
+    static obs::Histogram& h =
+        obs::Registry::global().histogram("mrc.serve.read_us");
+    h.record(us);
+  }
+  return out;
+}
+
 int Server::choose_level(std::uint32_t id, const tiled::Box& fine_box,
                          index_t sample_budget) const {
   return impl_->find(id)->choose_level(fine_box, sample_budget);
@@ -274,6 +297,43 @@ Bytes Server::handle_frame(std::span<const std::byte> frame) {
         if (timed)
           obs::detail::record_span("wire.encode", te0, obs::now_ns() - te0);
         return finish("region", std::move(out));
+      }
+      case wire::Type::progressive: {
+        const auto id = r.get<std::uint32_t>();
+        const auto level = r.get<std::int32_t>();
+        const tiled::Box box = wire::get_box(r);
+        done(r);
+        fr.dataset = id;
+        fr.level = level;
+        fr.box_lo[0] = box.lo.x, fr.box_lo[1] = box.lo.y, fr.box_lo[2] = box.lo.z;
+        fr.box_hi[0] = box.hi.x, fr.box_hi[1] = box.hi.y, fr.box_hi[2] = box.hi.z;
+        const std::vector<ProgressiveLayer> layers =
+            read_progressive(id, level, box);
+        // The reply is N concatenated frames, coarsest first, and every one
+        // echoes the trace id itself — so this case concatenates already-
+        // stamped frames and returns through `reply`, NOT `finish` (which
+        // would stamp the concatenation a second time).
+        const std::uint64_t te0 = timed ? obs::now_ns() : 0;
+        Bytes out;
+        for (const ProgressiveLayer& layer : layers) {
+          const Bytes one = wire::echo_trace(wire::encode_progressive_ok(layer),
+                                             req.traced, req.trace);
+          out.insert(out.end(), one.begin(), one.end());
+        }
+        if (timed)
+          obs::detail::record_span("wire.encode", te0, obs::now_ns() - te0);
+        if (obs::enabled()) {
+          static obs::Counter& g_req =
+              obs::Registry::global().counter("mrc.progressive.requests");
+          static obs::Counter& g_frames =
+              obs::Registry::global().counter("mrc.progressive.frames");
+          static obs::Counter& g_bytes =
+              obs::Registry::global().counter("mrc.progressive.bytes");
+          g_req.add(1);
+          g_frames.add(layers.size());
+          g_bytes.add(out.size());
+        }
+        return reply("progressive", std::move(out), /*outcome=*/0);
       }
       case wire::Type::lod: {
         const auto id = r.get<std::uint32_t>();

@@ -1,8 +1,9 @@
 #pragma once
 
 // Multi-tenant serving front end: one process, many datasets, many
-// concurrent clients. A serve::Server opens any number of MRCT/MRCP/MRCA
-// streams behind ONE global byte-budgeted BrickCache and ONE exec pool:
+// concurrent clients. A serve::Server opens any number of
+// MRCT/MRCP/MRCA/MRCR streams behind ONE global byte-budgeted BrickCache
+// and ONE exec pool:
 //
 //   * Global cache. Every dataset's bricks compete for the same budget —
 //     a hot dataset evicts a cold one's bricks instead of each hoarding a
@@ -96,8 +97,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Opens a tiled/pyramid/adaptive stream as a served dataset and returns
-  /// its handle. Throws CodecError on any other stream.
+  /// Opens a tiled/pyramid/adaptive/progressive stream as a served dataset
+  /// and returns its handle. Throws CodecError on any other stream.
   std::uint32_t open(Bytes stream, std::string name = {});
 
   /// Closes a dataset: the handle dies immediately, its cached bricks are
@@ -118,6 +119,14 @@ class Server {
   /// flight, ServerError (unknown_dataset) on a bad handle.
   [[nodiscard]] FieldF read_region(std::uint32_t id, int level,
                                    const tiled::Box& region);
+
+  /// Serves one progressive read (progressive datasets only): the layered
+  /// coarse-first form of read_region, counted against the admission gate
+  /// exactly once for the whole layer chain. Folding the layers with
+  /// progressive::refine reproduces read_region(id, level, region)
+  /// bit-exactly; the wire path streams them as one multi-frame reply.
+  [[nodiscard]] std::vector<ProgressiveLayer> read_progressive(
+      std::uint32_t id, int level, const tiled::Box& region);
 
   /// Dataset::choose_level by handle (metadata math: not admission-gated).
   [[nodiscard]] int choose_level(std::uint32_t id, const tiled::Box& fine_box,

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "grid/field_ops.h"
+#include "progressive/progressive.h"
+
 namespace mrc::serve::wire {
 
 namespace {
@@ -139,6 +142,59 @@ FieldF decode_region_ok(std::span<const std::byte> body) {
   return FieldF{Dim3{nx, ny, nz}, std::move(data)};
 }
 
+Bytes encode_progressive_ok(const ProgressiveLayer& layer) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::int32_t>(layer.level);
+  w.put<std::uint8_t>(layer.residual ? 1 : 0);
+  w.put<std::int64_t>(layer.level_dims.nx);
+  w.put<std::int64_t>(layer.level_dims.ny);
+  w.put<std::int64_t>(layer.level_dims.nz);
+  put_box(w, layer.box);
+  w.put_bytes(std::as_bytes(layer.data.span()));
+  return make_frame(Type::progressive_ok, body);
+}
+
+ProgressiveLayer decode_progressive_ok(std::span<const std::byte> body) {
+  ByteReader r(body);
+  ProgressiveLayer layer;
+  const auto level = r.get<std::int32_t>();
+  require_wire(level >= 0 && level < progressive::kMaxLevels,
+               "progressive layer level out of range");
+  layer.level = level;
+  const auto flag = r.get<std::uint8_t>();
+  require_wire(flag <= 1, "progressive residual flag must be 0 or 1");
+  layer.residual = flag != 0;
+  std::int64_t d[3];
+  for (auto& v : d) v = r.get<std::int64_t>();
+  for (const std::int64_t v : d)
+    // Level extents are global grid dims, not a region: capped by the
+    // containers' 2^40 total-sample limit rather than kMaxExtent.
+    require_wire(v >= 1 && v <= (std::int64_t{1} << 40),
+                 "progressive level extents out of range");
+  layer.level_dims = Dim3{d[0], d[1], d[2]};
+  layer.box = get_box(r);
+  require_wire(layer.box.hi.x <= layer.level_dims.nx &&
+                   layer.box.hi.y <= layer.level_dims.ny &&
+                   layer.box.hi.z <= layer.level_dims.nz,
+               "progressive layer box outside its level grid");
+  const Dim3 ext{layer.box.hi.x - layer.box.lo.x, layer.box.hi.y - layer.box.lo.y,
+                 layer.box.hi.z - layer.box.lo.z};
+  const std::uint64_t product = static_cast<std::uint64_t>(ext.nx) *
+                                static_cast<std::uint64_t>(ext.ny) *
+                                static_cast<std::uint64_t>(ext.nz);  // <= 2^60
+  // The sample payload must match the claimed box byte-for-byte BEFORE the
+  // field buffer is allocated from it.
+  require_wire(r.remaining() == product * sizeof(float),
+               "progressive payload does not match its box");
+  const std::span<const std::byte> raw =
+      r.get_bytes(static_cast<std::size_t>(product) * sizeof(float));
+  std::vector<float> data(static_cast<std::size_t>(product));
+  std::memcpy(data.data(), raw.data(), raw.size());
+  layer.data = FieldF{ext, std::move(data)};
+  return layer;
+}
+
 Bytes encode_stats_ok(const ServerStats& s) {
   // Fixed layout (7 u64 cache counters, u32 dataset count, 7 u64 server
   // gauges — queue depth split per priority class) built into a pre-sized
@@ -262,6 +318,149 @@ FieldF Client::region(std::uint32_t id, int level, const tiled::Box& box) {
   put_box(w, box);
   const Bytes reply = call(Type::region, body, Type::region_ok);
   return decode_region_ok(std::span(reply).subspan(5));
+}
+
+ProgressiveResult Client::read_progressive(std::uint32_t id, int level,
+                                           const tiled::Box& box) {
+  Bytes body;
+  ByteWriter w(body);
+  w.put<std::uint32_t>(id);
+  w.put<std::int32_t>(level);
+  put_box(w, box);
+  const bool traced = trace_ != 0;
+  const Bytes request =
+      echo_trace(make_frame(Type::progressive, body), traced, trace_);
+  const Bytes reply = send_(request);
+  const std::span<const std::byte> buf(reply);
+
+  ProgressiveResult out;
+  Dim3 window_dims;  // level grid of the current window (out.data/out.box)
+  bool have_coarse = false;
+  // Record why refinement stopped but keep the refined-so-far window — the
+  // point of coarse-first streaming is that a broken tail still leaves a
+  // usable answer. Before the coarse frame lands there is nothing to keep,
+  // so failures there throw instead.
+  const auto degrade = [&](ProgressiveResult::Status st, std::string why) {
+    out.status = st;
+    out.error = std::move(why);
+  };
+
+  std::size_t pos = 0;
+  while (pos < buf.size() && out.status == ProgressiveResult::Status::complete) {
+    if (have_coarse && out.level == level) {
+      degrade(ProgressiveResult::Status::frame_error,
+              "trailing bytes past the requested level");
+      break;
+    }
+    // Split one frame off the concatenated reply by its length prefix. A
+    // cut anywhere — inside the prefix or inside the frame — degrades.
+    std::uint32_t len = 0;
+    if (buf.size() - pos >= sizeof(len)) std::memcpy(&len, buf.data() + pos, sizeof(len));
+    if (buf.size() - pos < kHeaderBytes || len < 1 || len > kMaxFrameBytes ||
+        buf.size() - pos - sizeof(len) < len) {
+      if (!have_coarse)
+        throw CodecError("wire: progressive reply truncated before the coarse frame");
+      degrade(ProgressiveResult::Status::truncated,
+              "progressive reply cut mid-frame");
+      break;
+    }
+    const std::span<const std::byte> one =
+        buf.subspan(pos, sizeof(len) + static_cast<std::size_t>(len));
+    pos += one.size();
+
+    try {
+      const Frame f = parse_frame(one);
+      const auto raw = static_cast<std::uint8_t>(f.type);
+      const bool traced_reply = (raw & kTracedFlag) != 0;
+      const Type reply_type = static_cast<Type>(raw & ~kTracedFlag);
+      std::span<const std::byte> frame_body = f.body;
+      std::uint64_t echoed = 0;
+      if (traced_reply) {
+        require_wire(frame_body.size() >= sizeof(std::uint64_t),
+                     "traced progressive frame shorter than its trace id");
+        std::memcpy(&echoed, frame_body.data() + frame_body.size() - sizeof(echoed),
+                    sizeof(echoed));
+        frame_body = frame_body.first(frame_body.size() - sizeof(echoed));
+      }
+      // EVERY frame of the multi-frame reply must echo the request's trace
+      // id on its own — that is what lets the flight recorder stitch all N
+      // frames into one span tree, and the client verifies it per frame.
+      require_wire(traced == traced_reply, "progressive frame trace presence mismatch");
+      if (traced) require_wire(echoed == trace_, "progressive frame trace id mismatch");
+      if (reply_type == Type::error) {
+        ByteReader er(frame_body);
+        const auto code = er.get<std::uint8_t>();
+        const std::span<const std::byte> msg = er.get_blob();
+        const auto failed = er.get<std::uint8_t>();
+        require_wire(er.exhausted(), "error reply has trailing bytes");
+        std::string what(reinterpret_cast<const char*>(msg.data()), msg.size());
+        if (!have_coarse) {
+          ServerError err(static_cast<ServerError::Code>(code), what);
+          err.failed_request = failed;
+          err.trace = echoed;
+          throw err;
+        }
+        degrade(ProgressiveResult::Status::frame_error,
+                "server error mid-refinement: " + what);
+        break;
+      }
+      require_wire(reply_type == Type::progressive_ok,
+                   "unexpected progressive frame type");
+      ProgressiveLayer layer = decode_progressive_ok(frame_body);
+      if (!have_coarse) {
+        require_wire(!layer.residual,
+                     "first progressive frame must carry data, not a residual");
+        require_wire(layer.level >= level, "coarse frame below the requested level");
+        out.data = std::move(layer.data);
+        out.box = layer.box;
+        out.level = layer.level;
+        window_dims = layer.level_dims;
+        have_coarse = true;
+      } else {
+        require_wire(layer.residual, "refinement frame must carry a residual");
+        require_wire(layer.level == out.level - 1,
+                     "refinement frame out of level order");
+        const Dim3 half = blocks_for(layer.level_dims, 2);
+        require_wire(half.nx == window_dims.nx && half.ny == window_dims.ny &&
+                         half.nz == window_dims.nz,
+                     "refinement level extents break the halving chain");
+        // The held coarse window must cover the prolongation footprint of
+        // the incoming fine box, or refine() would read outside it.
+        const Dim3 fine_ext{layer.box.hi.x - layer.box.lo.x,
+                            layer.box.hi.y - layer.box.lo.y,
+                            layer.box.hi.z - layer.box.lo.z};
+        const SupportBox sup =
+            prolong_support(window_dims, layer.level_dims, layer.box.lo, fine_ext);
+        require_wire(out.box.lo.x <= sup.origin.x && out.box.lo.y <= sup.origin.y &&
+                         out.box.lo.z <= sup.origin.z &&
+                         sup.origin.x + sup.extent.nx <= out.box.hi.x &&
+                         sup.origin.y + sup.extent.ny <= out.box.hi.y &&
+                         sup.origin.z + sup.extent.nz <= out.box.hi.z,
+                     "refinement box escapes the coarse window's support");
+        out.data = progressive::refine(out.data, out.box, window_dims, layer.data,
+                                       layer.box, layer.level_dims);
+        out.box = layer.box;
+        out.level = layer.level;
+        window_dims = layer.level_dims;
+      }
+      out.frames.push_back(
+          ProgressiveFrameInfo{layer.level, layer.box, one.size(), layer.residual});
+    } catch (const CodecError& e) {
+      if (!have_coarse) throw;
+      degrade(ProgressiveResult::Status::frame_error, e.what());
+      break;
+    }
+  }
+  if (!have_coarse) throw CodecError("wire: empty progressive reply");
+  if (out.status == ProgressiveResult::Status::complete && out.level != level)
+    degrade(ProgressiveResult::Status::truncated,
+            "progressive reply ended before the requested level");
+  if (out.complete())
+    require_wire(out.box.lo.x == box.lo.x && out.box.lo.y == box.lo.y &&
+                     out.box.lo.z == box.lo.z && out.box.hi.x == box.hi.x &&
+                     out.box.hi.y == box.hi.y && out.box.hi.z == box.hi.z,
+                 "refined box does not match the request");
+  return out;
 }
 
 int Client::choose_level(std::uint32_t id, const tiled::Box& fine_box,

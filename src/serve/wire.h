@@ -37,14 +37,19 @@
 
 namespace mrc::serve::wire {
 
-/// Protocol revision. 2 (minor bump over PR 6's 1) added: optional
-/// per-request trace ids (kTracedFlag + trailing u64, echoed on every reply
-/// including errors), the `debug` flight-recorder frame, the split
-/// queue_high/queue_low fields in stats_ok, and the failed-request-type
-/// byte in error frames. There is no on-wire handshake yet (both ends of
-/// the loopback transport come from one build); the constant documents the
-/// revision and lets a future hello frame carry it.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// Protocol revision. 3 (minor bump over PR 8's 2) adds the progressive
+/// read pair: the `progressive` request and the multi-frame `progressive_ok`
+/// reply — the one request type whose reply buffer holds N concatenated
+/// frames (coarse answer first, then one residual refinement per finer
+/// level), each individually length-prefixed and each echoing the request's
+/// trace id. Version 2 added optional per-request trace ids (kTracedFlag +
+/// trailing u64, echoed on every reply including errors), the `debug`
+/// flight-recorder frame, the split queue_high/queue_low fields in
+/// stats_ok, and the failed-request-type byte in error frames. There is no
+/// on-wire handshake yet (both ends of the loopback transport come from one
+/// build); the constant documents the revision and lets a future hello
+/// frame carry it.
+inline constexpr std::uint32_t kWireVersion = 3;
 
 /// Hard cap on `length` — a frame can never demand more than 1 GiB.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
@@ -71,6 +76,7 @@ enum class Type : std::uint8_t {
   close = 0x05,    ///< u32 id
   metrics = 0x06,  ///< empty — the process-wide obs registry exposition
   debug = 0x07,    ///< empty — flight recorder + slow-log JSON
+  progressive = 0x08,  ///< u32 id, i32 level, box (6 x i64)
 
   open_ok = 0x81,    ///< u32 id, i32 levels, dims (3 x i64), f64 eb
   region_ok = 0x82,  ///< extents (3 x i64), then extents-product f32 samples
@@ -79,6 +85,11 @@ enum class Type : std::uint8_t {
   close_ok = 0x85,   ///< empty
   metrics_ok = 0x86, ///< Prometheus-style text blob (obs::render_text)
   debug_ok = 0x87,   ///< JSON text blob (obs::flight_json)
+  /// One layer of a progressive reply: i32 level, u8 residual flag, level
+  /// dims (3 x i64), box (6 x i64), then box-extent-product f32 samples.
+  /// The reply to `progressive` is N of these concatenated in one buffer,
+  /// coarsest first, every one echoing the request's trace id.
+  progressive_ok = 0x88,
   error = 0xee,      ///< u8 ServerError::Code, message blob, u8 failed type
 };
 
@@ -132,7 +143,37 @@ struct OpenInfo {
 };
 
 /// One request/reply exchange: ships a frame, returns the reply frame bytes.
+/// A progressive request's reply buffer holds N concatenated frames.
 using Transport = std::function<Bytes(std::span<const std::byte>)>;
+
+/// One applied frame of a progressive read, for byte accounting (`mrcc
+/// region --progressive` prints bytes-streamed-per-level from these).
+struct ProgressiveFrameInfo {
+  int level = 0;
+  tiled::Box box;
+  std::size_t frame_bytes = 0;  ///< whole frame incl. length prefix + trace
+  bool residual = false;
+};
+
+/// Outcome of Client::read_progressive. The client applies frames as they
+/// parse, so even a truncated or mid-stream-error reply leaves `data`
+/// holding the last fully refined window — a usable coarse answer — with a
+/// typed status instead of an exception. Only a reply with *no* usable
+/// coarse frame throws.
+struct ProgressiveResult {
+  enum class Status : std::uint8_t {
+    complete,     ///< refined all the way to the requested level
+    truncated,    ///< reply ended early (connection drop mid-refinement)
+    frame_error,  ///< a malformed/error frame stopped refinement
+  };
+  FieldF data;     ///< reconstruction over `box` in level-`level` coordinates
+  tiled::Box box;  ///< box of `data` (the requested box once complete)
+  int level = 0;   ///< level actually reached (the requested one on complete)
+  Status status = Status::complete;
+  std::string error;  ///< what stopped refinement (empty on complete)
+  std::vector<ProgressiveFrameInfo> frames;  ///< applied frames, coarsest first
+  [[nodiscard]] bool complete() const { return status == Status::complete; }
+};
 
 /// Typed client over any Transport. Methods mirror the Server API; an error
 /// frame in reply is rethrown as ServerError with the original code, and a
@@ -150,6 +191,16 @@ class Client {
 
   OpenInfo open(std::span<const std::byte> stream, std::string_view name = {});
   [[nodiscard]] FieldF region(std::uint32_t id, int level, const tiled::Box& box);
+  /// A coarse-first streaming read of a progressive (MRCR) dataset: ships
+  /// one `progressive` request, splits the multi-frame reply, and refines
+  /// in place — coarse data first, then prolong + residual per level — with
+  /// every frame's trace echo, level sequence, support coverage and payload
+  /// size validated before it is applied. On complete, `data` is bit-exact
+  /// with region(id, level, box). A truncated or mid-stream-error reply
+  /// degrades gracefully (see ProgressiveResult); a reply without one
+  /// usable coarse frame throws ServerError/CodecError.
+  [[nodiscard]] ProgressiveResult read_progressive(std::uint32_t id, int level,
+                                                   const tiled::Box& box);
   [[nodiscard]] int choose_level(std::uint32_t id, const tiled::Box& fine_box,
                                  std::uint64_t sample_budget);
   [[nodiscard]] ServerStats stats(std::uint32_t id = kAllDatasets);
@@ -180,6 +231,12 @@ void put_box(ByteWriter& w, const tiled::Box& box);
 
 [[nodiscard]] Bytes encode_region_ok(const FieldF& f);
 [[nodiscard]] FieldF decode_region_ok(std::span<const std::byte> body);
+
+/// One progressive_ok frame from one layer (layout under Type).
+[[nodiscard]] Bytes encode_progressive_ok(const ProgressiveLayer& layer);
+/// Validates level, flag, dims, box-within-dims and payload == extent
+/// product * 4 BEFORE the sample buffer is allocated.
+[[nodiscard]] ProgressiveLayer decode_progressive_ok(std::span<const std::byte> body);
 
 [[nodiscard]] Bytes encode_stats_ok(const ServerStats& s);
 [[nodiscard]] ServerStats decode_stats_ok(std::span<const std::byte> body);

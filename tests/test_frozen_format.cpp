@@ -4,6 +4,14 @@
 // coder on fixed seeds; any byte-level drift in BitWriter/BitReader,
 // HuffmanCodebook, the quant codec, or a codec's stream layout fails here
 // before it can silently orphan every existing MRC1/MRCT/MRCP/MRCA stream.
+//
+// The container goldens include the shared MRC1 header, whose version byte
+// advances with each new container kind (deliberate, readers accept any
+// version up to the current one) — a bump re-pins those three hashes, with
+// the stream size asserting that nothing beyond that one byte moved. The
+// current hashes are for container version 6 (the MRCR bump); the
+// entropy-layer goldens above them are version-independent and must never
+// change.
 
 #include <gtest/gtest.h>
 
@@ -118,19 +126,19 @@ FieldF golden_field() {
 TEST(FrozenFormat, InterpContainer) {
   const auto s = InterpCompressor().compress(golden_field(), 1e-3);
   EXPECT_EQ(s.size(), 2428u);
-  EXPECT_EQ(fnv1a(s), 0x29d1af4a5628a7d8ull);
+  EXPECT_EQ(fnv1a(s), 0x08a028461049212bull);
 }
 
 TEST(FrozenFormat, LorenzoContainer) {
   const auto s = LorenzoCompressor().compress(golden_field(), 1e-3);
   EXPECT_EQ(s.size(), 2583u);
-  EXPECT_EQ(fnv1a(s), 0xe11adbaebe932651ull);
+  EXPECT_EQ(fnv1a(s), 0x0a2057a126f5c728ull);
 }
 
 TEST(FrozenFormat, ZfpxContainer) {
   const auto s = ZfpxCompressor().compress(golden_field(), 1e-3);
   EXPECT_EQ(s.size(), 6693u);
-  EXPECT_EQ(fnv1a(s), 0x9229e793dc06c6ecull);
+  EXPECT_EQ(fnv1a(s), 0x319cbaada213c495ull);
 }
 
 }  // namespace

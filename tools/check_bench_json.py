@@ -23,6 +23,14 @@ ROW_SCHEMAS = {
         "decompress_mb_s",
         "serve_read_mb_s",
     },
+    "progressive_stream": {
+        "container",
+        "level",
+        "cum_bytes",
+        "psnr",
+        "total_bytes",
+        "first_answer_bytes",
+    },
     "server_load": {"clients", "trace", "p50_us", "p99_us", "hit_ratio"},
     "tiled_scaling": {
         "threads",

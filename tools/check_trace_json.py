@@ -16,8 +16,11 @@ must contain at least one nonzero request trace id (the 16-hex
 the wire, server, and pool layers. That is the end-to-end guarantee of
 request-scoped tracing — one client-chosen id visible from frame decode
 through the thread pool — and it breaks loudly if any propagation hop
-(RequestScope install, pool capture, span stamping) regresses. ci.sh runs
-this on a traced `mrcc trace-read` smoke.
+(RequestScope install, pool capture, span stamping) regresses. Every
+complete id must also carry exactly one `serve.request` span: a
+progressive read's reply is N frames all echoing the same id, and they
+must stitch into ONE request tree, not inflate the request count. ci.sh
+runs this on traced `mrcc serve` and `mrcc region --progressive` smokes.
 
 Usage: check_trace_json.py [--serve] <trace.json> [...]
 """
@@ -54,7 +57,7 @@ def check(path, serve=False):
     if not isinstance(events, list) or not events:
         raise ValueError("'traceEvents' must be a non-empty list")
     names = set()
-    by_trace = {}  # 16-hex trace id -> set of span names carrying it
+    by_trace = {}  # 16-hex trace id -> {span name: count}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"traceEvents[{i}] must be an object")
@@ -79,17 +82,18 @@ def check(path, serve=False):
                 raise ValueError(
                     f"traceEvents[{i}] args.trace {trace!r} is not 16 lowercase hex"
                 )
-            by_trace.setdefault(trace, set()).add(ev["name"])
+            counts = by_trace.setdefault(trace, {})
+            counts[ev["name"]] = counts.get(ev["name"], 0) + 1
 
     if serve:
         # At least one request id must have spans in every serve layer —
         # a single region read stitched end to end under one trace id.
         complete = [
             t
-            for t, t_names in by_trace.items()
+            for t, t_counts in by_trace.items()
             if t != "0" * 16
             and all(
-                any(n.startswith(p) for n in t_names for p in prefixes)
+                any(n.startswith(p) for n in t_counts for p in prefixes)
                 for prefixes in SERVE_LAYERS.values()
             )
         ]
@@ -99,6 +103,16 @@ def check(path, serve=False):
                 f"{sorted(SERVE_LAYERS)}; per-id span names: "
                 f"{ {t: sorted(n) for t, n in by_trace.items()} }"
             )
+        # One request = one serve.request span, even when the reply is a
+        # progressive multi-frame stream whose frames all echo the id.
+        for t in complete:
+            requests = by_trace[t].get("serve.request", 0)
+            if requests != 1:
+                raise ValueError(
+                    f"trace id {t} has {requests} serve.request spans, "
+                    f"expected exactly 1 (multi-frame replies must not "
+                    f"double-count requests)"
+                )
         return len(events), sorted(names), sorted(complete)
 
     missing = [

@@ -10,16 +10,20 @@
 # tools/check_trace_json.py, a traced `mrcc serve --flight` run whose trace
 # must stitch one request id across the wire/server/pool layers
 # (check_trace_json.py --serve) and whose flight-recorder dump must validate
-# (tools/check_flight_json.py), `mrcc stats` counter reconciliation, and the
+# (tools/check_flight_json.py), a traced progressive wire read (`mrcc region
+# --progressive` on a small MRCR — its N reply frames must stitch into one
+# request tree with exactly one serve.request span),
+# `mrcc stats` counter reconciliation, and the
 # bench_obs_overhead gate: obs runtime-disabled vs a -DMRC_OBS=OFF build in
 # <build-dir>-obsoff must stay within MRC_OBS_GATE_PCT, default 3%, on the
 # geomean of the compress/decompress/serve-read ratios), and
 # finally a bench
 # smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
 # bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
-# bit-at-a-time baseline) and bench_server_load (multi-tenant Server under
+# bit-at-a-time baseline), bench_server_load (multi-tenant Server under
 # concurrent wire clients; gates viewport-walk out-hitting random and
-# monotone latency quantiles), with every BENCH_*.json they and earlier runs
+# monotone latency quantiles) and bench_progressive_stream (gates MRCR
+# total bytes < MRCP at equal eb), with every BENCH_*.json they and earlier runs
 # produced validated by tools/check_bench_json.py — malformed bench output
 # fails the pipeline. Set
 # MRC_SKIP_ASAN=1 / MRC_SKIP_TSAN=1 / MRC_SKIP_OBS=1 / MRC_SKIP_BENCH=1 to
@@ -69,7 +73,7 @@ if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
   # Only the concurrency-bearing suites: the serial codec/metric suites add
   # nothing under TSan but multiply its ~10x slowdown.
   "$TSAN_DIR"/mrc_tests \
-      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Serve*:Server*:Wire*:Adaptive*:Obs*'
+      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Progressive*:Serve*:Server*:Wire*:Adaptive*:Obs*'
 fi
 
 if [ "${MRC_SKIP_OBS:-0}" != "1" ]; then
@@ -98,6 +102,18 @@ PY
       --threads=2 > /dev/null
   python3 tools/check_trace_json.py --serve "$OBS_TMP/serve_trace.json"
   python3 tools/check_flight_json.py "$OBS_TMP/flight.json"
+  # Traced progressive read: build a small MRCR, stream it coarse-first over
+  # the wire under one trace id. The N reply frames must stitch into ONE
+  # request tree — check_trace_json.py --serve also asserts exactly one
+  # serve.request span per stitched id (no double-counting multi-frame
+  # replies).
+  # tile=8 -> a 4-level chain (48 -> 24 -> 12 -> 6), so the read below
+  # actually streams multiple refinement frames.
+  "$BUILD_DIR"/mrcc progressive "$OBS_TMP/small.f32" 48 48 48 "$OBS_TMP/small.mrcr" \
+      tile=8 --threads=2 > /dev/null
+  "$BUILD_DIR"/mrcc region "$OBS_TMP/small.mrcr" 0 0 0 32 32 32 --progressive \
+      --trace="$OBS_TMP/progressive_trace.json" --threads=2 > /dev/null
+  python3 tools/check_trace_json.py --serve "$OBS_TMP/progressive_trace.json"
   # Wire metrics frame + counter reconciliation (exits nonzero on mismatch).
   "$BUILD_DIR"/mrcc stats "$OBS_TMP/small.mrct" --reads=8 --threads=2 > /dev/null
   echo "mrcc stats: registry/server reconciliation OK"
@@ -166,8 +182,12 @@ if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then
   echo
   echo "== bench smoke (tiny grid) + BENCH_*.json validation =="
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_adaptive_ratio \
-      bench_codec_hotpath bench_server_load > /dev/null
+      bench_codec_hotpath bench_server_load bench_progressive_stream > /dev/null
   (cd "$BUILD_DIR/bench" && MRC_SCALE=13 ./bench_adaptive_ratio > /dev/null)
+  # Progressive streaming: gates MRCR total bytes < MRCP at equal eb. 64^3
+  # (scale 25), not 32^3: below that the field is smooth enough that the
+  # coarse data level dominates and the residual advantage is in the noise.
+  (cd "$BUILD_DIR/bench" && MRC_SCALE=25 ./bench_progressive_stream > /dev/null)
   # Multi-tenant server smoke: 2 datasets, 2/8 wire clients on a tiny grid;
   # gates viewport-walk hit ratio > random and p50 <= p99 per row.
   (cd "$BUILD_DIR/bench" && MRC_SCALE=25 ./bench_server_load > /dev/null)

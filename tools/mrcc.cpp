@@ -4,11 +4,13 @@
 //   mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
+//   mrcc progressive <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]
 //   mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [importance] [rel_eb] [key=value ...]
 //   mrcc decompress <in> <out.f32> [threads=N]   (threads applies to brick containers)
 //   mrcc snapshot   <in.f32> <nx> <ny> <nz> <out> [roi_fraction] [rel_eb] [key=value ...]
 //   mrcc restore    <in.snapshot> <out.f32>
-//   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] [key=value ...]
+//   mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>]
+//                   [--progressive [--level=L]] [key=value ...]
 //   mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1>
 //                   [--budget=<samples> | --eb_budget=<err> | --level=<l>]
 //                   [--out=<file.raw>] [key=value ...]
@@ -38,9 +40,17 @@
 // byte shares. "snapshot" runs the paper's snapshot workflow (ROI
 // extraction + SZ3MR); "restore" reconstructs a uniform grid from it.
 // "tiled" writes the brick-tiled container; "pyramid" writes the LOD
-// pyramid (the field at resolutions 1, 1/2, 1/4, ...). "region" reads a
-// half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of a tiled stream,
-// decoding only the intersecting bricks; "lod" serves the same kind of box
+// pyramid (the field at resolutions 1, 1/2, 1/4, ...); "progressive"
+// writes the progressive residual container (MRCR: coarsest level verbatim
+// + per-level residual streams) and prints its level table — per-level
+// bytes, residual entropy, and the cumulative telescoped error bound.
+// "region" reads a half-open [x0,x1)x[y0,y1)x[z0,z1) box back out of a
+// tiled stream, decoding only the intersecting bricks (an MRCR operand is
+// read in-process at --level instead); with --progressive
+// it instead streams the box coarse-first out of an MRCR stream through an
+// in-process wire server (one `progressive` request, N refinement frames)
+// and prints the bytes streamed per level. The box is then in level-L
+// coordinates (--level, default 0, the finest); "lod" serves the same kind of box
 // (in finest-grid coordinates) from a pyramid through the cached Dataset
 // layer, picking the cheapest sufficient level for a sample or error budget
 // unless --level pins one. "serve" opens every operand stream (MRCT / MRCP /
@@ -160,6 +170,19 @@ bool take_flag(std::vector<std::string>& args, const std::string& name,
   return false;
 }
 
+/// Extracts a bare "--name" boolean flag (also accepted without dashes).
+bool take_bool_flag(std::vector<std::string>& args, const std::string& name) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    std::string a = *it;
+    if (a.rfind("--", 0) == 0) a.erase(0, 2);
+    if (a == name) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* kind_str(api::StreamInfo::Kind k) {
   switch (k) {
     case api::StreamInfo::Kind::field: return "field";
@@ -167,6 +190,7 @@ const char* kind_str(api::StreamInfo::Kind k) {
     case api::StreamInfo::Kind::tiled: return "tiled";
     case api::StreamInfo::Kind::pyramid: return "pyramid";
     case api::StreamInfo::Kind::adaptive: return "adaptive";
+    case api::StreamInfo::Kind::progressive: return "progressive";
     default: return "snapshot";
   }
 }
@@ -193,6 +217,8 @@ int usage() {
       "  mrcc compress   <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc tiled      <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
       "  mrcc pyramid    <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] [key=value ...]\n"
+      "  mrcc progressive <in.f32> <nx> <ny> <nz> <out> [codec] [rel_eb] "
+      "[key=value ...]\n"
       "  mrcc adaptive   <in.f32> <nx> <ny> <nz> <out> [importance] [rel_eb] "
       "[key=value ...]\n"
       "                  (importance: halo|gradient|roi|file; roi=x0:y0:z0:x1:y1:z1, "
@@ -203,7 +229,7 @@ int usage() {
       "  mrcc restore    <in.snapshot> <out.f32>\n"
       "  mrcc metrics    <orig.raw> <recon.raw>\n"
       "  mrcc region     <in.tiled> <x0> <y0> <z0> <x1> <y1> <z1> [--out=<file.raw>] "
-      "[key=value ...]\n"
+      "[--progressive [--level=L]] [key=value ...]\n"
       "  mrcc lod        <in.mrcp> <x0> <y0> <z0> <x1> <y1> <z1> [--budget=<samples> | "
       "--eb_budget=<err> | --level=<l>] [--out=<file.raw>] [key=value ...]\n"
       "  mrcc info       <in> [--tiles]\n"
@@ -281,6 +307,30 @@ int run(int argc, char** argv) {
     std::printf("options: %s\n", opt.to_string().c_str());
     return 0;
   }
+  if (cmd == "progressive" && argc >= 7) {
+    const Dim3 dims{parse_ll(argv[3], "nx"), parse_ll(argv[4], "ny"),
+                    parse_ll(argv[5], "nz")};
+    const FieldF f = io::read_raw_f32(argv[2], dims);
+    api::Options opt;
+    apply_args(opt, tail_args(argv + 7, argv + argc), "codec", "eb");
+    const auto stream = api::build_progressive(f, opt);
+    io::write_bytes(stream, argv[6]);
+    const auto idx = progressive::read_geometry(stream);
+    std::printf("progressive(%s): %zu levels, brick %lld^3 -> %zu bytes (CR %.1f)\n",
+                idx.codec.c_str(), idx.levels.size(),
+                static_cast<long long>(idx.brick), stream.size(),
+                compression_ratio(f.size(), stream.size()));
+    for (std::size_t l = 0; l < idx.levels.size(); ++l) {
+      const auto& e = idx.levels[l];
+      std::printf("  level %zu: %-14s %10llu bytes, resid_max %.4g, entropy %.2f "
+                  "b/sample, cum_eb %.4g, lod_err %.4g%s\n",
+                  l, e.dims.str().c_str(), static_cast<unsigned long long>(e.length),
+                  e.resid_max, e.resid_entropy, e.cum_err, e.approx_err,
+                  l + 1 == idx.levels.size() ? " (coarsest, stored verbatim)" : "");
+    }
+    std::printf("options: %s\n", opt.to_string().c_str());
+    return 0;
+  }
   if (cmd == "region" && argc >= 9) {
     const auto stream = io::read_bytes(argv[2]);
     const tiled::Box box{
@@ -289,8 +339,69 @@ int run(int argc, char** argv) {
     auto args = tail_args(argv + 9, argv + argc);
     std::string out_path;
     const bool have_out = take_flag(args, "out", out_path);
+    const bool progressive_read = take_bool_flag(args, "progressive");
+    std::string level_s = "0";
+    take_flag(args, "level", level_s);
+    if (progressive_read) {
+      // Coarse-first streaming read of an MRCR stream through an in-process
+      // wire server: one `progressive` request, the coarse answer plus one
+      // residual refinement frame per level, bytes accounted per frame.
+      const int level = static_cast<int>(parse_ll(level_s.c_str(), "level"));
+      api::Options opt;
+      apply_args(opt, args);
+      serve::Server srv(opt.server_config());
+      const serve::wire::Transport loopback =
+          [&srv](std::span<const std::byte> frame) { return srv.handle_frame(frame); };
+      serve::wire::Client client(loopback);
+      const serve::wire::OpenInfo info = client.open(stream, argv[2]);
+      client.set_trace(0x70726f67ull);  // "prog": stitches the span tree
+      const serve::wire::ProgressiveResult res =
+          client.read_progressive(info.id, level, box);
+      client.set_trace(0);
+      srv.wait_idle();
+      std::size_t total = 0, first = 0;
+      std::printf("%7s %14s %12s %12s\n", "level", "dims", "bytes", "cum_bytes");
+      for (const auto& fi : res.frames) {
+        total += fi.frame_bytes;
+        if (first == 0) first = fi.frame_bytes;
+        const Dim3 ext{fi.box.hi.x - fi.box.lo.x, fi.box.hi.y - fi.box.lo.y,
+                       fi.box.hi.z - fi.box.lo.z};
+        std::printf("%7d %14s %12zu %12zu%s\n", fi.level, ext.str().c_str(),
+                    fi.frame_bytes, total,
+                    fi.residual ? "" : "  (coarse answer)");
+      }
+      std::printf("progressive %s: level %d reached, %zu bytes streamed "
+                  "(%zu to first answer), status %s\n",
+                  res.box.extent().str().c_str(), res.level, total, first,
+                  res.complete()          ? "complete"
+                  : res.status == serve::wire::ProgressiveResult::Status::truncated
+                      ? "truncated"
+                      : "frame_error");
+      if (!res.complete())
+        std::printf("degraded: %s\n", res.error.c_str());
+      if (have_out) {
+        io::write_raw(res.data, out_path);
+        std::printf("wrote %s (self-describing raw: extents + f32 payload)\n",
+                    out_path.c_str());
+      }
+      return res.complete() ? 0 : 1;
+    }
     api::Options opt;
     apply_args(opt, args, "threads");
+    if (api::info(stream).kind == api::StreamInfo::Kind::progressive) {
+      // MRCR without --progressive: plain in-process read at --level
+      // (default 0, the finest) — same bytes the streamed read refines to.
+      const int level = static_cast<int>(parse_ll(level_s.c_str(), "level"));
+      const FieldF data = progressive::read_region(stream, level, box, opt.threads);
+      std::printf("region %s: progressive level %d\n", data.dims().str().c_str(),
+                  level);
+      if (have_out) {
+        io::write_raw(data, out_path);
+        std::printf("wrote %s (self-describing raw: extents + f32 payload)\n",
+                    out_path.c_str());
+      }
+      return 0;
+    }
     const auto rr = tiled::read_region(stream, box, opt.threads);
     std::printf("region %s: decoded %zu of %zu bricks\n", rr.data.dims().str().c_str(),
                 rr.tiles_decoded, rr.tiles_total);
@@ -698,11 +809,13 @@ int run(int argc, char** argv) {
       std::printf(", %zu bricks (%s grid of %lld^3, levels 0..%zu)", meta.tiles,
                   meta.tile_grid.str().c_str(), static_cast<long long>(meta.brick),
                   meta.levels - 1);
-    if (meta.kind == api::StreamInfo::Kind::pyramid)
+    if (meta.kind == api::StreamInfo::Kind::pyramid ||
+        meta.kind == api::StreamInfo::Kind::progressive)
       std::printf(", %zu levels (brick %lld^3)", meta.levels,
                   static_cast<long long>(meta.brick));
     std::printf("\n");
-    if (meta.kind == api::StreamInfo::Kind::pyramid) {
+    if (meta.kind == api::StreamInfo::Kind::pyramid ||
+        meta.kind == api::StreamInfo::Kind::progressive) {
       // The full level table — value ranges and LOD error bounds make
       // choose_level / adaptive decisions inspectable from the CLI.
       std::printf("%6s %14s %12s %12s %12s %10s\n", "level", "dims", "bytes", "min",
