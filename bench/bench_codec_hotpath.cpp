@@ -5,10 +5,19 @@
 // baseline produces byte-identical streams — asserted on every run — so the
 // speedup columns compare two coders of the *same frozen format*.
 //
+// Two more comparisons ride along since the SIMD/sharding PR:
+//   * predict_quant_{interp,lorenzo} — the full predictor+quantizer compress
+//     of each codec with SIMD dispatch forced to scalar (baseline) vs the
+//     runtime-dispatched kernels (optimized); streams asserted byte-identical.
+//   * sharded_decode_tN — one brick-sized quant stream decoded from the
+//     frozen monolithic layout (baseline) vs the sharded layout on an
+//     explicit N-lane pool (optimized); bytes asserted identical.
+//
 // Results land in BENCH_codec_hotpath.json
 // (stage, baseline_mb_s, optimized_mb_s, speedup); ci.sh runs this in its
-// bench-smoke step, and the >= 3x canonical-Huffman decode target is gated
-// with MRC_REQUIRE.
+// bench-smoke step. The >= 3x canonical-Huffman decode target is gated here
+// with MRC_REQUIRE; ci.sh additionally gates quant_encode absolute MB/s and
+// the sharded-vs-monolithic decode speedup from the JSON.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +27,10 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "compressors/interp/interp_compressor.h"
+#include "compressors/lorenzo/lorenzo_compressor.h"
+#include "compressors/simd_kernels.h"
+#include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "lossless/bitstream.h"
 #include "lossless/huffman.h"
@@ -191,13 +204,82 @@ int main() {
     const double td_ref = best_seconds([&] { (void)ref::decode_quant(enc, radius); });
     MRC_REQUIRE(ref::decode_quant(enc, radius) == syms,
                 "baseline quant decode mismatch");
-    std::vector<std::uint32_t> out;
+    AlignedVec<std::uint32_t> out;
     const double td_new = best_seconds(
         [&] { decode_quant_codes_into(enc, radius, out, syms.size()); });
-    MRC_REQUIRE(out == syms, "optimized quant decode mismatch");
+    MRC_REQUIRE(std::equal(out.begin(), out.end(), syms.begin(), syms.end()),
+                "optimized quant decode mismatch");
     rd.baseline_mb_s = mb(payload_bytes) / td_ref;
     rd.optimized_mb_s = mb(payload_bytes) / td_new;
     rows.push_back(rd);
+  }
+
+  {  // predictor+quantizer: forced-scalar rows vs runtime-dispatched SIMD.
+    // Both sides run the *same* codec; only the kernel table differs, and
+    // the streams must stay byte-identical (the bit-identity contract).
+    // The GRF generator needs power-of-two extents; round the scaled edge
+    // down so every MRC_SCALE setting still produces a valid grid.
+    const index_t want = scaled({256, 256, 256}).nx;
+    index_t edge = 32;
+    while (edge * 2 <= want) edge *= 2;
+    const Dim3 pd{edge, edge, edge};
+    const FieldF field = sim::gaussian_random_field(pd, 3.0, 11);
+    const double eb = 1e-3;
+    const std::size_t field_bytes =
+        static_cast<std::size_t>(field.size()) * sizeof(float);
+    std::printf("predict+quant field: %lldx%lldx%lld (%.1f MB), simd best=%s\n",
+                static_cast<long long>(pd.nx), static_cast<long long>(pd.ny),
+                static_cast<long long>(pd.nz), mb(field_bytes),
+                simd::isa_name(simd::best_isa()));
+    const auto pq_row = [&](const char* stage, const Compressor& codec) {
+      Row r{.stage = stage};
+      const simd::Isa prev = simd::active_isa();
+      simd::force_isa(simd::Isa::scalar);
+      Bytes scalar_stream;
+      const double t_scalar =
+          best_seconds([&] { scalar_stream = codec.compress(field, eb); });
+      simd::force_isa(simd::best_isa());
+      Bytes simd_stream;
+      const double t_simd =
+          best_seconds([&] { simd_stream = codec.compress(field, eb); });
+      simd::force_isa(prev);
+      MRC_REQUIRE(scalar_stream == simd_stream,
+                  "SIMD predict+quant stream diverged from scalar");
+      r.baseline_mb_s = mb(field_bytes) / t_scalar;
+      r.optimized_mb_s = mb(field_bytes) / t_simd;
+      rows.push_back(r);
+    };
+    pq_row("predict_quant_interp", InterpCompressor{});
+    pq_row("predict_quant_lorenzo", LorenzoCompressor{});
+  }
+
+  {  // sharded entropy decode: frozen monolithic layout vs the v7 sharded
+    // layout decoded on explicit 1/2/4-lane pools. The baseline column is
+    // the same monolithic single-thread figure for every row, so speedup
+    // reads directly as "sharded at N lanes vs unsharded".
+    const Bytes mono = encode_quant_codes(syms, radius);
+    const Bytes sharded = encode_quant_codes_sharded(syms, radius, 16);
+    MRC_REQUIRE(is_sharded_quant_stream(sharded),
+                "sharded encode fell back to monolithic at bench scale");
+    std::printf("sharded decode: %u shards, %.2f MB stream (mono %.2f MB)\n",
+                quant_stream_shards(sharded), mb(sharded.size()), mb(mono.size()));
+    AlignedVec<std::uint32_t> out;
+    const double t_mono = best_seconds(
+        [&] { decode_quant_codes_into(mono, radius, out, syms.size()); });
+    MRC_REQUIRE(std::equal(out.begin(), out.end(), syms.begin(), syms.end()),
+                "monolithic decode mismatch");
+    const double mono_mb_s = mb(payload_bytes) / t_mono;
+    for (const int lanes : {1, 2, 4}) {
+      exec::ThreadPool pool(lanes);
+      Row r{.stage = "sharded_decode_t" + std::to_string(lanes)};
+      const double t = best_seconds(
+          [&] { decode_quant_codes_into(sharded, radius, out, syms.size(), pool); });
+      MRC_REQUIRE(std::equal(out.begin(), out.end(), syms.begin(), syms.end()),
+                  "sharded decode mismatch");
+      r.baseline_mb_s = mono_mb_s;
+      r.optimized_mb_s = mb(payload_bytes) / t;
+      rows.push_back(r);
+    }
   }
 
   std::printf("\n%20s %16s %16s %9s\n", "stage", "baseline MB/s", "optimized MB/s",

@@ -8,6 +8,7 @@
 
 #include "exec/thread_pool.h"
 #include "io/raw_io.h"
+#include "lossless/quant_codec.h"
 #include "obs/obs.h"
 #include "roi/roi_extract.h"
 #include "serve/server.h"
@@ -148,6 +149,11 @@ void Options::set(const std::string& key, const std::string& value) {
     use_regression = parse_bool(key, value);
   } else if (key == "threads") {
     threads = static_cast<int>(parse_index(key, value, 0));  // 0 = hardware
+  } else if (key == "entropy_shards") {
+    entropy_shards = static_cast<std::uint32_t>(parse_index(key, value, 1));
+    if (entropy_shards > lossless::kMaxEntropyShards)
+      throw ContractError("options: entropy_shards must be <= " +
+                          std::to_string(lossless::kMaxEntropyShards) + ", got " + value);
   } else if (key == "tile") {
     tile = parse_index(key, value, 1);
   } else if (key == "levels") {
@@ -184,8 +190,8 @@ void Options::set(const std::string& key, const std::string& value) {
         "options: unknown key '" + key +
         "' (known: codec eb eb_mode merge pad pad_kind min_pad_unit adaptive_eb alpha "
         "beta quant_radius postprocess roi_block roi_fraction block_size "
-        "use_regression threads tile levels cache_mb prefetch importance "
-        "importance_file roi coarse_level halo_threshold)");
+        "use_regression threads entropy_shards tile levels cache_mb prefetch "
+        "importance importance_file roi coarse_level halo_threshold)");
   }
 }
 
@@ -225,6 +231,7 @@ std::string Options::to_string() const {
   s += ",block_size=" + std::to_string(block_size);
   s += std::string(",use_regression=") + (use_regression ? "1" : "0");
   s += ",threads=" + std::to_string(threads);
+  s += ",entropy_shards=" + std::to_string(entropy_shards);
   s += ",tile=" + std::to_string(tile);
   s += ",levels=" + std::to_string(levels);
   s += ",cache_mb=" + fmt_double(cache_mb);
@@ -250,6 +257,7 @@ CodecTuning Options::tuning() const {
   t.use_regression = use_regression;
   // Codec chunk counts need a concrete width; 0 resolves to the hardware.
   t.threads = threads == 0 ? exec::hardware_threads() : threads;
+  t.entropy_shards = entropy_shards;
   return t;
 }
 
@@ -436,6 +444,7 @@ StreamInfo info(std::span<const std::byte> stream) {
   const StreamHeader h = peek_header(stream);
   StreamInfo out;
   out.version = h.version;
+  out.entropy_shards = h.entropy_shards;
   out.dims = h.dims;
   out.eb = h.eb;
   out.stream_bytes = stream.size();

@@ -95,6 +95,11 @@ struct Options {
   /// compression in compress_adaptive, chunk count of the chunked codecs.
   /// 0 = hardware concurrency.
   int threads = 1;
+  /// Requested entropy shards per Huffman code stream (negotiated down by
+  /// stream size). > 1 writes the v7 sharded layout so one large brick's
+  /// decode fans out across the pool; the default 1 keeps every stream
+  /// byte-identical to the frozen v6 bytes.
+  std::uint32_t entropy_shards = 1;
 
   // Tiled container (compress_tiled / read_region).
   index_t tile = tiled::kDefaultBrick;  ///< brick edge
@@ -243,6 +248,11 @@ struct StreamInfo {
   std::string codec;  ///< registry name ("snapshot"/"sz3mr" for those kinds;
                       ///< the per-brick codec for tiled/pyramid/adaptive streams)
   unsigned version = 0;
+  /// Entropy-layout minor version of the container header: the shard count
+  /// each Huffman code stream was split into (1 = frozen monolithic v6
+  /// layout; containers of bricks report the outer header, their per-brick
+  /// streams carry their own).
+  std::uint32_t entropy_shards = 1;
   Dim3 dims;          ///< field extents (snapshot/pyramid: finest-grid extents)
   double eb = 0.0;    ///< absolute error bound the stream was encoded under
   /// snapshot/pyramid/progressive level count; adaptive streams report 1 +

@@ -2,7 +2,16 @@
 
 #include <cmath>
 
+#include "lossless/quant_codec.h"
+
 namespace mrc {
+
+namespace {
+// First container version whose shared header carries the entropy shard
+// count (detail::kContainerVersionSharded; local alias keeps parse_header
+// readable).
+constexpr unsigned kSharedHeaderShardVersion = detail::kContainerVersionSharded;
+}  // namespace
 
 double compression_ratio(index_t n_values, std::size_t compressed_bytes) {
   MRC_REQUIRE(compressed_bytes > 0, "empty compressed stream");
@@ -26,7 +35,7 @@ StreamHeader parse_header(ByteReader& r, const char* who) {
   if (r.get<std::uint32_t>() != detail::kContainerMagic)
     throw CodecError(std::string(who) + ": not an mrcomp stream");
   h.version = r.get<std::uint8_t>();
-  if (h.version == 0 || h.version > detail::kContainerVersion)
+  if (h.version == 0 || h.version > detail::kContainerVersionMax)
     throw CodecError(std::string(who) + ": unsupported stream version " +
                      std::to_string(h.version));
   h.codec_magic = r.get<std::uint32_t>();
@@ -47,6 +56,15 @@ StreamHeader parse_header(ByteReader& r, const char* who) {
     throw CodecError(std::string(who) + ": bad extents");
   if (!(h.eb > 0.0) || !std::isfinite(h.eb))
     throw CodecError(std::string(who) + ": bad error bound");
+  if (h.version >= kSharedHeaderShardVersion) {
+    // v7 exists only to record a sharded entropy layout, so a count of 0/1
+    // (or an absurd one) is corruption, not a degenerate-but-legal stream.
+    const std::uint64_t shards = r.get_varint();
+    if (shards < 2 || shards > lossless::kMaxEntropyShards)
+      throw CodecError(std::string(who) + ": bad entropy shard count " +
+                       std::to_string(shards));
+    h.entropy_shards = static_cast<std::uint32_t>(shards);
+  }
   h.header_bytes = r.position();
   return h;
 }
@@ -60,21 +78,25 @@ StreamHeader peek_header(std::span<const std::byte> stream) {
 
 namespace detail {
 
-void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb) {
+void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb,
+                  std::uint32_t entropy_shards) {
+  MRC_REQUIRE(entropy_shards <= lossless::kMaxEntropyShards,
+              "entropy shard count out of range");
   w.put(kContainerMagic);
-  w.put(kContainerVersion);
+  w.put(entropy_shards > 1 ? kContainerVersionSharded : kContainerVersion);
   w.put(codec_magic);
   w.put_varint(static_cast<std::uint64_t>(dims.nx));
   w.put_varint(static_cast<std::uint64_t>(dims.ny));
   w.put_varint(static_cast<std::uint64_t>(dims.nz));
   w.put(eb);
+  if (entropy_shards > 1) w.put_varint(entropy_shards);
 }
 
 Header read_header(ByteReader& r, std::uint32_t expected_magic, const char* codec_name) {
   const StreamHeader h = parse_header(r, codec_name);
   if (h.codec_magic != expected_magic)
     throw CodecError(std::string(codec_name) + ": stream magic mismatch");
-  return Header{h.dims, h.eb};
+  return Header{h.dims, h.eb, h.entropy_shards};
 }
 
 }  // namespace detail

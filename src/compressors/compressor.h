@@ -58,11 +58,15 @@ struct RoundTrip {
 ///   u32     codec magic (the registry / stream-kind id)
 ///   varint  nx, ny, nz
 ///   f64     absolute error bound
+///   varint  entropy shard count (version >= 7 only; v6 and older imply 1)
 struct StreamHeader {
   std::uint32_t codec_magic = 0;
   unsigned version = 0;
   Dim3 dims;
   double eb = 0.0;
+  /// Entropy-layout minor version: shards the writer split each Huffman
+  /// code stream into (1 = the frozen monolithic v6 layout).
+  std::uint32_t entropy_shards = 1;
   std::size_t header_bytes = 0;  ///< offset where the payload begins
 };
 
@@ -103,19 +107,29 @@ class ScratchGuard {
 };
 
 inline constexpr std::uint32_t kContainerMagic = 0x3143'524d;  // "MRC1"
+// v7 is the sharded entropy layout (a trailing varint shard count in the
+// header, Huffman code streams split into independently decodable chunks);
+// it is written *only* when a writer was asked for >1 shard, so every
+// default stream stays byte-identical to v6 and the frozen goldens hold.
 // v6 adds the progressive residual container (progressive/progressive.h);
 // v5 the adaptive multi-resolution container (adaptive/adaptive.h);
 // v4 added the LOD pyramid (pyramid/pyramid.h); v3 the tiled container
 // (tiled/tiled.h). Older streams still parse — peek_header accepts any
-// version up to the current one.
+// version up to kContainerVersionMax.
 inline constexpr std::uint8_t kContainerVersion = 6;
+inline constexpr std::uint8_t kContainerVersionSharded = 7;
+inline constexpr std::uint8_t kContainerVersionMax = kContainerVersionSharded;
 
-/// Writes the shared container header (layout above).
-void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb);
+/// Writes the shared container header (layout above). entropy_shards <= 1
+/// emits the frozen v6 header byte-for-byte; > 1 emits a v7 header with the
+/// shard count appended.
+void write_header(ByteWriter& w, std::uint32_t codec_magic, Dim3 dims, double eb,
+                  std::uint32_t entropy_shards = 1);
 
 struct Header {
   Dim3 dims;
   double eb = 0.0;
+  std::uint32_t entropy_shards = 1;  ///< 1 unless a v7 header said otherwise
 };
 /// Reads the container header and checks the codec magic matches.
 [[nodiscard]] Header read_header(ByteReader& r, std::uint32_t expected_magic,

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "compressors/simd_kernels.h"
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
 #include "obs/obs.h"
@@ -91,11 +92,31 @@ double corner_prediction(const FieldF& recon, const Corner& c) {
   return 0.0;
 }
 
+/// A contiguous run of targets whose prediction is row-uniform: in the s==1
+/// y-sweep every x makes one row per (y, z) with sources at y±1 (and y±3 for
+/// cubic); in the s==1 z-sweep the whole fully-fine x-y slab of a target z
+/// is one run with slab sources at z±1 / z±3. Targets always have a right
+/// neighbour at s==1 (target_set stops at n-2), so constant extrapolation
+/// never appears in these runs — the kinds are exactly linear and cubic.
+/// traverse() hands these to its row handler (the SIMD kernel hook);
+/// everything else (corners, x-sweep, s>1 levels) stays per-point.
+enum class RowKind : std::uint8_t { linear, cubic };
+
+struct RowCtx {
+  index_t row = 0;  ///< linear index of the first element
+  index_t n = 0;    ///< contiguous element count
+  int lev = 1;
+  RowKind kind = RowKind::linear;
+  index_t a = 0, b = 0, c = 0, d = 0;  ///< source-run starts: b/c = ∓s, a/d = ∓3s
+};
+
 /// Visits every grid point exactly once in the fixed compressor order.
 /// handler(linear_index, prediction, level, extrapolated) where level = 1 is
-/// the finest stride and corners report the coarsest level.
-template <typename Handler>
-void traverse(const Dim3& d, FieldF& recon, bool cubic, Handler&& handler) {
+/// the finest stride and corners report the coarsest level; row-uniform runs
+/// go to rows(RowCtx) instead (same traversal positions, same order).
+template <typename Handler, typename RowHandler>
+void traverse(const Dim3& d, FieldF& recon, bool cubic, Handler&& handler,
+              RowHandler&& rows) {
   const int levels = std::max(ceil_log2(d.max_extent()), 1);
 
   for (const Corner& c : corner_list(d)) {
@@ -129,33 +150,95 @@ void traverse(const Dim3& d, FieldF& recon, bool cubic, Handler&& handler) {
     {
       const auto ty = target_set(d.ny, s);
       if (!ty.empty()) {
-        const auto fx = fine_set(d.nx, s);
         const auto cz = coarse_set(d.nz, s);
-        for (index_t z : cz)
-          for (index_t y : ty)
-            for (index_t x : fx) {
-              const float* line = base + d.index(x, 0, z);
-              const auto p = predict(line, sy, y, d.ny, s, cubic);
-              handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+        if (s == 1) {
+          // fine_set(nx, 1) is every x in order: one contiguous row per (y, z).
+          for (index_t z : cz)
+            for (index_t y : ty) {
+              RowCtx rc;
+              rc.row = d.index(0, y, z);
+              rc.n = d.nx;
+              rc.lev = lev;
+              rc.b = d.index(0, y - 1, z);
+              rc.c = d.index(0, y + 1, z);
+              if (cubic && y - 3 >= 0 && y + 3 <= d.ny - 1) {
+                rc.kind = RowKind::cubic;
+                rc.a = d.index(0, y - 3, z);
+                rc.d = d.index(0, y + 3, z);
+              }
+              rows(rc);
             }
+        } else {
+          const auto fx = fine_set(d.nx, s);
+          for (index_t z : cz)
+            for (index_t y : ty)
+              for (index_t x : fx) {
+                const float* line = base + d.index(x, 0, z);
+                const auto p = predict(line, sy, y, d.ny, s, cubic);
+                handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+              }
+        }
       }
     }
     // Sweep along z: x and y refined this level.
     {
       const auto tz = target_set(d.nz, s);
       if (!tz.empty()) {
-        const auto fx = fine_set(d.nx, s);
-        const auto fy = fine_set(d.ny, s);
-        for (index_t z : tz)
-          for (index_t y : fy)
-            for (index_t x : fx) {
-              const float* line = base + d.index(x, y, 0);
-              const auto p = predict(line, sz, z, d.nz, s, cubic);
-              handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+        if (s == 1) {
+          // Both in-slab axes fully fine: each target z is one contiguous
+          // nx*ny run predicted from the z∓1 (and z∓3) slabs.
+          for (index_t z : tz) {
+            RowCtx rc;
+            rc.row = d.index(0, 0, z);
+            rc.n = d.nx * d.ny;
+            rc.lev = lev;
+            rc.b = d.index(0, 0, z - 1);
+            rc.c = d.index(0, 0, z + 1);
+            if (cubic && z - 3 >= 0 && z + 3 <= d.nz - 1) {
+              rc.kind = RowKind::cubic;
+              rc.a = d.index(0, 0, z - 3);
+              rc.d = d.index(0, 0, z + 3);
             }
+            rows(rc);
+          }
+        } else {
+          const auto fx = fine_set(d.nx, s);
+          const auto fy = fine_set(d.ny, s);
+          for (index_t z : tz)
+            for (index_t y : fy)
+              for (index_t x : fx) {
+                const float* line = base + d.index(x, y, 0);
+                const auto p = predict(line, sz, z, d.nz, s, cubic);
+                handler(d.index(x, y, z), p.value, lev, p.extrapolated);
+              }
+        }
       }
     }
   }
+}
+
+/// Per-point traverse: row-uniform runs are replayed element-wise through
+/// `handler` with exactly the predictions predict() would produce.
+template <typename Handler>
+void traverse(const Dim3& d, FieldF& recon, bool cubic, Handler&& handler) {
+  const float* base = recon.data();
+  traverse(d, recon, cubic, handler, [&](const RowCtx& rc) {
+    const float* b = base + rc.b;
+    const float* c = base + rc.c;
+    if (rc.kind == RowKind::cubic) {
+      const float* a = base + rc.a;
+      const float* dd = base + rc.d;
+      for (index_t i = 0; i < rc.n; ++i) {
+        const double pred = (-static_cast<double>(a[i]) + 9.0 * b[i] + 9.0 * c[i] -
+                             static_cast<double>(dd[i])) /
+                            16.0;
+        handler(rc.row + i, pred, rc.lev, false);
+      }
+    } else {
+      for (index_t i = 0; i < rc.n; ++i)
+        handler(rc.row + i, 0.5 * (b[i] + c[i]), rc.lev, false);
+    }
+  });
 }
 
 /// Per-level error bound (QoZ-style; level 1 = finest keeps the full bound).
@@ -172,57 +255,88 @@ double level_eb(double eb, int level, const InterpConfig& cfg) {
 MRC_OBS_NOINLINE std::size_t predict_quant_pass(const FieldF& f, double abs_eb,
                                                 const InterpConfig& cfg,
                                                 FieldF& recon,
-                                                std::vector<std::uint32_t>& codes,
-                                                std::vector<float>& outliers) {
+                                                AlignedVec<std::uint32_t>& codes,
+                                                AlignedVec<float>& outliers) {
   const auto radius = cfg.quant_radius;
   const float* orig = f.data();
+  float* rec = recon.data();
   std::size_t emitted = 0;
-  traverse(f.dims(), recon, cfg.cubic,
-           [&](index_t idx, double pred, int level, bool /*extrap*/) {
-             const double eb = level_eb(abs_eb, level, cfg);
-             const float x = orig[idx];
-             const double diff = static_cast<double>(x) - pred;
-             std::uint32_t code = 0;
-             if (std::abs(diff) < 2.0 * eb * radius) {
-               const auto q = std::llround(diff / (2.0 * eb));
-               if (std::llabs(q) < radius) {
-                 const auto cand =
-                     static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
-                 if (std::abs(static_cast<double>(cand) - static_cast<double>(x)) <= eb) {
-                   code = static_cast<std::uint32_t>(q + radius);
-                   recon.data()[idx] = cand;
-                 }
-               }
-             }
-             if (code == 0) {
-               outliers.push_back(x);
-               recon.data()[idx] = x;
-             }
-             codes[emitted++] = code;
-           });
+  traverse(
+      f.dims(), recon, cfg.cubic,
+      [&](index_t idx, double pred, int level, bool /*extrap*/) {
+        const double eb = level_eb(abs_eb, level, cfg);
+        const float x = orig[idx];
+        const double diff = static_cast<double>(x) - pred;
+        std::uint32_t code = 0;
+        if (std::abs(diff) < 2.0 * eb * radius) {
+          const auto q = std::llround(diff / (2.0 * eb));
+          if (std::llabs(q) < radius) {
+            const auto cand =
+                static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+            if (std::abs(static_cast<double>(cand) - static_cast<double>(x)) <= eb) {
+              code = static_cast<std::uint32_t>(q + radius);
+              rec[idx] = cand;
+            }
+          }
+        }
+        if (code == 0) {
+          outliers.push_back(x);
+          rec[idx] = x;
+        }
+        codes[emitted++] = code;
+      },
+      [&](const RowCtx& rc) {
+        const double eb = level_eb(abs_eb, rc.lev, cfg);
+        const auto n = static_cast<std::size_t>(rc.n);
+        const float* op = orig + rc.row;
+        std::uint32_t* cp = codes.data() + emitted;
+        float* rp = rec + rc.row;
+        if (rc.kind == RowKind::cubic)
+          simd::quantize_row_cubic(op, rec + rc.a, rec + rc.b, rec + rc.c, rec + rc.d,
+                                   n, eb, radius, cp, rp, outliers);
+        else
+          simd::quantize_row_linear(op, rec + rc.b, rec + rc.c, n, eb, radius, cp, rp,
+                                    outliers);
+        emitted += n;
+      });
   return emitted;
 }
 
 MRC_OBS_NOINLINE void predict_recon_pass(const Dim3& dims, double stream_eb,
                                          const InterpConfig& cfg, FieldF& recon,
-                                         const std::vector<std::uint32_t>& codes,
-                                         const std::vector<float>& outliers) {
+                                         const AlignedVec<std::uint32_t>& codes,
+                                         const AlignedVec<float>& outliers) {
   std::size_t ci = 0;
   std::size_t oi = 0;
   const auto radius = cfg.quant_radius;
-  traverse(dims, recon, cfg.cubic,
-           [&](index_t idx, double pred, int level, bool /*extrap*/) {
-             const double eb = level_eb(stream_eb, level, cfg);
-             const std::uint32_t code = codes[ci++];
-             if (code == 0) {
-               if (oi >= outliers.size()) throw CodecError("interp: outlier underrun");
-               recon.data()[idx] = outliers[oi++];
-             } else {
-               const auto q = static_cast<std::int64_t>(code) - radius;
-               recon.data()[idx] =
-                   static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
-             }
-           });
+  float* rec = recon.data();
+  const std::span<const float> ospan(outliers.data(), outliers.size());
+  traverse(
+      dims, recon, cfg.cubic,
+      [&](index_t idx, double pred, int level, bool /*extrap*/) {
+        const double eb = level_eb(stream_eb, level, cfg);
+        const std::uint32_t code = codes[ci++];
+        if (code == 0) {
+          if (oi >= outliers.size()) throw CodecError("interp: outlier underrun");
+          rec[idx] = outliers[oi++];
+        } else {
+          const auto q = static_cast<std::int64_t>(code) - radius;
+          rec[idx] = static_cast<float>(pred + 2.0 * eb * static_cast<double>(q));
+        }
+      },
+      [&](const RowCtx& rc) {
+        const double eb = level_eb(stream_eb, rc.lev, cfg);
+        const auto n = static_cast<std::size_t>(rc.n);
+        const std::uint32_t* cp = codes.data() + ci;
+        float* rp = rec + rc.row;
+        if (rc.kind == RowKind::cubic)
+          simd::dequantize_row_cubic(cp, rec + rc.a, rec + rc.b, rec + rc.c,
+                                     rec + rc.d, n, eb, radius, rp, ospan, oi);
+        else
+          simd::dequantize_row_linear(cp, rec + rc.b, rec + rc.c, n, eb, radius, rp,
+                                      ospan, oi);
+        ci += n;
+      });
   if (oi != outliers.size()) throw CodecError("interp: outlier overrun");
 }
 
@@ -246,9 +360,10 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
   FieldF recon(d);
   // Per-lane scratch: tiled/pyramid/adaptive containers run one compress per
   // brick on an exec-pool lane, so these buffers are reused across bricks
-  // instead of reallocated for each one.
-  thread_local std::vector<std::uint32_t> codes;
-  thread_local std::vector<float> outliers;
+  // instead of reallocated for each one. 64-byte aligned so the SIMD row
+  // kernels' stores start on cache-line boundaries.
+  thread_local AlignedVec<std::uint32_t> codes;
+  thread_local AlignedVec<float> outliers;
   const detail::ScratchGuard gc(codes);
   const detail::ScratchGuard go(outliers);
   codes.resize(static_cast<std::size_t>(d.size()));
@@ -268,9 +383,14 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
   }
   MRC_REQUIRE(emitted == codes.size(), "traversal did not cover the grid");
 
+  // The negotiated shard count (not the raw request) goes into the header,
+  // so the container version and the entropy stream's actual layout agree;
+  // 1 keeps the frozen v6 header and monolithic stream byte-for-byte.
+  const std::uint32_t shards = lossless::negotiate_entropy_shards(
+      static_cast<std::uint64_t>(d.size()), cfg_.entropy_shards);
   Bytes out;
   ByteWriter w(out);
-  detail::write_header(w, kMagic, d, abs_eb);
+  detail::write_header(w, kMagic, d, abs_eb, shards);
   w.put(static_cast<std::uint8_t>(cfg_.adaptive_eb ? 1 : 0));
   w.put(static_cast<std::uint8_t>(cfg_.cubic ? 1 : 0));
   w.put(cfg_.alpha);
@@ -279,7 +399,7 @@ Bytes InterpCompressor::compress(const FieldF& f, double abs_eb) const {
 
   {
     OBS_SPAN("interp.entropy", &ns_ent);
-    w.put_blob(lossless::encode_quant_codes(codes, radius));
+    w.put_blob(lossless::encode_quant_codes_sharded(codes, radius, shards));
   }
   {
     OBS_SPAN("interp.lossless", &ns_ll);
@@ -303,8 +423,8 @@ FieldF InterpCompressor::decompress(std::span<const std::byte> stream) const {
   // Per-lane scratch (see compress); decode_quant_codes_into validates the
   // stream's count against the header dims before sizing the buffer, then
   // writes straight into it.
-  thread_local std::vector<std::uint32_t> codes;
-  thread_local std::vector<float> outliers;
+  thread_local AlignedVec<std::uint32_t> codes;
+  thread_local AlignedVec<float> outliers;
   const detail::ScratchGuard gc(codes);
   const detail::ScratchGuard go(outliers);
   static obs::Counter& ns_ent =

@@ -27,6 +27,9 @@ struct InterpConfig {
   bool adaptive_eb = false;          ///< per-level error-bound tightening
   double alpha = 2.25;               ///< per-level eb decay (paper §III-A)
   double beta = 8.0;                 ///< eb decay cap (paper §III-A)
+  /// Requested entropy shards per stream (negotiated down by grid size; > 1
+  /// writes the v7 sharded layout, 1 keeps the frozen v6 bytes).
+  std::uint32_t entropy_shards = 1;
 };
 
 class InterpCompressor final : public Compressor {

@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "compressors/quantizer.h"
+#include "compressors/simd_kernels.h"
 #include "lossless/bitstream.h"
 #include "lossless/lzss.h"
 #include "lossless/quant_codec.h"
@@ -78,6 +79,21 @@ double lorenzo_pred_orig(const float* orig, const Dim3& d, index_t x, index_t y,
   return lorenzo_pred(orig, d, x, y, z, zmin);
 }
 
+/// Branch-free interior form of lorenzo_pred: valid when x >= 1, y >= 1 and
+/// z >= zmin+1, where all seven stencil neighbours exist and the 21 bounds
+/// checks of v() collapse to straight loads. Same terms, same left-to-right
+/// summation order — bit-identical to the checked form.
+double lorenzo_pred_fast(const float* recon, index_t idx, index_t sy, index_t sz) {
+  const double v100 = recon[idx - 1];
+  const double v010 = recon[idx - sy];
+  const double v001 = recon[idx - sz];
+  const double v110 = recon[idx - 1 - sy];
+  const double v101 = recon[idx - 1 - sz];
+  const double v011 = recon[idx - sy - sz];
+  const double v111 = recon[idx - 1 - sy - sz];
+  return v100 + v010 + v001 - v110 - v101 - v011 + v111;
+}
+
 struct ChunkStream {
   Bytes flags;
   Bytes coeffs;
@@ -132,15 +148,16 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
     lossless::BitWriter flag_bits;
     Bytes coeff_bytes;
     ByteWriter coeff_writer(coeff_bytes);
-    // Per-lane scratch, reused when several chunks land on one pool lane.
-    thread_local std::vector<std::uint32_t> codes;
-    thread_local std::vector<float> outliers;
+    // Per-lane scratch, reused when several chunks land on one pool lane;
+    // 64-byte aligned for the SIMD row kernels.
+    thread_local AlignedVec<std::uint32_t> codes;
+    thread_local AlignedVec<float> outliers;
     const detail::ScratchGuard gc(codes);
     const detail::ScratchGuard go(outliers);
-    codes.clear();
-    codes.reserve(static_cast<std::size_t>(
+    codes.resize(static_cast<std::size_t>(
         (std::min(bz1 * bs, d.nz) - zmin) * d.nx * d.ny));
     outliers.clear();
+    std::size_t emitted = 0;
     std::array<std::int64_t, 4> prev_q{0, 0, 0, 0};
 
     static obs::Counter& ns_pq =
@@ -191,16 +208,36 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
             }
 
             const double ci = (ex - 1) / 2.0, cj = (ey - 1) / 2.0, ck = (ez - 1) / 2.0;
-            for (index_t k = 0; k < ez; ++k)
-              for (index_t j = 0; j < ey; ++j)
-                for (index_t i = 0; i < ex; ++i) {
-                  const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
-                  const double pred =
-                      use_reg ? qplane.m + qplane.gx * (i - ci) + qplane.gy * (j - cj) +
-                                    qplane.gz * (k - ck)
-                              : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
-                  codes.push_back(quant.encode(orig[idx], pred, recon.data()[idx], outliers));
+            if (use_reg) {
+              // Plane prediction is row-uniform along x: one kernel call per
+              // row, with the j/k gradient terms hoisted (same factors the
+              // scalar expression multiplies — bit-identical).
+              for (index_t k = 0; k < ez; ++k)
+                for (index_t j = 0; j < ey; ++j) {
+                  const index_t idx = d.index(x0, y0 + j, z0 + k);
+                  const double aj = qplane.gy * (static_cast<double>(j) - cj);
+                  const double ak = qplane.gz * (static_cast<double>(k) - ck);
+                  simd::quantize_row_plane(orig + idx, static_cast<std::size_t>(ex),
+                                           qplane.m, qplane.gx, ci, aj, ak, abs_eb,
+                                           cfg_.quant_radius, codes.data() + emitted,
+                                           recon.data() + idx, outliers);
+                  emitted += static_cast<std::size_t>(ex);
                 }
+            } else {
+              float* rec = recon.data();
+              for (index_t k = 0; k < ez; ++k)
+                for (index_t j = 0; j < ey; ++j) {
+                  const bool interior_row = y0 + j >= 1 && z0 + k >= zmin + 1;
+                  for (index_t i = 0; i < ex; ++i) {
+                    const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
+                    const double pred =
+                        interior_row && x0 + i >= 1
+                            ? lorenzo_pred_fast(rec, idx, d.nx, d.nx * d.ny)
+                            : lorenzo_pred(rec, d, x0 + i, y0 + j, z0 + k, zmin);
+                    codes[emitted++] = quant.encode(orig[idx], pred, rec[idx], outliers);
+                  }
+                }
+            }
           }
 
     }
@@ -213,13 +250,27 @@ Bytes LorenzoCompressor::compress(const FieldF& f, double abs_eb) const {
     }
     {
       OBS_SPAN("lorenzo.entropy", &ns_ent);
-      cs.codes = lossless::encode_quant_codes(codes, cfg_.quant_radius);
+      cs.codes = lossless::encode_quant_codes_sharded(codes, cfg_.quant_radius,
+                                                      cfg_.entropy_shards);
     }
   });
 
+  // Header entropy-layout minor version: the widest shard count any chunk
+  // actually negotiated (the chunk cell counts are closed-form, so this
+  // agrees with what encode_quant_codes_sharded emitted above).
+  std::uint32_t header_shards = 1;
+  for (int c = 0; c < n_chunks; ++c) {
+    const index_t bz0 = nbz * c / n_chunks;
+    const index_t bz1 = nbz * (c + 1) / n_chunks;
+    const auto cells = static_cast<std::uint64_t>(
+        (std::min(bz1 * bs, d.nz) - bz0 * bs) * d.nx * d.ny);
+    header_shards = std::max(
+        header_shards, lossless::negotiate_entropy_shards(cells, cfg_.entropy_shards));
+  }
+
   Bytes out;
   ByteWriter w(out);
-  detail::write_header(w, kMagic, d, abs_eb);
+  detail::write_header(w, kMagic, d, abs_eb, header_shards);
   w.put_varint(static_cast<std::uint64_t>(bs));
   w.put_varint(cfg_.quant_radius);
   w.put(static_cast<std::uint8_t>(cfg_.use_regression ? 1 : 0));
@@ -284,8 +335,8 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
     // Per-lane scratch; the chunk's cell count is a closed-form function of
     // its z-slab, and decode_quant_codes_into validates the stream's count
     // against it before sizing the buffer.
-    thread_local std::vector<std::uint32_t> codes;
-    thread_local std::vector<float> outliers;
+    thread_local AlignedVec<std::uint32_t> codes;
+    thread_local AlignedVec<float> outliers;
     const detail::ScratchGuard gc(codes);
     const detail::ScratchGuard go(outliers);
     {
@@ -326,17 +377,37 @@ FieldF LorenzoCompressor::decompress(std::span<const std::byte> stream) const {
           }
 
           const double cx = (ex - 1) / 2.0, cy = (ey - 1) / 2.0, cz = (ez - 1) / 2.0;
-          for (index_t k = 0; k < ez; ++k)
-            for (index_t j = 0; j < ey; ++j)
-              for (index_t i = 0; i < ex; ++i) {
-                const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
-                const double pred =
-                    use_reg ? qplane.m + qplane.gx * (i - cx) + qplane.gy * (j - cy) +
-                                  qplane.gz * (k - cz)
-                            : lorenzo_pred(recon.data(), d, x0 + i, y0 + j, z0 + k, zmin);
-                if (code_pos >= codes.size()) throw CodecError("lorenzo: code underrun");
-                recon.data()[idx] = quant.decode(codes[code_pos++], pred, outliers, outlier_pos);
+          const std::span<const float> ospan(outliers.data(), outliers.size());
+          if (use_reg) {
+            for (index_t k = 0; k < ez; ++k)
+              for (index_t j = 0; j < ey; ++j) {
+                if (code_pos + static_cast<std::size_t>(ex) > codes.size())
+                  throw CodecError("lorenzo: code underrun");
+                const index_t idx = d.index(x0, y0 + j, z0 + k);
+                const double aj = qplane.gy * (static_cast<double>(j) - cy);
+                const double ak = qplane.gz * (static_cast<double>(k) - cz);
+                simd::dequantize_row_plane(codes.data() + code_pos,
+                                           static_cast<std::size_t>(ex), qplane.m,
+                                           qplane.gx, cx, aj, ak, h.eb, radius,
+                                           recon.data() + idx, ospan, outlier_pos);
+                code_pos += static_cast<std::size_t>(ex);
               }
+          } else {
+            float* rec = recon.data();
+            for (index_t k = 0; k < ez; ++k)
+              for (index_t j = 0; j < ey; ++j) {
+                const bool interior_row = y0 + j >= 1 && z0 + k >= zmin + 1;
+                for (index_t i = 0; i < ex; ++i) {
+                  const index_t idx = d.index(x0 + i, y0 + j, z0 + k);
+                  const double pred =
+                      interior_row && x0 + i >= 1
+                          ? lorenzo_pred_fast(rec, idx, d.nx, d.nx * d.ny)
+                          : lorenzo_pred(rec, d, x0 + i, y0 + j, z0 + k, zmin);
+                  if (code_pos >= codes.size()) throw CodecError("lorenzo: code underrun");
+                  rec[idx] = quant.decode(codes[code_pos++], pred, ospan, outlier_pos);
+                }
+              }
+          }
         }
    } catch (...) {
      throw CodecError("lorenzo: corrupt chunk stream");

@@ -23,6 +23,9 @@ struct LorenzoConfig {
   std::uint32_t quant_radius = 512;
   bool use_regression = true;  ///< per-block choice; false = pure Lorenzo
   int chunks = 1;              ///< independent z-slab chunks (parallel mode)
+  /// Requested entropy shards per chunk stream (negotiated down by chunk
+  /// size; > 1 writes the v7 sharded layout, 1 keeps the frozen v6 bytes).
+  std::uint32_t entropy_shards = 1;
 };
 
 class LorenzoCompressor final : public Compressor {

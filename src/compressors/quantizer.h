@@ -19,9 +19,11 @@ struct LinearQuantizer {
   std::uint32_t radius;
 
   /// Quantizes `orig` against `pred`; writes the reconstructed value to
-  /// `recon` and returns the code (0 = outlier, appended to `outliers`).
+  /// `recon` and returns the code (0 = outlier, appended to `outliers` —
+  /// any push_back-able float container, e.g. std::vector or AlignedVec).
+  template <typename OutlierVec>
   std::uint32_t encode(float orig, double pred, float& recon,
-                       std::vector<float>& outliers) const {
+                       OutlierVec& outliers) const {
     const double diff = static_cast<double>(orig) - pred;
     if (std::abs(diff) < 2.0 * eb * radius) {
       const auto q = std::llround(diff / (2.0 * eb));

@@ -84,6 +84,7 @@ CodecRegistry make_builtin_registry() {
                  c.adaptive_eb = t.adaptive_eb;
                  c.alpha = t.alpha;
                  c.beta = t.beta;
+                 c.entropy_shards = t.entropy_shards;
                  return std::make_unique<InterpCompressor>(c);
                }});
   reg.add({.name = "lorenzo",
@@ -97,6 +98,7 @@ CodecRegistry make_builtin_registry() {
                  c.quant_radius = t.quant_radius;
                  c.use_regression = t.use_regression;
                  c.chunks = t.threads;
+                 c.entropy_shards = t.entropy_shards;
                  return std::make_unique<LorenzoCompressor>(c);
                }});
   reg.add({.name = "zfpx",
@@ -107,6 +109,7 @@ CodecRegistry make_builtin_registry() {
                [](const CodecTuning& t) -> std::unique_ptr<Compressor> {
                  ZfpxConfig c;
                  c.chunks = t.threads;
+                 c.entropy_shards = t.entropy_shards;
                  return std::make_unique<ZfpxCompressor>(c);
                }});
   return reg;

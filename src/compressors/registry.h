@@ -30,6 +30,11 @@ struct CodecTuning {
   index_t block_size = 0;            ///< lorenzo block edge; 0 = codec default
   bool use_regression = true;        ///< lorenzo per-block predictor choice
   int threads = 1;                   ///< independent chunks for parallel codecs
+  /// Requested entropy shards per Huffman code stream (interp/lorenzo; zfpx
+  /// folds it into its chunk count, whose streams are already independent).
+  /// Negotiated down by stream size; > 1 writes the v7 sharded layout, the
+  /// default 1 keeps every stream byte-identical to v6.
+  std::uint32_t entropy_shards = 1;
 };
 
 class CodecRegistry {

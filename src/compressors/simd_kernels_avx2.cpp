@@ -1,0 +1,24 @@
+// AVX2 kernel TU — CMakeLists compiles exactly this file with -mavx2 (never
+// -mfma: fused multiply-adds would change roundings and break bit-identity
+// with the scalar path). On toolchains where that flag is unavailable the
+// guard below compiles the TU to a null table and dispatch stays on SSE2.
+
+#include "compressors/simd_kernels.h"
+
+#if defined(__AVX2__)
+
+#define MRC_SIMD_NS kavx2
+#define MRC_SIMD_AVX2 1
+#include "compressors/simd_kernels_x86.h"
+
+namespace mrc::simd::detail {
+const KernelTable* avx2_table() { return &mrc::simd::kavx2::kTable; }
+}  // namespace mrc::simd::detail
+
+#else
+
+namespace mrc::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace mrc::simd::detail
+
+#endif

@@ -1,0 +1,22 @@
+// SSE2 kernel TU — compiled with the project's baseline flags (SSE2 is part
+// of x86-64, so no extra -m flags and no risk of illegal instructions).
+
+#include "compressors/simd_kernels.h"
+
+#if defined(__SSE2__)
+
+#define MRC_SIMD_NS ksse2
+#define MRC_SIMD_AVX2 0
+#include "compressors/simd_kernels_x86.h"
+
+namespace mrc::simd::detail {
+const KernelTable* sse2_table() { return &mrc::simd::ksse2::kTable; }
+}  // namespace mrc::simd::detail
+
+#else
+
+namespace mrc::simd::detail {
+const KernelTable* sse2_table() { return nullptr; }
+}  // namespace mrc::simd::detail
+
+#endif

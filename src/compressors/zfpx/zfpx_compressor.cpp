@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "lossless/bitstream.h"
+#include "lossless/quant_codec.h"
 #include "obs/obs.h"
 
 namespace mrc {
@@ -223,7 +224,12 @@ Bytes ZfpxCompressor::compress(const FieldF& f, double abs_eb) const {
   const Dim3 d = f.dims();
   const Dim3 nb = blocks_for(d, kBlock);
   const double minexp = std::floor(std::log2(abs_eb));
-  const int n_chunks = static_cast<int>(std::min<index_t>(cfg_.chunks, nb.nz));
+  // entropy_shards folds into chunking: zfpx chunk streams are already
+  // independently decodable, so more chunks IS the sharded-decode story here.
+  const auto want_chunks = std::max<index_t>(
+      cfg_.chunks, static_cast<index_t>(std::min<std::uint32_t>(
+                       cfg_.entropy_shards, lossless::kMaxEntropyShards)));
+  const int n_chunks = static_cast<int>(std::min<index_t>(want_chunks, nb.nz));
 
   std::vector<Bytes> streams(static_cast<std::size_t>(n_chunks));
 

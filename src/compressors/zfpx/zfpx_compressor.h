@@ -23,6 +23,11 @@ namespace mrc {
 
 struct ZfpxConfig {
   int chunks = 1;  ///< independent z-slab chunks, compressed in parallel
+  /// Requested entropy shards. zfpx has no Huffman stage to shard — its
+  /// chunk streams are already independently decodable — so the request
+  /// folds into the chunk count (max of the two, clamped by slab count).
+  /// 1 (the default) leaves the stream bytes unchanged.
+  std::uint32_t entropy_shards = 1;
 };
 
 class ZfpxCompressor final : public Compressor {

@@ -13,6 +13,25 @@ int hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+namespace {
+
+thread_local bool t_on_pool_lane = false;
+
+/// Marks the current thread as a pool lane for a scope; restores the prior
+/// value so nested pools (an inner pool built on an outer worker) unwind
+/// correctly.
+struct LaneScope {
+  bool prev = t_on_pool_lane;
+  LaneScope() { t_on_pool_lane = true; }
+  ~LaneScope() { t_on_pool_lane = prev; }
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+};
+
+}  // namespace
+
+bool on_pool_lane() { return t_on_pool_lane; }
+
 ThreadPool::ThreadPool(int threads) {
   MRC_REQUIRE(threads >= 0, "negative thread count");
   if (threads == 0) threads = hardware_threads();
@@ -34,6 +53,7 @@ void ThreadPool::post(std::function<void()> fn, Priority p) {
   static obs::Counter& tasks = obs::Registry::global().counter("mrc.exec.tasks");
   tasks.add(1);
   if (workers_.empty()) {  // single-lane pool: run inline, no queue traffic
+    const LaneScope lane_scope;
     OBS_SPAN("exec.task");
     fn();
     return;
@@ -114,6 +134,7 @@ void ThreadPool::worker_loop() {
       q.pop_front();
       if (obs::enabled()) update_queue_gauges();
     }
+    const LaneScope lane_scope;
     fn();
   }
 }
@@ -126,6 +147,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& bod
   if (lanes <= 1) {
     // Still a pool lane conceptually (the calling thread), so serial
     // parallel_for runs stay visible in the trace timeline.
+    const LaneScope lane_scope;
     OBS_SPAN("exec.lane");
     for (index_t i = 0; i < n; ++i) body(i);
     return;
@@ -139,6 +161,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& bod
   } sh;
 
   auto lane = [&sh, n, grain, &body] {
+    const LaneScope lane_scope;
     OBS_SPAN("exec.lane");
     try {
       for (;;) {

@@ -51,6 +51,16 @@ namespace mrc::exec {
 /// report 0 on exotic platforms).
 [[nodiscard]] int hardware_threads();
 
+/// True while the calling thread is executing work scheduled by any
+/// ThreadPool — a worker running a task, a parallel_for lane (including the
+/// calling thread's own lane, and the inline single-lane path), or an
+/// inline post() on a workerless pool. Nested operations that could fan out
+/// again (the sharded entropy decode) consult this to run serially instead:
+/// a nested pool's lanes blocking on futures queued behind the outer pool's
+/// own work is a deadlock, and the outer parallel_for is already using the
+/// machine.
+[[nodiscard]] bool on_pool_lane();
+
 /// Scheduling class of a pool task. High tasks preempt (queue ahead of) low
 /// ones; within a class the queue is FIFO.
 enum class Priority : std::uint8_t { high, low };

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "lossless/bitstream.h"
 #include "lossless/huffman.h"
@@ -331,9 +333,9 @@ TEST(QuantCodec, DecodeIntoMatchesVectorDecode) {
       codes.push_back(radius + static_cast<std::uint32_t>(rng.uniform_index(31)) - 15);
   }
   const auto enc = encode_quant_codes(codes, radius);
-  std::vector<std::uint32_t> out;
+  AlignedVec<std::uint32_t> out;
   decode_quant_codes_into(enc, radius, out, codes.size());
-  EXPECT_EQ(out, codes);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), codes.begin(), codes.end()));
   EXPECT_EQ(decode_quant_codes(enc, radius), codes);
 }
 
@@ -341,7 +343,7 @@ TEST(QuantCodec, DecodeIntoWrongSizeThrows) {
   const std::uint32_t radius = 8;
   std::vector<std::uint32_t> codes(100, radius);
   const auto enc = encode_quant_codes(codes, radius);
-  std::vector<std::uint32_t> out;
+  AlignedVec<std::uint32_t> out;
   EXPECT_THROW(decode_quant_codes_into(enc, radius, out, 99), CodecError);
   EXPECT_THROW(decode_quant_codes_into(enc, radius, out, 101), CodecError);
   EXPECT_TRUE(out.empty());  // count rejected before any sizing
@@ -376,7 +378,7 @@ TEST(QuantCodec, HostileCountThrowsWithoutHugeAllocation) {
   const auto enc = hostile_count_stream(std::uint64_t{1} << 39, true);
   EXPECT_THROW((void)decode_quant_codes(enc, 8), CodecError);
   // The exact-count path rejects the claim before any buffer is sized.
-  std::vector<std::uint32_t> out;
+  AlignedVec<std::uint32_t> out;
   EXPECT_THROW(decode_quant_codes_into(enc, 8, out, 16), CodecError);
   EXPECT_TRUE(out.empty());
 }

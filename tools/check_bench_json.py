@@ -13,6 +13,28 @@ Usage: check_bench_json.py <file.json> [...]
 import json
 import sys
 
+# Benches whose row *identity* column is pinned too: the set of values in
+# the named column must match exactly, so a silently dropped stage (e.g. a
+# bench that stops emitting the gated sharded-decode rows) fails here.
+ROW_IDENTITY = {
+    "codec_hotpath": (
+        "stage",
+        {
+            "bitstream_write13",
+            "bitstream_read13",
+            "huffman_encode",
+            "huffman_decode",
+            "quant_encode",
+            "quant_decode",
+            "predict_quant_interp",
+            "predict_quant_lorenzo",
+            "sharded_decode_t1",
+            "sharded_decode_t2",
+            "sharded_decode_t4",
+        },
+    ),
+}
+
 # Required row keys per bench name. Rows may not omit any of these; extra
 # keys are reported as errors too, so schema drift is always loud.
 ROW_SCHEMAS = {
@@ -76,6 +98,15 @@ def check(path):
             f"bench '{doc['bench']}' row keys {sorted(keys)} do not match "
             f"the expected schema {sorted(schema)}"
         )
+    identity = ROW_IDENTITY.get(doc["bench"])
+    if identity is not None:
+        column, expected = identity
+        got = {row.get(column) for row in rows}
+        if got != expected:
+            raise ValueError(
+                f"bench '{doc['bench']}' {column} values {sorted(map(str, got))} "
+                f"do not match the expected set {sorted(expected)}"
+            )
     return len(rows)
 
 

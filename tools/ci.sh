@@ -4,8 +4,8 @@
 # repeat the test suite under AddressSanitizer (second cmake preset) so the
 # thread-pool / tiled-index code is leak- and overflow-checked on every
 # verify, and finally run the concurrency-heavy suites (exec pool, tiled,
-# pyramid, serve-layer cache + prefetch — the repo's shared mutable state)
-# under ThreadSanitizer (third preset, <build-dir>-tsan), then an
+# pyramid, serve-layer cache + prefetch, sharded entropy decode — the repo's
+# shared mutable state) under ThreadSanitizer (third preset, <build-dir>-tsan), then an
 # observability smoke (traced `mrcc tiled` validated by
 # tools/check_trace_json.py, a traced `mrcc serve --flight` run whose trace
 # must stitch one request id across the wire/server/pool layers
@@ -20,7 +20,9 @@
 # finally a bench
 # smoke step: bench_adaptive_ratio on a tiny grid (MRC_SCALE=13 -> 32^3) plus
 # bench_codec_hotpath (entropy hot path; gates >= 3x Huffman decode over the
-# bit-at-a-time baseline), bench_server_load (multi-tenant Server under
+# bit-at-a-time baseline, >= 2x the pre-SIMD quant_encode throughput, and —
+# on machines with >= 4 hardware threads — sharded entropy decode beating
+# the monolithic layout on a 4-lane pool), bench_server_load (multi-tenant Server under
 # concurrent wire clients; gates viewport-walk out-hitting random and
 # monotone latency quantiles) and bench_progressive_stream (gates MRCR
 # total bytes < MRCP at equal eb), with every BENCH_*.json they and earlier runs
@@ -73,7 +75,7 @@ if [ "${MRC_SKIP_TSAN:-0}" != "1" ]; then
   # Only the concurrency-bearing suites: the serial codec/metric suites add
   # nothing under TSan but multiply its ~10x slowdown.
   "$TSAN_DIR"/mrc_tests \
-      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Progressive*:Serve*:Server*:Wire*:Adaptive*:Obs*'
+      --gtest_filter='ThreadPool.*:Tiled*:Pyramid*:Progressive*:Serve*:Server*:Wire*:Adaptive*:Obs*:Sharded*'
 fi
 
 if [ "${MRC_SKIP_OBS:-0}" != "1" ]; then
@@ -195,6 +197,38 @@ if [ "${MRC_SKIP_BENCH:-0}" != "1" ]; then
   # bit-at-a-time baseline and cross-checks byte-identical streams. Default
   # scale (1M symbols) keeps the timing stable enough for the gate.
   (cd "$BUILD_DIR/bench" && ./bench_codec_hotpath > /dev/null)
+  # Hot-path absolute gates from the JSON the bench just wrote:
+  #   * quant_encode must run at >= 2x the pre-SIMD baseline of 289.8 MB/s
+  #     (the figure this machine produced before the vectorized predictor/
+  #     quantizer landed). MRC_QUANT_ENCODE_MIN_MB_S overrides; 0 disables.
+  #   * sharded decode on a 4-lane pool must beat the monolithic layout —
+  #     but only where 4 hardware threads exist; on smaller machines the
+  #     pool is pure oversubscription and the row is informational.
+  #     MRC_SHARDED_DECODE_MIN_SPEEDUP overrides the 1.0 bar; 0 disables.
+  python3 - "$BUILD_DIR/bench/BENCH_codec_hotpath.json" \
+      "${MRC_QUANT_ENCODE_MIN_MB_S:-579.6}" \
+      "${MRC_SHARDED_DECODE_MIN_SPEEDUP:-1.0}" "$(nproc)" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = {row["stage"]: row for row in doc["results"]}
+quant_min, shard_min, cores = float(sys.argv[2]), float(sys.argv[3]), int(sys.argv[4])
+
+qe = rows["quant_encode"]["optimized_mb_s"]
+print(f"hotpath gate quant_encode: {qe:.1f} MB/s (min {quant_min:.1f})")
+if quant_min > 0 and qe < quant_min:
+    sys.exit("hotpath gate: quant_encode below the SIMD acceptance floor")
+
+sd = rows["sharded_decode_t4"]["speedup"]
+if cores < 4:
+    print(f"hotpath gate sharded_decode_t4: {sd:.2f}x (informational: "
+          f"{cores} hardware threads < 4, gate skipped)")
+elif shard_min > 0 and sd <= shard_min:
+    sys.exit(f"hotpath gate: sharded decode at 4 lanes ({sd:.2f}x) "
+             f"did not beat the monolithic layout")
+else:
+    print(f"hotpath gate sharded_decode_t4: {sd:.2f}x (min > {shard_min:.2f})")
+PY
   # Validate the freshly produced JSON plus every committed/earlier one.
   find . "$BUILD_DIR/bench" -maxdepth 1 -name 'BENCH_*.json' -print0 |
       xargs -0 python3 tools/check_bench_json.py

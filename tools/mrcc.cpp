@@ -813,6 +813,12 @@ int run(int argc, char** argv) {
         meta.kind == api::StreamInfo::Kind::progressive)
       std::printf(", %zu levels (brick %lld^3)", meta.levels,
                   static_cast<long long>(meta.brick));
+    // Entropy-layout minor version: v7 headers carry the shard count each
+    // Huffman code stream was split into; everything older is monolithic.
+    if (meta.entropy_shards > 1)
+      std::printf(", entropy layout sharded (%u shards)", meta.entropy_shards);
+    else
+      std::printf(", entropy layout monolithic");
     std::printf("\n");
     if (meta.kind == api::StreamInfo::Kind::pyramid ||
         meta.kind == api::StreamInfo::Kind::progressive) {
